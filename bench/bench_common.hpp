@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the figure-reproduction benches: run-provenance
+/// banner, scale resolution (DDP_FULL / DDP_TRIALS / DDP_SEED) and CSV
+/// emission next to the binary output.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "experiments/figures.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+namespace ddp::bench {
+
+struct Run {
+  experiments::Scale scale;
+  std::uint64_t seed;
+};
+
+inline Run begin(const std::string& title, const std::string& paper_ref) {
+  Run run;
+  run.scale = experiments::default_scale();
+  run.seed = util::env_seed();
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("scale: %zu peers, %.0f min simulated, %u trial(s), seed %llu%s\n",
+              run.scale.peers, run.scale.total_minutes, run.scale.trials,
+              static_cast<unsigned long long>(run.seed),
+              util::full_scale_requested() ? " [FULL]" : " [laptop; DDP_FULL=1 for paper scale]");
+  return run;
+}
+
+inline void finish(const util::Table& table, const std::string& title,
+                   const std::string& csv_name) {
+  table.print(std::cout, title);
+  const std::string path = csv_name + ".csv";
+  if (table.write_csv(path)) {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace ddp::bench

@@ -1,0 +1,122 @@
+// Engine micro-benchmarks (google-benchmark): event-queue throughput,
+// wire codec speed, flood propagation rate in both engines, coverage
+// profiling and the DD-POLICE indicator computation. These quantify the
+// simulator itself, not the paper's results.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/indicators.hpp"
+#include "flow/network.hpp"
+#include "net/message.hpp"
+#include "p2p/network.hpp"
+#include "sim/engine.hpp"
+#include "topology/coverage.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace ddp;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      e.schedule_at(static_cast<double>((i * 7919) % 1000),
+                    [&sink] { ++sink; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  util::Rng rng(1);
+  net::Message m;
+  m.header.guid = net::Guid::random(rng);
+  m.payload = net::NeighborTraffic{1, 2, 3, 20000, 312};
+  for (auto _ : state) {
+    const auto bytes = net::encode(m);
+    auto out = net::decode(bytes);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void BM_FloodCoverage(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  const topology::Graph g = topology::paper_topology(n, rng);
+  for (auto _ : state) {
+    auto p = topology::flood_coverage(g, 0, 7);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FloodCoverage)->Arg(500)->Arg(2000);
+
+void BM_PacketEngineFlood(benchmark::State& state) {
+  // One full TTL-7 flood through a 200-peer overlay, message granularity.
+  util::Rng rng(3);
+  topology::Graph g = topology::paper_topology(200, rng);
+  workload::ContentConfig cc;
+  const workload::ContentModel content(cc, 200);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    p2p::P2pConfig cfg;
+    p2p::PacketNetwork net(g, content, engine, cfg, util::Rng(4));
+    net.issue_query(0, 1);
+    engine.run_until(60.0);
+    messages += net.totals().messages_sent;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.counters["msgs/flood"] =
+      static_cast<double>(messages) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PacketEngineFlood);
+
+void BM_FlowEngineMinute(benchmark::State& state) {
+  // One simulated minute of the flow engine at the given overlay size.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  topology::Graph g = topology::paper_topology(n, rng);
+  util::Rng bw_rng = rng.fork("bw");
+  const topology::BandwidthMap bw(n, bw_rng);
+  workload::ContentConfig cc;
+  const workload::ContentModel content(cc, n);
+  flow::FlowConfig cfg;
+  flow::FlowNetwork net(g, bw, content, cfg, rng.fork("flow"));
+  for (PeerId a = 0; a < n / 20; ++a) net.set_kind(a, PeerKind::kBad);
+  for (auto _ : state) {
+    net.run_minutes(1.0);
+    benchmark::DoNotOptimize(net.last_minute_report());
+  }
+  state.SetItemsProcessed(state.iterations() * 60);  // ticks
+}
+BENCHMARK(BM_FlowEngineMinute)->Arg(500)->Arg(2000);
+
+void BM_Indicators(benchmark::State& state) {
+  std::vector<core::MemberReport> reports;
+  for (PeerId m = 0; m < 8; ++m) {
+    reports.push_back({m, 1200.0 + m, 8000.0 - m, true});
+  }
+  for (auto _ : state) {
+    const double g = core::general_indicator(reports, 100.0, 10000.0);
+    const double s = core::single_indicator(reports, 3, 100.0, 10000.0);
+    benchmark::DoNotOptimize(g);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Indicators);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+// Figure 10: average query response time vs. number of DDoS agents.
+// Expected shape: response time grows several-fold under attack (the paper
+// reports ~2.4x at 100 agents) and DD-POLICE restores it close to the
+// no-attack curve.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ddp;
+  const auto run = bench::begin(
+      "bench_fig10_response — average response time vs #DDoS agents",
+      "Figure 10 (query response time)");
+  const auto rows = experiments::run_agent_sweep(run.scale, run.seed);
+  bench::finish(experiments::fig10_response_table(rows),
+                "Figure 10 — average response time (seconds)",
+                "fig10_response");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 11: average query success rate vs. number of DDoS agents.
+// Expected shape: success collapses as agents multiply (the paper reports
+// up to 89.7% of queries failing), while DD-POLICE holds success near the
+// healthy baseline.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ddp;
+  const auto run = bench::begin(
+      "bench_fig11_success — query success rate vs #DDoS agents",
+      "Figure 11 (success rate)");
+  const auto rows = experiments::run_agent_sweep(run.scale, run.seed);
+  bench::finish(experiments::fig11_success_table(rows),
+                "Figure 11 — average success rate (%)", "fig11_success");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 13: the three error counts vs. the cut threshold CT.
+// Expected shape: false negative (good peers wrongly cut — the paper's
+// naming) decreases with CT; false positive (bad peers not identified)
+// increases with CT; their sum — false judgment — is minimized around
+// CT = 5..7, the paper's recommended operating point.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ddp;
+  auto run = bench::begin("bench_fig13_errors — errors vs cut threshold",
+                          "Figure 13 (errors vs. cut threshold)");
+  const std::size_t agents = std::min<std::size_t>(100, run.scale.peers / 10);
+  const auto rows = experiments::run_ct_sweep(
+      run.scale, {1.0, 2.0, 3.0, 5.0, 7.0, 9.0, 12.0}, agents, run.seed);
+  bench::finish(experiments::fig13_errors_table(rows),
+                "Figure 13 — errors vs cut threshold", "fig13_errors");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 14: damage recovery time (from D >= 20% until D <= 15%) vs. the
+// cut threshold CT.
+// Expected shape: recovery time grows with CT — laxer thresholds take
+// longer to identify the agents, so the damage persists longer.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ddp;
+  auto run = bench::begin(
+      "bench_fig14_recovery — damage recovery time vs cut threshold",
+      "Figure 14 (damage recovery time vs. cut threshold)");
+  const std::size_t agents = std::min<std::size_t>(100, run.scale.peers / 10);
+  const auto rows = experiments::run_ct_sweep(
+      run.scale, {1.0, 2.0, 3.0, 5.0, 7.0, 9.0, 12.0}, agents, run.seed);
+  bench::finish(experiments::fig14_recovery_table(rows),
+                "Figure 14 — damage recovery time (minutes)", "fig14_recovery");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 5: queries sent out vs. queries processed per minute in the
+// Sec. 2.3 LimeWire testbed (A -> B -> C chain; B services ~10,000/min).
+// Expected shape: processing tracks the offered rate up to ~15,000/min
+// (service + one minute of queue absorption), then plateaus at capacity.
+
+#include "bench_common.hpp"
+#include "p2p/testbed.hpp"
+
+int main() {
+  using namespace ddp;
+  const auto run = bench::begin(
+      "bench_fig5_capacity — single-peer query processing under load",
+      "Figure 5 (queries sent out vs. processed)");
+
+  p2p::TestbedConfig cfg;
+  std::vector<double> rates;
+  for (double r = 1000.0; r <= 29000.0; r += 2000.0) rates.push_back(r);
+  const auto points = p2p::run_testbed_sweep(cfg, rates, run.seed);
+
+  util::Table t({"sent_per_minute", "processed_per_minute", "received_by_B"});
+  for (const auto& p : points) {
+    t.row()
+        .cell(p.sent_per_minute, 0)
+        .cell(p.processed_per_minute, 0)
+        .cell(p.received_by_b, 0);
+  }
+  bench::finish(t, "Figure 5 — queries sent vs processed (per minute)",
+                "fig5_capacity");
+  return 0;
+}

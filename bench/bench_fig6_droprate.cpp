@@ -1,0 +1,25 @@
+// Figure 6: query drop rate vs. query density at peer B in the Sec. 2.3
+// testbed. Expected shape: near-zero drops below the ~15,000/min onset,
+// rising to ~47% at peer A's maximum replay rate (~29,000/min).
+
+#include "bench_common.hpp"
+#include "p2p/testbed.hpp"
+
+int main() {
+  using namespace ddp;
+  const auto run = bench::begin(
+      "bench_fig6_droprate — drop rate vs query density",
+      "Figure 6 (query drop rate vs. query density)");
+
+  p2p::TestbedConfig cfg;
+  std::vector<double> rates;
+  for (double r = 5000.0; r <= 29000.0; r += 2000.0) rates.push_back(r);
+  const auto points = p2p::run_testbed_sweep(cfg, rates, run.seed);
+
+  util::Table t({"received_per_minute", "drop_rate_pct"});
+  for (const auto& p : points) {
+    t.row().cell(p.sent_per_minute, 0).cell(p.drop_rate * 100.0, 1);
+  }
+  bench::finish(t, "Figure 6 — drop rate vs query density", "fig6_droprate");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 9: average traffic cost vs. number of DDoS agents, three curves
+// (under DDoS without DD-POLICE / with DD-POLICE / no attack).
+// Expected shape: the undefended curve grows steeply with the agent count
+// (tens of agents multiply total traffic; ~100 agents push it an order of
+// magnitude over baseline), while DD-POLICE stays near the no-attack curve
+// with slightly higher cost (its protocol overhead).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ddp;
+  const auto run = bench::begin(
+      "bench_fig9_traffic — average traffic cost vs #DDoS agents",
+      "Figure 9 (average traffic cost)");
+  const auto rows = experiments::run_agent_sweep(run.scale, run.seed);
+  bench::finish(experiments::fig9_traffic_table(rows),
+                "Figure 9 — average traffic cost (10^3 msgs/min)",
+                "fig9_traffic");
+  return 0;
+}

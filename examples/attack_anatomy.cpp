@@ -1,0 +1,63 @@
+// Anatomy of an overlay query-flood DDoS agent, replicated at message
+// granularity (the paper's Sec. 2.3): a synthetic query trace stands in
+// for the 24-hour Gnutella capture, a modified-client agent replays it at
+// increasing rates into a forwarding peer, and an observer counts what
+// survives — reproducing the capacity cliff of Figures 5 and 6.
+//
+// Usage: attack_anatomy [capacity=10000] [queue=5000] [seed=7]
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "p2p/testbed.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ddp;
+  const util::Options opts(argc, argv);
+  const double capacity = opts.get("capacity", 10000.0);
+  const auto queue = static_cast<std::size_t>(opts.get("queue", std::int64_t{5000}));
+  const auto seed = static_cast<std::uint64_t>(opts.get("seed", std::int64_t{7}));
+
+  // Step 1 — the query trace. The paper's monitoring super-node logged
+  // 13,075,339 queries (112 MB) in 24 h; we synthesize a statistically
+  // matching slice and show its shape.
+  workload::TraceConfig tc;
+  workload::TraceGenerator gen(tc);
+  util::Rng rng(seed);
+  const auto trace = gen.generate(50000, rng);
+  const auto stats = workload::analyze_trace(trace);
+  std::printf("synthetic query trace: %zu records, %zu unique strings, "
+              "%.1f B mean query, top-10 strings cover %.1f%% of traffic\n",
+              stats.records, stats.unique_queries, stats.mean_query_bytes,
+              stats.top10_share * 100.0);
+
+  // Step 2 — the agent. Peer A replays distinct queries toward peer B at
+  // rates from 1,000/min up to the ~29,000/min a log-replaying client can
+  // sustain; peer C counts what B forwards.
+  p2p::TestbedConfig cfg;
+  cfg.capacity_per_minute = capacity;
+  cfg.queue_limit = queue;
+  std::vector<double> rates;
+  for (double r = 1000.0; r <= 29000.0; r += 4000.0) rates.push_back(r);
+  const auto points = p2p::run_testbed_sweep(cfg, rates, seed);
+
+  util::Table t({"A_sends_per_min", "B_forwards_per_min", "B_drop_rate_pct"});
+  for (const auto& p : points) {
+    t.row()
+        .cell(p.sent_per_minute, 0)
+        .cell(p.processed_per_minute, 0)
+        .cell(p.drop_rate * 100.0, 1);
+  }
+  t.print(std::cout, "A -> B -> C testbed (Sec. 2.3 / Figures 5-6)");
+
+  std::printf("\nreading: B services ~%.0f queries/min; beyond ~%.0f/min its\n"
+              "queue overflows and it discards the excess — at the agent's\n"
+              "maximum rate roughly half of the flood dies at the first hop,\n"
+              "yet what survives still multiplies through the overlay.\n",
+              capacity, capacity + static_cast<double>(queue));
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "attack/packet_agent.hpp"
+
+#include "util/types.hpp"
+
+namespace ddp::attack {
+
+PacketAgent::PacketAgent(p2p::PacketNetwork& net, PeerId self,
+                         double rate_per_minute)
+    : net_(net), self_(self), interval_(kMinute / rate_per_minute) {
+  net_.set_kind(self_, PeerKind::kBad);
+  net_.engine().schedule_in(interval_, [this]() { tick(); });
+}
+
+void PacketAgent::tick() {
+  if (stopped_ || !net_.graph().is_active(self_)) return;
+  // Distinct query per transmission: rotate through the catalogue by
+  // issue count so no two descriptors match.
+  net_.issue_random_query(self_);
+  ++issued_;
+  net_.engine().schedule_in(interval_, [this]() { tick(); });
+}
+
+}  // namespace ddp::attack

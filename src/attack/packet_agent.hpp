@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file packet_agent.hpp
+/// A message-level DDoS agent for the packet engine — the in-simulator
+/// equivalent of the paper's modified LimeWire client (Sec. 2.3): it reads
+/// queries (synthetic trace ranks) and issues them as fast as configured,
+/// as distinct queries rotated across its neighbours.
+
+#include <cstdint>
+
+#include "p2p/network.hpp"
+#include "sim/engine.hpp"
+
+namespace ddp::attack {
+
+class PacketAgent {
+ public:
+  /// Starts issuing immediately; `rate_per_minute` is the sourcing rate
+  /// (the paper measured up to ~29,000/min for a log-replaying client).
+  PacketAgent(p2p::PacketNetwork& net, PeerId self, double rate_per_minute);
+
+  /// Stop sourcing (the scheduled event chain terminates).
+  void stop() noexcept { stopped_ = true; }
+
+  std::uint64_t issued() const noexcept { return issued_; }
+
+ private:
+  void tick();
+
+  p2p::PacketNetwork& net_;
+  PeerId self_;
+  double interval_;
+  bool stopped_ = false;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace ddp::attack

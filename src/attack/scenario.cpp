@@ -1,0 +1,102 @@
+#include "attack/scenario.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace ddp::attack {
+
+namespace {
+std::string_view sv(const char* s) { return s; }
+}  // namespace
+
+std::string_view report_strategy_name(ReportStrategy s) noexcept {
+  switch (s) {
+    case ReportStrategy::kHonest: return sv("honest");
+    case ReportStrategy::kInflate: return sv("inflate");
+    case ReportStrategy::kDeflate: return sv("deflate");
+    case ReportStrategy::kMute: return sv("mute");
+  }
+  return sv("?");
+}
+
+std::string_view list_strategy_name(ListStrategy s) noexcept {
+  switch (s) {
+    case ListStrategy::kHonest: return sv("honest");
+    case ListStrategy::kFabricate: return sv("fabricate");
+    case ListStrategy::kWithhold: return sv("withhold");
+  }
+  return sv("?");
+}
+
+AttackScenario::AttackScenario(flow::FlowNetwork& net, const AttackConfig& config,
+                               util::Rng rng)
+    : net_(net), config_(config), rng_(rng),
+      is_agent_(net.graph().node_count(), 0),
+      rejoin_due_(net.graph().node_count(), -1.0) {}
+
+bool AttackScenario::is_agent(PeerId p) const noexcept {
+  return p < is_agent_.size() && is_agent_[p] != 0;
+}
+
+void AttackScenario::start() {
+  started_ = true;
+  const auto& g = net_.graph();
+  std::size_t picked = 0;
+  // Bounded attempts: when the requested campaign size approaches the
+  // population, rejection sampling would spin on already-picked peers.
+  for (std::size_t attempts = 0;
+       picked < config_.agents && attempts < 64 * (config_.agents + g.node_count());
+       ++attempts) {
+    const PeerId p = g.random_active_node(rng_);
+    if (p == kInvalidPeer) break;
+    if (is_agent_[p]) continue;
+    is_agent_[p] = 1;
+    agents_.push_back(p);
+    net_.set_kind(p, PeerKind::kBad);
+    ++picked;
+  }
+  util::log_info("attack: campaign started with " + std::to_string(picked) +
+                 " agents");
+}
+
+void AttackScenario::on_minute(double minute) {
+  if (!started_) {
+    if (minute >= config_.start_minute) start();
+    return;
+  }
+  auto& g = net_.mutable_graph();
+  for (PeerId a : agents_) {
+    if (rejoin_due_[a] >= 0.0) {
+      if (minute >= rejoin_due_[a]) {
+        // Walk back in with fresh links (the defense cannot blacklist:
+        // queries carry no source identity, Sec. 2.1).
+        if (!g.is_active(a)) g.set_active(a, true);
+        std::size_t added = 0;
+        for (std::size_t tries = 0;
+             tries < config_.rejoin_links * 8 && added < config_.rejoin_links;
+             ++tries) {
+          const PeerId t = g.random_active_node_by_degree(rng_, a);
+          if (t == kInvalidPeer) break;
+          if (g.add_edge(a, t)) {
+            net_.on_edge_added(a, t);
+            ++added;
+          }
+        }
+        if (added > 0) {
+          rejoin_due_[a] = -1.0;
+          ++rejoins_;
+        }
+      }
+      continue;
+    }
+    // Isolated by the defense (or by churn of all its neighbours)?
+    if (g.is_active(a) && g.degree(a) == 0) {
+      if (config_.rejoin) {
+        rejoin_due_[a] = minute + config_.rejoin_after_minutes;
+      }
+    }
+  }
+}
+
+}  // namespace ddp::attack

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file scenario.hpp
+/// Orchestrates a DDoS campaign against a FlowNetwork: selects k random
+/// peers as compromised agents at the attack-start minute, drives their
+/// sourcing behaviour, and — because "no mechanism can prevent the DDoS
+/// agent from joining the system again" (Sec. 3.7.2) — rejoins agents that
+/// the defense managed to isolate, after a configurable offline gap.
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/strategy.hpp"
+#include "flow/network.hpp"
+#include "util/rng.hpp"
+
+namespace ddp::attack {
+
+struct AttackConfig {
+  std::size_t agents = 100;
+  double start_minute = 0.0;
+  /// Offline gap before an isolated agent walks back in, minutes.
+  double rejoin_after_minutes = 2.0;
+  /// Links an agent establishes on rejoin.
+  std::size_t rejoin_links = 3;
+  /// Rejoin after isolation. The paper's evaluation measures recovery from
+  /// one attack round (Sec. 3.7.2 only *notes* that agents can walk back
+  /// in), so the default is off; the persistence ablation turns it on.
+  bool rejoin = false;
+  AgentBehavior behavior{};
+};
+
+class AttackScenario {
+ public:
+  AttackScenario(flow::FlowNetwork& net, const AttackConfig& config,
+                 util::Rng rng);
+
+  /// Minute hook: starts the campaign when due and manages rejoin.
+  void on_minute(double minute);
+
+  const std::vector<PeerId>& agents() const noexcept { return agents_; }
+  bool is_agent(PeerId p) const noexcept;
+  bool started() const noexcept { return started_; }
+  const AttackConfig& config() const noexcept { return config_; }
+
+  /// Number of rejoin events so far.
+  std::size_t rejoins() const noexcept { return rejoins_; }
+
+ private:
+  void start();
+
+  flow::FlowNetwork& net_;
+  AttackConfig config_;
+  util::Rng rng_;
+  std::vector<PeerId> agents_;
+  std::vector<char> is_agent_;
+  std::vector<double> rejoin_due_;  ///< per-agent pending rejoin minute (<0: none)
+  bool started_ = false;
+  std::size_t rejoins_ = 0;
+};
+
+}  // namespace ddp::attack

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file config.hpp
+/// DD-POLICE protocol parameters (Sec. 3). Defaults are the paper's
+/// recommended operating point: neighbour lists exchanged every 2 minutes,
+/// warning threshold 500 queries/min, cut threshold CT = 5.
+
+#include <cstddef>
+
+#include "util/types.hpp"
+
+namespace ddp::core {
+
+enum class ExchangePolicy : std::uint8_t {
+  kPeriodic,     ///< fixed-frequency neighbour-list exchange (the paper's pick)
+  kEventDriven,  ///< advertise on every join/leave (higher overhead, Sec. 3.7.1)
+};
+
+struct DdPoliceConfig {
+  /// CT — disconnect when g(j,t) or s(j,t,i) exceeds this (Sec. 3.7.2;
+  /// the paper settles on 5 after the Figure 12-14 study).
+  double cut_threshold = 5.0;
+
+  /// Per-link warning threshold, queries/minute: a neighbour sending more
+  /// marks itself suspicious and triggers a buddy-group round (Sec. 3.3
+  /// uses 500).
+  double warning_threshold = 500.0;
+
+  /// q — the good-peer issue bound in the indicator denominators
+  /// (Definition 2.1; the paper argues 100 queries/min).
+  double good_issue_bound = 100.0;
+
+  /// Known per-peer query-servicing capacity (the Sec. 2.3 calibration:
+  /// ~10,000/min). The indicators credit a suspect with at most this much
+  /// forwardable input — output beyond it cannot be explained by relaying.
+  /// Set to +infinity to compute the paper's literal Definitions 2.1/2.2.
+  double capacity_bound_per_minute = 10000.0;
+
+  /// Neighbour-list exchange policy and period (Sec. 3.1 / 3.7.1).
+  ExchangePolicy exchange_policy = ExchangePolicy::kPeriodic;
+  double exchange_period_minutes = 2.0;
+
+  /// Verify advertised lists with the named peers and disconnect liars
+  /// (Sec. 3.1's consistency check).
+  bool verify_neighbor_lists = true;
+
+  /// Buddy-group radius r (Sec. 3.5). r = 1 consults the suspect's direct
+  /// neighbours; r = 2 additionally cross-checks member reports against
+  /// flow-balance estimates derived from *their* neighbourhoods, which
+  /// defeats colluding deflaters.
+  int buddy_radius = 1;
+
+  /// Neighbor_Traffic suppression window, seconds: a member answers at
+  /// most one round per suspect within this window (Sec. 3.3 uses 5 s; at
+  /// the engine's minute cadence this caps rounds at one per minute).
+  double suppression_window_seconds = 5.0;
+
+  /// How long a judge waits for BG replies before treating silent members
+  /// as having sent zero queries (Sec. 3.4's timeout rule).
+  double collect_timeout_seconds = 5.0;
+
+  /// Periodic keep-alive pings among BG members (overhead accounting).
+  double ping_period_minutes = 1.0;
+};
+
+}  // namespace ddp::core

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file ddpolice.hpp
+/// The DD-POLICE protocol (Sec. 3): every peer polices its direct
+/// neighbours' query behaviour by cooperating with each neighbour's buddy
+/// group. Three phases run at the engine's minute cadence:
+///
+///   1. neighbour-list exchange (Sec. 3.1) — periodic or event-driven;
+///      received lists are snapshots that age until the next exchange, so
+///      buddy groups can be stale (the source of misjudgment studied in
+///      Sec. 3.7.1). Advertised lists are optionally verified with the
+///      named peers; inconsistencies disconnect the liar.
+///   2. neighbour query-traffic monitoring (Sec. 3.2) — per-link
+///      per-minute Out_query/In_query counters, provided by the engine.
+///   3. bad-peer recognition (Sec. 3.3) — a neighbour exceeding the
+///      warning threshold triggers a buddy-group round: members exchange
+///      Neighbor_Traffic messages (suppressed to one per suspect per
+///      window), silent members count as zero (Sec. 3.4's timeout rule),
+///      indicators g / s are computed and any member observing
+///      g > CT or s > CT disconnects the suspect.
+///
+/// Compromised peers can cheat in this protocol; their reporting/list
+/// behaviour is injected through ReportPolicy / ListPolicy so the
+/// experiment harness can reproduce Sec. 3.4's case analysis.
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/indicators.hpp"
+#include "core/overlay_port.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ddp::core {
+
+/// Truthful counters handed to a report policy.
+struct TrafficTruth {
+  double out_to_suspect = 0.0;
+  double in_from_suspect = 0.0;
+};
+
+/// What `reporter` answers inside the buddy group of `suspect`;
+/// std::nullopt models refusal / mute (treated as zeros after timeout).
+using ReportPolicy = std::function<std::optional<TrafficTruth>(
+    PeerId reporter, PeerId suspect, const TrafficTruth& truth)>;
+
+/// What `owner` advertises as its neighbour list (the truth is passed in;
+/// liars fabricate or withhold entries).
+using ListPolicy =
+    std::function<std::vector<PeerId>(PeerId owner, std::vector<PeerId> truth)>;
+
+/// One disconnect decision, for the metrics pipeline.
+struct Decision {
+  double minute = 0.0;
+  PeerId judge = kInvalidPeer;
+  PeerId suspect = kInvalidPeer;
+  double g = 0.0;
+  double s = 0.0;
+  bool via_single = false;     ///< s (rather than g) crossed the threshold
+  bool list_violation = false; ///< disconnected by the consistency check
+  std::uint32_t believed_k = 0;   ///< buddy-group size the judge used
+  std::uint32_t responders = 0;   ///< members that answered the round
+  std::uint32_t true_degree = 0;  ///< suspect's actual degree at decision time
+};
+
+class DdPolice {
+ public:
+  DdPolice(OverlayPort& port, const DdPoliceConfig& config, util::Rng rng);
+
+  /// Install cheating behaviours (defaults are honest).
+  void set_report_policy(ReportPolicy policy) { report_policy_ = std::move(policy); }
+  void set_list_policy(ListPolicy policy) { list_policy_ = std::move(policy); }
+
+  /// Run one protocol step; call at every completed simulated minute.
+  void on_minute(double minute);
+
+  const std::vector<Decision>& decisions() const noexcept { return decisions_; }
+
+  /// Counters for the overhead/behaviour analyses.
+  std::uint64_t exchange_messages() const noexcept { return exchange_messages_; }
+  std::uint64_t traffic_messages() const noexcept { return traffic_messages_; }
+  std::uint64_t rounds_run() const noexcept { return rounds_; }
+  std::uint64_t suspicions() const noexcept { return suspicions_; }
+
+  /// The snapshot a peer holds about a neighbour (empty if none) —
+  /// exposed for tests and the exchange-frequency study.
+  std::vector<PeerId> snapshot_of(PeerId holder, PeerId about) const;
+
+ private:
+  struct Snapshot {
+    std::vector<PeerId> members;
+    std::vector<PeerId> prev_members;  ///< previous advertisement generation
+    double minute = -1.0;
+  };
+  static std::uint64_t pair_key(PeerId holder, PeerId about) noexcept {
+    return (static_cast<std::uint64_t>(holder) << 32) | about;
+  }
+
+  void exchange_phase(double minute);
+  std::vector<PeerId> advertised_list(PeerId p) const;
+  void advertise_to(PeerId p, PeerId receiver, double minute);
+  void advertise(PeerId p, double minute);
+  void detection_phase(double minute);
+  void run_round(PeerId suspect, const std::vector<PeerId>& judges,
+                 double minute);
+  std::vector<PeerId> believed_group(PeerId judge, PeerId suspect) const;
+  MemberReport collect_report(PeerId member, PeerId suspect) const;
+
+  OverlayPort& port_;
+  DdPoliceConfig config_;
+  util::Rng rng_;
+  ReportPolicy report_policy_;
+  ListPolicy list_policy_;
+
+  std::unordered_map<std::uint64_t, Snapshot> snapshots_;
+  std::vector<std::pair<PeerId, PeerId>> pending_disconnects_;
+  std::vector<double> next_exchange_minute_;
+  std::vector<std::vector<PeerId>> last_advertised_;  ///< event-driven diffing
+
+  std::vector<Decision> decisions_;
+  std::uint64_t exchange_messages_ = 0;
+  std::uint64_t traffic_messages_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t suspicions_ = 0;
+};
+
+}  // namespace ddp::core

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file flow_port.hpp
+/// OverlayPort adapter over the flow-level engine.
+
+#include "core/overlay_port.hpp"
+#include "flow/network.hpp"
+
+namespace ddp::core {
+
+class FlowPort final : public OverlayPort {
+ public:
+  explicit FlowPort(flow::FlowNetwork& net) : net_(net) {}
+
+  const topology::Graph& graph() const override { return net_.graph(); }
+
+  double sent_last_minute(PeerId from, PeerId to) const override {
+    return net_.sent_last_minute(from, to);
+  }
+
+  void disconnect(PeerId a, PeerId b) override { net_.disconnect(a, b); }
+
+  void report_overhead(double messages) override {
+    net_.add_overhead_messages(messages);
+  }
+
+ private:
+  flow::FlowNetwork& net_;
+};
+
+}  // namespace ddp::core

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file overlay_port.hpp
+/// The seam between the DD-POLICE protocol and a simulation engine. The
+/// protocol only ever needs what a real deployment would have: the local
+/// topology, per-link per-minute query counters (its own monitors), the
+/// ability to tear down a logical connection, and a place to account its
+/// own message overhead. Both engines (flow and packet) provide this.
+
+#include "topology/graph.hpp"
+#include "util/types.hpp"
+
+namespace ddp::core {
+
+class OverlayPort {
+ public:
+  virtual ~OverlayPort() = default;
+
+  virtual const topology::Graph& graph() const = 0;
+
+  /// Out_query(from -> to) over the last completed minute (Sec. 3.2).
+  virtual double sent_last_minute(PeerId from, PeerId to) const = 0;
+
+  /// Tear down the logical connection between a and b.
+  virtual void disconnect(PeerId a, PeerId b) = 0;
+
+  /// Account protocol messages into the engine's traffic metric.
+  virtual void report_overhead(double messages) = 0;
+};
+
+}  // namespace ddp::core

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file packet_port.hpp
+/// OverlayPort adapter over the packet-level engine: DD-POLICE running
+/// against individually simulated Gnutella descriptors. The per-minute
+/// counters come from the engine's sliding-window link monitors — exactly
+/// the Out_query/In_query windows a real servent would keep (Sec. 3.2).
+///
+/// Use run_ddpolice_minutes() (or schedule the protocol step yourself at
+/// minute cadence) — the packet engine is event-driven, so the protocol
+/// must be driven by scheduled events rather than engine hooks.
+
+#include "core/overlay_port.hpp"
+#include "p2p/network.hpp"
+
+namespace ddp::core {
+
+class PacketPort final : public OverlayPort {
+ public:
+  explicit PacketPort(p2p::PacketNetwork& net) : net_(&net) {}
+
+  const topology::Graph& graph() const override { return net_->graph(); }
+
+  double sent_last_minute(PeerId from, PeerId to) const override {
+    // The monitors advance their windows on read; the engine object is
+    // logically mutable behind this observation-only interface.
+    return net_->monitors().out_per_minute(from, to, net_->engine().now());
+  }
+
+  void disconnect(PeerId a, PeerId b) override { net_->disconnect(a, b); }
+
+  void report_overhead(double messages) override {
+    net_->add_overhead_messages(messages);
+  }
+
+ private:
+  p2p::PacketNetwork* net_;
+};
+
+}  // namespace ddp::core

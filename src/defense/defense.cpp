@@ -1,0 +1,45 @@
+#include "defense/defense.hpp"
+
+namespace ddp::defense {
+
+std::string_view kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::kNone: return "none";
+    case Kind::kDdPolice: return "dd-police";
+    case Kind::kNaiveCut: return "naive-cut";
+    case Kind::kFairShare: return "fair-share";
+  }
+  return "?";
+}
+
+NaiveCutDefense::NaiveCutDefense(flow::FlowNetwork& net,
+                                 double threshold_per_minute)
+    : net_(net), threshold_(threshold_per_minute) {}
+
+void NaiveCutDefense::on_minute(double minute) {
+  const auto& g = net_.graph();
+  // Collect first: disconnecting mutates adjacency.
+  std::vector<std::pair<PeerId, PeerId>> cuts;
+  for (PeerId i = 0; i < g.node_count(); ++i) {
+    if (!g.is_active(i)) continue;
+    for (PeerId j : g.neighbors(i)) {
+      if (net_.sent_last_minute(j, i) > threshold_) cuts.emplace_back(i, j);
+    }
+  }
+  for (const auto& [i, j] : cuts) {
+    core::Decision d;
+    d.minute = minute;
+    d.judge = i;
+    d.suspect = j;
+    d.g = net_.sent_last_minute(j, i) / 100.0;
+    decisions_.push_back(d);
+    net_.disconnect(i, j);
+  }
+}
+
+DdPoliceDefense::DdPoliceDefense(flow::FlowNetwork& net,
+                                 const core::DdPoliceConfig& config,
+                                 util::Rng rng)
+    : port_(net), protocol_(port_, config, rng) {}
+
+}  // namespace ddp::defense

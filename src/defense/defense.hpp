@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file defense.hpp
+/// Common interface for the defenses evaluated against the overlay DDoS:
+///
+///   * none        — undefended flooding network (the paper's "under DDoS
+///                   without DD-POLICE" curves);
+///   * ddpolice    — the paper's contribution (Sec. 3);
+///   * naive-cut   — disconnect any neighbour whose per-link rate exceeds a
+///                   threshold, without buddy-group consultation. This is
+///                   the strawman Sec. 2.1 warns about ("disconnecting all
+///                   the peers who send out a large number of queries is
+///                   dangerous");
+///   * fair-share  — application-layer load balancing in the style of the
+///                   related work [21]; no disconnection, per-link max-min
+///                   capacity shares (implemented inside the flow engine).
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/ddpolice.hpp"
+#include "core/flow_port.hpp"
+#include "flow/network.hpp"
+
+namespace ddp::defense {
+
+enum class Kind : std::uint8_t { kNone, kDdPolice, kNaiveCut, kFairShare };
+
+std::string_view kind_name(Kind k) noexcept;
+
+class Defense {
+ public:
+  virtual ~Defense() = default;
+  virtual std::string_view name() const = 0;
+  /// Run one protocol step at a completed simulated minute.
+  virtual void on_minute(double minute) = 0;
+  /// Disconnect decisions taken so far (empty for non-cutting defenses).
+  virtual const std::vector<core::Decision>& decisions() const = 0;
+};
+
+/// Undefended baseline.
+class NoDefense final : public Defense {
+ public:
+  std::string_view name() const override { return "none"; }
+  void on_minute(double) override {}
+  const std::vector<core::Decision>& decisions() const override {
+    return decisions_;
+  }
+
+ private:
+  std::vector<core::Decision> decisions_;
+};
+
+/// The Sec. 2.1 strawman: per-link rate threshold, immediate disconnect.
+class NaiveCutDefense final : public Defense {
+ public:
+  NaiveCutDefense(flow::FlowNetwork& net, double threshold_per_minute);
+
+  std::string_view name() const override { return "naive-cut"; }
+  void on_minute(double minute) override;
+  const std::vector<core::Decision>& decisions() const override {
+    return decisions_;
+  }
+
+ private:
+  flow::FlowNetwork& net_;
+  double threshold_;
+  std::vector<core::Decision> decisions_;
+};
+
+/// DD-POLICE wrapped behind the Defense interface.
+class DdPoliceDefense final : public Defense {
+ public:
+  DdPoliceDefense(flow::FlowNetwork& net, const core::DdPoliceConfig& config,
+                  util::Rng rng);
+
+  std::string_view name() const override { return "dd-police"; }
+  void on_minute(double minute) override { protocol_.on_minute(minute); }
+  const std::vector<core::Decision>& decisions() const override {
+    return protocol_.decisions();
+  }
+
+  core::DdPolice& protocol() noexcept { return protocol_; }
+
+ private:
+  core::FlowPort port_;
+  core::DdPolice protocol_;
+};
+
+/// Fair-share load balancing: the behaviour lives in the engine (the
+/// FlowConfig service discipline); this class only carries the label.
+class FairShareDefense final : public Defense {
+ public:
+  std::string_view name() const override { return "fair-share"; }
+  void on_minute(double) override {}
+  const std::vector<core::Decision>& decisions() const override {
+    return decisions_;
+  }
+
+ private:
+  std::vector<core::Decision> decisions_;
+};
+
+}  // namespace ddp::defense

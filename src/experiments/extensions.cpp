@@ -1,0 +1,343 @@
+#include "experiments/extensions.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace ddp::experiments {
+
+namespace {
+
+ScenarioConfig scaled(const Scale& scale, std::size_t agents,
+                      defense::Kind kind, std::uint64_t seed) {
+  ScenarioConfig cfg = paper_scenario(scale.peers, agents, kind, seed);
+  cfg.total_minutes = scale.total_minutes;
+  cfg.warmup_minutes = scale.warmup_minutes;
+  cfg.attack.start_minute = scale.attack_start;
+  return cfg;
+}
+
+}  // namespace
+
+// ===================================================== defense comparison
+
+std::vector<DefenseRow> run_defense_comparison(const Scale& scale,
+                                               std::size_t agents,
+                                               std::uint64_t seed) {
+  std::vector<DefenseRow> rows;
+
+  struct Case {
+    std::string label;
+    defense::Kind kind;
+    std::size_t attack;
+  };
+  const std::vector<Case> cases{
+      {"healthy (no attack)", defense::Kind::kNone, 0},
+      {"none", defense::Kind::kNone, agents},
+      {"naive-cut", defense::Kind::kNaiveCut, agents},
+      {"fair-share", defense::Kind::kFairShare, agents},
+      {"dd-police", defense::Kind::kDdPolice, agents},
+  };
+
+  for (const auto& c : cases) {
+    DefenseRow row;
+    row.defense = c.label;
+    for (std::uint32_t t = 0; t < scale.trials; ++t) {
+      const std::uint64_t s = seed + 1000003ULL * t;
+      const auto base = run_baseline(scaled(scale, 0, defense::Kind::kNone, s));
+      const auto r = c.attack == 0
+                         ? base
+                         : run_scenario(scaled(scale, c.attack, c.kind, s));
+      row.success_pct += r.summary.avg_success_rate * 100.0;
+      row.response_s += r.summary.avg_response_time;
+      row.traffic_per_minute += r.summary.avg_traffic_per_minute;
+      row.false_negative += static_cast<double>(r.errors.false_negative);
+      row.bad_identified_pct +=
+          c.attack > 0 ? (static_cast<double>(c.attack) -
+                          static_cast<double>(r.errors.false_positive)) /
+                             static_cast<double>(c.attack) * 100.0
+                       : 0.0;
+      const auto dmg = metrics::analyze_damage(
+          r.history, base.summary.avg_success_rate, scale.attack_start);
+      row.stabilized_damage += dmg.stabilized_damage;
+    }
+    const double d = static_cast<double>(scale.trials);
+    row.success_pct /= d;
+    row.response_s /= d;
+    row.traffic_per_minute /= d;
+    row.false_negative /= d;
+    row.bad_identified_pct /= d;
+    row.stabilized_damage /= d;
+    rows.push_back(row);
+    util::log_info("defense comparison: " + row.defense + " done");
+  }
+  return rows;
+}
+
+util::Table defense_table(const std::vector<DefenseRow>& rows) {
+  util::Table t({"defense", "success(%)", "response(s)", "traffic/min",
+                 "good_wrongly_cut", "bad_identified(%)",
+                 "stabilized_damage(%)"});
+  for (const auto& r : rows) {
+    t.row()
+        .cell(r.defense)
+        .cell(r.success_pct, 1)
+        .cell(r.response_s, 2)
+        .cell(r.traffic_per_minute, 0)
+        .cell(r.false_negative, 1)
+        .cell(r.bad_identified_pct, 1)
+        .cell(r.stabilized_damage, 1);
+  }
+  return t;
+}
+
+// ====================================================== topology ablation
+
+std::vector<TopologyRow> run_topology_ablation(const Scale& scale,
+                                               std::size_t agents,
+                                               std::uint64_t seed) {
+  std::vector<TopologyRow> rows;
+  struct Case {
+    std::string label;
+    topology::Model model;
+  };
+  for (const auto& c : std::vector<Case>{
+           {"barabasi-albert", topology::Model::kBarabasiAlbert},
+           {"waxman", topology::Model::kWaxman},
+           {"erdos-renyi", topology::Model::kErdosRenyi},
+           {"two-tier (ultrapeer)", topology::Model::kTwoTier}}) {
+    TopologyRow row;
+    row.model = c.label;
+    double det_sum = 0.0;
+    std::uint32_t det_n = 0;
+    for (std::uint32_t t = 0; t < scale.trials; ++t) {
+      const std::uint64_t s = seed + 1000003ULL * t;
+      ScenarioConfig base_cfg = scaled(scale, 0, defense::Kind::kNone, s);
+      base_cfg.topo.model = c.model;
+      const auto base = run_baseline(base_cfg);
+      ScenarioConfig none_cfg = scaled(scale, agents, defense::Kind::kNone, s);
+      none_cfg.topo.model = c.model;
+      const auto none = run_scenario(none_cfg);
+      ScenarioConfig ddp_cfg =
+          scaled(scale, agents, defense::Kind::kDdPolice, s);
+      ddp_cfg.topo.model = c.model;
+      const auto ddp = run_scenario(ddp_cfg);
+      row.baseline_success_pct += base.summary.avg_success_rate * 100.0;
+      row.attacked_success_pct += none.summary.avg_success_rate * 100.0;
+      row.defended_success_pct += ddp.summary.avg_success_rate * 100.0;
+      row.false_negative += static_cast<double>(ddp.errors.false_negative);
+      if (ddp.errors.mean_detection_minute >= 0.0) {
+        det_sum += ddp.errors.mean_detection_minute;
+        ++det_n;
+      }
+    }
+    const double d = static_cast<double>(scale.trials);
+    row.baseline_success_pct /= d;
+    row.attacked_success_pct /= d;
+    row.defended_success_pct /= d;
+    row.false_negative /= d;
+    row.detection_minutes = det_n > 0 ? det_sum / det_n : -1.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+util::Table topology_table(const std::vector<TopologyRow>& rows) {
+  util::Table t({"topology", "healthy_success(%)", "attacked_success(%)",
+                 "defended_success(%)", "detection(min)", "good_wrongly_cut"});
+  for (const auto& r : rows) {
+    t.row()
+        .cell(r.model)
+        .cell(r.baseline_success_pct, 1)
+        .cell(r.attacked_success_pct, 1)
+        .cell(r.defended_success_pct, 1)
+        .cell(r.detection_minutes, 2)
+        .cell(r.false_negative, 1);
+  }
+  return t;
+}
+
+// ========================================================= churn ablation
+
+std::vector<ChurnRow> run_churn_ablation(const Scale& scale,
+                                         std::size_t agents,
+                                         std::uint64_t seed) {
+  struct Case {
+    std::string label;
+    bool enabled;
+    workload::LifetimeDistribution dist;
+    double mean_minutes;
+  };
+  const std::vector<Case> cases{
+      {"static (no churn)", false, workload::LifetimeDistribution::kLognormal, 0},
+      {"paper lognormal 60min", true, workload::LifetimeDistribution::kLognormal, 60},
+      {"fast lognormal 10min", true, workload::LifetimeDistribution::kLognormal, 10},
+      {"exponential 60min", true, workload::LifetimeDistribution::kExponential, 60},
+      {"pareto 60min", true, workload::LifetimeDistribution::kPareto, 60},
+  };
+  std::vector<ChurnRow> rows;
+  for (const auto& c : cases) {
+    ChurnRow row;
+    row.regime = c.label;
+    row.mean_lifetime_minutes = c.mean_minutes;
+    for (std::uint32_t t = 0; t < scale.trials; ++t) {
+      const std::uint64_t s = seed + 1000003ULL * t;
+      auto configure = [&](ScenarioConfig cfg) {
+        cfg.churn.enabled = c.enabled;
+        cfg.churn.distribution = c.dist;
+        if (c.mean_minutes > 0) {
+          cfg.churn.mean_lifetime = minutes(c.mean_minutes);
+          cfg.churn.lifetime_variance =
+              c.mean_minutes / 2.0 * kMinute * kMinute;
+        }
+        return cfg;
+      };
+      const auto base = run_baseline(
+          configure(scaled(scale, 0, defense::Kind::kNone, s)));
+      const auto r = run_scenario(
+          configure(scaled(scale, agents, defense::Kind::kDdPolice, s)));
+      row.false_negative += static_cast<double>(r.errors.false_negative);
+      row.false_positive += static_cast<double>(r.errors.false_positive);
+      const auto dmg = metrics::analyze_damage(
+          r.history, base.summary.avg_success_rate, scale.attack_start);
+      row.stabilized_damage += dmg.stabilized_damage;
+    }
+    const double d = static_cast<double>(scale.trials);
+    row.false_negative /= d;
+    row.false_positive /= d;
+    row.stabilized_damage /= d;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+util::Table churn_table(const std::vector<ChurnRow>& rows) {
+  util::Table t({"churn_regime", "good_wrongly_cut", "bad_missed",
+                 "stabilized_damage(%)"});
+  for (const auto& r : rows) {
+    t.row()
+        .cell(r.regime)
+        .cell(r.false_negative, 1)
+        .cell(r.false_positive, 1)
+        .cell(r.stabilized_damage, 1);
+  }
+  return t;
+}
+
+// ===================================================== rejoin persistence
+
+std::vector<RejoinRow> run_rejoin_study(const Scale& scale, std::size_t agents,
+                                        std::uint64_t seed) {
+  struct Case {
+    std::string label;
+    bool rejoin;
+    double after;
+  };
+  const std::vector<Case> cases{
+      {"one-shot (paper evaluation)", false, 0.0},
+      {"rejoin after 5 min", true, 5.0},
+      {"rejoin after 2 min", true, 2.0},
+      {"rejoin after 1 min", true, 1.0},
+  };
+  std::vector<RejoinRow> rows;
+  for (const auto& c : cases) {
+    RejoinRow row;
+    row.mode = c.label;
+    row.rejoin_after_minutes = c.after;
+    for (std::uint32_t t = 0; t < scale.trials; ++t) {
+      const std::uint64_t s = seed + 1000003ULL * t;
+      const auto base = run_baseline(scaled(scale, 0, defense::Kind::kNone, s));
+      ScenarioConfig cfg = scaled(scale, agents, defense::Kind::kDdPolice, s);
+      cfg.attack.rejoin = c.rejoin;
+      cfg.attack.rejoin_after_minutes = c.after;
+      const auto r = run_scenario(cfg);
+      const auto dmg = metrics::analyze_damage(
+          r.history, base.summary.avg_success_rate, scale.attack_start);
+      row.stabilized_damage += dmg.stabilized_damage;
+      row.attack_rejoins += static_cast<double>(r.attack_rejoins);
+      row.bad_cut_events += static_cast<double>(r.errors.bad_cut_events);
+    }
+    const double d = static_cast<double>(scale.trials);
+    row.stabilized_damage /= d;
+    row.attack_rejoins /= d;
+    row.bad_cut_events /= d;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+util::Table rejoin_table(const std::vector<RejoinRow>& rows) {
+  util::Table t({"attacker_persistence", "stabilized_damage(%)",
+                 "rejoin_events", "agent_links_cut"});
+  for (const auto& r : rows) {
+    t.row()
+        .cell(r.mode)
+        .cell(r.stabilized_damage, 1)
+        .cell(r.attack_rejoins, 1)
+        .cell(r.bad_cut_events, 1);
+  }
+  return t;
+}
+
+// ====================================================== attack-rate sweep
+
+std::vector<RateRow> run_attack_rate_sweep(const Scale& scale,
+                                           std::size_t agents,
+                                           std::uint64_t seed) {
+  std::vector<RateRow> rows;
+  for (double rate : {250.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 20000.0}) {
+    RateRow row;
+    row.attack_rate_per_minute = rate;
+    double det_sum = 0.0;
+    std::uint32_t det_n = 0;
+    for (std::uint32_t t = 0; t < scale.trials; ++t) {
+      const std::uint64_t s = seed + 1000003ULL * t;
+      const auto base = run_baseline(scaled(scale, 0, defense::Kind::kNone, s));
+      ScenarioConfig none_cfg = scaled(scale, agents, defense::Kind::kNone, s);
+      none_cfg.flow.attack_target_per_minute = rate;
+      const auto none = run_scenario(none_cfg);
+      ScenarioConfig ddp_cfg = scaled(scale, agents, defense::Kind::kDdPolice, s);
+      ddp_cfg.flow.attack_target_per_minute = rate;
+      const auto ddp = run_scenario(ddp_cfg);
+      row.bad_identified_pct +=
+          (static_cast<double>(agents) -
+           static_cast<double>(ddp.errors.false_positive)) /
+          static_cast<double>(agents) * 100.0;
+      const auto dmg_none = metrics::analyze_damage(
+          none.history, base.summary.avg_success_rate, scale.attack_start);
+      const auto dmg_ddp = metrics::analyze_damage(
+          ddp.history, base.summary.avg_success_rate, scale.attack_start);
+      row.stabilized_damage_undefended += dmg_none.stabilized_damage;
+      row.stabilized_damage_defended += dmg_ddp.stabilized_damage;
+      if (ddp.errors.mean_detection_minute >= 0.0) {
+        det_sum += ddp.errors.mean_detection_minute;
+        ++det_n;
+      }
+    }
+    const double d = static_cast<double>(scale.trials);
+    row.bad_identified_pct /= d;
+    row.stabilized_damage_undefended /= d;
+    row.stabilized_damage_defended /= d;
+    row.detection_minutes = det_n > 0 ? det_sum / det_n : -1.0;
+    rows.push_back(row);
+    util::log_info("attack-rate sweep: Qd=" + util::format_double(rate, 0) +
+                   " done");
+  }
+  return rows;
+}
+
+util::Table attack_rate_table(const std::vector<RateRow>& rows) {
+  util::Table t({"Qd(queries/min/link)", "bad_identified(%)", "detection(min)",
+                 "damage_undefended(%)", "damage_dd_police(%)"});
+  for (const auto& r : rows) {
+    t.row()
+        .cell(r.attack_rate_per_minute, 0)
+        .cell(r.bad_identified_pct, 1)
+        .cell(r.detection_minutes, 2)
+        .cell(r.stabilized_damage_undefended, 1)
+        .cell(r.stabilized_damage_defended, 1);
+  }
+  return t;
+}
+
+}  // namespace ddp::experiments

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file extensions.hpp
+/// Studies beyond the paper's printed evaluation: the quantified defense
+/// comparison its related-work section argues qualitatively (Sec. 4), and
+/// the robustness ablations its future-work section motivates (Sec. 5) —
+/// topology family, churn regime, attacker persistence (rejoin) and
+/// attack-rate detectability.
+
+#include "experiments/figures.hpp"
+
+namespace ddp::experiments {
+
+// ------------------------------------------------- defense comparison
+
+struct DefenseRow {
+  std::string defense;
+  double success_pct = 0.0;
+  double response_s = 0.0;
+  double traffic_per_minute = 0.0;
+  double false_negative = 0.0;   ///< good peers wrongly cut
+  double bad_identified_pct = 0.0;
+  double stabilized_damage = 0.0;
+};
+
+/// All four defenses under the identical campaign (plus the healthy
+/// baseline row). Quantifies Sec. 4's qualitative claims: the naive
+/// strawman cuts forwarders, fair-share survives but cannot identify,
+/// DD-POLICE both restores service and names the agents.
+std::vector<DefenseRow> run_defense_comparison(const Scale& scale,
+                                               std::size_t agents,
+                                               std::uint64_t seed);
+
+util::Table defense_table(const std::vector<DefenseRow>& rows);
+
+// -------------------------------------------------- topology ablation
+
+struct TopologyRow {
+  std::string model;
+  double baseline_success_pct = 0.0;
+  double attacked_success_pct = 0.0;
+  double defended_success_pct = 0.0;
+  double detection_minutes = 0.0;
+  double false_negative = 0.0;
+};
+
+/// DD-POLICE across overlay families (Barabási–Albert / Waxman /
+/// Erdős–Rényi) — the defense must not depend on the power-law shape.
+std::vector<TopologyRow> run_topology_ablation(const Scale& scale,
+                                               std::size_t agents,
+                                               std::uint64_t seed);
+
+util::Table topology_table(const std::vector<TopologyRow>& rows);
+
+// ----------------------------------------------------- churn ablation
+
+struct ChurnRow {
+  std::string regime;  ///< "static", "paper", "fast", distribution names
+  double mean_lifetime_minutes = 0.0;
+  double false_negative = 0.0;
+  double false_positive = 0.0;
+  double stabilized_damage = 0.0;
+};
+
+/// Sensitivity of the buddy-group scheme to membership dynamics: a static
+/// overlay, the paper's 60-minute lifetimes, a fast-churn regime, and the
+/// alternative lifetime distributions.
+std::vector<ChurnRow> run_churn_ablation(const Scale& scale,
+                                         std::size_t agents,
+                                         std::uint64_t seed);
+
+util::Table churn_table(const std::vector<ChurnRow>& rows);
+
+// ------------------------------------------------ rejoin persistence
+
+struct RejoinRow {
+  std::string mode;  ///< "one-shot" or "rejoin every X min"
+  double rejoin_after_minutes = 0.0;
+  double stabilized_damage = 0.0;
+  double attack_rejoins = 0.0;
+  double bad_cut_events = 0.0;
+};
+
+/// Sec. 3.7.2 notes that nothing stops an isolated agent from walking
+/// back in; this study quantifies the resulting steady state where
+/// DD-POLICE re-detects agents every round trip.
+std::vector<RejoinRow> run_rejoin_study(const Scale& scale, std::size_t agents,
+                                        std::uint64_t seed);
+
+util::Table rejoin_table(const std::vector<RejoinRow>& rows);
+
+// ------------------------------------------------ attack-rate sweep
+
+struct RateRow {
+  double attack_rate_per_minute = 0.0;
+  double bad_identified_pct = 0.0;
+  double detection_minutes = 0.0;
+  double stabilized_damage_undefended = 0.0;
+  double stabilized_damage_defended = 0.0;
+};
+
+/// How slow can an agent go and still be caught? Sweeps the per-link
+/// sourcing rate Q_d below and above the warning threshold: the
+/// detectability cliff is the protocol's blind spot (an agent throttled
+/// under the warning threshold is invisible — but also nearly harmless).
+std::vector<RateRow> run_attack_rate_sweep(const Scale& scale,
+                                           std::size_t agents,
+                                           std::uint64_t seed);
+
+util::Table attack_rate_table(const std::vector<RateRow>& rows);
+
+}  // namespace ddp::experiments

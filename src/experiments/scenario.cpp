@@ -1,0 +1,186 @@
+#include "experiments/scenario.hpp"
+
+#include <memory>
+
+#include "core/flow_port.hpp"
+#include "flow/churn_driver.hpp"
+#include "topology/bandwidth.hpp"
+#include "util/log.hpp"
+
+namespace ddp::experiments {
+
+namespace {
+
+/// Reconnect active good peers that fell below the minimum degree —
+/// modelling Gnutella's host-cache-driven connection maintenance.
+void maintain_overlay(flow::FlowNetwork& net, const attack::AttackScenario& atk,
+                      util::Rng& rng, std::size_t min_degree,
+                      double rate_per_minute) {
+  auto& g = net.mutable_graph();
+  for (PeerId p = 0; p < g.node_count(); ++p) {
+    if (!g.is_active(p) || atk.is_agent(p)) continue;
+    if (g.degree(p) >= min_degree) continue;
+    if (!rng.chance(rate_per_minute)) continue;  // discovery takes time
+    const std::size_t missing = min_degree - g.degree(p);
+    for (std::size_t tries = 0, added = 0;
+         tries < missing * 8 && added < missing; ++tries) {
+      const PeerId t = g.random_active_node_by_degree(rng, p);
+      if (t == kInvalidPeer) break;
+      if (atk.is_agent(t)) continue;  // host caches would not favour leeches
+      if (g.add_edge(p, t)) {
+        net.on_edge_added(p, t);
+        ++added;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  util::Rng master(config.seed);
+  util::Rng topo_rng = master.fork("topology");
+
+  topology::Graph graph = topology::generate(config.topo, topo_rng);
+  util::Rng bw_rng = master.fork("bandwidth");
+  const topology::BandwidthMap bandwidth(graph.node_count(), bw_rng);
+  const workload::ContentModel content(config.content, graph.node_count());
+
+  flow::FlowConfig flow_cfg = config.flow;
+  if (config.defense == defense::Kind::kFairShare) {
+    flow_cfg.discipline = flow::ServiceDiscipline::kFairShare;
+  }
+  flow::FlowNetwork net(graph, bandwidth, content, flow_cfg,
+                        master.fork("flow"));
+
+  const workload::ChurnModel churn_model(config.churn);
+  flow::ChurnDriver churn(net, churn_model, master.fork("churn"));
+
+  attack::AttackScenario atk(net, config.attack, master.fork("attack"));
+
+  std::unique_ptr<defense::Defense> def;
+  switch (config.defense) {
+    case defense::Kind::kNone:
+      def = std::make_unique<defense::NoDefense>();
+      break;
+    case defense::Kind::kFairShare:
+      def = std::make_unique<defense::FairShareDefense>();
+      break;
+    case defense::Kind::kNaiveCut:
+      def = std::make_unique<defense::NaiveCutDefense>(net,
+                                                       config.naive_cut_threshold);
+      break;
+    case defense::Kind::kDdPolice: {
+      auto ddp = std::make_unique<defense::DdPoliceDefense>(
+          net, config.ddpolice, master.fork("ddpolice"));
+      // Compromised peers cheat per the configured behaviour (Sec. 3.4).
+      const attack::AgentBehavior behavior = config.attack.behavior;
+      ddp->protocol().set_report_policy(
+          [&atk, behavior](PeerId reporter, PeerId /*suspect*/,
+                           const core::TrafficTruth& truth)
+              -> std::optional<core::TrafficTruth> {
+            if (!atk.is_agent(reporter)) return truth;
+            switch (behavior.report) {
+              case attack::ReportStrategy::kHonest:
+                return truth;
+              case attack::ReportStrategy::kInflate: {
+                core::TrafficTruth t = truth;
+                t.out_to_suspect *= behavior.inflate_factor;
+                return t;
+              }
+              case attack::ReportStrategy::kDeflate: {
+                core::TrafficTruth t = truth;
+                t.out_to_suspect *= behavior.deflate_factor;
+                return t;
+              }
+              case attack::ReportStrategy::kMute:
+                return std::nullopt;
+            }
+            return truth;
+          });
+      if (config.attack.behavior.list != attack::ListStrategy::kHonest) {
+        const attack::ListStrategy ls = config.attack.behavior.list;
+        util::Rng list_rng = master.fork("liar");
+        auto* net_ptr = &net;
+        ddp->protocol().set_list_policy(
+            [&atk, ls, list_rng, net_ptr](
+                PeerId owner, std::vector<PeerId> truth) mutable {
+              if (!atk.is_agent(owner)) return truth;
+              if (ls == attack::ListStrategy::kWithhold) {
+                if (truth.size() > 1) truth.resize(truth.size() / 2);
+                return truth;
+              }
+              // Fabricate: claim a random non-neighbour as a buddy.
+              const PeerId fake =
+                  net_ptr->graph().random_active_node(list_rng, owner);
+              if (fake != kInvalidPeer &&
+                  !net_ptr->graph().has_edge(owner, fake)) {
+                truth.push_back(fake);
+              }
+              return truth;
+            });
+      }
+      def = std::move(ddp);
+      break;
+    }
+  }
+
+  util::Rng maint_rng = master.fork("maintenance");
+  // Hook order matters: churn first (membership), then the attack campaign
+  // (start/rejoin), then the defense (reads last-minute counters), then
+  // overlay maintenance (re-links what the defense cut).
+  net.add_minute_hook([&](double m) { churn.on_minute(m); });
+  net.add_minute_hook([&](double m) { atk.on_minute(m); });
+  defense::Defense* def_raw = def.get();
+  net.add_minute_hook([def_raw](double m) { def_raw->on_minute(m); });
+  if (config.maintain_overlay) {
+    net.add_minute_hook([&](double /*m*/) {
+      maintain_overlay(net, atk, maint_rng, config.maintain_min_degree,
+                       config.maintain_rate_per_minute);
+    });
+  }
+
+  net.run_minutes(config.total_minutes);
+
+  ScenarioResult result;
+  result.history = net.minute_history();
+  result.summary = metrics::summarize(result.history, config.warmup_minutes);
+  result.decisions = def->decisions();
+  result.is_bad.assign(graph.node_count(), 0);
+  for (PeerId a : atk.agents()) result.is_bad[a] = 1;
+  result.errors = metrics::tally_errors(result.decisions, result.is_bad,
+                                        config.attack.start_minute);
+  result.attack_rejoins = atk.rejoins();
+  result.final_active_peers = static_cast<double>(graph.active_count());
+  if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
+    result.defense_exchange_messages = ddp->protocol().exchange_messages();
+    result.defense_traffic_messages = ddp->protocol().traffic_messages();
+    result.defense_rounds = ddp->protocol().rounds_run();
+  }
+  return result;
+}
+
+ScenarioResult run_baseline(ScenarioConfig config) {
+  config.attack.agents = 0;
+  config.defense = defense::Kind::kNone;
+  return run_scenario(config);
+}
+
+ScenarioConfig paper_scenario(std::size_t peers, std::size_t agents,
+                              defense::Kind defense_kind, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.topo.model = topology::Model::kBarabasiAlbert;
+  cfg.topo.nodes = peers;
+  cfg.topo.ba_links_per_node = 3;
+  cfg.content.objects = std::max<std::size_t>(peers * 5, 1000);
+  cfg.content.mean_replicas = std::max(4.0, static_cast<double>(peers) / 100.0);
+  cfg.attack.agents = agents;
+  cfg.attack.start_minute = 5.0;
+  cfg.defense = defense_kind;
+  cfg.total_minutes = 30.0;
+  cfg.warmup_minutes = 6.0;
+  return cfg;
+}
+
+}  // namespace ddp::experiments

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file scenario.hpp
+/// One-stop scenario runner: builds the full simulated system — topology,
+/// bandwidth map, content model, flow engine, churn, attack campaign,
+/// defense — runs it for a configured number of simulated minutes, and
+/// returns the measured series plus ground-truth error tallies. Every
+/// figure bench and integration test goes through this.
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/scenario.hpp"
+#include "core/config.hpp"
+#include "defense/defense.hpp"
+#include "flow/config.hpp"
+#include "metrics/damage.hpp"
+#include "metrics/errors.hpp"
+#include "metrics/summary.hpp"
+#include "topology/generators.hpp"
+#include "workload/churn.hpp"
+#include "workload/content.hpp"
+
+namespace ddp::experiments {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 20070710;
+
+  // Topology (paper: 2,000 peers, BRITE-like, average degree ~6).
+  topology::GeneratorConfig topo{};
+
+  // Content / workload.
+  workload::ContentConfig content{};
+
+  // Churn (paper: mean lifetime 10 min, var mean/2).
+  workload::ChurnConfig churn{};
+
+  // Attack campaign (agents = 0 -> no attack).
+  attack::AttackConfig attack{};
+
+  // Defense.
+  defense::Kind defense = defense::Kind::kNone;
+  core::DdPoliceConfig ddpolice{};
+  double naive_cut_threshold = 500.0;
+
+  // Engine.
+  flow::FlowConfig flow{};
+
+  // Run shape.
+  double total_minutes = 30.0;
+  double warmup_minutes = 3.0;  ///< excluded from averages
+
+  /// Re-link under-connected good peers each minute (peers keep their
+  /// connection count up via host caches; without this, false disconnects
+  /// would permanently fragment the overlay).
+  bool maintain_overlay = true;
+  std::size_t maintain_min_degree = 3;
+  /// Probability per minute that an under-connected peer finds replacement
+  /// neighbours (host-cache discovery and connection establishment take
+  /// time, so being wrongly disconnected carries a real service cost).
+  double maintain_rate_per_minute = 0.5;
+};
+
+struct ScenarioResult {
+  std::vector<flow::MinuteReport> history;
+  metrics::RunSummary summary;       ///< averaged over the measurement window
+  metrics::ErrorTally errors;        ///< vs ground truth
+  std::vector<core::Decision> decisions;
+  std::vector<char> is_bad;          ///< ground truth per peer
+  std::size_t attack_rejoins = 0;
+  std::uint64_t defense_exchange_messages = 0;
+  std::uint64_t defense_traffic_messages = 0;
+  std::uint64_t defense_rounds = 0;
+  double final_active_peers = 0.0;
+};
+
+/// Build and run one scenario.
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// Same configuration with the attack and defense removed — the paper's
+/// "no DDoS attack" reference curve and the S(t) baseline for damage.
+ScenarioResult run_baseline(ScenarioConfig config);
+
+/// Convenience: paper-shaped config at a given scale.
+ScenarioConfig paper_scenario(std::size_t peers, std::size_t agents,
+                              defense::Kind defense, std::uint64_t seed);
+
+}  // namespace ddp::experiments

@@ -1,0 +1,49 @@
+#include "flow/churn_driver.hpp"
+
+#include "util/types.hpp"
+
+namespace ddp::flow {
+
+ChurnDriver::ChurnDriver(FlowNetwork& net, const workload::ChurnModel& model,
+                         util::Rng rng)
+    : net_(net), model_(model), rng_(rng) {
+  schedule_initial();
+}
+
+void ChurnDriver::schedule_initial() {
+  const auto& g = net_.graph();
+  next_event_minute_.resize(g.node_count());
+  for (PeerId p = 0; p < g.node_count(); ++p) {
+    // Stagger initial lifetimes: peers are mid-session at t=0, so draw a
+    // residual lifetime (uniform fraction of a full one) to avoid a
+    // synchronized mass-exodus at the mean lifetime.
+    const double life = model_.sample_lifetime(rng_) * rng_.uniform();
+    next_event_minute_[p] = to_minutes(life);
+  }
+}
+
+void ChurnDriver::on_minute(double minute) {
+  if (!model_.config().enabled) return;
+  auto& g = net_.mutable_graph();
+  for (PeerId p = 0; p < g.node_count(); ++p) {
+    if (next_event_minute_[p] > minute) continue;
+    if (g.is_active(p)) {
+      // Leave: tear down links (clearing flow state), mark offline.
+      net_.on_peer_offline(p);
+      g.set_active(p, false);
+      next_event_minute_[p] = minute + to_minutes(model_.sample_offline(rng_));
+      ++leaves_;
+      if (on_leave) on_leave(p);
+    } else {
+      // Rejoin: reactivate and wire into the overlay.
+      g.set_active(p, true);
+      model_.connect_joining_peer(g, p, rng_);
+      for (PeerId n : g.neighbors(p)) net_.on_edge_added(p, n);
+      next_event_minute_[p] = minute + to_minutes(model_.sample_lifetime(rng_));
+      ++joins_;
+      if (on_join) on_join(p);
+    }
+  }
+}
+
+}  // namespace ddp::flow

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file churn_driver.hpp
+/// Drives peer join/leave dynamics on top of a FlowNetwork (Sec. 3.5:
+/// peers are turned on/off; each joining peer receives a lifetime from the
+/// configured distribution; expired peers go offline and rejoin after an
+/// offline gap). Subscribing code (the defense layer, metrics) can watch
+/// membership changes through the on_join / on_leave callbacks.
+
+#include <functional>
+#include <vector>
+
+#include "flow/network.hpp"
+#include "workload/churn.hpp"
+
+namespace ddp::flow {
+
+class ChurnDriver {
+ public:
+  /// All peers currently active in the graph are given initial lifetimes;
+  /// inactive ones get rejoin times.
+  ChurnDriver(FlowNetwork& net, const workload::ChurnModel& model,
+              util::Rng rng);
+
+  /// Process all membership events due by simulated minute `minute`.
+  /// Intended to be registered as a minute hook:
+  ///   net.add_minute_hook([&](double m) { churn.on_minute(m); });
+  void on_minute(double minute);
+
+  std::function<void(PeerId)> on_join;
+  std::function<void(PeerId)> on_leave;
+
+  std::size_t joins() const noexcept { return joins_; }
+  std::size_t leaves() const noexcept { return leaves_; }
+
+ private:
+  void schedule_initial();
+
+  FlowNetwork& net_;
+  workload::ChurnModel model_;
+  util::Rng rng_;
+  /// Per-peer next transition time (minutes); sign-free state is read from
+  /// the graph's activity flag.
+  std::vector<double> next_event_minute_;
+  std::size_t joins_ = 0;
+  std::size_t leaves_ = 0;
+};
+
+}  // namespace ddp::flow

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file config.hpp
+/// Parameters of the flow-level engine (see network.hpp for the model).
+
+#include <cstddef>
+
+#include "util/types.hpp"
+
+namespace ddp::flow {
+
+/// How a peer's finite service capacity is divided among its in-links.
+enum class ServiceDiscipline : std::uint8_t {
+  /// Pooled FIFO: all arrivals share one queue; overload drops
+  /// indiscriminately (plain Gnutella, the paper's default).
+  kPooledFifo,
+  /// Max-min fair share per in-link: the application-layer load-balancing
+  /// defense of Daswani & Garcia-Molina (the paper's related work [21]).
+  kFairShare,
+};
+
+struct FlowConfig {
+  /// Initial TTL of query floods (Gnutella default, as in the paper).
+  std::size_t ttl = 7;
+
+  /// Capacity-sharing policy at each peer.
+  ServiceDiscipline discipline = ServiceDiscipline::kPooledFifo;
+
+  /// Engine tick, seconds. Per-minute protocol state rotates every
+  /// 60 / tick ticks; 1 s is fine-grained enough for every experiment.
+  double tick_seconds = 1.0;
+
+  /// Good-peer query service capacity (queries/minute; paper Sec. 2.3).
+  double capacity_per_minute = 10000.0;
+
+  /// Good-peer issue rate (queries/minute; paper Sec. 3.5).
+  double good_issue_per_minute = 0.3;
+
+  /// Attack sourcing target before link clamping (paper Sec. 3.5:
+  /// Q_d = min(20000, link capacity)).
+  double attack_target_per_minute = 20000.0;
+
+  /// Apply per-link bandwidth clamps from the BandwidthMap.
+  bool bandwidth_limits = true;
+
+  /// One-way per-hop latency (seconds) for the response-time model.
+  double hop_latency = 0.08;
+
+  /// Queueing-delay ceiling per hop, seconds (finite queues bound waiting).
+  double max_queue_delay = 2.0;
+
+  /// Re-derive the duplicate-damping profile from the live topology every
+  /// this many minutes (0 = calibrate once at start). Churn slowly deforms
+  /// the overlay, so periodic recalibration keeps delta(h) honest.
+  double recalibrate_minutes = 10.0;
+
+  /// Origins sampled when calibrating the coverage profile.
+  std::size_t calibration_samples = 64;
+};
+
+}  // namespace ddp::flow

@@ -1,0 +1,414 @@
+#include "flow/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace ddp::flow {
+
+FlowNetwork::FlowNetwork(topology::Graph& graph,
+                         const topology::BandwidthMap& bandwidth,
+                         const workload::ContentModel& content,
+                         const FlowConfig& config, util::Rng rng)
+    : graph_(graph), bandwidth_(bandwidth), content_(content), config_(config),
+      rng_(rng), kinds_(graph.node_count(), PeerKind::kGood),
+      issue_scale_(graph.node_count(), 1.0) {
+  ticks_per_minute_ =
+      static_cast<std::uint64_t>(std::llround(kMinute / config_.tick_seconds));
+  if (ticks_per_minute_ == 0) ticks_per_minute_ = 1;
+  recalibrate();
+}
+
+void FlowNetwork::set_kind(PeerId p, PeerKind kind) { kinds_[p] = kind; }
+
+void FlowNetwork::set_issue_scale(PeerId p, double scale) {
+  issue_scale_[p] = std::max(0.0, scale);
+}
+
+void FlowNetwork::recalibrate() {
+  const std::size_t ttl = std::min(config_.ttl, kMaxTtl);
+  profile_ = topology::average_coverage(graph_, config_.ttl,
+                                        config_.calibration_samples, rng_);
+
+  // Closed-loop calibration of the forwarding damping: propagate a unit
+  // impulse with the engine's exact update rule (uniform per-link split,
+  // fan deg-1) from sampled origins, and solve, hop by hop, the factor
+  // that makes the engine's message growth equal the exact BFS profile's.
+  // Mean-field fresh fractions alone over-branch: hubs collect many copies
+  // of a flood but forward it only once.
+  std::array<double, kMaxTtl> target_sum{};
+  std::array<double, kMaxTtl> unscaled_sum{};
+  const std::size_t n = graph_.node_count();
+  std::vector<double> a(n), nx(n);
+  std::size_t samples = 0;
+  for (std::size_t s = 0; s < config_.calibration_samples && s < 4096; ++s) {
+    const PeerId origin = graph_.random_active_node(rng_);
+    if (origin == kInvalidPeer) break;
+    const auto exact = topology::flood_coverage(graph_, origin, ttl);
+    std::fill(a.begin(), a.end(), 0.0);
+    for (PeerId u : graph_.neighbors(origin)) a[u] = 1.0;
+    ++samples;
+    for (std::size_t h = 1; h < ttl; ++h) {
+      double unscaled = 0.0;
+      for (PeerId v = 0; v < n; ++v) {
+        if (a[v] <= 0.0 || !graph_.is_active(v)) continue;
+        unscaled += a[v] * (static_cast<double>(graph_.degree(v)) - 1.0);
+      }
+      unscaled_sum[h - 1] += unscaled;
+      target_sum[h - 1] += exact.messages[h];  // messages into hop h+1
+      const double delta =
+          unscaled > 0.0 ? std::min(1.0, exact.messages[h] / unscaled) : 0.0;
+      // Advance the impulse with the engine's own rule.
+      std::fill(nx.begin(), nx.end(), 0.0);
+      for (PeerId v = 0; v < n; ++v) {
+        if (a[v] <= 0.0 || !graph_.is_active(v)) continue;
+        const double deg = static_cast<double>(graph_.degree(v));
+        if (deg < 2.0) continue;
+        const double per_link = a[v] * delta * (deg - 1.0) / deg;
+        for (PeerId u : graph_.neighbors(v)) nx[u] += per_link;
+      }
+      a.swap(nx);
+    }
+  }
+  for (std::size_t h = 0; h < kMaxTtl; ++h) {
+    forward_damping_[h] =
+        (h < ttl - 1 && unscaled_sum[h] > 0.0)
+            ? std::min(1.0, target_sum[h] / unscaled_sum[h])
+            : 0.0;
+  }
+  last_calibration_minute_ = current_minute();
+}
+
+FlowNetwork::EdgeState& FlowNetwork::edge(PeerId from, PeerId to) {
+  return edges_[edge_key(from, to)];
+}
+
+const FlowNetwork::EdgeState* FlowNetwork::find_edge(PeerId from,
+                                                     PeerId to) const noexcept {
+  const auto it = edges_.find(edge_key(from, to));
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+double FlowNetwork::sent_last_minute(PeerId from, PeerId to) const noexcept {
+  if (const EdgeState* es = find_edge(from, to)) return es->minute_done;
+  // Link gone, but the endpoint monitors still hold the last minute.
+  const auto it = ghost_minute_counts_.find(edge_key(from, to));
+  return it == ghost_minute_counts_.end() ? 0.0 : it->second;
+}
+
+void FlowNetwork::disconnect(PeerId a, PeerId b) {
+  graph_.remove_edge(a, b);
+  for (const auto key : {edge_key(a, b), edge_key(b, a)}) {
+    const auto it = edges_.find(key);
+    if (it == edges_.end()) continue;
+    if (it->second.minute_done > 0.0) {
+      ghost_minute_counts_[key] = it->second.minute_done;
+    }
+    edges_.erase(it);
+  }
+}
+
+void FlowNetwork::on_edge_added(PeerId a, PeerId b) {
+  // Flow state is created lazily on first transmission; nothing to do but
+  // clear any stale state left from a previous incarnation of the link.
+  edges_.erase(edge_key(a, b));
+  edges_.erase(edge_key(b, a));
+}
+
+void FlowNetwork::on_peer_offline(PeerId p) {
+  const std::vector<PeerId> nbrs(graph_.neighbors(p).begin(),
+                                 graph_.neighbors(p).end());
+  for (PeerId n : nbrs) disconnect(p, n);
+}
+
+double FlowNetwork::link_capacity_per_tick(PeerId from, PeerId to) const noexcept {
+  if (!config_.bandwidth_limits) return std::numeric_limits<double>::infinity();
+  return bandwidth_.link_queries_per_minute(from, to) /
+         static_cast<double>(ticks_per_minute_);
+}
+
+void FlowNetwork::step() {
+  const std::size_t n = graph_.node_count();
+  const std::size_t ttl = std::min(config_.ttl, kMaxTtl);
+  const double cap_tick =
+      config_.capacity_per_minute / static_cast<double>(ticks_per_minute_);
+  const double service_time = kMinute / config_.capacity_per_minute;
+
+  // ---- Phase 1: gather arrivals per peer. -------------------------------
+  arrivals_.assign(n, {});
+  for (const auto& [key, es] : edges_) {
+    const auto to = static_cast<PeerId>(key & 0xffffffffu);
+    if (to >= n) continue;
+    auto& a = arrivals_[to];
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      for (std::size_t k = 0; k < ttl; ++k) a[c][k] += es.cur[c][k];
+    }
+  }
+
+  // ---- Phase 2: per-peer processing, issuance and forwarding. -----------
+  // Drops happen at the receiver, as the paper's testbed measured (peer B
+  // reads the socket and discards what it cannot service, Sec. 2.3): the
+  // per-link monitors therefore see what senders actually pushed, which is
+  // the observable a deployed DD-POLICE works from.
+  std::vector<EdgeState*> out_edges;  // per-node scratch
+  std::array<std::array<double, kMaxTtl>, kClasses> fair_arrivals{};
+  std::vector<double> edge_totals;  // fair-share scratch
+  double tick_util = 0.0;
+  std::size_t util_nodes = 0;
+  for (PeerId v = 0; v < n; ++v) {
+    if (!graph_.is_active(v)) continue;
+    const auto nbrs = graph_.neighbors(v);
+    const auto deg = static_cast<double>(nbrs.size());
+
+    double in_total = 0.0;
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      for (std::size_t k = 0; k < ttl; ++k) in_total += arrivals_[v][c][k];
+    }
+
+    double survive = in_total > cap_tick ? cap_tick / in_total : 1.0;
+    if (config_.discipline == ServiceDiscipline::kFairShare &&
+        in_total > cap_tick) {
+      // Max-min fair allocation of the service budget across in-links
+      // (the load-balancing baseline [21]): lightly-loaded links are fully
+      // served; heavy links are capped at the waterfill share.
+      edge_totals.assign(nbrs.size(), 0.0);
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        if (const EdgeState* es = find_edge(nbrs[e], v)) {
+          for (std::size_t c = 0; c < kClasses; ++c) {
+            for (std::size_t k = 0; k < ttl; ++k) edge_totals[e] += es->cur[c][k];
+          }
+        }
+      }
+      double budget = cap_tick;
+      std::vector<char> done(nbrs.size(), 0);
+      std::size_t active = nbrs.size();
+      double share = 0.0;
+      for (int iter = 0; iter < 8 && active > 0; ++iter) {
+        share = budget / static_cast<double>(active);
+        bool changed = false;
+        for (std::size_t e = 0; e < nbrs.size(); ++e) {
+          if (done[e] || edge_totals[e] > share) continue;
+          budget -= edge_totals[e];
+          done[e] = 1;
+          --active;
+          changed = true;
+        }
+        if (!changed) break;
+      }
+      for (auto& cls : fair_arrivals) cls.fill(0.0);
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        const EdgeState* es = find_edge(nbrs[e], v);
+        if (es == nullptr || edge_totals[e] <= 0.0) continue;
+        const double sc = done[e] ? 1.0 : share / edge_totals[e];
+        acc_dropped_ += edge_totals[e] * (1.0 - sc);
+        for (std::size_t c = 0; c < kClasses; ++c) {
+          for (std::size_t k = 0; k < ttl; ++k) {
+            fair_arrivals[c][k] += es->cur[c][k] * sc;
+          }
+        }
+      }
+      arrivals_[v] = fair_arrivals;
+      survive = 1.0;  // per-edge scaling already applied
+    } else {
+      acc_dropped_ += in_total * (1.0 - survive);
+    }
+    const auto& a = arrivals_[v];
+
+    ++util_nodes;
+    const double rho = std::min(1.0, in_total / cap_tick);
+    tick_util += rho;
+    // M/M/1-flavoured queueing delay with a finite ceiling, load-weighted
+    // so hot peers dominate the response-time model.
+    double delay = rho < 0.999 ? service_time * rho / (1.0 - rho)
+                               : config_.max_queue_delay;
+    delay = std::min(delay, config_.max_queue_delay);
+    acc_delay_weight_ += delay * in_total;
+    acc_delay_load_ += in_total;
+
+    if (nbrs.empty()) continue;
+
+    out_edges.clear();
+    for (PeerId u : nbrs) out_edges.push_back(&edge(v, u));
+
+    // Issuance. Good peers flood one copy of each fresh query per link;
+    // compromised peers send *distinct* queries per link (Sec. 2.1), at
+    // Q_d = min(20,000, link capacity) each (Sec. 3.5); the bandwidth and
+    // back-pressure clamps of phase 3 enforce the min().
+    const PeerKind kind = kinds_[v];
+    if (kind == PeerKind::kGood) {
+      const double issue = config_.good_issue_per_minute /
+                           static_cast<double>(ticks_per_minute_) *
+                           issue_scale_[v];
+      if (issue > 0.0) {
+        acc_good_issued_ += issue;
+        for (EdgeState* es : out_edges) {
+          es->nxt[static_cast<std::size_t>(TrafficClass::kGood)][ttl - 1] += issue;
+        }
+      }
+    } else {
+      const double target = config_.attack_target_per_minute /
+                            static_cast<double>(ticks_per_minute_) *
+                            issue_scale_[v];
+      if (target > 0.0) {
+        double attempted = 0.0;
+        for (std::size_t i = 0; i < out_edges.size(); ++i) {
+          const double clamp = link_capacity_per_tick(v, nbrs[i]);
+          const double vol = std::min(target, clamp);
+          out_edges[i]->nxt[static_cast<std::size_t>(TrafficClass::kAttack)]
+                           [ttl - 1] += vol;
+          attempted += vol;
+        }
+        acc_attack_issued_ += attempted;
+      }
+    }
+
+    // Forwarding of serviced arrivals: only the fresh fraction spreads.
+    if (deg >= 2.0) {
+      const double fan = (deg - 1.0) / deg;
+      for (std::size_t c = 0; c < kClasses; ++c) {
+        for (std::size_t k = 0; k < ttl; ++k) {
+          const double vol = a[c][k] * survive;
+          if (vol <= 0.0) continue;
+          const std::size_t hop = ttl - k;  // arrival hop of this flow
+          if (c == static_cast<std::size_t>(TrafficClass::kGood)) {
+            // Reach accounting: the exact fresh-node ratio of this hop.
+            acc_fresh_good_by_hop_[hop - 1] += vol * profile_.fresh_fraction(hop);
+          }
+          if (k == 0) continue;  // remaining ttl 1 -> no forwarding
+          // Forwarding: the closed-loop-calibrated damping (see
+          // recalibrate()) keeps aggregate message growth faithful.
+          const double per_link = vol * forward_damping_[hop - 1] * fan;
+          if (per_link <= 0.0) continue;
+          for (EdgeState* es : out_edges) es->nxt[c][k - 1] += per_link;
+        }
+      }
+    } else {
+      // Degree-1 peer: arrivals terminate here, but fresh mass still counts
+      // toward reach.
+      for (std::size_t k = 0; k < ttl; ++k) {
+        const double vol =
+            a[static_cast<std::size_t>(TrafficClass::kGood)][k] * survive;
+        if (vol <= 0.0) continue;
+        const std::size_t hop = ttl - k;
+        acc_fresh_good_by_hop_[hop - 1] += vol * profile_.fresh_fraction(hop);
+      }
+    }
+  }
+
+  // ---- Phase 3: bandwidth clamp at the sender, count, rotate. ------------
+  for (auto it = edges_.begin(); it != edges_.end(); ++it) {
+    auto& es = it->second;
+    const auto from = static_cast<PeerId>(it->first >> 32);
+    const auto to = static_cast<PeerId>(it->first & 0xffffffffu);
+    double total = 0.0;
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      for (std::size_t k = 0; k < ttl; ++k) total += es.nxt[c][k];
+    }
+    if (total > 0.0) {
+      const double clamp = link_capacity_per_tick(from, to);
+      double scale = 1.0;
+      if (total > clamp) {
+        scale = clamp / total;
+        acc_dropped_ += total - clamp;
+        total = clamp;
+      }
+      double attack_part = 0.0;
+      for (std::size_t c = 0; c < kClasses; ++c) {
+        for (std::size_t k = 0; k < ttl; ++k) {
+          es.nxt[c][k] *= scale;
+          if (c == static_cast<std::size_t>(TrafficClass::kAttack)) {
+            attack_part += es.nxt[c][k];
+          }
+        }
+      }
+      acc_traffic_ += total;
+      acc_attack_traffic_ += attack_part;
+      es.minute_acc += total;
+    }
+    es.cur = es.nxt;
+    for (auto& cls : es.nxt) cls.fill(0.0);
+  }
+
+  acc_util_ += util_nodes > 0 ? tick_util / static_cast<double>(util_nodes) : 0.0;
+
+  now_ += config_.tick_seconds;
+  ++tick_count_;
+  if (tick_count_ % ticks_per_minute_ == 0) rotate_minute();
+}
+
+void FlowNetwork::rotate_minute() {
+  // Complete the per-link minute counters; ghosts of torn-down links only
+  // cover the minute in which they were cut.
+  ghost_minute_counts_.clear();
+  for (auto& [key, es] : edges_) {
+    es.minute_done = es.minute_acc;
+    es.minute_acc = 0.0;
+  }
+
+  MinuteReport r;
+  r.minute = to_minutes(now_);
+  r.traffic_messages = acc_traffic_;
+  r.attack_messages = acc_attack_traffic_;
+  r.good_issued = acc_good_issued_;
+  r.attack_issued = acc_attack_issued_;
+  r.dropped = acc_dropped_;
+  r.mean_utilization = acc_util_ / static_cast<double>(ticks_per_minute_);
+  r.overhead_messages = overhead_accum_;
+
+  const std::size_t ttl = std::min(config_.ttl, kMaxTtl);
+  if (acc_good_issued_ > 0.0) {
+    // Per-query hop-resolved reach of good floods this minute.
+    double cum_reach = 0.0;
+    double prev_hit = 0.0;
+    double rt_num = 0.0;
+    const double mean_delay =
+        acc_delay_load_ > 0.0 ? acc_delay_weight_ / acc_delay_load_ : 0.0;
+    // Physical cap: a flood cannot reach more peers than are online (the
+    // hop ratios are profile averages and can drift a few percent high).
+    const double max_reach = static_cast<double>(graph_.active_count());
+    for (std::size_t h = 1; h <= ttl; ++h) {
+      const double reach_h = acc_fresh_good_by_hop_[h - 1] / acc_good_issued_;
+      cum_reach = std::min(cum_reach + reach_h, max_reach);
+      const double hit_by_h = content_.average_hit_probability(cum_reach);
+      const double first_here = std::max(0.0, hit_by_h - prev_hit);
+      // Round trip: query travels h hops out, the hit h hops back, each hop
+      // paying propagation plus the load-dependent queueing delay.
+      rt_num += first_here * 2.0 * static_cast<double>(h) *
+                (config_.hop_latency + mean_delay);
+      prev_hit = hit_by_h;
+    }
+    r.reach_per_query = cum_reach;
+    r.success_rate = prev_hit;
+    r.response_time = prev_hit > 0.0 ? rt_num / prev_hit : 0.0;
+  }
+
+  last_report_ = r;
+  history_.push_back(r);
+
+  // Reset running-minute accumulators.
+  acc_traffic_ = acc_attack_traffic_ = 0.0;
+  acc_good_issued_ = acc_attack_issued_ = 0.0;
+  acc_dropped_ = 0.0;
+  acc_fresh_good_by_hop_.fill(0.0);
+  acc_util_ = 0.0;
+  acc_delay_weight_ = acc_delay_load_ = 0.0;
+  overhead_accum_ = 0.0;
+
+  // Periodic duplicate-damping recalibration against the churned topology.
+  if (config_.recalibrate_minutes > 0.0 &&
+      current_minute() - last_calibration_minute_ >= config_.recalibrate_minutes) {
+    recalibrate();
+  }
+
+  for (const auto& hook : minute_hooks_) hook(r.minute);
+}
+
+void FlowNetwork::run_minutes(double m) {
+  const auto ticks = static_cast<std::uint64_t>(
+      std::llround(m * static_cast<double>(ticks_per_minute_)));
+  for (std::uint64_t i = 0; i < ticks; ++i) step();
+}
+
+}  // namespace ddp::flow

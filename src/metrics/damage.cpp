@@ -1,0 +1,30 @@
+#include "metrics/damage.hpp"
+
+#include <algorithm>
+
+namespace ddp::metrics {
+
+DamageAnalysis analyze_damage(const std::vector<flow::MinuteReport>& history,
+                              double baseline_success, double from_minute) {
+  DamageAnalysis a;
+  if (baseline_success <= 0.0) return a;
+  for (const auto& r : history) {
+    if (r.minute < from_minute) continue;
+    const double d =
+        std::max(0.0, (baseline_success - r.success_rate) / baseline_success) *
+        100.0;
+    a.damage.add(r.minute, d);
+  }
+  if (a.damage.empty()) return a;
+  a.peak_damage = a.damage.max_value();
+  a.stabilized_damage = a.damage.tail_mean(0.25);
+  a.onset_minute = a.damage.first_time_at_or_above(kRecoveryOnsetPercent);
+  if (a.onset_minute >= 0.0) {
+    const double recovered =
+        a.damage.first_time_at_or_below(kRecoveryTargetPercent, a.onset_minute);
+    if (recovered >= 0.0) a.recovery_minutes = recovered - a.onset_minute;
+  }
+  return a;
+}
+
+}  // namespace ddp::metrics

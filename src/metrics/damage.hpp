@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file damage.hpp
+/// Damage-rate analysis (Sec. 3.7.2):
+///
+///   D(t) = (S(t) - S'(t)) / S(t) * 100%
+///
+/// where S is the query success rate without any compromised peer and S'
+/// the success rate under attack. Damage recovery time is "the time period
+/// from when the system damage rate D(t) is equal or greater than 20%
+/// until when the damage is equal or less than 15%".
+
+#include <vector>
+
+#include "flow/network.hpp"
+#include "util/stats.hpp"
+
+namespace ddp::metrics {
+
+struct DamageAnalysis {
+  util::TimeSeries damage;        ///< (minute, D(t) in percent)
+  double peak_damage = 0.0;       ///< max D(t), percent
+  double stabilized_damage = 0.0; ///< tail-mean D(t), percent
+  double recovery_minutes = -1.0; ///< 20% -> 15% rule; negative if never
+  double onset_minute = -1.0;     ///< first minute with D >= 20%
+};
+
+/// Build the damage series by comparing an attacked run's success-rate
+/// history against a baseline (no-attack) success rate. Minutes before
+/// `from_minute` are skipped (warm-up).
+DamageAnalysis analyze_damage(const std::vector<flow::MinuteReport>& history,
+                              double baseline_success, double from_minute = 0.0);
+
+/// Paper thresholds for the recovery-time rule.
+inline constexpr double kRecoveryOnsetPercent = 20.0;
+inline constexpr double kRecoveryTargetPercent = 15.0;
+
+}  // namespace ddp::metrics

@@ -1,0 +1,50 @@
+#include "metrics/errors.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ddp::metrics {
+
+ErrorTally tally_errors(const std::vector<core::Decision>& decisions,
+                        const std::vector<char>& is_bad,
+                        double attack_start_minute) {
+  ErrorTally t;
+  const std::size_t n = is_bad.size();
+  std::vector<char> good_cut(n, 0);
+  std::vector<double> first_detect(n, -1.0);
+
+  for (const auto& d : decisions) {
+    if (d.suspect >= n) continue;
+    // A compromised judge disconnecting peers is attacker behaviour, not a
+    // defense error; only honest judges' decisions are tallied.
+    if (d.judge < n && is_bad[d.judge]) continue;
+    if (is_bad[d.suspect]) {
+      ++t.bad_cut_events;
+      if (first_detect[d.suspect] < 0.0) first_detect[d.suspect] = d.minute;
+    } else {
+      ++t.good_cut_events;
+      good_cut[d.suspect] = 1;
+    }
+  }
+
+  std::size_t bad_total = 0;
+  std::size_t detected = 0;
+  double latency_sum = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (good_cut[p]) ++t.false_negative;
+    if (is_bad[p]) {
+      ++bad_total;
+      if (first_detect[p] >= 0.0) {
+        ++detected;
+        latency_sum += std::max(0.0, first_detect[p] - attack_start_minute);
+      }
+    }
+  }
+  t.false_positive = bad_total - detected;
+  t.false_judgment = t.false_negative + t.false_positive;
+  t.mean_detection_minute =
+      detected > 0 ? latency_sum / static_cast<double>(detected) : -1.0;
+  return t;
+}
+
+}  // namespace ddp::metrics

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file errors.hpp
+/// The three error metrics of Sec. 3.7.2, with the paper's (swapped)
+/// naming kept deliberately:
+///
+///   * false negative — number of GOOD peers that were wrongly
+///     disconnected at least once;
+///   * false positive — number of BAD peers that were never identified
+///     (no disconnect decision was ever taken against them);
+///   * false judgment — the sum of the two.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ddpolice.hpp"
+#include "util/types.hpp"
+
+namespace ddp::metrics {
+
+struct ErrorTally {
+  std::size_t false_negative = 0;  ///< good peers wrongly cut (paper naming)
+  std::size_t false_positive = 0;  ///< bad peers never identified
+  std::size_t false_judgment = 0;  ///< sum
+
+  std::size_t good_cut_events = 0;  ///< individual wrong disconnects
+  std::size_t bad_cut_events = 0;   ///< individual correct disconnects
+  double mean_detection_minute = 0.0;  ///< first decision per detected agent
+};
+
+/// Tally decisions against ground truth. `is_bad[p]` marks compromised
+/// peers; `attack_start_minute` anchors detection latency.
+ErrorTally tally_errors(const std::vector<core::Decision>& decisions,
+                        const std::vector<char>& is_bad,
+                        double attack_start_minute);
+
+}  // namespace ddp::metrics

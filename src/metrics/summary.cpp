@@ -1,0 +1,34 @@
+#include "metrics/summary.hpp"
+
+namespace ddp::metrics {
+
+RunSummary summarize(const std::vector<flow::MinuteReport>& history,
+                     double from_minute) {
+  RunSummary s;
+  std::size_t n = 0;
+  for (const auto& r : history) {
+    if (r.minute < from_minute) continue;
+    s.avg_traffic_per_minute += r.traffic_messages + r.overhead_messages;
+    s.avg_attack_traffic += r.attack_messages;
+    s.avg_overhead_per_minute += r.overhead_messages;
+    s.avg_response_time += r.response_time;
+    s.avg_success_rate += r.success_rate;
+    s.avg_reach += r.reach_per_query;
+    s.avg_drop_per_minute += r.dropped;
+    ++n;
+  }
+  if (n > 0) {
+    const double d = static_cast<double>(n);
+    s.avg_traffic_per_minute /= d;
+    s.avg_attack_traffic /= d;
+    s.avg_overhead_per_minute /= d;
+    s.avg_response_time /= d;
+    s.avg_success_rate /= d;
+    s.avg_reach /= d;
+    s.avg_drop_per_minute /= d;
+    s.minutes_measured = d;
+  }
+  return s;
+}
+
+}  // namespace ddp::metrics

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file summary.hpp
+/// Aggregation of per-minute engine reports into the quantities the
+/// paper's figures plot: average traffic cost, average response time, and
+/// average query success rate over a measurement window (Sec. 3.6).
+
+#include <vector>
+
+#include "flow/network.hpp"
+
+namespace ddp::metrics {
+
+struct RunSummary {
+  double avg_traffic_per_minute = 0.0;   ///< query + protocol messages
+  double avg_attack_traffic = 0.0;
+  double avg_overhead_per_minute = 0.0;  ///< defense protocol messages only
+  double avg_response_time = 0.0;        ///< seconds
+  double avg_success_rate = 0.0;         ///< 0..1
+  double avg_reach = 0.0;                ///< peers per good flood
+  double avg_drop_per_minute = 0.0;
+  double minutes_measured = 0.0;
+};
+
+/// Average the reports with minute >= from_minute (skipping warm-up).
+RunSummary summarize(const std::vector<flow::MinuteReport>& history,
+                     double from_minute);
+
+}  // namespace ddp::metrics

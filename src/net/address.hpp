@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file address.hpp
+/// Deterministic PeerId <-> synthetic IPv4 mapping. The simulator identifies
+/// peers by dense PeerId; the wire messages of Sec. 3.3 carry IPv4
+/// addresses, so each simulated peer is assigned the address 10.x.y.z
+/// derived from its id. The mapping is a bijection over the 10.0.0.0/8
+/// block, which comfortably covers any simulated population.
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace ddp::net {
+
+/// Synthetic address of a peer: 10.a.b.c with a/b/c from the id's bytes.
+constexpr std::uint32_t peer_address(PeerId id) noexcept {
+  return (10u << 24) | (id & 0x00ffffffu);
+}
+
+/// Inverse of peer_address(); returns kInvalidPeer for out-of-block inputs.
+constexpr PeerId peer_from_address(std::uint32_t addr) noexcept {
+  if ((addr >> 24) != 10u) return kInvalidPeer;
+  return addr & 0x00ffffffu;
+}
+
+}  // namespace ddp::net

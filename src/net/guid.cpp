@@ -1,0 +1,40 @@
+#include "net/guid.hpp"
+
+namespace ddp::net {
+
+Guid Guid::random(util::Rng& rng) {
+  Guid g;
+  for (std::size_t i = 0; i < 16; i += 4) {
+    const std::uint32_t word = rng.next_u32();
+    g.bytes[i] = static_cast<std::uint8_t>(word & 0xff);
+    g.bytes[i + 1] = static_cast<std::uint8_t>((word >> 8) & 0xff);
+    g.bytes[i + 2] = static_cast<std::uint8_t>((word >> 16) & 0xff);
+    g.bytes[i + 3] = static_cast<std::uint8_t>((word >> 24) & 0xff);
+  }
+  g.bytes[8] = 0xff;
+  g.bytes[15] = 0x00;
+  return g;
+}
+
+std::string Guid::to_string() const {
+  static const char* hex = "0123456789abcdef";
+  std::string s;
+  s.reserve(32);
+  for (std::uint8_t b : bytes) {
+    s.push_back(hex[b >> 4]);
+    s.push_back(hex[b & 0xf]);
+  }
+  return s;
+}
+
+std::size_t GuidHash::operator()(const Guid& g) const noexcept {
+  // FNV-1a over the 16 bytes; GUIDs are random so this is plenty.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : g.bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace ddp::net

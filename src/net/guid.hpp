@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file guid.hpp
+/// 16-byte Gnutella message GUID. Every descriptor carries one; duplicate
+/// suppression in the flooding search keys on it (Gnutella 0.6 Sec. 2.2.1,
+/// cited as [15] in the paper).
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace ddp::net {
+
+struct Guid {
+  std::array<std::uint8_t, 16> bytes{};
+
+  auto operator<=>(const Guid&) const = default;
+
+  /// Draw a fresh GUID from the given generator. Matches LimeWire's
+  /// convention of fixing byte 8 to 0xff and byte 15 to 0x00 to mark
+  /// "modern" servents.
+  static Guid random(util::Rng& rng);
+
+  /// Hex rendering for diagnostics.
+  std::string to_string() const;
+};
+
+struct GuidHash {
+  std::size_t operator()(const Guid& g) const noexcept;
+};
+
+}  // namespace ddp::net

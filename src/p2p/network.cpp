@@ -1,0 +1,220 @@
+#include "p2p/network.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace ddp::p2p {
+
+double LinkMonitors::out_per_minute(PeerId from, PeerId to, SimTime now) {
+  const auto it = windows_.find(key(from, to));
+  if (it == windows_.end()) return 0.0;
+  return it->second.per_minute(now);
+}
+
+void LinkMonitors::record(PeerId from, PeerId to, SimTime now) {
+  auto [it, inserted] = windows_.try_emplace(key(from, to), kMinute, 60);
+  it->second.add(now, 1.0);
+}
+
+void LinkMonitors::forget(PeerId a, PeerId b) {
+  windows_.erase(key(a, b));
+  windows_.erase(key(b, a));
+}
+
+PacketNetwork::PacketNetwork(topology::Graph& graph,
+                             const workload::ContentModel& content,
+                             sim::Engine& engine, const P2pConfig& config,
+                             util::Rng rng)
+    : graph_(graph), content_(content), engine_(engine), config_(config),
+      rng_(rng), peers_(graph.node_count()),
+      kinds_(graph.node_count(), PeerKind::kGood) {
+  for (auto& ps : peers_) ps.capacity_per_minute = config_.capacity_per_minute;
+}
+
+void PacketNetwork::set_kind(PeerId p, PeerKind kind) { kinds_[p] = kind; }
+
+void PacketNetwork::set_capacity(PeerId p, double per_minute) {
+  peers_[p].capacity_per_minute = std::max(1.0, per_minute);
+}
+
+double PacketNetwork::service_time(const PeerState& ps) const noexcept {
+  return kMinute / ps.capacity_per_minute;
+}
+
+QueryId PacketNetwork::issue_query(PeerId origin, workload::ObjectId object) {
+  Descriptor d;
+  d.kind = Descriptor::Kind::kQuery;
+  d.guid = net::Guid::random(rng_);
+  d.ttl = config_.ttl;
+  d.hops = 0;
+  d.origin = origin;
+  d.object = object;
+
+  const QueryId id = next_query_++;
+  QueryOutcome out;
+  out.id = id;
+  out.origin = origin;
+  out.issued_at = engine_.now();
+  out.attack = kinds_[origin] == PeerKind::kBad;
+  outcome_index_.emplace(d.guid, outcomes_.size());
+  outcomes_.push_back(out);
+
+  ++totals_.queries_issued;
+  if (out.attack) ++totals_.attack_queries_issued;
+
+  // The origin marks the GUID seen (it will drop echoes) and floods to all
+  // current neighbours.
+  auto& ps = peers_[origin];
+  ps.seen[d.guid] = {kInvalidPeer, engine_.now()};
+  prune_seen(ps, engine_.now());
+  // Copy the neighbour set: transmission callbacks may disconnect links.
+  const std::vector<PeerId> nbrs(graph_.neighbors(origin).begin(),
+                                 graph_.neighbors(origin).end());
+  for (PeerId n : nbrs) transmit(origin, n, d);
+  return id;
+}
+
+QueryId PacketNetwork::issue_random_query(PeerId origin) {
+  return issue_query(origin, content_.sample_query_object(rng_));
+}
+
+void PacketNetwork::disconnect(PeerId a, PeerId b) {
+  if (graph_.remove_edge(a, b)) monitors_.forget(a, b);
+}
+
+void PacketNetwork::reset_peer(PeerId p) {
+  auto& ps = peers_[p];
+  ps.queue.clear();
+  ps.seen.clear();
+  ps.busy = false;
+}
+
+void PacketNetwork::transmit(PeerId from, PeerId to, Descriptor d) {
+  ++totals_.messages_sent;
+  if (d.kind == Descriptor::Kind::kQuery) {
+    monitors_.record(from, to, engine_.now());
+    if (on_query_sent) on_query_sent(from, to, engine_.now());
+  }
+  engine_.schedule_in(config_.hop_latency,
+                      [this, from, to, d]() { arrive(to, from, d); });
+}
+
+void PacketNetwork::arrive(PeerId at, PeerId from, Descriptor d) {
+  if (!graph_.is_active(at)) return;  // peer left while the message flew
+  auto& ps = peers_[at];
+  ++ps.received;
+  if (ps.queue.size() >= config_.queue_limit) {
+    ++ps.dropped;
+    ++totals_.queries_dropped;
+    return;
+  }
+  // Stash the arrival link in the descriptor's bookkeeping so processing
+  // knows the inverse path. We reuse hit_responder for queries as "from".
+  Descriptor q = d;
+  if (q.kind == Descriptor::Kind::kQuery) q.hit_responder = from;
+  ps.queue.push_back(q);
+  if (!ps.busy) {
+    ps.busy = true;
+    engine_.schedule_in(service_time(ps), [this, at]() { service_next(at); });
+  }
+}
+
+void PacketNetwork::service_next(PeerId at) {
+  auto& ps = peers_[at];
+  if (ps.queue.empty() || !graph_.is_active(at)) {
+    ps.busy = false;
+    return;
+  }
+  const Descriptor d = ps.queue.front();
+  ps.queue.pop_front();
+  ++ps.processed;
+  ++totals_.queries_processed;
+  const PeerId from =
+      d.kind == Descriptor::Kind::kQuery ? d.hit_responder : kInvalidPeer;
+  Descriptor clean = d;
+  if (clean.kind == Descriptor::Kind::kQuery) clean.hit_responder = kInvalidPeer;
+  process(at, from, clean);
+  if (!ps.queue.empty()) {
+    engine_.schedule_in(service_time(ps), [this, at]() { service_next(at); });
+  } else {
+    ps.busy = false;
+  }
+}
+
+void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
+  auto& ps = peers_[at];
+  const SimTime now = engine_.now();
+
+  if (d.kind == Descriptor::Kind::kQueryHit) {
+    // Route back along the inverse path recorded in the seen-table.
+    const auto it = ps.seen.find(d.guid);
+    if (it == ps.seen.end()) return;  // route evaporated (churn) — hit dies
+    const PeerId back = it->second.first;
+    if (back == kInvalidPeer) {
+      // We are the origin.
+      const auto oi = outcome_index_.find(d.guid);
+      if (oi != outcome_index_.end()) {
+        auto& out = outcomes_[oi->second];
+        ++totals_.hits_delivered;
+        if (!out.responded) {
+          out.responded = true;
+          out.first_response_at = now;
+        }
+      }
+      return;
+    }
+    if (graph_.has_edge(at, back)) transmit(at, back, d);
+    return;
+  }
+
+  // Query handling.
+  prune_seen(ps, now);
+  const auto it = ps.seen.find(d.guid);
+  if (it != ps.seen.end()) {
+    ++totals_.duplicates_dropped;
+    return;
+  }
+  ps.seen.emplace(d.guid, std::make_pair(from, now));
+
+  // Local lookup; respond with a QueryHit routed back towards the origin.
+  if (content_.peer_has(at, d.object)) {
+    Descriptor hit;
+    hit.kind = Descriptor::Kind::kQueryHit;
+    hit.guid = d.guid;
+    hit.ttl = static_cast<std::uint8_t>(d.hops + 1);
+    hit.hops = 0;
+    hit.origin = d.origin;
+    hit.object = d.object;
+    hit.hit_responder = at;
+    ++totals_.hits_generated;
+    if (from != kInvalidPeer && graph_.has_edge(at, from)) {
+      transmit(at, from, hit);
+    }
+  }
+
+  // Forward while TTL remains.
+  if (d.ttl <= 1) return;
+  Descriptor fwd = d;
+  fwd.ttl = static_cast<std::uint8_t>(d.ttl - 1);
+  fwd.hops = static_cast<std::uint8_t>(d.hops + 1);
+  const std::vector<PeerId> nbrs(graph_.neighbors(at).begin(),
+                                 graph_.neighbors(at).end());
+  for (PeerId n : nbrs) {
+    if (n == from) continue;
+    transmit(at, n, fwd);
+  }
+}
+
+void PacketNetwork::prune_seen(PeerState& ps, SimTime now) {
+  // Amortized: prune at most every horizon/4 seconds.
+  if (now - ps.last_prune < config_.seen_horizon / 4.0) return;
+  ps.last_prune = now;
+  const SimTime cutoff = now - config_.seen_horizon;
+  for (auto it = ps.seen.begin(); it != ps.seen.end();) {
+    if (it->second.second < cutoff) it = ps.seen.erase(it);
+    else ++it;
+  }
+}
+
+}  // namespace ddp::p2p

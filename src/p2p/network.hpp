@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file network.hpp
+/// Packet-level unstructured-P2P engine: every query is an individual
+/// descriptor flooding the overlay exactly as Gnutella 0.6 specifies —
+/// duplicate GUIDs dropped, TTL decremented per hop, hits routed back hop
+/// by hop along the inverse query path, bounded input queues served at a
+/// finite rate, overflow dropped. This engine is the high-fidelity
+/// substrate: it reproduces the paper's LimeWire testbed (Figs. 5 and 6)
+/// and cross-validates the scalable flow engine.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/guid.hpp"
+#include "p2p/config.hpp"
+#include "sim/engine.hpp"
+#include "topology/graph.hpp"
+#include "util/rate_window.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "workload/content.hpp"
+
+namespace ddp::p2p {
+
+/// In-memory descriptor flowing through the engine. Wire encoding is
+/// provided by ddp::net and exercised by the codec tests and tools; the
+/// engine keeps descriptors as structs for speed but preserves every
+/// protocol-relevant field.
+struct Descriptor {
+  enum class Kind : std::uint8_t { kQuery, kQueryHit };
+  Kind kind = Kind::kQuery;
+  net::Guid guid{};
+  std::uint8_t ttl = 7;
+  std::uint8_t hops = 0;
+  PeerId origin = kInvalidPeer;            ///< engine-side bookkeeping only
+  workload::ObjectId object = 0;           ///< query target
+  PeerId hit_responder = kInvalidPeer;     ///< QueryHit: who answered
+};
+
+/// Outcome record of one issued query (for response-time / success-rate
+/// metrics; Sec. 3.6 definitions).
+struct QueryOutcome {
+  QueryId id = 0;
+  PeerId origin = kInvalidPeer;
+  SimTime issued_at = 0.0;
+  bool responded = false;
+  SimTime first_response_at = 0.0;
+  bool attack = false;  ///< issued by a compromised peer
+};
+
+/// Aggregate engine counters.
+struct NetworkTotals {
+  std::uint64_t queries_issued = 0;
+  std::uint64_t attack_queries_issued = 0;
+  std::uint64_t messages_sent = 0;       ///< all descriptor transmissions
+  std::uint64_t queries_processed = 0;   ///< dequeued and serviced
+  std::uint64_t queries_dropped = 0;     ///< queue overflow
+  std::uint64_t duplicates_dropped = 0;  ///< seen-GUID drops
+  std::uint64_t hits_generated = 0;
+  std::uint64_t hits_delivered = 0;      ///< reached the query origin
+  double overhead_messages = 0.0;        ///< defense-protocol messages
+};
+
+/// Per-directed-link per-minute counters — what DD-POLICE's monitors read.
+class LinkMonitors {
+ public:
+  double out_per_minute(PeerId from, PeerId to, SimTime now);
+  void record(PeerId from, PeerId to, SimTime now);
+  void forget(PeerId a, PeerId b);
+
+ private:
+  static std::uint64_t key(PeerId from, PeerId to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  std::unordered_map<std::uint64_t, util::RateWindow> windows_;
+};
+
+/// The packet-level network. Owns peer state; borrows the graph, content
+/// model and event engine (so callers can share them with churn processes
+/// and the defense layer).
+class PacketNetwork {
+ public:
+  PacketNetwork(topology::Graph& graph, const workload::ContentModel& content,
+                sim::Engine& engine, const P2pConfig& config, util::Rng rng);
+
+  /// Mark a peer compromised (affects outcome labelling; the attack module
+  /// drives its behaviour).
+  void set_kind(PeerId p, PeerKind kind);
+  PeerKind kind(PeerId p) const noexcept { return kinds_[p]; }
+
+  /// Override one peer's service capacity (queries/min). Used by the
+  /// testbed harness where peer roles differ.
+  void set_capacity(PeerId p, double per_minute);
+
+  /// Issue a fresh query from `origin` for `object`. Returns its id.
+  QueryId issue_query(PeerId origin, workload::ObjectId object);
+
+  /// Issue a query for a random (popularity-sampled) object.
+  QueryId issue_random_query(PeerId origin);
+
+  /// Tear down a logical connection immediately (defense action). Pending
+  /// in-flight messages on that link are still delivered (TCP close is not
+  /// instantaneous); future sends stop.
+  void disconnect(PeerId a, PeerId b);
+
+  /// Reset per-peer protocol state after a rejoin (seen GUIDs, queues).
+  void reset_peer(PeerId p);
+
+  const NetworkTotals& totals() const noexcept { return totals_; }
+
+  /// Account defense-protocol messages (the packet engine does not
+  /// simulate them individually; they are tallied into the totals).
+  void add_overhead_messages(double count) { totals_.overhead_messages += count; }
+  const std::vector<QueryOutcome>& outcomes() const noexcept { return outcomes_; }
+  LinkMonitors& monitors() noexcept { return monitors_; }
+  sim::Engine& engine() noexcept { return engine_; }
+  const topology::Graph& graph() const noexcept { return graph_; }
+
+  /// Per-peer drop/processed counters (Fig. 6 reads these).
+  std::uint64_t processed_at(PeerId p) const noexcept { return peers_[p].processed; }
+  std::uint64_t dropped_at(PeerId p) const noexcept { return peers_[p].dropped; }
+  std::uint64_t received_at(PeerId p) const noexcept { return peers_[p].received; }
+
+  /// Hook invoked whenever a peer transmits a query to a neighbour
+  /// (after the monitors are updated); the DD-POLICE layer subscribes.
+  std::function<void(PeerId from, PeerId to, SimTime now)> on_query_sent;
+
+ private:
+  struct PeerState {
+    double capacity_per_minute;
+    std::deque<Descriptor> queue;
+    bool busy = false;
+    std::unordered_map<net::Guid, std::pair<PeerId, SimTime>, net::GuidHash>
+        seen;  ///< guid -> (arrived-from, when): dup table + inverse route
+    std::uint64_t processed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t received = 0;
+    SimTime last_prune = 0.0;
+  };
+
+  void transmit(PeerId from, PeerId to, Descriptor d);
+  void arrive(PeerId at, PeerId from, Descriptor d);
+  void service_next(PeerId at);
+  void process(PeerId at, PeerId from, const Descriptor& d);
+  void prune_seen(PeerState& ps, SimTime now);
+  double service_time(const PeerState& ps) const noexcept;
+
+  topology::Graph& graph_;
+  const workload::ContentModel& content_;
+  sim::Engine& engine_;
+  P2pConfig config_;
+  util::Rng rng_;
+  std::vector<PeerState> peers_;
+  std::vector<PeerKind> kinds_;
+  LinkMonitors monitors_;
+  NetworkTotals totals_;
+  std::vector<QueryOutcome> outcomes_;
+  std::unordered_map<net::Guid, std::size_t, net::GuidHash> outcome_index_;
+  QueryId next_query_ = 1;
+};
+
+}  // namespace ddp::p2p

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file testbed.hpp
+/// Replication of the paper's three-peer LimeWire testbed (Sec. 2.3,
+/// Figures 4-6): peer A is a modified client replaying a query trace at a
+/// configured rate toward peer B; B is an ordinary forwarding peer with
+/// finite processing capacity; peer C only counts what B forwards.
+///
+/// The paper's hardware (Dell GX3, P3-733, 100 Mbps LAN) is replaced by the
+/// capacity constants it measured: B services ~10,000 queries/min, A can
+/// push up to ~29,000 queries/min. Figure 5's drop onset near 15,000/min
+/// emerges from B's bounded input queue over the one-minute measurement
+/// window, and Figure 6's ~47% drop rate at A's maximum rate follows.
+
+#include <vector>
+
+#include "p2p/config.hpp"
+#include "workload/trace.hpp"
+
+namespace ddp::p2p {
+
+struct TestbedConfig {
+  /// B's query-processing capacity (queries/minute).
+  double capacity_per_minute = 10000.0;
+  /// Measurement window, seconds (the paper reports per-minute counts).
+  double window_seconds = 60.0;
+  /// B's input queue bound, messages.
+  std::size_t queue_limit = 5000;
+};
+
+struct TestbedPoint {
+  double sent_per_minute = 0.0;       ///< rate A offered
+  double processed_per_minute = 0.0;  ///< queries B forwarded to C
+  double received_by_b = 0.0;         ///< queries that arrived at B
+  double drop_rate = 0.0;             ///< fraction B discarded
+};
+
+/// Run one load level: A replays distinct queries toward B at
+/// `send_rate_per_minute` for the window; returns B's measured behaviour.
+TestbedPoint run_testbed_level(const TestbedConfig& config,
+                               double send_rate_per_minute,
+                               std::uint64_t seed);
+
+/// Sweep the load levels of Figure 5/6 (1,000 .. 29,000 queries/min).
+std::vector<TestbedPoint> run_testbed_sweep(const TestbedConfig& config,
+                                            const std::vector<double>& rates,
+                                            std::uint64_t seed);
+
+}  // namespace ddp::p2p

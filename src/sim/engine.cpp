@@ -1,0 +1,84 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace ddp::sim {
+
+EventId Engine::schedule_at(SimTime t, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Scheduled{std::max(t, now_), seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Engine::schedule_in(SimTime delay, Callback fn) {
+  return schedule_at(now_ + std::max(0.0, delay), std::move(fn));
+}
+
+EventId Engine::schedule_every(SimTime period, Callback fn, SimTime phase) {
+  const EventId id = next_id_++;
+  periodics_.emplace(id, Periodic{period, std::move(fn)});
+  const SimTime first = now_ + (phase >= 0.0 ? phase : period);
+  heap_.push(Scheduled{first, seq_++, id});
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  const bool was_oneshot = callbacks_.erase(id) > 0;
+  const bool was_periodic = periodics_.erase(id) > 0;
+  if (was_oneshot || was_periodic) {
+    cancelled_.insert(id);
+    return true;
+  }
+  return false;
+}
+
+bool Engine::step(SimTime horizon) {
+  while (!heap_.empty()) {
+    const Scheduled top = heap_.top();
+    if (const auto c = cancelled_.find(top.id); c != cancelled_.end()) {
+      heap_.pop();
+      cancelled_.erase(c);
+      continue;
+    }
+    if (top.t > horizon) return false;
+    heap_.pop();
+    now_ = std::max(now_, top.t);
+    if (const auto p = periodics_.find(top.id); p != periodics_.end()) {
+      // Re-arm before running so the callback may cancel itself.
+      heap_.push(Scheduled{now_ + p->second.period, seq_++, top.id});
+      ++executed_;
+      p->second.fn();
+      return true;
+    }
+    if (const auto c = callbacks_.find(top.id); c != callbacks_.end()) {
+      // Move out so the callback may schedule (and even cancel) freely.
+      Callback fn = std::move(c->second);
+      callbacks_.erase(c);
+      ++executed_;
+      fn();
+      return true;
+    }
+    // Id fired-and-erased concurrently (shouldn't happen); skip.
+  }
+  return false;
+}
+
+void Engine::run_until(SimTime horizon) {
+  stopped_ = false;
+  while (!stopped_ && step(horizon)) {
+  }
+  // Advance the clock to the horizon even if the queue drained early, so
+  // callers can chain run_until segments with consistent time.
+  if (!stopped_) now_ = std::max(now_, horizon);
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && step(std::numeric_limits<double>::infinity())) {
+  }
+}
+
+}  // namespace ddp::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file engine.hpp
+/// Discrete-event simulation engine. A binary heap of timestamped events
+/// with deterministic FIFO tie-breaking (events scheduled earlier run
+/// earlier at equal timestamps), cancellation handles, and periodic tasks.
+///
+/// The engine is deliberately single-threaded: determinism and
+/// reproducibility outrank parallel speedup inside one run, and the
+/// experiment harness parallelizes at trial granularity instead.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ddp::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time (seconds). Starts at 0.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now, clamped up if in the
+  /// past). Returns a handle usable with cancel().
+  EventId schedule_at(SimTime t, Callback fn);
+
+  /// Schedule `fn` `delay` seconds from now.
+  EventId schedule_in(SimTime delay, Callback fn);
+
+  /// Schedule `fn` every `period` seconds starting at now + phase
+  /// (phase defaults to one full period). The task reschedules itself
+  /// until cancelled; the returned id stays valid across repetitions.
+  EventId schedule_every(SimTime period, Callback fn, SimTime phase = -1.0);
+
+  /// Cancel a pending (or periodic) event. Safe on already-fired or
+  /// unknown ids; returns whether something was actually cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the event queue drains or simulated time would pass
+  /// `horizon` (inclusive). Events exactly at the horizon run.
+  void run_until(SimTime horizon);
+
+  /// Run until the queue drains (only sensible with a finite workload).
+  void run();
+
+  /// Stop the current run_* call after the in-flight event completes.
+  void stop() noexcept { stopped_ = true; }
+
+  std::uint64_t events_executed() const noexcept { return executed_; }
+  std::size_t pending() const noexcept { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Scheduled {
+    SimTime t;
+    std::uint64_t seq;  ///< tie-break: FIFO among equal times
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  struct Periodic {
+    SimTime period;
+    Callback fn;
+  };
+
+  bool step(SimTime horizon);
+
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Periodic> periodics_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ddp::sim

@@ -1,0 +1,117 @@
+#include "topology/coverage.hpp"
+
+#include <algorithm>
+
+namespace ddp::topology {
+
+double CoverageProfile::total_reach() const noexcept {
+  double sum = 0.0;
+  for (double v : new_nodes) sum += v;
+  return sum;
+}
+
+double CoverageProfile::total_messages() const noexcept {
+  double sum = 0.0;
+  for (double v : messages) sum += v;
+  return sum;
+}
+
+double CoverageProfile::cumulative_reach(std::size_t h) const noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < h && i < new_nodes.size(); ++i) sum += new_nodes[i];
+  return sum;
+}
+
+double CoverageProfile::fresh_fraction(std::size_t h) const noexcept {
+  if (h == 0 || h > messages.size()) return 0.0;
+  const double m = messages[h - 1];
+  if (m <= 0.0) return 0.0;
+  return std::min(1.0, new_nodes[h - 1] / m);
+}
+
+double CoverageProfile::branching(std::size_t h) const noexcept {
+  if (h == 0 || h >= messages.size()) return 0.0;
+  const double fresh = new_nodes[h - 1];
+  if (fresh <= 0.0) return 0.0;
+  return messages[h] / fresh;
+}
+
+CoverageProfile flood_coverage(const Graph& g, PeerId origin, std::size_t ttl) {
+  CoverageProfile p;
+  p.new_nodes.assign(ttl, 0.0);
+  p.messages.assign(ttl, 0.0);
+  if (ttl == 0 || origin >= g.node_count() || !g.is_active(origin)) return p;
+
+  // BFS wavefront; `seen` marks peers that already received the query.
+  std::vector<char> seen(g.node_count(), 0);
+  seen[origin] = 1;
+  std::vector<PeerId> frontier{origin};
+  std::vector<PeerId> next;
+
+  for (std::size_t h = 1; h <= ttl && !frontier.empty(); ++h) {
+    next.clear();
+    double msgs = 0.0;
+    for (PeerId u : frontier) {
+      // The origin sends to all neighbours; forwarders skip the sender.
+      // Counting: each fresh peer u at hop h-1 transmits deg(u) minus one
+      // copy per inbound edge it already received on. Gnutella forwards on
+      // all connections except the arrival one, so out-fan = deg(u) - 1
+      // (deg(u) for the origin). Some copies land on already-seen peers:
+      // those are the dropped duplicates, still counted in `messages`.
+      const double outfan = (u == origin && h == 1)
+                                ? static_cast<double>(g.degree(u))
+                                : static_cast<double>(g.degree(u)) - 1.0;
+      msgs += std::max(0.0, outfan);
+      for (PeerId v : g.neighbors(u)) {
+        if (!g.is_active(v) || seen[v]) continue;
+        seen[v] = 1;
+        next.push_back(v);
+      }
+    }
+    p.messages[h - 1] = msgs;
+    p.new_nodes[h - 1] = static_cast<double>(next.size());
+    frontier.swap(next);
+  }
+  return p;
+}
+
+CoverageProfile average_coverage(const Graph& g, std::size_t ttl,
+                                 std::size_t samples, util::Rng& rng) {
+  CoverageProfile avg;
+  avg.new_nodes.assign(ttl, 0.0);
+  avg.messages.assign(ttl, 0.0);
+  if (g.active_count() == 0 || ttl == 0) return avg;
+
+  std::size_t used = 0;
+  if (samples >= g.active_count()) {
+    for (PeerId u = 0; u < g.node_count(); ++u) {
+      if (!g.is_active(u)) continue;
+      const CoverageProfile p = flood_coverage(g, u, ttl);
+      for (std::size_t h = 0; h < ttl; ++h) {
+        avg.new_nodes[h] += p.new_nodes[h];
+        avg.messages[h] += p.messages[h];
+      }
+      ++used;
+    }
+  } else {
+    for (std::size_t s = 0; s < samples; ++s) {
+      const PeerId u = g.random_active_node(rng);
+      if (u == kInvalidPeer) break;
+      const CoverageProfile p = flood_coverage(g, u, ttl);
+      for (std::size_t h = 0; h < ttl; ++h) {
+        avg.new_nodes[h] += p.new_nodes[h];
+        avg.messages[h] += p.messages[h];
+      }
+      ++used;
+    }
+  }
+  if (used > 0) {
+    for (std::size_t h = 0; h < ttl; ++h) {
+      avg.new_nodes[h] /= static_cast<double>(used);
+      avg.messages[h] /= static_cast<double>(used);
+    }
+  }
+  return avg;
+}
+
+}  // namespace ddp::topology

@@ -1,0 +1,173 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ddp::topology {
+
+Graph::Graph(std::size_t node_count)
+    : adj_(node_count), active_(node_count, 1), active_count_(node_count) {}
+
+PeerId Graph::add_node() {
+  adj_.emplace_back();
+  active_.push_back(1);
+  ++active_count_;
+  return static_cast<PeerId>(adj_.size() - 1);
+}
+
+void Graph::set_active(PeerId u, bool active) {
+  if (static_cast<bool>(active_[u]) == active) return;
+  if (!active) {
+    isolate(u);
+    active_[u] = 0;
+    --active_count_;
+  } else {
+    active_[u] = 1;
+    ++active_count_;
+  }
+}
+
+bool Graph::add_edge(PeerId u, PeerId v) {
+  if (u == v || u >= adj_.size() || v >= adj_.size()) return false;
+  // Offline peers hold no connections; deactivation tears edges down and
+  // nothing may re-attach to an inactive peer.
+  if (!active_[u] || !active_[v]) return false;
+  if (has_edge(u, v)) return false;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::remove_edge(PeerId u, PeerId v) {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  auto& au = adj_[u];
+  const auto iu = std::find(au.begin(), au.end(), v);
+  if (iu == au.end()) return false;
+  // Swap-erase: neighbour order carries no meaning.
+  *iu = au.back();
+  au.pop_back();
+  auto& av = adj_[v];
+  const auto iv = std::find(av.begin(), av.end(), u);
+  *iv = av.back();
+  av.pop_back();
+  --edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(PeerId u, PeerId v) const noexcept {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  const auto& smaller = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const PeerId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+void Graph::isolate(PeerId u) {
+  // Copy: remove_edge mutates adj_[u].
+  const std::vector<PeerId> nbrs = adj_[u];
+  for (PeerId v : nbrs) remove_edge(u, v);
+}
+
+PeerId Graph::random_active_node(util::Rng& rng, PeerId exclude) const {
+  const std::size_t n = adj_.size();
+  if (active_count_ == 0) return kInvalidPeer;
+  if (active_count_ == 1 && exclude != kInvalidPeer && active_[exclude]) {
+    return kInvalidPeer;
+  }
+  // Rejection sampling: active fraction is high throughout the simulations.
+  for (int attempts = 0; attempts < 4096; ++attempts) {
+    const auto u = static_cast<PeerId>(rng.below(static_cast<std::uint32_t>(n)));
+    if (active_[u] && u != exclude) return u;
+  }
+  for (PeerId u = 0; u < n; ++u) {
+    if (active_[u] && u != exclude) return u;
+  }
+  return kInvalidPeer;
+}
+
+PeerId Graph::random_active_node_by_degree(util::Rng& rng, PeerId exclude) const {
+  // Rejection sampling against the current max degree; with power-law-ish
+  // degree sequences this stays cheap and avoids maintaining a prefix sum.
+  std::size_t max_deg = 0;
+  for (PeerId u = 0; u < adj_.size(); ++u) {
+    if (active_[u]) max_deg = std::max(max_deg, adj_[u].size());
+  }
+  const double ceiling = static_cast<double>(max_deg) + 1.0;
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const PeerId u = random_active_node(rng, exclude);
+    if (u == kInvalidPeer) return kInvalidPeer;
+    const double w = static_cast<double>(adj_[u].size()) + 1.0;
+    if (rng.uniform() * ceiling <= w) return u;
+  }
+  return random_active_node(rng, exclude);
+}
+
+int Graph::hop_distance(PeerId u, PeerId v) const {
+  if (u >= adj_.size() || v >= adj_.size() || !active_[u] || !active_[v]) return -1;
+  if (u == v) return 0;
+  std::vector<int> dist(adj_.size(), -1);
+  std::queue<PeerId> q;
+  dist[u] = 0;
+  q.push(u);
+  while (!q.empty()) {
+    const PeerId x = q.front();
+    q.pop();
+    for (PeerId y : adj_[x]) {
+      if (!active_[y] || dist[y] >= 0) continue;
+      dist[y] = dist[x] + 1;
+      if (y == v) return dist[y];
+      q.push(y);
+    }
+  }
+  return -1;
+}
+
+bool Graph::is_connected_over_active() const {
+  PeerId start = kInvalidPeer;
+  std::size_t with_edges = 0;
+  for (PeerId u = 0; u < adj_.size(); ++u) {
+    if (active_[u] && !adj_[u].empty()) {
+      ++with_edges;
+      if (start == kInvalidPeer) start = u;
+    }
+  }
+  if (with_edges <= 1) return true;
+  std::vector<char> seen(adj_.size(), 0);
+  std::queue<PeerId> q;
+  seen[start] = 1;
+  q.push(start);
+  std::size_t visited = 1;
+  while (!q.empty()) {
+    const PeerId x = q.front();
+    q.pop();
+    for (PeerId y : adj_[x]) {
+      if (!active_[y] || seen[y]) continue;
+      seen[y] = 1;
+      ++visited;
+      q.push(y);
+    }
+  }
+  return visited == with_edges;
+}
+
+double Graph::average_degree() const noexcept {
+  if (active_count_ == 0) return 0.0;
+  std::size_t sum = 0;
+  for (PeerId u = 0; u < adj_.size(); ++u) {
+    if (active_[u]) sum += adj_[u].size();
+  }
+  return static_cast<double>(sum) / static_cast<double>(active_count_);
+}
+
+std::vector<std::size_t> Graph::degree_histogram() const {
+  std::vector<std::size_t> hist;
+  for (PeerId u = 0; u < adj_.size(); ++u) {
+    if (!active_[u]) continue;
+    const std::size_t d = adj_[u].size();
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+}  // namespace ddp::topology

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file graph.hpp
+/// Dynamic undirected overlay graph. Peers are dense PeerIds; adjacency is
+/// per-node neighbour vectors (typical degree ~6, so linear membership
+/// scans beat hash sets in both time and memory). The graph supports the
+/// churn operations the simulation needs: edge insertion/removal, node
+/// activation/deactivation, and queries used by the engines (degree,
+/// neighbour spans, connectivity).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ddp::topology {
+
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count = 0);
+
+  std::size_t node_count() const noexcept { return adj_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Grow the node table (new nodes start active and isolated).
+  PeerId add_node();
+
+  /// Nodes can be deactivated (peer offline) without renumbering; their
+  /// edges are removed. Reactivation brings them back isolated.
+  void set_active(PeerId u, bool active);
+  bool is_active(PeerId u) const noexcept { return active_[u]; }
+  std::size_t active_count() const noexcept { return active_count_; }
+
+  /// Add/remove an undirected edge. Adding an existing edge, a self-loop,
+  /// or an edge touching an inactive peer is a no-op returning false;
+  /// removing a missing edge returns false.
+  bool add_edge(PeerId u, PeerId v);
+  bool remove_edge(PeerId u, PeerId v);
+  bool has_edge(PeerId u, PeerId v) const noexcept;
+
+  std::size_t degree(PeerId u) const noexcept { return adj_[u].size(); }
+  std::span<const PeerId> neighbors(PeerId u) const noexcept {
+    return {adj_[u].data(), adj_[u].size()};
+  }
+
+  /// Remove all edges of u (keeps it active).
+  void isolate(PeerId u);
+
+  /// A uniformly random *active* node, excluding `exclude` (pass
+  /// kInvalidPeer for no exclusion). Returns kInvalidPeer if none exists.
+  PeerId random_active_node(util::Rng& rng, PeerId exclude = kInvalidPeer) const;
+
+  /// A random active node chosen with probability proportional to
+  /// degree + 1 (preferential attachment for churn rewiring).
+  PeerId random_active_node_by_degree(util::Rng& rng,
+                                      PeerId exclude = kInvalidPeer) const;
+
+  /// Hop distance u -> v over active nodes (BFS); negative if unreachable.
+  int hop_distance(PeerId u, PeerId v) const;
+
+  /// True when all active nodes with at least one edge form one component.
+  bool is_connected_over_active() const;
+
+  /// Sum of degrees over active nodes / number of active nodes.
+  double average_degree() const noexcept;
+
+  /// Degree histogram (index = degree) over active nodes.
+  std::vector<std::size_t> degree_histogram() const;
+
+ private:
+  std::vector<std::vector<PeerId>> adj_;
+  std::vector<char> active_;
+  std::size_t edge_count_ = 0;
+  std::size_t active_count_ = 0;
+};
+
+}  // namespace ddp::topology

@@ -1,0 +1,110 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace ddp::util {
+
+bool is_truthy(std::string_view v) noexcept {
+  std::string lower(v);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return lower == "1" || lower == "true" || lower == "yes" || lower == "on";
+}
+
+bool full_scale_requested() noexcept {
+  const char* env = std::getenv("DDP_FULL");
+  return env != nullptr && is_truthy(env);
+}
+
+std::optional<std::int64_t> env_int(const char* name) noexcept {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0') return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> env_double(const char* name) noexcept {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (errno != 0 || end == env || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::uint64_t env_seed(std::uint64_t fallback) noexcept {
+  if (auto v = env_int("DDP_SEED")) return static_cast<std::uint64_t>(*v);
+  return fallback;
+}
+
+std::uint32_t env_trials(std::uint32_t fallback) noexcept {
+  if (auto v = env_int("DDP_TRIALS"); v && *v > 0) {
+    return static_cast<std::uint32_t>(*v);
+  }
+  return fallback;
+}
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      positional_.push_back(arg);
+    } else {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Options::has(std::string_view key) const { return kv_.find(key) != kv_.end(); }
+
+std::string Options::get(std::string_view key, std::string fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+double Options::get(std::string_view key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+std::int64_t Options::get(std::string_view key, std::int64_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+bool Options::get(std::string_view key, bool fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : is_truthy(it->second);
+}
+
+std::string Options::summary() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : kv_) {
+    if (!first) os << ' ';
+    os << k << '=' << v;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace ddp::util

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file config.hpp
+/// Runtime configuration helpers shared by benches and examples: environment
+/// switches (DDP_FULL for paper-scale runs, DDP_SEED, DDP_TRIALS) and a tiny
+/// "key=value" command-line option parser so every example binary accepts
+/// consistent overrides without pulling in a CLI dependency.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddp::util {
+
+/// True when DDP_FULL is set to a truthy value ("1", "true", "yes", "on").
+/// Benches use it to switch from laptop-scale to the paper's full scale
+/// (2,000 peers / 1,000,000 queries).
+bool full_scale_requested() noexcept;
+
+/// Master seed for a run: DDP_SEED if set and parseable, else `fallback`.
+std::uint64_t env_seed(std::uint64_t fallback = 20070710) noexcept;
+
+/// Number of independent trials: DDP_TRIALS if set, else `fallback`.
+std::uint32_t env_trials(std::uint32_t fallback) noexcept;
+
+/// Read an arbitrary numeric environment override.
+std::optional<double> env_double(const char* name) noexcept;
+std::optional<std::int64_t> env_int(const char* name) noexcept;
+
+/// Parsed "key=value" command-line options (argv entries not in that shape
+/// are collected as positional arguments).
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  bool has(std::string_view key) const;
+  std::string get(std::string_view key, std::string fallback) const;
+  double get(std::string_view key, double fallback) const;
+  std::int64_t get(std::string_view key, std::int64_t fallback) const;
+  bool get(std::string_view key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Render "key=value ..." for run provenance lines.
+  std::string summary() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> kv_;
+  std::vector<std::string> positional_;
+};
+
+/// Truthiness used by all boolean switches.
+bool is_truthy(std::string_view v) noexcept;
+
+}  // namespace ddp::util

@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ddp::util {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("DDP_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  level_store().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  // One fprintf call -> one write; interleaving-safe enough for diagnostics.
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace ddp::util

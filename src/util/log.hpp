@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logging. Simulations are single-threaded per run, so the
+/// logger keeps no locks; the experiment harness may run trials on worker
+/// threads, so emission itself is a single atomic stream write.
+
+#include <string>
+#include <string_view>
+
+namespace ddp::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default kWarn so library
+/// consumers see problems but benches stay quiet. Honors the DDP_LOG
+/// environment variable ("debug", "info", "warn", "error", "off") at first use.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line: "[level] message\n" to stderr.
+void log(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
+inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::kWarn, m); }
+inline void log_error(std::string_view m) { log(LogLevel::kError, m); }
+
+}  // namespace ddp::util

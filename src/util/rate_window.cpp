@@ -1,0 +1,65 @@
+#include "util/rate_window.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ddp::util {
+
+RateWindow::RateWindow(SimTime window, std::size_t buckets)
+    : window_(window),
+      bucket_len_(window / static_cast<double>(buckets)),
+      buckets_(buckets, 0.0) {
+  if (window <= 0.0 || buckets == 0) {
+    throw std::invalid_argument("RateWindow: window and buckets must be positive");
+  }
+}
+
+void RateWindow::advance(SimTime t) noexcept {
+  const auto target = static_cast<std::int64_t>(std::floor(t / bucket_len_));
+  if (!started_) {
+    head_index_ = target;
+    started_ = true;
+    return;
+  }
+  if (target <= head_index_) return;
+  std::int64_t steps = target - head_index_;
+  const auto n = static_cast<std::int64_t>(buckets_.size());
+  if (steps >= n) {
+    // Entire window expired.
+    for (double& b : buckets_) b = 0.0;
+    sum_ = 0.0;
+    head_index_ = target;
+    return;
+  }
+  while (steps-- > 0) {
+    ++head_index_;
+    double& slot = buckets_[static_cast<std::size_t>(head_index_ % n)];
+    sum_ -= slot;
+    slot = 0.0;
+  }
+  if (sum_ < 0.0) sum_ = 0.0;  // FP hygiene after many add/expire cycles
+}
+
+void RateWindow::add(SimTime t, double count) noexcept {
+  advance(t);
+  const auto n = static_cast<std::int64_t>(buckets_.size());
+  buckets_[static_cast<std::size_t>(head_index_ % n)] += count;
+  sum_ += count;
+}
+
+double RateWindow::total(SimTime t) noexcept {
+  advance(t);
+  return sum_;
+}
+
+double RateWindow::per_minute(SimTime t) noexcept {
+  return total(t) * (kMinute / window_);
+}
+
+void RateWindow::reset() noexcept {
+  for (double& b : buckets_) b = 0.0;
+  sum_ = 0.0;
+  started_ = false;
+}
+
+}  // namespace ddp::util

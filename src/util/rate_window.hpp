@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file rate_window.hpp
+/// Sliding-window event counter: "how many queries did neighbour i send me
+/// in the past minute?" — the primitive behind the paper's Out_query(i) /
+/// In_query(i) monitors (Sec. 3.2).
+///
+/// Implemented as a ring of fixed sub-buckets (default 60 x 1 s for a 1-min
+/// window) so advancing time and counting are O(1) amortized and memory is
+/// constant, which matters with one window per directed neighbour link.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ddp::util {
+
+class RateWindow {
+ public:
+  /// \param window  window length in seconds (e.g. 60 for per-minute counts)
+  /// \param buckets number of sub-buckets; finer buckets -> smoother decay
+  explicit RateWindow(SimTime window = 60.0, std::size_t buckets = 60);
+
+  /// Record `count` events at simulated time `t`. Times must be
+  /// non-decreasing across calls (simulation time always is).
+  void add(SimTime t, double count = 1.0) noexcept;
+
+  /// Total events inside [t - window, t]. Also advances the window.
+  double total(SimTime t) noexcept;
+
+  /// Events per minute over the window, i.e. total * (60 / window).
+  double per_minute(SimTime t) noexcept;
+
+  SimTime window() const noexcept { return window_; }
+
+  /// Forget everything (used when a link is torn down and re-established).
+  void reset() noexcept;
+
+ private:
+  void advance(SimTime t) noexcept;
+
+  SimTime window_;
+  SimTime bucket_len_;
+  std::vector<double> buckets_;
+  std::int64_t head_index_ = 0;  ///< absolute index of the newest bucket
+  double sum_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace ddp::util

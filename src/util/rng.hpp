@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random-number generation for reproducible simulations.
+///
+/// All stochastic behaviour in the library flows through ddp::util::Rng, a
+/// PCG32 generator (O'Neill 2014). PCG32 is small (16 bytes of state), fast,
+/// and statistically strong enough for discrete-event simulation; most
+/// importantly it is *ours*, so results are bit-identical across platforms
+/// and standard-library versions (std::mt19937's distributions are not
+/// portable across implementations).
+///
+/// Every subsystem derives its own child stream via Rng::fork(tag) so that
+/// adding randomness in one module never perturbs another module's draws.
+
+#include <cstdint>
+#include <string_view>
+
+namespace ddp::util {
+
+/// Permuted congruential generator, 64-bit state / 32-bit output (PCG-XSH-RR).
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Seeds via splitmix64 so that consecutive small seeds produce
+  /// uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept;
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return 0xffffffffu; }
+  result_type operator()() noexcept { return next_u32(); }
+
+  /// Next raw 32-bit draw.
+  std::uint32_t next_u32() noexcept;
+
+  /// Next raw 64-bit draw (two 32-bit draws).
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n) using Lemire's unbiased bounded method.
+  std::uint32_t below(std::uint32_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method, cached spare).
+  double normal() noexcept;
+
+  /// Normal variate with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Lognormal variate parameterized by the *target arithmetic* mean and
+  /// variance of the resulting distribution (not of the underlying normal).
+  /// Used for peer lifetimes: the paper sets mean = 10 min, var = mean / 2.
+  double lognormal_mean_var(double mean, double variance) noexcept;
+
+  /// Pareto variate with scale x_m > 0 and shape alpha > 0.
+  double pareto(double scale, double shape) noexcept;
+
+  /// Poisson variate with the given rate (Knuth for small rates, normal
+  /// approximation above 64 — adequate for workload arrival counts).
+  std::uint32_t poisson(double rate) noexcept;
+
+  /// Derive an independent child generator. The tag (e.g. "churn",
+  /// "workload") is hashed into the stream selector so different subsystems
+  /// get provably distinct sequences from the same master seed.
+  [[nodiscard]] Rng fork(std::string_view tag) const noexcept;
+
+  /// Derive a child keyed by an integer (e.g. per-peer streams).
+  [[nodiscard]] Rng fork(std::uint64_t key) const noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+  std::uint64_t seed_origin_ = 0;  ///< master seed, preserved for forks
+};
+
+/// splitmix64 — used for seeding and tag hashing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// FNV-1a 64-bit hash of a string tag.
+std::uint64_t hash_tag(std::string_view tag) noexcept;
+
+}  // namespace ddp::util

@@ -1,0 +1,149 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddp::util {
+
+void StreamingStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StreamingStats::sample_variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins + 2, 0.0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: require hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  total_ += weight;
+  if (x < lo_) {
+    counts_.front() += weight;
+  } else if (x >= hi_) {
+    counts_.back() += weight;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= bins()) idx = bins() - 1;  // guard FP edge at hi_
+    counts_[idx + 1] += weight;
+  }
+}
+
+double Histogram::bin_low(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ <= 0.0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_;
+  double cum = counts_.front();
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < bins(); ++i) {
+    const double w = counts_[i + 1];
+    if (cum + w >= target && w > 0.0) {
+      const double frac = (target - cum) / w;
+      return bin_low(i) + frac * width_;
+    }
+    cum += w;
+  }
+  return hi_;
+}
+
+void TimeSeries::add(double t, double v) {
+  t_.push_back(t);
+  v_.push_back(v);
+}
+
+double TimeSeries::first_time_at_or_above(double threshold, double from) const noexcept {
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i] >= from && v_[i] >= threshold) return t_[i];
+  }
+  return -1.0;
+}
+
+double TimeSeries::first_time_at_or_below(double threshold, double from) const noexcept {
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i] >= from && v_[i] <= threshold) return t_[i];
+  }
+  return -1.0;
+}
+
+double TimeSeries::tail_mean(double fraction) const noexcept {
+  if (t_.empty()) return 0.0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  auto start = static_cast<std::size_t>(
+      static_cast<double>(t_.size()) * (1.0 - fraction));
+  if (start >= t_.size()) start = t_.size() - 1;
+  double sum = 0.0;
+  for (std::size_t i = start; i < v_.size(); ++i) sum += v_[i];
+  return sum / static_cast<double>(v_.size() - start);
+}
+
+double TimeSeries::max_value() const noexcept {
+  double m = 0.0;
+  bool first = true;
+  for (double v : v_) {
+    if (first || v > m) m = v;
+    first = false;
+  }
+  return m;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo_idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo_idx);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(lo_idx),
+                   values.end());
+  const double lo_v = values[lo_idx];
+  if (frac == 0.0 || lo_idx + 1 >= values.size()) return lo_v;
+  const double hi_v = *std::min_element(
+      values.begin() + static_cast<std::ptrdiff_t>(lo_idx) + 1, values.end());
+  return lo_v + frac * (hi_v - lo_v);
+}
+
+}  // namespace ddp::util

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics, histograms and time series used by the metrics
+/// pipeline and the experiment harness.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddp::util {
+
+/// Numerically stable streaming mean / variance / min / max (Welford).
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel-combine safe).
+  void merge(const StreamingStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< population variance
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+  double total_weight() const noexcept { return total_; }
+
+  /// Weight in the i-th regular bin (0 <= i < bins()).
+  double bin_weight(std::size_t i) const noexcept { return counts_[i + 1]; }
+  double underflow() const noexcept { return counts_.front(); }
+  double overflow() const noexcept { return counts_.back(); }
+  std::size_t bins() const noexcept { return counts_.size() - 2; }
+  double bin_low(std::size_t i) const noexcept;
+  double bin_width() const noexcept { return width_; }
+
+  /// Weighted quantile (q in [0,1]) with linear interpolation inside the
+  /// containing bin. Returns lo/hi bounds for out-of-range mass.
+  double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;  ///< [underflow, bins..., overflow]
+};
+
+/// A (time, value) series with helpers the damage-rate experiments need:
+/// first crossing times, steady-state tail averages, resampling.
+class TimeSeries {
+ public:
+  void add(double t, double v);
+
+  std::size_t size() const noexcept { return t_.size(); }
+  bool empty() const noexcept { return t_.empty(); }
+  double time_at(std::size_t i) const noexcept { return t_[i]; }
+  double value_at(std::size_t i) const noexcept { return v_[i]; }
+  const std::vector<double>& times() const noexcept { return t_; }
+  const std::vector<double>& values() const noexcept { return v_; }
+
+  /// First sample time (at or after `from`) whose value is >= threshold;
+  /// returns a negative value when no such sample exists.
+  double first_time_at_or_above(double threshold, double from = 0.0) const noexcept;
+
+  /// First sample time (at or after `from`) whose value is <= threshold.
+  double first_time_at_or_below(double threshold, double from = 0.0) const noexcept;
+
+  /// Mean of the last `fraction` (0,1] of the samples — the "stabilized"
+  /// value used when reporting converged damage rates.
+  double tail_mean(double fraction = 0.25) const noexcept;
+
+  double max_value() const noexcept;
+
+ private:
+  std::vector<double> t_;
+  std::vector<double> v_;
+};
+
+/// Exact quantile of a sample vector (copies and partially sorts).
+double quantile(std::vector<double> values, double q);
+
+}  // namespace ddp::util

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned console tables and CSV emission for the experiment harness.
+/// Every bench binary prints its figure/table through this so the output
+/// format is uniform across the reproduction.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ddp::util {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with sensible defaults. Rendering pads to the widest cell per column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Render as an aligned ASCII table.
+  std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (no quoting needed for our content, but
+  /// cells containing commas/quotes are quoted anyway).
+  std::string to_csv() const;
+
+  /// Write CSV to a file; returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  /// Print the aligned table to the stream, preceded by a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double with fixed precision (no trailing-zero trimming; tables
+/// align better with uniform width).
+std::string format_double(double v, int precision);
+
+}  // namespace ddp::util

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental identifiers and time units shared by every ddpolice module.
+///
+/// Simulated time is kept in double-precision *seconds*; the paper's
+/// protocol state machines all run at per-minute granularity, so helpers
+/// convert between the two. Peer identifiers are dense indices into the
+/// overlay's node table; INVALID_PEER marks "no peer".
+
+#include <cstdint>
+#include <limits>
+
+namespace ddp {
+
+/// Dense index of a peer in the overlay node table.
+using PeerId = std::uint32_t;
+
+/// Sentinel for "no such peer".
+inline constexpr PeerId kInvalidPeer = std::numeric_limits<PeerId>::max();
+
+/// Simulated wall-clock time, in seconds.
+using SimTime = double;
+
+/// One simulated minute, in seconds. The paper's counters (queries per
+/// minute, indicators, thresholds) are all per-minute quantities.
+inline constexpr SimTime kMinute = 60.0;
+
+/// Convert minutes to the engine's native seconds.
+constexpr SimTime minutes(double m) noexcept { return m * kMinute; }
+
+/// Convert seconds to minutes (for reporting).
+constexpr double to_minutes(SimTime s) noexcept { return s / kMinute; }
+
+/// A monotonically increasing query identifier, unique per simulation run.
+using QueryId = std::uint64_t;
+
+/// Classification used throughout the attack/defense pipeline.
+enum class PeerKind : std::uint8_t {
+  kGood = 0,  ///< well-behaved peer (<= q issued queries/min, Def. 2.2)
+  kBad = 1,   ///< DDoS-compromised peer (issues Q_d queries/min, Sec. 3.5)
+};
+
+}  // namespace ddp

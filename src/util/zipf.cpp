@@ -1,0 +1,36 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddp::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta) : theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty catalogue");
+  if (theta < 0.0) throw std::invalid_argument("ZipfSampler: negative exponent");
+  cdf_.resize(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = cum;
+  }
+  const double norm = cum;
+  for (double& c : cdf_) c /= norm;
+  cdf_.back() = 1.0;  // guard FP round-off at the top
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const noexcept {
+  if (rank >= cdf_.size()) return 0.0;
+  const double hi = cdf_[rank];
+  const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return hi - lo;
+}
+
+}  // namespace ddp::util

@@ -1,0 +1,43 @@
+#include "workload/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddp::workload {
+
+double ChurnModel::sample_lifetime(util::Rng& rng) const noexcept {
+  const double mean = config_.mean_lifetime;
+  switch (config_.distribution) {
+    case LifetimeDistribution::kLognormal:
+      return std::max(1.0, rng.lognormal_mean_var(mean, config_.lifetime_variance));
+    case LifetimeDistribution::kExponential:
+      return std::max(1.0, rng.exponential(mean));
+    case LifetimeDistribution::kPareto: {
+      // Scale so the Pareto mean equals the configured mean:
+      // E[X] = shape * scale / (shape - 1) for shape > 1.
+      const double shape = config_.pareto_shape;
+      const double scale = mean * (shape - 1.0) / shape;
+      return std::max(1.0, rng.pareto(scale, shape));
+    }
+  }
+  return mean;
+}
+
+double ChurnModel::sample_offline(util::Rng& rng) const noexcept {
+  return std::max(1.0, rng.exponential(config_.mean_offline));
+}
+
+std::size_t ChurnModel::connect_joining_peer(topology::Graph& g, PeerId peer,
+                                             util::Rng& rng) const {
+  std::size_t added = 0;
+  for (std::size_t attempt = 0;
+       attempt < config_.rejoin_links * 8 && added < config_.rejoin_links;
+       ++attempt) {
+    const PeerId target = g.random_active_node_by_degree(rng, peer);
+    if (target == kInvalidPeer) break;
+    if (g.add_edge(peer, target)) ++added;
+  }
+  return added;
+}
+
+}  // namespace ddp::workload

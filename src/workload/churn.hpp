@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file churn.hpp
+/// Peer churn model (Sec. 3.5). The paper assigns each joining peer a
+/// lifetime drawn from the distribution observed by Saroiu et al. [19]
+/// with mean 10 minutes and variance half the mean; when the lifetime
+/// expires the peer leaves and — since hosts rejoin 6.4 times/day on
+/// average [22] — comes back after an offline period. Rejoining peers
+/// connect to a few existing peers, preferentially to well-connected ones
+/// (how Gnutella host caches behave in practice and how BRITE grows
+/// topologies).
+
+#include <cstdint>
+#include <functional>
+
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ddp::workload {
+
+enum class LifetimeDistribution : std::uint8_t {
+  kLognormal,    ///< paper's configuration: mean 10 min, var = mean / 2
+  kExponential,  ///< memoryless null model (ablation)
+  kPareto,       ///< heavy-tailed alternative (ablation)
+};
+
+struct ChurnConfig {
+  bool enabled = true;
+  LifetimeDistribution distribution = LifetimeDistribution::kLognormal;
+  /// The paper's Sec. 3.1 staleness analysis ("the probability we miss one
+  /// or more neighbouring peers ... is around 3% (2/60)") assumes a mean
+  /// lifetime of 60 minutes, consistent with the 60-minute median up-time
+  /// it cites from Saroiu et al. [19].
+  double mean_lifetime = minutes(60.0);
+  /// Paper: "the value of the variance is chosen to be half of the value
+  /// of the mean" — var = mean/2 in minutes^2, scaled here to seconds^2.
+  double lifetime_variance = 30.0 * kMinute * kMinute;
+  double mean_offline = minutes(20.0);  ///< offline gap before rejoining
+  std::size_t rejoin_links = 3;         ///< links established on (re)join
+  double pareto_shape = 1.5;
+};
+
+/// Samples lifetimes/offline gaps per the configured distribution.
+class ChurnModel {
+ public:
+  explicit ChurnModel(const ChurnConfig& config) : config_(config) {}
+
+  const ChurnConfig& config() const noexcept { return config_; }
+
+  double sample_lifetime(util::Rng& rng) const noexcept;
+  double sample_offline(util::Rng& rng) const noexcept;
+
+  /// Wire a (re)joining peer into the graph: `rejoin_links` edges to
+  /// degree-preferential active targets. Returns edges actually added.
+  std::size_t connect_joining_peer(topology::Graph& g, PeerId peer,
+                                   util::Rng& rng) const;
+
+ private:
+  ChurnConfig config_;
+};
+
+}  // namespace ddp::workload

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file content.hpp
+/// Content and replication model for the search workload.
+///
+/// The paper drives its simulation from a 2-day KaZaA trace [20] and the
+/// Gnutella query-popularity study [16]; we substitute a parametric model
+/// with the same structure: a catalogue of objects whose popularity is
+/// Zipf-distributed, replicated across peers proportionally to popularity
+/// (popular content is fetched more, hence stored more — the classic
+/// square-root/proportional replication observed in deployed systems).
+///
+/// Peer->object placement is a deterministic hash so both engines agree on
+/// who stores what without materializing per-peer lists for 2,000 peers x
+/// 10,000 objects.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "util/zipf.hpp"
+
+namespace ddp::workload {
+
+using ObjectId = std::uint32_t;
+
+struct ContentConfig {
+  std::size_t objects = 10000;        ///< catalogue size
+  double popularity_theta = 0.8;      ///< Zipf exponent of query popularity
+  double mean_replicas = 20.0;        ///< average replicas per object
+  double replication_skew = 0.7;      ///< replicas_o proportional to pmf^skew
+  std::uint64_t placement_seed = 1;   ///< keys the peer->object hash
+};
+
+class ContentModel {
+ public:
+  ContentModel(const ContentConfig& config, std::size_t peer_count);
+
+  std::size_t objects() const noexcept { return replication_.size(); }
+  std::size_t peers() const noexcept { return peer_count_; }
+
+  /// Draw the target object of a new query (Zipf by popularity).
+  ObjectId sample_query_object(util::Rng& rng) const noexcept;
+
+  /// Deterministic membership: does peer p store object o?
+  bool peer_has(PeerId p, ObjectId o) const noexcept;
+
+  /// Fraction of peers storing object o.
+  double replication_ratio(ObjectId o) const noexcept;
+
+  /// Expected number of replicas of o across the population.
+  double expected_replicas(ObjectId o) const noexcept;
+
+  /// P(at least one replica among n distinct peers drawn at random) —
+  /// the flow engine's success model for a flood that reached n peers.
+  double hit_probability(ObjectId o, double peers_reached) const noexcept;
+
+  /// Average hit probability for a random query reaching n peers
+  /// (popularity-weighted over the catalogue; precomputed).
+  double average_hit_probability(double peers_reached) const noexcept;
+
+  /// Number of objects stored by p (diagnostics; O(objects)).
+  std::size_t shared_count(PeerId p) const noexcept;
+
+ private:
+  std::size_t peer_count_;
+  std::uint64_t seed_;
+  util::ZipfSampler popularity_;
+  std::vector<double> replication_;  ///< per-object replica ratio in [0,1]
+  // Precomputed popularity-weighted hit probability on a log-spaced grid of
+  // reach values; average_hit_probability() interpolates linearly.
+  std::vector<double> grid_n_;
+  std::vector<double> grid_p_;
+};
+
+}  // namespace ddp::workload

@@ -1,0 +1,105 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace ddp::workload {
+
+TraceGenerator::TraceGenerator(const TraceConfig& config)
+    : config_(config), popularity_(config.vocabulary, config.popularity_theta) {}
+
+std::string TraceGenerator::query_string(std::size_t rank) {
+  // Deterministic pseudo-keywords: a short head token plus the rank, so
+  // popular queries are shorter (mirroring real traces where popular
+  // searches are terse) and the mean length lands near the trace's ~9 B.
+  static const char* heads[] = {"mp3", "avi", "dvd", "live", "mix",
+                                "the", "best", "new", "hot", "top"};
+  std::string s = heads[rank % 10];
+  s += ' ';
+  s += std::to_string(rank);
+  return s;
+}
+
+std::vector<TraceRecord> TraceGenerator::generate(std::size_t count,
+                                                  util::Rng& rng) const {
+  std::vector<TraceRecord> out;
+  out.reserve(count);
+  double t = 0.0;
+  const double mean_gap = 1.0 / config_.queries_per_second;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.exponential(mean_gap);
+    if (t > config_.duration_seconds) break;
+    TraceRecord rec;
+    rec.timestamp = t;
+    rec.query = query_string(popularity_.sample(rng));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& records) {
+  for (const auto& r : records) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", r.timestamp);
+    os << buf << '\t' << r.query << '\n';
+  }
+}
+
+std::vector<TraceRecord> read_trace(std::istream& is) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  std::size_t bad = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0) {
+      ++bad;
+      continue;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double ts = std::strtod(line.c_str(), &end);
+    if (end != line.c_str() + tab || errno != 0) {
+      ++bad;
+      continue;
+    }
+    out.push_back(TraceRecord{ts, line.substr(tab + 1)});
+  }
+  if (bad > 0) {
+    util::log_warn("read_trace: skipped " + std::to_string(bad) + " malformed lines");
+  }
+  return out;
+}
+
+TraceStats analyze_trace(const std::vector<TraceRecord>& records) {
+  TraceStats stats;
+  stats.records = records.size();
+  if (records.empty()) return stats;
+  std::map<std::string, std::size_t> freq;
+  double bytes = 0.0;
+  for (const auto& r : records) {
+    ++freq[r.query];
+    bytes += static_cast<double>(r.query.size());
+  }
+  stats.unique_queries = freq.size();
+  stats.duration_seconds = records.back().timestamp - records.front().timestamp;
+  stats.mean_query_bytes = bytes / static_cast<double>(records.size());
+  std::vector<std::size_t> counts;
+  counts.reserve(freq.size());
+  for (const auto& [q, c] : freq) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  std::size_t top = 0;
+  for (std::size_t i = 0; i < counts.size() && i < 10; ++i) top += counts[i];
+  stats.top10_share = static_cast<double>(top) / static_cast<double>(records.size());
+  return stats;
+}
+
+}  // namespace ddp::workload

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file trace.hpp
+/// Synthetic Gnutella query-trace generation and replay.
+///
+/// Sec. 2.3 of the paper builds a traffic-monitoring super-node with a
+/// modified LimeWire client and logs 13,075,339 queries (112 MB) in 24
+/// hours; its DDoS-agent prototype then *replays* that log as fast as it
+/// can. We cannot capture a live Gnutella network, so TraceGenerator
+/// synthesizes a trace with the published shape: Poisson arrivals at a
+/// configurable aggregate rate, query strings drawn Zipf-by-popularity
+/// from a keyword catalogue ([16] reports strong popularity skew), and an
+/// average wire size matching the 112 MB / 13M ~ 9-byte search strings.
+///
+/// The trace is a plain text format, one record per line:
+///   <timestamp-seconds>\t<query string>
+/// so the example tooling can inspect it with standard UNIX tools.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace ddp::workload {
+
+struct TraceRecord {
+  double timestamp = 0.0;  ///< seconds since trace start
+  std::string query;
+};
+
+struct TraceConfig {
+  double duration_seconds = 24.0 * 3600.0;  ///< paper: 24 h capture
+  double queries_per_second = 151.3;        ///< paper: 13,075,339 / 24 h
+  std::size_t vocabulary = 50000;           ///< distinct query strings
+  double popularity_theta = 0.9;            ///< Zipf exponent of [16]
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(const TraceConfig& config);
+
+  /// Generate `count` records (timestamps follow a Poisson process scaled
+  /// to the configured rate; generation stops at whichever of count /
+  /// duration is hit first).
+  std::vector<TraceRecord> generate(std::size_t count, util::Rng& rng) const;
+
+  /// Render the deterministic query string of a popularity rank.
+  static std::string query_string(std::size_t rank);
+
+ private:
+  TraceConfig config_;
+  util::ZipfSampler popularity_;
+};
+
+/// Serialize records to the text trace format.
+void write_trace(std::ostream& os, const std::vector<TraceRecord>& records);
+
+/// Parse a text trace; malformed lines are skipped with a warning.
+std::vector<TraceRecord> read_trace(std::istream& is);
+
+/// Summary statistics the trace tooling prints (and tests assert).
+struct TraceStats {
+  std::size_t records = 0;
+  std::size_t unique_queries = 0;
+  double duration_seconds = 0.0;
+  double mean_query_bytes = 0.0;
+  /// Fraction of records covered by the 10 most popular strings.
+  double top10_share = 0.0;
+};
+
+TraceStats analyze_trace(const std::vector<TraceRecord>& records);
+
+}  // namespace ddp::workload

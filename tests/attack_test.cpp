@@ -1,0 +1,123 @@
+// Attack substrate tests: campaign orchestration, agent selection, rejoin
+// behaviour and strategy plumbing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "attack/scenario.hpp"
+#include "topology/generators.hpp"
+
+namespace ddp::attack {
+namespace {
+
+struct World {
+  topology::Graph graph;
+  std::unique_ptr<topology::BandwidthMap> bandwidth;
+  std::unique_ptr<workload::ContentModel> content;
+  std::unique_ptr<flow::FlowNetwork> net;
+
+  explicit World(std::size_t peers, std::uint64_t seed = 1) {
+    util::Rng rng(seed);
+    graph = topology::paper_topology(peers, rng);
+    util::Rng bw_rng = rng.fork("bw");
+    bandwidth = std::make_unique<topology::BandwidthMap>(peers, bw_rng);
+    workload::ContentConfig cc;
+    content = std::make_unique<workload::ContentModel>(cc, peers);
+    flow::FlowConfig fc;
+    fc.bandwidth_limits = false;
+    net = std::make_unique<flow::FlowNetwork>(graph, *bandwidth, *content, fc,
+                                              rng.fork("flow"));
+  }
+};
+
+TEST(AttackScenario, StartsAtConfiguredMinute) {
+  World w(100);
+  AttackConfig cfg;
+  cfg.agents = 10;
+  cfg.start_minute = 3.0;
+  AttackScenario atk(*w.net, cfg, util::Rng(2));
+  w.net->add_minute_hook([&](double m) { atk.on_minute(m); });
+  w.net->run_minutes(2.0);
+  EXPECT_FALSE(atk.started());
+  EXPECT_DOUBLE_EQ(w.net->last_minute_report().attack_issued, 0.0);
+  w.net->run_minutes(3.0);
+  EXPECT_TRUE(atk.started());
+  EXPECT_GT(w.net->last_minute_report().attack_issued, 0.0);
+}
+
+TEST(AttackScenario, PicksDistinctActiveAgents) {
+  World w(100);
+  AttackConfig cfg;
+  cfg.agents = 25;
+  cfg.start_minute = 0.0;
+  AttackScenario atk(*w.net, cfg, util::Rng(3));
+  atk.on_minute(0.0);
+  ASSERT_EQ(atk.agents().size(), 25u);
+  std::set<PeerId> uniq(atk.agents().begin(), atk.agents().end());
+  EXPECT_EQ(uniq.size(), 25u);
+  for (PeerId a : atk.agents()) {
+    EXPECT_TRUE(atk.is_agent(a));
+    EXPECT_EQ(w.net->kind(a), PeerKind::kBad);
+  }
+  EXPECT_FALSE(atk.is_agent(kInvalidPeer));
+}
+
+TEST(AttackScenario, NoRejoinKeepsIsolatedAgentsOut) {
+  World w(60);
+  AttackConfig cfg;
+  cfg.agents = 1;
+  cfg.start_minute = 0.0;
+  cfg.rejoin = false;
+  AttackScenario atk(*w.net, cfg, util::Rng(4));
+  w.net->add_minute_hook([&](double m) { atk.on_minute(m); });
+  w.net->run_minutes(1.0);
+  const PeerId agent = atk.agents()[0];
+  w.net->on_peer_offline(agent);  // simulate the defense isolating it
+  w.net->run_minutes(6.0);
+  EXPECT_EQ(w.net->graph().degree(agent), 0u);
+  EXPECT_EQ(atk.rejoins(), 0u);
+}
+
+TEST(AttackScenario, RejoinReconnectsAfterGap) {
+  World w(60);
+  AttackConfig cfg;
+  cfg.agents = 1;
+  cfg.start_minute = 0.0;
+  cfg.rejoin = true;
+  cfg.rejoin_after_minutes = 2.0;
+  cfg.rejoin_links = 3;
+  AttackScenario atk(*w.net, cfg, util::Rng(5));
+  w.net->add_minute_hook([&](double m) { atk.on_minute(m); });
+  w.net->run_minutes(1.0);
+  const PeerId agent = atk.agents()[0];
+  w.net->on_peer_offline(agent);
+  w.net->run_minutes(6.0);
+  EXPECT_GE(w.net->graph().degree(agent), 1u);
+  EXPECT_EQ(atk.rejoins(), 1u);
+}
+
+TEST(AttackScenario, StrategyNames) {
+  EXPECT_EQ(report_strategy_name(ReportStrategy::kHonest), "honest");
+  EXPECT_EQ(report_strategy_name(ReportStrategy::kDeflate), "deflate");
+  EXPECT_EQ(report_strategy_name(ReportStrategy::kInflate), "inflate");
+  EXPECT_EQ(report_strategy_name(ReportStrategy::kMute), "mute");
+  EXPECT_EQ(list_strategy_name(ListStrategy::kFabricate), "fabricate");
+  EXPECT_EQ(list_strategy_name(ListStrategy::kWithhold), "withhold");
+  EXPECT_EQ(list_strategy_name(ListStrategy::kHonest), "honest");
+}
+
+TEST(AttackScenario, MoreAgentsThanPeersClamped) {
+  World w(10);
+  AttackConfig cfg;
+  cfg.agents = 50;
+  cfg.start_minute = 0.0;
+  AttackScenario atk(*w.net, cfg, util::Rng(6));
+  atk.on_minute(0.0);
+  EXPECT_LE(atk.agents().size(), 10u);
+  EXPECT_GE(atk.agents().size(), 9u);
+}
+
+}  // namespace
+}  // namespace ddp::attack

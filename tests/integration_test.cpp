@@ -1,0 +1,295 @@
+// End-to-end integration tests: whole scaled-down experiments asserting the
+// paper-shape properties every figure depends on. These run the same code
+// paths as the bench binaries, at sizes that keep ctest fast.
+
+#include <gtest/gtest.h>
+
+#include "experiments/extensions.hpp"
+#include "experiments/figures.hpp"
+#include "experiments/scenario.hpp"
+#include "metrics/damage.hpp"
+
+namespace ddp::experiments {
+namespace {
+
+Scale tiny_scale() {
+  Scale s;
+  s.peers = 200;
+  s.total_minutes = 14.0;
+  s.attack_start = 3.0;
+  s.warmup_minutes = 6.0;
+  s.trials = 1;
+  s.agent_counts = {0, 5, 20};
+  return s;
+}
+
+TEST(Scenario, BaselineOverlayIsHealthy) {
+  ScenarioConfig cfg = paper_scenario(200, 0, defense::Kind::kNone, 1);
+  cfg.total_minutes = 10.0;
+  const auto r = run_baseline(cfg);
+  EXPECT_GT(r.summary.avg_success_rate, 0.7);
+  EXPECT_GT(r.summary.avg_traffic_per_minute, 0.0);
+  EXPECT_GT(r.final_active_peers, 100.0);
+  EXPECT_TRUE(r.decisions.empty());
+  EXPECT_EQ(r.errors.false_judgment, 0u);
+}
+
+TEST(Scenario, AttackDegradesService) {
+  ScenarioConfig base = paper_scenario(200, 0, defense::Kind::kNone, 2);
+  base.total_minutes = 12.0;
+  base.attack.start_minute = 3.0;
+  const auto healthy = run_baseline(base);
+  ScenarioConfig atk = paper_scenario(200, 15, defense::Kind::kNone, 2);
+  atk.total_minutes = 12.0;
+  atk.attack.start_minute = 3.0;
+  atk.warmup_minutes = 4.0;
+  const auto attacked = run_scenario(atk);
+  EXPECT_LT(attacked.summary.avg_success_rate,
+            healthy.summary.avg_success_rate - 0.1);
+  EXPECT_GT(attacked.summary.avg_traffic_per_minute,
+            healthy.summary.avg_traffic_per_minute * 2.0);
+  EXPECT_GT(attacked.summary.avg_response_time,
+            healthy.summary.avg_response_time);
+}
+
+TEST(Scenario, DdPoliceRestoresService) {
+  const std::uint64_t seed = 3;
+  ScenarioConfig base = paper_scenario(250, 0, defense::Kind::kNone, seed);
+  base.total_minutes = 16.0;
+  const auto healthy = run_baseline(base);
+
+  ScenarioConfig none = paper_scenario(250, 15, defense::Kind::kNone, seed);
+  none.total_minutes = 16.0;
+  none.attack.start_minute = 3.0;
+  ScenarioConfig ddp = none;
+  ddp.defense = defense::Kind::kDdPolice;
+
+  const auto r_none = run_scenario(none);
+  const auto r_ddp = run_scenario(ddp);
+
+  const auto dmg_none = metrics::analyze_damage(
+      r_none.history, healthy.summary.avg_success_rate, 3.0);
+  const auto dmg_ddp = metrics::analyze_damage(
+      r_ddp.history, healthy.summary.avg_success_rate, 3.0);
+
+  // DD-POLICE ends much closer to healthy than the undefended run.
+  EXPECT_LT(dmg_ddp.stabilized_damage, dmg_none.stabilized_damage * 0.6);
+  // And it identified most agents.
+  EXPECT_LT(r_ddp.errors.false_positive, 15u / 3);
+  EXPECT_GT(r_ddp.errors.bad_cut_events, 0u);
+}
+
+TEST(Scenario, DdPoliceOverheadIsModest) {
+  ScenarioConfig cfg = paper_scenario(200, 0, defense::Kind::kDdPolice, 4);
+  cfg.total_minutes = 10.0;
+  const auto with = run_scenario(cfg);
+  ScenarioConfig cfg2 = paper_scenario(200, 0, defense::Kind::kNone, 4);
+  cfg2.total_minutes = 10.0;
+  const auto without = run_scenario(cfg2);
+  // "slightly higher average traffic cost" (Sec. 3.7.2) — the protocol
+  // overhead exists but is small relative to search traffic.
+  EXPECT_GT(with.summary.avg_overhead_per_minute, 0.0);
+  EXPECT_LT(with.summary.avg_overhead_per_minute,
+            without.summary.avg_traffic_per_minute * 0.25);
+}
+
+TEST(Figures, AgentSweepPaperShape) {
+  const auto rows = run_agent_sweep(tiny_scale(), 5);
+  ASSERT_EQ(rows.size(), 3u);
+  // Traffic under attack grows with agent count (Fig. 9's no-defense curve)
+  EXPECT_GT(rows[2].traffic_none, rows[0].traffic_none * 1.5);
+  // Success under attack decays with agent count (Fig. 11).
+  EXPECT_LT(rows[2].success_none, rows[0].success_none);
+  // DD-POLICE sits between no-defense and no-attack at high agent counts.
+  EXPECT_GT(rows[2].success_ddp, rows[2].success_none);
+  // Tables render one line per row plus headers.
+  EXPECT_EQ(fig9_traffic_table(rows).rows(), 3u);
+  EXPECT_EQ(fig10_response_table(rows).rows(), 3u);
+  EXPECT_EQ(fig11_success_table(rows).rows(), 3u);
+}
+
+TEST(Figures, DamageTimelinesShape) {
+  Scale s = tiny_scale();
+  s.total_minutes = 12.0;
+  const auto tl = run_damage_timelines(s, {3.0, 7.0}, 15, 6);
+  ASSERT_EQ(tl.series.size(), 3u);  // no-defense + two CTs
+  ASSERT_FALSE(tl.minutes.empty());
+  const auto& none = tl.series.at("no DD-POLICE");
+  const auto& ct3 = tl.series.at("DD-POLICE-3");
+  ASSERT_EQ(none.size(), tl.minutes.size());
+  // Attack bites after the start minute in the undefended series.
+  double peak_none = 0.0, late_ct3 = 0.0, late_none = 0.0;
+  for (std::size_t i = 0; i < tl.minutes.size(); ++i) {
+    peak_none = std::max(peak_none, none[i]);
+    if (tl.minutes[i] >= s.total_minutes - 3.0) {
+      late_ct3 = std::max(late_ct3, ct3[i]);
+      late_none = std::max(late_none, none[i]);
+    }
+  }
+  EXPECT_GT(peak_none, 15.0);
+  // DD-POLICE's late damage is below the undefended late damage.
+  EXPECT_LT(late_ct3, late_none);
+  EXPECT_EQ(fig12_damage_table(tl).rows(), tl.minutes.size());
+}
+
+TEST(Figures, CtSweepErrorTrends) {
+  Scale s = tiny_scale();
+  const auto rows = run_ct_sweep(s, {2.0, 30.0}, 15, 7);
+  ASSERT_EQ(rows.size(), 2u);
+  // Fig. 13: a laxer threshold wrongly cuts fewer good peers...
+  EXPECT_LE(rows[1].false_negative, rows[0].false_negative);
+  // ...and the tables render.
+  EXPECT_EQ(fig13_errors_table(rows).rows(), 2u);
+  EXPECT_EQ(fig14_recovery_table(rows).rows(), 2u);
+}
+
+TEST(Figures, ExchangeFrequencyStudyRuns) {
+  Scale s = tiny_scale();
+  s.total_minutes = 10.0;
+  const auto rows = run_exchange_frequency_study(s, {1.0, 5.0}, true, 10, 8);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].policy, "periodic s=1");
+  EXPECT_EQ(rows[2].policy, "event-driven");
+  // More frequent exchange costs more messages (Sec. 3.7.1's tradeoff).
+  EXPECT_GT(rows[0].exchange_msgs_per_minute,
+            rows[1].exchange_msgs_per_minute);
+  EXPECT_EQ(exchange_frequency_table(rows).rows(), 3u);
+}
+
+TEST(Figures, CheatAblationCoversAllCases) {
+  Scale s = tiny_scale();
+  s.total_minutes = 10.0;
+  const auto rows = run_cheat_ablation(s, 10, 9);
+  ASSERT_EQ(rows.size(), 6u);
+  // Sec. 3.4's conclusion: cheating does not save the attackers — they are
+  // identified under every reporting strategy.
+  for (const auto& r : rows) {
+    EXPECT_GT(r.bad_identified_pct, 50.0) << r.report << "/" << r.list;
+  }
+  EXPECT_EQ(cheat_table(rows).rows(), 6u);
+}
+
+TEST(Figures, RadiusAblationRuns) {
+  Scale s = tiny_scale();
+  s.total_minutes = 10.0;
+  const auto rows = run_radius_ablation(s, 10, 10);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(radius_table(rows).rows(), 4u);
+  // r = 2 with deflating agents wrongly cuts no more good peers than r = 1.
+  double r1_deflate = -1.0, r2_deflate = -1.0;
+  for (const auto& r : rows) {
+    if (r.report == "deflate") {
+      (r.radius == 1 ? r1_deflate : r2_deflate) = r.false_negative;
+    }
+  }
+  EXPECT_LE(r2_deflate, r1_deflate + 0.5);
+}
+
+TEST(Figures, DefaultScaleHonorsEnvironment) {
+  unsetenv("DDP_FULL");
+  unsetenv("DDP_TRIALS");
+  const Scale lap = default_scale();
+  EXPECT_EQ(lap.peers, 600u);
+  setenv("DDP_FULL", "1", 1);
+  setenv("DDP_TRIALS", "5", 1);
+  const Scale full = default_scale();
+  EXPECT_EQ(full.peers, 2000u);
+  EXPECT_EQ(full.trials, 5u);
+  unsetenv("DDP_FULL");
+  unsetenv("DDP_TRIALS");
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  ScenarioConfig cfg = paper_scenario(150, 10, defense::Kind::kDdPolice, 11);
+  cfg.total_minutes = 8.0;
+  const auto a = run_scenario(cfg);
+  const auto b = run_scenario(cfg);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.history[i].traffic_messages,
+                     b.history[i].traffic_messages);
+    EXPECT_DOUBLE_EQ(a.history[i].success_rate, b.history[i].success_rate);
+  }
+  EXPECT_EQ(a.decisions.size(), b.decisions.size());
+}
+
+TEST(Extensions, DefenseComparisonShape) {
+  Scale s = tiny_scale();
+  s.total_minutes = 12.0;
+  const auto rows = run_defense_comparison(s, 12, 21);
+  ASSERT_EQ(rows.size(), 5u);
+  const auto& healthy = rows[0];
+  const auto& none = rows[1];
+  const auto& naive = rows[2];
+  const auto& ddp = rows[4];
+  EXPECT_GT(healthy.success_pct, none.success_pct);
+  // DD-POLICE restores more service than no defense.
+  EXPECT_GT(ddp.success_pct, none.success_pct);
+  // The strawman wrongly cuts more good peers than DD-POLICE.
+  EXPECT_GE(naive.false_negative, ddp.false_negative);
+  EXPECT_GT(ddp.bad_identified_pct, 50.0);
+  EXPECT_EQ(defense_table(rows).rows(), 5u);
+}
+
+TEST(Extensions, TopologyAblationRuns) {
+  Scale s = tiny_scale();
+  s.total_minutes = 10.0;
+  const auto rows = run_topology_ablation(s, 10, 22);
+  ASSERT_EQ(rows.size(), 4u);  // BA, Waxman, ER, two-tier
+  for (const auto& r : rows) {
+    EXPECT_GT(r.baseline_success_pct, 50.0) << r.model;
+    EXPECT_GE(r.defended_success_pct, r.attacked_success_pct - 5.0) << r.model;
+  }
+  EXPECT_EQ(topology_table(rows).rows(), 4u);
+}
+
+TEST(Extensions, ChurnAblationShape) {
+  Scale s = tiny_scale();
+  s.total_minutes = 10.0;
+  const auto rows = run_churn_ablation(s, 10, 23);
+  ASSERT_EQ(rows.size(), 5u);
+  // A static overlay wrongly cuts (essentially) nobody; fast churn is the
+  // staleness worst case.
+  EXPECT_LE(rows[0].false_negative, 1.0);
+  EXPECT_GE(rows[2].false_negative, rows[0].false_negative);
+  EXPECT_EQ(churn_table(rows).rows(), 5u);
+}
+
+TEST(Extensions, RejoinStudyShape) {
+  Scale s = tiny_scale();
+  s.total_minutes = 12.0;
+  const auto rows = run_rejoin_study(s, 10, 24);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(rows[0].attack_rejoins, 0.0);  // one-shot
+  // Persistent attackers force continued disconnect work.
+  EXPECT_GE(rows[3].bad_cut_events, rows[0].bad_cut_events);
+  EXPECT_EQ(rejoin_table(rows).rows(), 4u);
+}
+
+TEST(Extensions, AttackRateDetectabilityCliff) {
+  Scale s = tiny_scale();
+  s.total_minutes = 10.0;
+  const auto rows = run_attack_rate_sweep(s, 10, 25);
+  ASSERT_EQ(rows.size(), 7u);
+  // Below the 500/min warning threshold nothing is suspected...
+  EXPECT_LT(rows[0].bad_identified_pct, 30.0);
+  // ...well above it, identification is near-total.
+  EXPECT_GT(rows.back().bad_identified_pct, 70.0);
+  EXPECT_EQ(attack_rate_table(rows).rows(), 7u);
+}
+
+TEST(Scenario, NaiveCutHurtsMoreGoodPeersThanDdPolice) {
+  const std::uint64_t seed = 12;
+  ScenarioConfig naive = paper_scenario(250, 10, defense::Kind::kNaiveCut, seed);
+  naive.total_minutes = 12.0;
+  ScenarioConfig ddp = paper_scenario(250, 10, defense::Kind::kDdPolice, seed);
+  ddp.total_minutes = 12.0;
+  const auto r_naive = run_scenario(naive);
+  const auto r_ddp = run_scenario(ddp);
+  // The Sec. 2.1 argument: blind rate cutting wrongly disconnects the
+  // forwarders; DD-POLICE's buddy groups exonerate them.
+  EXPECT_GT(r_naive.errors.false_negative, r_ddp.errors.false_negative);
+}
+
+}  // namespace
+}  // namespace ddp::experiments

@@ -1,0 +1,143 @@
+// Metrics pipeline tests: the paper's error taxonomy (with its swapped
+// naming), the damage-rate series with the 20% -> 15% recovery rule, and
+// run summaries.
+
+#include <gtest/gtest.h>
+
+#include "metrics/damage.hpp"
+#include "metrics/errors.hpp"
+#include "metrics/summary.hpp"
+
+namespace ddp::metrics {
+namespace {
+
+core::Decision cut(double minute, PeerId judge, PeerId suspect) {
+  core::Decision d;
+  d.minute = minute;
+  d.judge = judge;
+  d.suspect = suspect;
+  return d;
+}
+
+TEST(Errors, PaperNamingSemantics) {
+  // Peers 0,1 bad; 2,3,4 good. Decisions: 0 cut twice, 2 wrongly cut; 1
+  // never identified.
+  std::vector<char> is_bad{1, 1, 0, 0, 0};
+  std::vector<core::Decision> ds{cut(6, 9, 0), cut(7, 8, 0), cut(6, 9, 2)};
+  const auto t = tally_errors(ds, is_bad, 5.0);
+  EXPECT_EQ(t.false_negative, 1u);  // good peer 2 wrongly cut
+  EXPECT_EQ(t.false_positive, 1u);  // bad peer 1 never identified
+  EXPECT_EQ(t.false_judgment, 2u);
+  EXPECT_EQ(t.bad_cut_events, 2u);
+  EXPECT_EQ(t.good_cut_events, 1u);
+  EXPECT_DOUBLE_EQ(t.mean_detection_minute, 1.0);  // 6 - 5
+}
+
+TEST(Errors, DistinctGoodPeersCountedOnce) {
+  std::vector<char> is_bad{0, 0};
+  std::vector<core::Decision> ds{cut(1, 1, 0), cut(2, 1, 0), cut(3, 1, 0)};
+  const auto t = tally_errors(ds, is_bad, 0.0);
+  EXPECT_EQ(t.false_negative, 1u);
+  EXPECT_EQ(t.good_cut_events, 3u);
+}
+
+TEST(Errors, NoDecisionsAllBadMissed) {
+  std::vector<char> is_bad{1, 1, 0};
+  const auto t = tally_errors({}, is_bad, 0.0);
+  EXPECT_EQ(t.false_positive, 2u);
+  EXPECT_EQ(t.false_negative, 0u);
+  EXPECT_DOUBLE_EQ(t.mean_detection_minute, -1.0);
+}
+
+TEST(Errors, OutOfRangeSuspectIgnored) {
+  std::vector<char> is_bad{1};
+  std::vector<core::Decision> ds{cut(1, 0, 57)};
+  const auto t = tally_errors(ds, is_bad, 0.0);
+  EXPECT_EQ(t.false_negative, 0u);
+  EXPECT_EQ(t.false_positive, 1u);
+}
+
+flow::MinuteReport report(double minute, double success) {
+  flow::MinuteReport r;
+  r.minute = minute;
+  r.success_rate = success;
+  return r;
+}
+
+TEST(Damage, SeriesAndRecoveryRule) {
+  // Baseline 1.0; success dips to 0.5 (D=50%) then recovers through 0.8
+  // (D=20%) to 0.9 (D=10%).
+  std::vector<flow::MinuteReport> h{
+      report(1, 1.0), report(2, 0.5),  report(3, 0.6),
+      report(4, 0.8), report(5, 0.84), report(6, 0.9),
+  };
+  const auto a = analyze_damage(h, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.peak_damage, 50.0);
+  EXPECT_DOUBLE_EQ(a.onset_minute, 2.0);
+  // D <= 15% first at minute 6 (16% at minute 5 is above target).
+  EXPECT_DOUBLE_EQ(a.recovery_minutes, 4.0);
+}
+
+TEST(Damage, NeverRecovered) {
+  std::vector<flow::MinuteReport> h{report(1, 0.4), report(2, 0.5)};
+  const auto a = analyze_damage(h, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.onset_minute, 1.0);
+  EXPECT_DOUBLE_EQ(a.recovery_minutes, -1.0);
+  EXPECT_GT(a.stabilized_damage, 40.0);
+}
+
+TEST(Damage, NoOnsetMeansNoRecoveryMeasured) {
+  std::vector<flow::MinuteReport> h{report(1, 0.95), report(2, 0.92)};
+  const auto a = analyze_damage(h, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.onset_minute, -1.0);
+  EXPECT_DOUBLE_EQ(a.recovery_minutes, -1.0);
+}
+
+TEST(Damage, WarmupSkipped) {
+  std::vector<flow::MinuteReport> h{report(1, 0.1), report(5, 0.9)};
+  const auto a = analyze_damage(h, 1.0, 3.0);
+  EXPECT_EQ(a.damage.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.peak_damage, 10.0);
+}
+
+TEST(Damage, ZeroBaselineYieldsEmpty) {
+  std::vector<flow::MinuteReport> h{report(1, 0.4)};
+  const auto a = analyze_damage(h, 0.0, 0.0);
+  EXPECT_TRUE(a.damage.empty());
+}
+
+TEST(Damage, BetterThanBaselineClampsToZero) {
+  std::vector<flow::MinuteReport> h{report(1, 1.2)};
+  const auto a = analyze_damage(h, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.peak_damage, 0.0);
+}
+
+TEST(Summary, AveragesSkipWarmup) {
+  std::vector<flow::MinuteReport> h;
+  for (int m = 1; m <= 10; ++m) {
+    flow::MinuteReport r;
+    r.minute = m;
+    r.traffic_messages = m <= 5 ? 1000.0 : 2000.0;
+    r.overhead_messages = 10.0;
+    r.success_rate = 0.5;
+    r.response_time = 1.0;
+    r.dropped = 7.0;
+    r.reach_per_query = 100.0;
+    h.push_back(r);
+  }
+  const auto s = summarize(h, 6.0);
+  EXPECT_DOUBLE_EQ(s.minutes_measured, 5.0);
+  EXPECT_DOUBLE_EQ(s.avg_traffic_per_minute, 2010.0);  // includes overhead
+  EXPECT_DOUBLE_EQ(s.avg_overhead_per_minute, 10.0);
+  EXPECT_DOUBLE_EQ(s.avg_success_rate, 0.5);
+  EXPECT_DOUBLE_EQ(s.avg_drop_per_minute, 7.0);
+}
+
+TEST(Summary, EmptyHistory) {
+  const auto s = summarize({}, 0.0);
+  EXPECT_DOUBLE_EQ(s.minutes_measured, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_success_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace ddp::metrics

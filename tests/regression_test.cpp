@@ -1,0 +1,157 @@
+// Regression tests: each of these pins a bug found (and fixed) during
+// development, so the failure mode stays dead.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/scenario.hpp"
+#include "core/ddpolice.hpp"
+#include "core/flow_port.hpp"
+#include "flow/network.hpp"
+#include "topology/generators.hpp"
+
+namespace ddp {
+namespace {
+
+struct MiniWorld {
+  topology::Graph graph;
+  std::unique_ptr<topology::BandwidthMap> bandwidth;
+  std::unique_ptr<workload::ContentModel> content;
+  std::unique_ptr<flow::FlowNetwork> net;
+
+  explicit MiniWorld(topology::Graph g, std::uint64_t seed = 7)
+      : graph(std::move(g)) {
+    util::Rng rng(seed);
+    util::Rng bw_rng = rng.fork("bw");
+    bandwidth = std::make_unique<topology::BandwidthMap>(graph.node_count(),
+                                                         bw_rng);
+    workload::ContentConfig cc;
+    content = std::make_unique<workload::ContentModel>(cc, graph.node_count());
+    flow::FlowConfig fc;
+    fc.bandwidth_limits = false;
+    net = std::make_unique<flow::FlowNetwork>(graph, *bandwidth, *content, fc,
+                                              rng.fork("flow"));
+  }
+};
+
+// Bug: AttackScenario::start() rejection-sampled forever once every active
+// peer was already an agent (agents >= population).
+TEST(Regression, AgentSelectionTerminatesWhenOverSubscribed) {
+  MiniWorld w(topology::paper_topology(12, *std::make_unique<util::Rng>(1)));
+  attack::AttackConfig cfg;
+  cfg.agents = 500;  // far more than 12 peers
+  cfg.start_minute = 0.0;
+  attack::AttackScenario atk(*w.net, cfg, util::Rng(2));
+  atk.on_minute(0.0);  // must return, not spin
+  EXPECT_LE(atk.agents().size(), 12u);
+  EXPECT_GE(atk.agents().size(), 11u);
+}
+
+// Bug: Graph::add_edge silently attached edges to deactivated peers,
+// breaking the "offline peers hold no connections" invariant.
+TEST(Regression, EdgesCannotAttachToInactivePeers) {
+  topology::Graph g(3);
+  g.set_active(1, false);
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 2));
+  EXPECT_TRUE(g.add_edge(0, 2));
+  g.set_active(1, true);
+  EXPECT_TRUE(g.add_edge(0, 1));
+}
+
+// Bug: disconnect() erased the per-link minute counters, so a buddy-group
+// round later in the same minute could no longer see the traffic of a
+// member that had just been cut — good forwarders lost their alibi.
+TEST(Regression, GhostCountersKeepAlibiWithinTheMinute) {
+  topology::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  MiniWorld w(std::move(g));
+  w.net->set_kind(0, PeerKind::kBad);
+  w.net->run_minutes(2.0);
+  const double alibi = w.net->sent_last_minute(0, 1);
+  ASSERT_GT(alibi, 1000.0);
+  w.net->disconnect(0, 1);
+  EXPECT_DOUBLE_EQ(w.net->sent_last_minute(0, 1), alibi);
+}
+
+// Bug: detection applied disconnects while later rounds of the same minute
+// were still running, so outcomes depended on hash-map iteration order and
+// the r=2 cross-check could find the colluder already isolated. All rounds
+// of one minute must see the same topology; the fix defers disconnects.
+TEST(Regression, SameMinuteRoundsSeeConsistentTopology) {
+  // Star victim m(1) fed by agent(0); judges 2..4; agent has witness 5.
+  topology::Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(1, 4);
+  g.add_edge(0, 5);
+  MiniWorld w(std::move(g), 33);
+  core::FlowPort port(*w.net);
+  core::DdPoliceConfig cfg;
+  cfg.buddy_radius = 2;
+  core::DdPolice police(port, cfg, util::Rng(3));
+  w.net->add_minute_hook([&](double m) { police.on_minute(m); });
+  w.net->set_kind(0, PeerKind::kBad);
+  police.set_report_policy(
+      [](PeerId reporter, PeerId, const core::TrafficTruth& t)
+          -> std::optional<core::TrafficTruth> {
+        if (reporter == 0) {
+          core::TrafficTruth lie = t;
+          lie.out_to_suspect *= 0.02;  // Sec. 3.4 Case 2 deflation
+          return lie;
+        }
+        return t;
+      });
+  w.net->run_minutes(3.0);
+  for (const auto& d : police.decisions()) {
+    if (d.judge != 0) {
+      EXPECT_EQ(d.suspect, 0u)
+          << "honest judge " << d.judge << " wrongly cut " << d.suspect;
+    }
+  }
+}
+
+// Bug: the flow engine's mean-field forwarding over-branched at hubs (a
+// hub receives many copies of a flood but is fresh only once), inflating
+// reach beyond the population size.
+TEST(Regression, FlowReachNeverExceedsPopulation) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    util::Rng rng(seed);
+    MiniWorld w(topology::paper_topology(150, rng), seed);
+    w.net->run_minutes(3.0);
+    EXPECT_LE(w.net->last_minute_report().reach_per_query, 150.0)
+        << "seed " << seed;
+  }
+}
+
+// Bug: a judge whose believed buddy group was just itself (k = 1) convicted
+// forwarders on their raw rate — the naive strawman in disguise.
+TEST(Regression, LoneJudgeCannotConvict) {
+  // Line: issuer-ish heavy peer 0 -> relay 1 -> judge 2, where the judge
+  // never learns 1's neighbour list (verification off, no exchange yet at
+  // minute 1, snapshot withheld via list policy returning empty).
+  topology::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  MiniWorld w(std::move(g), 44);
+  core::FlowPort port(*w.net);
+  core::DdPoliceConfig cfg;
+  cfg.verify_neighbor_lists = false;  // an empty claim would otherwise trip it
+  core::DdPolice police(port, cfg, util::Rng(4));
+  police.set_list_policy([](PeerId owner, std::vector<PeerId> truth) {
+    if (owner == 1) truth.clear();  // nobody learns 1's buddies
+    return truth;
+  });
+  w.net->add_minute_hook([&](double m) { police.on_minute(m); });
+  w.net->set_kind(0, PeerKind::kBad);  // 1 relays 0's flood toward 2
+  w.net->run_minutes(3.0);
+  for (const auto& d : police.decisions()) {
+    EXPECT_NE(d.suspect, 1u) << "lone judge convicted the relay";
+  }
+}
+
+}  // namespace
+}  // namespace ddp

@@ -1,0 +1,190 @@
+// Discrete-event engine tests: ordering, deterministic tie-breaking,
+// cancellation, periodic tasks and horizon semantics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace ddp::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.events_executed(), 3u);
+}
+
+TEST(Engine, FifoTieBreakAtEqualTimes) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ClockAdvancesWithEvents) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule_at(7.5, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_DOUBLE_EQ(e.now(), 7.5);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule_at(10.0, [&] {
+    e.schedule_in(5.0, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 15.0);
+}
+
+TEST(Engine, PastTimesClampToNow) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule_at(10.0, [&] {
+    e.schedule_at(2.0, [&] { seen = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // idempotent
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.events_executed(), 0u);
+}
+
+TEST(Engine, CancelUnknownIdIsFalse) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(9999));
+}
+
+TEST(Engine, RunUntilHorizonInclusive) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule_at(1.0, [&] { times.push_back(1.0); });
+  e.schedule_at(2.0, [&] { times.push_back(2.0); });
+  e.schedule_at(2.0001, [&] { times.push_back(2.0001); });
+  e.run_until(2.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  e.run_until(3.0);
+  EXPECT_EQ(times.size(), 3u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine e;
+  e.run_until(42.0);
+  EXPECT_DOUBLE_EQ(e.now(), 42.0);
+}
+
+TEST(Engine, PeriodicFiresRepeatedly) {
+  Engine e;
+  int fires = 0;
+  e.schedule_every(2.0, [&] { ++fires; });
+  e.run_until(9.0);  // fires at 2,4,6,8
+  EXPECT_EQ(fires, 4);
+}
+
+TEST(Engine, PeriodicWithPhase) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule_every(3.0, [&] { times.push_back(e.now()); }, 0.5);
+  e.run_until(7.0);  // 0.5, 3.5, 6.5
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 0.5);
+  EXPECT_DOUBLE_EQ(times[2], 6.5);
+}
+
+TEST(Engine, PeriodicCanCancelItself) {
+  Engine e;
+  int fires = 0;
+  EventId id = 0;
+  id = e.schedule_every(1.0, [&] {
+    if (++fires == 3) e.cancel(id);
+  });
+  e.run_until(100.0);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Engine, CancelPeriodicExternally) {
+  Engine e;
+  int fires = 0;
+  const EventId id = e.schedule_every(1.0, [&] { ++fires; });
+  e.run_until(2.5);
+  EXPECT_EQ(fires, 2);
+  EXPECT_TRUE(e.cancel(id));
+  e.run_until(10.0);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] {
+    ++count;
+    e.stop();
+  });
+  e.schedule_at(2.0, [&] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 1);
+  // A later run resumes with the remaining events.
+  e.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, CallbacksMayScheduleCascades) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) e.schedule_in(1.0, recurse);
+  };
+  e.schedule_at(0.0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_DOUBLE_EQ(e.now(), 49.0);
+}
+
+TEST(Engine, PendingCount) {
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine e;
+  std::vector<double> times;
+  // Insert in a scrambled order; execution must be sorted.
+  for (int i = 0; i < 2000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    e.schedule_at(t, [&times, t] { times.push_back(t); });
+  }
+  e.run();
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_EQ(times.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace ddp::sim

@@ -1,0 +1,283 @@
+// Workload substrate tests: the Zipf content/replication model, the
+// synthetic trace generator (the stand-in for the paper's 24 h Gnutella
+// capture) and the churn model's lifetime distributions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "topology/generators.hpp"
+#include "util/stats.hpp"
+#include "workload/churn.hpp"
+#include "workload/content.hpp"
+#include "workload/trace.hpp"
+
+namespace ddp::workload {
+namespace {
+
+// -------------------------------------------------------------- content
+
+TEST(Content, PlacementIsDeterministic) {
+  ContentConfig cfg;
+  cfg.objects = 500;
+  const ContentModel a(cfg, 1000), b(cfg, 1000);
+  for (ObjectId o = 0; o < 100; ++o) {
+    EXPECT_EQ(a.peer_has(7, o), b.peer_has(7, o));
+  }
+}
+
+TEST(Content, ReplicationMatchesConfiguredMean) {
+  ContentConfig cfg;
+  cfg.objects = 2000;
+  cfg.mean_replicas = 20.0;
+  const ContentModel m(cfg, 1000);
+  double total = 0.0;
+  for (ObjectId o = 0; o < 2000; ++o) total += m.expected_replicas(o);
+  EXPECT_NEAR(total / 2000.0, 20.0, 1.0);
+}
+
+TEST(Content, PopularObjectsMoreReplicated) {
+  ContentConfig cfg;
+  cfg.objects = 1000;
+  const ContentModel m(cfg, 2000);
+  EXPECT_GT(m.replication_ratio(0), m.replication_ratio(500));
+  EXPECT_GT(m.replication_ratio(500), 0.0);
+}
+
+TEST(Content, EmpiricalPlacementMatchesRatio) {
+  ContentConfig cfg;
+  cfg.objects = 50;
+  cfg.mean_replicas = 100.0;
+  const ContentModel m(cfg, 5000);
+  for (ObjectId o : {ObjectId{0}, ObjectId{10}, ObjectId{49}}) {
+    std::size_t count = 0;
+    for (PeerId p = 0; p < 5000; ++p) count += m.peer_has(p, o);
+    const double expected = m.replication_ratio(o) * 5000.0;
+    EXPECT_NEAR(static_cast<double>(count), expected,
+                4.0 * std::sqrt(expected + 1.0));
+  }
+}
+
+TEST(Content, HitProbabilityMonotoneInReach) {
+  ContentConfig cfg;
+  const ContentModel m(cfg, 2000);
+  double prev = -1.0;
+  for (double reach : {0.0, 10.0, 100.0, 500.0, 1900.0}) {
+    const double p = m.average_hit_probability(reach);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(m.average_hit_probability(0.0), 0.0);
+}
+
+TEST(Content, PerObjectHitProbability) {
+  ContentConfig cfg;
+  cfg.objects = 100;
+  const ContentModel m(cfg, 1000);
+  EXPECT_DOUBLE_EQ(m.hit_probability(0, 0.0), 0.0);
+  EXPECT_GT(m.hit_probability(0, 500.0), m.hit_probability(99, 500.0));
+  EXPECT_DOUBLE_EQ(m.hit_probability(9999, 500.0), 0.0);  // unknown object
+}
+
+TEST(Content, AverageHitInterpolationStaysInBounds) {
+  ContentConfig cfg;
+  const ContentModel m(cfg, 300);
+  for (double reach = 0.0; reach <= 400.0; reach += 7.3) {
+    const double p = m.average_hit_probability(reach);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Content, QueryObjectsFollowPopularity) {
+  ContentConfig cfg;
+  cfg.objects = 100;
+  cfg.popularity_theta = 1.0;
+  const ContentModel m(cfg, 100);
+  util::Rng rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[m.sample_query_object(rng)];
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[0], 50000 / 100);
+}
+
+TEST(Content, SharedCountReasonable) {
+  ContentConfig cfg;
+  cfg.objects = 1000;
+  cfg.mean_replicas = 50.0;
+  const ContentModel m(cfg, 1000);
+  // Expected objects per peer = objects * mean_replicas / peers = 50.
+  util::StreamingStats s;
+  for (PeerId p = 0; p < 50; ++p) {
+    s.add(static_cast<double>(m.shared_count(p)));
+  }
+  EXPECT_NEAR(s.mean(), 50.0, 10.0);
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(Trace, GeneratesRequestedCount) {
+  TraceConfig cfg;
+  cfg.queries_per_second = 100.0;
+  TraceGenerator gen(cfg);
+  util::Rng rng(6);
+  const auto recs = gen.generate(5000, rng);
+  EXPECT_EQ(recs.size(), 5000u);
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i].timestamp, recs[i - 1].timestamp);
+  }
+}
+
+TEST(Trace, RespectsDurationBound) {
+  TraceConfig cfg;
+  cfg.duration_seconds = 10.0;
+  cfg.queries_per_second = 1.0;
+  TraceGenerator gen(cfg);
+  util::Rng rng(7);
+  const auto recs = gen.generate(100000, rng);
+  EXPECT_LT(recs.size(), 40u);  // ~10 expected, strongly bounded
+  for (const auto& r : recs) EXPECT_LE(r.timestamp, 10.0);
+}
+
+TEST(Trace, WriteReadRoundTrip) {
+  TraceConfig cfg;
+  TraceGenerator gen(cfg);
+  util::Rng rng(8);
+  const auto recs = gen.generate(200, rng);
+  std::stringstream ss;
+  write_trace(ss, recs);
+  const auto back = read_trace(ss);
+  ASSERT_EQ(back.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_NEAR(back[i].timestamp, recs[i].timestamp, 0.001);
+    EXPECT_EQ(back[i].query, recs[i].query);
+  }
+}
+
+TEST(Trace, MalformedLinesSkipped) {
+  std::stringstream ss;
+  ss << "1.5\tgood query\n"
+     << "no tab here\n"
+     << "abc\talso bad timestamp\n"
+     << "\n"
+     << "2.5\tanother good\n";
+  const auto recs = read_trace(ss);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].query, "good query");
+  EXPECT_EQ(recs[1].query, "another good");
+}
+
+TEST(Trace, StatsShowPopularitySkew) {
+  TraceConfig cfg;
+  cfg.vocabulary = 10000;
+  cfg.popularity_theta = 0.9;
+  TraceGenerator gen(cfg);
+  util::Rng rng(9);
+  const auto recs = gen.generate(20000, rng);
+  const auto stats = analyze_trace(recs);
+  EXPECT_EQ(stats.records, recs.size());
+  EXPECT_GT(stats.unique_queries, 100u);
+  EXPECT_LT(stats.unique_queries, recs.size());
+  // Zipf 0.9: the top-10 strings carry far more than the uniform share.
+  EXPECT_GT(stats.top10_share, 10.0 * 10 / 10000.0);
+  // Query strings average near the trace's ~9 bytes (112 MB / 13M).
+  EXPECT_GT(stats.mean_query_bytes, 4.0);
+  EXPECT_LT(stats.mean_query_bytes, 14.0);
+}
+
+TEST(Trace, EmptyStats) {
+  const auto stats = analyze_trace({});
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_EQ(stats.unique_queries, 0u);
+}
+
+// ---------------------------------------------------------------- churn
+
+TEST(Churn, LognormalMatchesPaperMoments) {
+  ChurnConfig cfg;  // defaults: mean 60 min, var 30 min^2 (in seconds)
+  ChurnModel m(cfg);
+  util::Rng rng(10);
+  util::StreamingStats s;
+  for (int i = 0; i < 100000; ++i) s.add(m.sample_lifetime(rng));
+  EXPECT_NEAR(s.mean(), cfg.mean_lifetime, cfg.mean_lifetime * 0.02);
+  EXPECT_NEAR(s.variance(), cfg.lifetime_variance, cfg.lifetime_variance * 0.1);
+}
+
+TEST(Churn, ExponentialMeanMatches) {
+  ChurnConfig cfg;
+  cfg.distribution = LifetimeDistribution::kExponential;
+  cfg.mean_lifetime = 600.0;
+  ChurnModel m(cfg);
+  util::Rng rng(11);
+  util::StreamingStats s;
+  for (int i = 0; i < 100000; ++i) s.add(m.sample_lifetime(rng));
+  EXPECT_NEAR(s.mean(), 600.0, 15.0);
+}
+
+TEST(Churn, ParetoMeanMatches) {
+  ChurnConfig cfg;
+  cfg.distribution = LifetimeDistribution::kPareto;
+  cfg.mean_lifetime = 600.0;
+  cfg.pareto_shape = 2.5;
+  ChurnModel m(cfg);
+  util::Rng rng(12);
+  util::StreamingStats s;
+  for (int i = 0; i < 200000; ++i) s.add(m.sample_lifetime(rng));
+  EXPECT_NEAR(s.mean(), 600.0, 30.0);
+}
+
+TEST(Churn, LifetimesArePositive) {
+  for (auto dist : {LifetimeDistribution::kLognormal,
+                    LifetimeDistribution::kExponential,
+                    LifetimeDistribution::kPareto}) {
+    ChurnConfig cfg;
+    cfg.distribution = dist;
+    ChurnModel m(cfg);
+    util::Rng rng(13);
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(m.sample_lifetime(rng), 1.0);
+  }
+}
+
+TEST(Churn, OfflineGapPositiveWithConfiguredMean) {
+  ChurnConfig cfg;
+  cfg.mean_offline = 300.0;
+  ChurnModel m(cfg);
+  util::Rng rng(14);
+  util::StreamingStats s;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = m.sample_offline(rng);
+    EXPECT_GE(v, 1.0);
+    s.add(v);
+  }
+  EXPECT_NEAR(s.mean(), 300.0, 10.0);
+}
+
+TEST(Churn, ConnectJoiningPeerAddsLinks) {
+  util::Rng rng(15);
+  topology::Graph g = topology::paper_topology(100, rng);
+  const PeerId joiner = g.add_node();
+  ChurnConfig cfg;
+  cfg.rejoin_links = 3;
+  ChurnModel m(cfg);
+  const std::size_t added = m.connect_joining_peer(g, joiner, rng);
+  EXPECT_EQ(added, 3u);
+  EXPECT_EQ(g.degree(joiner), 3u);
+  for (PeerId n : g.neighbors(joiner)) EXPECT_NE(n, joiner);
+}
+
+TEST(Churn, ConnectJoiningPeerHandlesTinyOverlay) {
+  topology::Graph g(2);
+  util::Rng rng(16);
+  ChurnConfig cfg;
+  cfg.rejoin_links = 3;
+  ChurnModel m(cfg);
+  const std::size_t added = m.connect_joining_peer(g, 0, rng);
+  EXPECT_EQ(added, 1u);  // only one possible partner
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+}  // namespace
+}  // namespace ddp::workload
