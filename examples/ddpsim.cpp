@@ -16,6 +16,10 @@
 //   cheat[honest]        honest | inflate | deflate | mute
 //   lists[honest]        honest | fabricate | withhold
 //   rejoin[0] churn[on] lifetime_min[60] attack_rate[20000]
+//   loss[0] dup[0] corrupt[0] delay[0] jitter[0]   control-channel faults
+//   crash[0] stall[0] stall_s[90] slow[0]          peer faults (per minute)
+//   data_faults[0]       also degrade the query data plane
+//   retries[2] timeout[5] retry/collect-timeout knobs of the hardened plane
 //   csv[-]               write the series to this file
 
 #include <cstdio>
@@ -80,6 +84,22 @@ int main(int argc, char** argv) {
   cfg.churn.mean_lifetime = minutes(life);
   cfg.churn.lifetime_variance = life / 2.0 * kMinute * kMinute;
 
+  // Fault injection (all zero by default -> no fault plane is built).
+  cfg.fault.channel.drop_probability = opts.get("loss", 0.0);
+  cfg.fault.channel.duplicate_probability = opts.get("dup", 0.0);
+  cfg.fault.channel.corrupt_probability = opts.get("corrupt", 0.0);
+  cfg.fault.channel.base_delay_seconds = opts.get("delay", 0.0);
+  cfg.fault.channel.delay_jitter_seconds = opts.get("jitter", 0.0);
+  cfg.fault.peer.crash_probability_per_minute = opts.get("crash", 0.0);
+  cfg.fault.peer.stall_probability_per_minute = opts.get("stall", 0.0);
+  cfg.fault.peer.stall_duration_seconds = opts.get("stall_s", 90.0);
+  cfg.fault.peer.slow_peer_fraction = opts.get("slow", 0.0);
+  cfg.fault.data_plane = opts.get("data_faults", false);
+  cfg.ddpolice.max_report_retries =
+      static_cast<int>(opts.get("retries", std::int64_t{2}));
+  cfg.ddpolice.max_exchange_retries = cfg.ddpolice.max_report_retries;
+  cfg.ddpolice.collect_timeout_seconds = opts.get("timeout", 5.0);
+
   std::printf("ddpsim: %zu peers (%s), %zu agents, defense=%s, %s\n",
               cfg.topo.nodes, topo.c_str(), cfg.attack.agents, def.c_str(),
               opts.summary().c_str());
@@ -110,6 +130,17 @@ int main(int argc, char** argv) {
               r.summary.avg_success_rate * 100.0, s0 * 100.0,
               dmg.stabilized_damage, r.errors.false_negative,
               r.errors.false_positive);
+  if (cfg.fault.any()) {
+    std::printf("faults: %llu timeouts, %llu retries, %llu late, %llu corrupt "
+                "rejected; %zu crashed, %zu stalls; channel %llu/%llu dropped\n",
+                static_cast<unsigned long long>(r.fault_control.timeouts),
+                static_cast<unsigned long long>(r.fault_control.retries),
+                static_cast<unsigned long long>(r.fault_control.late_replies),
+                static_cast<unsigned long long>(r.fault_control.corrupt_rejects),
+                r.fault_crashes, r.fault_stalls,
+                static_cast<unsigned long long>(r.fault_channel.dropped),
+                static_cast<unsigned long long>(r.fault_channel.transfers));
+  }
 
   const std::string csv = opts.get("csv", std::string("-"));
   if (csv != "-") {

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Configure, build and run the test suite under ASan + UBSan.
+#
+#   scripts/sanitize.sh             # full suite
+#   scripts/sanitize.sh net_fuzz    # only tests matching the regex
+#
+# Uses the asan-ubsan preset from CMakePresets.json (build-asan/). Any
+# sanitizer report is fatal (-fno-sanitize-recover=all), so a green run
+# means no leaks, overflows or UB were observed on the exercised paths.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc 2>/dev/null || echo 4)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+if [ "$#" -gt 0 ]; then
+  ctest --preset asan-ubsan -R "$1"
+else
+  ctest --preset asan-ubsan
+fi

@@ -61,6 +61,24 @@ struct DdPoliceConfig {
 
   /// Periodic keep-alive pings among BG members (overhead accounting).
   double ping_period_minutes = 1.0;
+
+  // ---- Control-plane robustness under unreliable transport (src/fault) ----
+  // These only matter when a fault::FaultPlane with non-zero probabilities
+  // is attached; on a perfect transport the hardened request loop is
+  // bypassed entirely.
+
+  /// Re-sends of a Neighbor_Traffic request after the first attempt fails
+  /// (drop, corrupt reply, late reply, unresponsive member). Only after the
+  /// last retry does Sec. 3.4's count-as-zero rule apply.
+  int max_report_retries = 2;
+
+  /// Re-sends of an unacknowledged Neighbor_List advertisement. Exhausted
+  /// retries leave the receiver with its stale snapshot.
+  int max_exchange_retries = 2;
+
+  /// Exponential backoff between retries: retry k waits
+  /// retry_backoff_base_seconds * 2^(k-1) seconds before re-sending.
+  double retry_backoff_base_seconds = 2.0;
 };
 
 }  // namespace ddp::core

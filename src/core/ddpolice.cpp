@@ -1,11 +1,27 @@
 #include "core/ddpolice.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <unordered_set>
 
+#include "net/message.hpp"
 #include "util/log.hpp"
 
 namespace ddp::core {
+
+namespace {
+
+/// The wire format carries per-minute counters as u32 (Table 1); quantize
+/// the engine's double-valued truth the way a real servent would.
+std::uint32_t quantize_counter(double v) noexcept {
+  if (!(v > 0.0)) return 0;
+  constexpr double kMax = static_cast<double>(std::numeric_limits<std::uint32_t>::max());
+  return v >= kMax ? std::numeric_limits<std::uint32_t>::max()
+                   : static_cast<std::uint32_t>(std::llround(v));
+}
+
+}  // namespace
 
 DdPolice::DdPolice(OverlayPort& port, const DdPoliceConfig& config, util::Rng rng)
     : port_(port), config_(config), rng_(rng) {
@@ -18,6 +34,11 @@ DdPolice::DdPolice(OverlayPort& port, const DdPoliceConfig& config, util::Rng rn
     next_exchange_minute_[p] =
         rng_.uniform() * std::max(config_.exchange_period_minutes, 1e-6);
   }
+}
+
+const fault::ControlCounters& DdPolice::control_stats() const noexcept {
+  static const fault::ControlCounters kZero{};
+  return fault_ != nullptr ? fault_->control() : kZero;
 }
 
 std::vector<PeerId> DdPolice::snapshot_of(PeerId holder, PeerId about) const {
@@ -86,15 +107,75 @@ std::vector<PeerId> DdPolice::advertised_list(PeerId p) const {
   return list_policy_ ? list_policy_(p, truth) : truth;
 }
 
+bool DdPolice::deliver_list_over_faulty_transport(
+    PeerId sender, std::vector<PeerId>& advertised) {
+  auto& ch = fault_->channel();
+  auto& ctr = fault_->control();
+  // A crashed or stalled sender advertises nothing at all.
+  if (!fault_->peers().is_responsive(sender)) return false;
+  const int attempts = 1 + std::max(0, config_.max_exchange_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++ctr.retries;
+      ctr.backoff_seconds_total += config_.retry_backoff_base_seconds *
+                                   static_cast<double>(1 << (attempt - 1));
+    }
+    ++exchange_messages_;
+    port_.report_overhead(1.0);
+    const fault::Transfer t = ch.transfer();
+    if (!t.delivered) continue;  // no ack will come; retry after backoff
+    // The advertisement crosses the wire as a real Neighbor_List message;
+    // the receiver decodes (and validates) what actually arrived.
+    net::Message m;
+    m.header.type = net::PayloadType::kNeighborList;
+    net::NeighborList nl;
+    nl.entries.reserve(advertised.size());
+    for (PeerId id : advertised) nl.entries.push_back({id, 6346});
+    m.payload = std::move(nl);
+    std::vector<std::uint8_t> bytes = net::encode(m);
+    if (t.corrupted) ch.corrupt(bytes);
+    const auto decoded = net::decode(bytes);
+    if (!decoded || decoded->type() != net::PayloadType::kNeighborList) {
+      ++ctr.corrupt_rejects;  // receiver discards garbage, sends no ack
+      continue;
+    }
+    std::vector<PeerId> received;
+    bool valid = true;
+    for (const auto& e : std::get<net::NeighborList>(decoded->payload).entries) {
+      if (e.ip >= port_.graph().node_count()) {
+        valid = false;  // structured reject: entry names a nonexistent peer
+        break;
+      }
+      received.push_back(static_cast<PeerId>(e.ip));
+    }
+    if (!valid) {
+      ++ctr.corrupt_rejects;
+      continue;
+    }
+    // Ack leg: a lost ack only causes a redundant (idempotent) re-send, so
+    // first successful delivery wins. Entries whose bit flips survived
+    // validation arrive silently altered — exactly the hazard the
+    // consistency check downstream has to absorb.
+    advertised = std::move(received);
+    return true;
+  }
+  ++ctr.timeouts;  // receiver keeps its stale snapshot
+  return false;
+}
+
 void DdPolice::advertise_to(PeerId p, PeerId receiver, double minute) {
   const auto& g = port_.graph();
-  const std::vector<PeerId> advertised = advertised_list(p);
+  std::vector<PeerId> advertised = advertised_list(p);
+  if (transport_faulty()) {
+    if (!deliver_list_over_faulty_transport(p, advertised)) return;
+  } else {
+    ++exchange_messages_;
+    port_.report_overhead(1.0);
+  }
   auto& snap = snapshots_[pair_key(receiver, p)];
   snap.prev_members = std::move(snap.members);
   snap.members = advertised;
   snap.minute = minute;
-  ++exchange_messages_;
-  port_.report_overhead(1.0);
 
   if (!config_.verify_neighbor_lists) return;
   // Consistency check (Sec. 3.1). Fabricated entries: the receiver
@@ -194,26 +275,96 @@ std::vector<PeerId> DdPolice::believed_group(PeerId judge, PeerId suspect) const
   return group;
 }
 
-MemberReport DdPolice::collect_report(PeerId member, PeerId suspect) const {
+MemberReport DdPolice::collect_report(PeerId member, PeerId suspect,
+                                      double minute) {
   const auto& g = port_.graph();
   MemberReport r;
   r.member = member;
-  if (member >= g.node_count() || !g.is_active(member)) {
-    r.responded = false;  // timeout: counters stay zero (Sec. 3.4)
-    return r;
+  const bool reachable = member < g.node_count() && g.is_active(member);
+  std::optional<TrafficTruth> answer;
+  if (reachable) {
+    TrafficTruth truth;
+    truth.out_to_suspect = port_.sent_last_minute(member, suspect);
+    truth.in_from_suspect = port_.sent_last_minute(suspect, member);
+    answer = report_policy_ ? report_policy_(member, suspect, truth)
+                            : std::optional<TrafficTruth>(truth);
   }
-  TrafficTruth truth;
-  truth.out_to_suspect = port_.sent_last_minute(member, suspect);
-  truth.in_from_suspect = port_.sent_last_minute(suspect, member);
-  std::optional<TrafficTruth> answer =
-      report_policy_ ? report_policy_(member, suspect, truth)
-                     : std::optional<TrafficTruth>(truth);
-  if (!answer) {
-    r.responded = false;
+  if (transport_faulty()) {
+    // The judge cannot tell a dead member from a mute one or a lossy link:
+    // every silent request runs the full timeout/retry loop.
+    return collect_over_faulty_transport(member, suspect, answer, minute);
+  }
+  if (!reachable || !answer) {
+    r.responded = false;  // timeout: counters stay zero (Sec. 3.4)
     return r;
   }
   r.out_to_suspect = answer->out_to_suspect;
   r.in_from_suspect = answer->in_from_suspect;
+  return r;
+}
+
+MemberReport DdPolice::collect_over_faulty_transport(
+    PeerId member, PeerId suspect, const std::optional<TrafficTruth>& answer,
+    double minute) {
+  auto& ch = fault_->channel();
+  auto& ctr = fault_->control();
+  MemberReport r;
+  r.member = member;
+  r.responded = false;
+  const int attempts = 1 + std::max(0, config_.max_report_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++ctr.retries;
+      ctr.backoff_seconds_total += config_.retry_backoff_base_seconds *
+                                   static_cast<double>(1 << (attempt - 1));
+      ++traffic_messages_;  // the re-sent request
+      port_.report_overhead(1.0);
+    }
+    // Request leg.
+    const fault::Transfer req = ch.transfer();
+    if (!req.delivered) continue;
+    // The member must be up, awake and willing (ReportPolicy) to answer.
+    if (!answer || !fault_->peers().is_responsive(member)) continue;
+    // Response leg: the reply crosses the wire as a real Neighbor_Traffic
+    // message (Table 1) and is decoded from whatever bytes arrive.
+    const fault::Transfer resp = ch.transfer();
+    if (!resp.delivered) continue;
+    net::Message m;
+    m.header.type = net::PayloadType::kNeighborTraffic;
+    net::NeighborTraffic nt;
+    nt.source_ip = member;
+    nt.suspect_ip = suspect;
+    nt.timestamp = static_cast<std::uint32_t>(minute * kMinute);
+    nt.outgoing_queries = quantize_counter(answer->out_to_suspect);
+    nt.incoming_queries = quantize_counter(answer->in_from_suspect);
+    m.payload = nt;
+    std::vector<std::uint8_t> bytes = net::encode(m);
+    if (resp.corrupted) ch.corrupt(bytes);
+    const auto decoded = net::decode(bytes);
+    if (!decoded || decoded->type() != net::PayloadType::kNeighborTraffic) {
+      ++ctr.corrupt_rejects;
+      continue;
+    }
+    const auto& got = std::get<net::NeighborTraffic>(decoded->payload);
+    if (got.source_ip != member || got.suspect_ip != suspect) {
+      // Structured validation: identity fields altered in flight.
+      ++ctr.corrupt_rejects;
+      continue;
+    }
+    // Round trip: request + reply latency, the latter scaled by the
+    // member's processing speed (slow peers answer late).
+    const double rtt =
+        req.delay + resp.delay * fault_->peers().latency_factor(member);
+    if (rtt > config_.collect_timeout_seconds) {
+      ++ctr.late_replies;
+      continue;
+    }
+    r.out_to_suspect = got.outgoing_queries;
+    r.in_from_suspect = got.incoming_queries;
+    r.responded = true;
+    return r;
+  }
+  ++ctr.timeouts;  // retries exhausted: count-as-zero (Sec. 3.4)
   return r;
 }
 
@@ -245,7 +396,7 @@ void DdPolice::run_round(PeerId suspect, const std::vector<PeerId>& judges,
                                           port_.sent_last_minute(judge, suspect),
                                           port_.sent_last_minute(suspect, judge),
                                           true}
-                           : collect_report(m, suspect);
+                           : collect_report(m, suspect, minute);
       reports.push_back(r);
     }
 

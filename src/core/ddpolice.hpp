@@ -31,6 +31,7 @@
 #include "core/config.hpp"
 #include "core/indicators.hpp"
 #include "core/overlay_port.hpp"
+#include "fault/plane.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -74,6 +75,19 @@ class DdPolice {
   void set_report_policy(ReportPolicy policy) { report_policy_ = std::move(policy); }
   void set_list_policy(ListPolicy policy) { list_policy_ = std::move(policy); }
 
+  /// Attach a fault plane: control messages then traverse its
+  /// UnreliableChannel as real encoded wire bytes (lost, delayed,
+  /// duplicated or corrupted per its config), peers it reports crashed or
+  /// stalled stop answering, and each request runs the per-request
+  /// timeout + bounded-retry + exponential-backoff loop before falling
+  /// back to Sec. 3.4's count-as-zero rule. Null (the default) or a plane
+  /// with all probabilities zero keeps the exact fault-free code path, so
+  /// decisions stay bit-identical to an unfaulted run.
+  void set_fault_plane(fault::FaultPlane* plane) noexcept { fault_ = plane; }
+
+  /// Timeout/retry/corrupt-reject counters (zeros without a fault plane).
+  const fault::ControlCounters& control_stats() const noexcept;
+
   /// Run one protocol step; call at every completed simulated minute.
   void on_minute(double minute);
 
@@ -107,13 +121,23 @@ class DdPolice {
   void run_round(PeerId suspect, const std::vector<PeerId>& judges,
                  double minute);
   std::vector<PeerId> believed_group(PeerId judge, PeerId suspect) const;
-  MemberReport collect_report(PeerId member, PeerId suspect) const;
+  MemberReport collect_report(PeerId member, PeerId suspect, double minute);
+  /// True when a fault plane with non-zero fault rates is attached.
+  bool transport_faulty() const noexcept {
+    return fault_ != nullptr && fault_->control_active();
+  }
+  MemberReport collect_over_faulty_transport(
+      PeerId member, PeerId suspect,
+      const std::optional<TrafficTruth>& answer, double minute);
+  bool deliver_list_over_faulty_transport(PeerId sender,
+                                          std::vector<PeerId>& advertised);
 
   OverlayPort& port_;
   DdPoliceConfig config_;
   util::Rng rng_;
   ReportPolicy report_policy_;
   ListPolicy list_policy_;
+  fault::FaultPlane* fault_ = nullptr;
 
   std::unordered_map<std::uint64_t, Snapshot> snapshots_;
   std::vector<std::pair<PeerId, PeerId>> pending_disconnects_;

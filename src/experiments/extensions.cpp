@@ -23,7 +23,8 @@ ScenarioConfig scaled(const Scale& scale, std::size_t agents,
 
 std::vector<DefenseRow> run_defense_comparison(const Scale& scale,
                                                std::size_t agents,
-                                               std::uint64_t seed) {
+                                               std::uint64_t seed,
+                                               const fault::FaultConfig& fault) {
   std::vector<DefenseRow> rows;
 
   struct Case {
@@ -45,9 +46,9 @@ std::vector<DefenseRow> run_defense_comparison(const Scale& scale,
     for (std::uint32_t t = 0; t < scale.trials; ++t) {
       const std::uint64_t s = seed + 1000003ULL * t;
       const auto base = run_baseline(scaled(scale, 0, defense::Kind::kNone, s));
-      const auto r = c.attack == 0
-                         ? base
-                         : run_scenario(scaled(scale, c.attack, c.kind, s));
+      ScenarioConfig cfg = scaled(scale, c.attack, c.kind, s);
+      cfg.fault = fault;
+      const auto r = c.attack == 0 ? base : run_scenario(cfg);
       row.success_pct += r.summary.avg_success_rate * 100.0;
       row.response_s += r.summary.avg_response_time;
       row.traffic_per_minute += r.summary.avg_traffic_per_minute;
@@ -60,6 +61,11 @@ std::vector<DefenseRow> run_defense_comparison(const Scale& scale,
       const auto dmg = metrics::analyze_damage(
           r.history, base.summary.avg_success_rate, scale.attack_start);
       row.stabilized_damage += dmg.stabilized_damage;
+      row.fault_timeouts += r.summary.fault_timeouts;
+      row.fault_retries += r.summary.fault_retries;
+      row.fault_corrupt_rejects += r.summary.fault_corrupt_rejects;
+      row.fault_crashed += r.summary.fault_crashed;
+      row.fault_stalled += r.summary.fault_stalled;
     }
     const double d = static_cast<double>(scale.trials);
     row.success_pct /= d;
@@ -68,6 +74,11 @@ std::vector<DefenseRow> run_defense_comparison(const Scale& scale,
     row.false_negative /= d;
     row.bad_identified_pct /= d;
     row.stabilized_damage /= d;
+    row.fault_timeouts /= d;
+    row.fault_retries /= d;
+    row.fault_corrupt_rejects /= d;
+    row.fault_crashed /= d;
+    row.fault_stalled /= d;
     rows.push_back(row);
     util::log_info("defense comparison: " + row.defense + " done");
   }
@@ -75,9 +86,13 @@ std::vector<DefenseRow> run_defense_comparison(const Scale& scale,
 }
 
 util::Table defense_table(const std::vector<DefenseRow>& rows) {
+  // The original seven columns keep their exact headers and order;
+  // fault-injection tallies are appended as trailing columns (all zero on
+  // fault-free runs) so existing consumers keep parsing by position.
   util::Table t({"defense", "success(%)", "response(s)", "traffic/min",
                  "good_wrongly_cut", "bad_identified(%)",
-                 "stabilized_damage(%)"});
+                 "stabilized_damage(%)", "timeouts", "retries",
+                 "corrupt_rejects", "crashed", "stalled"});
   for (const auto& r : rows) {
     t.row()
         .cell(r.defense)
@@ -86,7 +101,103 @@ util::Table defense_table(const std::vector<DefenseRow>& rows) {
         .cell(r.traffic_per_minute, 0)
         .cell(r.false_negative, 1)
         .cell(r.bad_identified_pct, 1)
-        .cell(r.stabilized_damage, 1);
+        .cell(r.stabilized_damage, 1)
+        .cell(r.fault_timeouts, 1)
+        .cell(r.fault_retries, 1)
+        .cell(r.fault_corrupt_rejects, 1)
+        .cell(r.fault_crashed, 1)
+        .cell(r.fault_stalled, 1);
+  }
+  return t;
+}
+
+// ======================================================== fault ablation
+
+std::vector<FaultRow> run_fault_ablation(const Scale& scale,
+                                         std::size_t agents,
+                                         std::uint64_t seed,
+                                         const std::vector<double>& losses,
+                                         const std::vector<double>& jitters) {
+  std::vector<FaultRow> rows;
+  for (double jitter : jitters) {
+    for (double loss : losses) {
+      FaultRow row;
+      row.loss = loss;
+      row.jitter_s = jitter;
+      double rec_sum = 0.0;
+      std::uint32_t rec_n = 0;
+      for (std::uint32_t t = 0; t < scale.trials; ++t) {
+        const std::uint64_t s = seed + 1000003ULL * t;
+        const auto base =
+            run_baseline(scaled(scale, 0, defense::Kind::kNone, s));
+        ScenarioConfig cfg = scaled(scale, agents, defense::Kind::kDdPolice, s);
+        cfg.fault.channel.drop_probability = loss;
+        cfg.fault.channel.corrupt_probability = loss / 4.0;
+        cfg.fault.channel.delay_jitter_seconds = jitter;
+        const auto r = run_scenario(cfg);
+        row.success_pct += r.summary.avg_success_rate * 100.0;
+        row.response_s += r.summary.avg_response_time;
+        row.false_negative += static_cast<double>(r.errors.false_negative);
+        row.false_positive += static_cast<double>(r.errors.false_positive);
+        const auto dmg = metrics::analyze_damage(
+            r.history, base.summary.avg_success_rate, scale.attack_start);
+        row.stabilized_damage += dmg.stabilized_damage;
+        if (dmg.recovery_minutes >= 0.0) {
+          rec_sum += dmg.recovery_minutes;
+          ++rec_n;
+        }
+        row.timeouts += r.summary.fault_timeouts;
+        row.retries += r.summary.fault_retries;
+        row.late_replies += r.summary.fault_late_replies;
+        row.corrupt_rejects += r.summary.fault_corrupt_rejects;
+        row.crashed += r.summary.fault_crashed;
+        row.stalled += r.summary.fault_stalled;
+      }
+      const double d = static_cast<double>(scale.trials);
+      row.success_pct /= d;
+      row.response_s /= d;
+      row.false_negative /= d;
+      row.false_positive /= d;
+      row.false_judgment = row.false_negative + row.false_positive;
+      row.stabilized_damage /= d;
+      row.recovery_minutes = rec_n > 0 ? rec_sum / rec_n : -1.0;
+      row.timeouts /= d;
+      row.retries /= d;
+      row.late_replies /= d;
+      row.corrupt_rejects /= d;
+      row.crashed /= d;
+      row.stalled /= d;
+      rows.push_back(row);
+      util::log_info("fault ablation: loss=" + util::format_double(loss, 2) +
+                     " jitter=" + util::format_double(jitter, 1) + "s done");
+    }
+  }
+  return rows;
+}
+
+util::Table fault_table(const std::vector<FaultRow>& rows) {
+  util::Table t({"loss", "jitter(s)", "success(%)", "response(s)",
+                 "good_wrongly_cut", "bad_missed", "false_judgments",
+                 "recovery(min)", "stabilized_damage(%)", "timeouts",
+                 "retries", "late_replies", "corrupt_rejects", "crashed",
+                 "stalled"});
+  for (const auto& r : rows) {
+    t.row()
+        .cell(r.loss, 2)
+        .cell(r.jitter_s, 1)
+        .cell(r.success_pct, 1)
+        .cell(r.response_s, 2)
+        .cell(r.false_negative, 1)
+        .cell(r.false_positive, 1)
+        .cell(r.false_judgment, 1)
+        .cell(r.recovery_minutes, 2)
+        .cell(r.stabilized_damage, 1)
+        .cell(r.timeouts, 1)
+        .cell(r.retries, 1)
+        .cell(r.late_replies, 1)
+        .cell(r.corrupt_rejects, 1)
+        .cell(r.crashed, 1)
+        .cell(r.stalled, 1);
   }
   return t;
 }

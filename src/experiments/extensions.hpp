@@ -21,17 +21,59 @@ struct DefenseRow {
   double false_negative = 0.0;   ///< good peers wrongly cut
   double bad_identified_pct = 0.0;
   double stabilized_damage = 0.0;
+  // Fault-injection tallies (trailing columns; zero on fault-free runs).
+  double fault_timeouts = 0.0;
+  double fault_retries = 0.0;
+  double fault_corrupt_rejects = 0.0;
+  double fault_crashed = 0.0;
+  double fault_stalled = 0.0;
 };
 
 /// All four defenses under the identical campaign (plus the healthy
 /// baseline row). Quantifies Sec. 4's qualitative claims: the naive
 /// strawman cuts forwarders, fair-share survives but cannot identify,
 /// DD-POLICE both restores service and names the agents.
-std::vector<DefenseRow> run_defense_comparison(const Scale& scale,
-                                               std::size_t agents,
-                                               std::uint64_t seed);
+/// Pass a non-trivial `fault` to run the whole comparison on a degraded
+/// control plane; its counters land in the table's trailing columns.
+std::vector<DefenseRow> run_defense_comparison(
+    const Scale& scale, std::size_t agents, std::uint64_t seed,
+    const fault::FaultConfig& fault = {});
 
 util::Table defense_table(const std::vector<DefenseRow>& rows);
+
+// ------------------------------------------------- fault ablation
+
+struct FaultRow {
+  double loss = 0.0;      ///< channel drop probability swept
+  double jitter_s = 0.0;  ///< channel delay jitter swept, seconds
+  double success_pct = 0.0;
+  double response_s = 0.0;
+  double false_negative = 0.0;   ///< good peers wrongly cut
+  double false_positive = 0.0;   ///< agents missed
+  double false_judgment = 0.0;   ///< sum of the two misjudgment kinds
+  double recovery_minutes = 0.0;
+  double stabilized_damage = 0.0;
+  double timeouts = 0.0;
+  double retries = 0.0;
+  double late_replies = 0.0;
+  double corrupt_rejects = 0.0;
+  double crashed = 0.0;
+  double stalled = 0.0;
+};
+
+/// DD-POLICE detection quality as the control plane degrades: sweeps
+/// message-loss probability x delay jitter on the Neighbor_List /
+/// Neighbor_Traffic channel (corruption rides along at loss/4). The
+/// loss = jitter = 0 row exercises the exact fault-free code path, so it
+/// doubles as a regression anchor: its decisions are bit-identical to a
+/// run without any fault plane.
+std::vector<FaultRow> run_fault_ablation(const Scale& scale,
+                                         std::size_t agents,
+                                         std::uint64_t seed,
+                                         const std::vector<double>& losses,
+                                         const std::vector<double>& jitters);
+
+util::Table fault_table(const std::vector<FaultRow>& rows);
 
 // -------------------------------------------------- topology ablation
 

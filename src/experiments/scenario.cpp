@@ -1,5 +1,6 @@
 #include "experiments/scenario.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "core/flow_port.hpp"
@@ -50,8 +51,34 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (config.defense == defense::Kind::kFairShare) {
     flow_cfg.discipline = flow::ServiceDiscipline::kFairShare;
   }
+  if (config.fault.data_plane && config.fault.channel.any()) {
+    // Data-plane degradation: the expected delivered fraction per link
+    // (drop removes volume, duplication adds it back). Off by default so
+    // the fault ablation isolates control-plane effects.
+    flow_cfg.link_reliability =
+        std::clamp(1.0 - config.fault.channel.drop_probability +
+                       config.fault.channel.duplicate_probability,
+                   0.0, 2.0);
+  }
   flow::FlowNetwork net(graph, bandwidth, content, flow_cfg,
                         master.fork("flow"));
+
+  // Fault plane: built only when some fault rate is non-zero, so fault-free
+  // runs do not even construct the subsystem (and consume no rng draws —
+  // fork() is order-independent, but not constructing is simplest of all).
+  std::unique_ptr<fault::FaultPlane> plane;
+  if (config.fault.any()) {
+    plane = std::make_unique<fault::FaultPlane>(
+        config.fault, graph.node_count(), master.fork("fault"));
+    plane->peers().on_crash = [&net](PeerId p) {
+      net.on_peer_offline(p);
+      net.mutable_graph().set_active(p, false);
+    };
+    plane->peers().on_stall = [&net](PeerId p) { net.set_issue_scale(p, 0.0); };
+    plane->peers().on_resume = [&net](PeerId p) {
+      if (net.graph().is_active(p)) net.set_issue_scale(p, 1.0);
+    };
+  }
 
   const workload::ChurnModel churn_model(config.churn);
   flow::ChurnDriver churn(net, churn_model, master.fork("churn"));
@@ -125,12 +152,34 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
   }
 
+  if (plane != nullptr) {
+    if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
+      ddp->protocol().set_fault_plane(plane.get());
+    }
+  }
+
   util::Rng maint_rng = master.fork("maintenance");
   // Hook order matters: churn first (membership), then the attack campaign
-  // (start/rejoin), then the defense (reads last-minute counters), then
-  // overlay maintenance (re-links what the defense cut).
+  // (start/rejoin), then faults (crash/stall the current membership), then
+  // the defense (reads last-minute counters), then overlay maintenance
+  // (re-links what the defense cut).
   net.add_minute_hook([&](double m) { churn.on_minute(m); });
   net.add_minute_hook([&](double m) { atk.on_minute(m); });
+  if (plane != nullptr) {
+    fault::FaultPlane* plane_raw = plane.get();
+    net.add_minute_hook([&net, plane_raw](double m) {
+      plane_raw->on_minute(m);
+      // Churn can resurrect a crash-stopped peer (rejoin draws know nothing
+      // of the fault process): put it back down — crash-stop is permanent.
+      auto& g = net.mutable_graph();
+      for (PeerId p = 0; p < g.node_count(); ++p) {
+        if (plane_raw->peers().is_crashed(p) && g.is_active(p)) {
+          net.on_peer_offline(p);
+          g.set_active(p, false);
+        }
+      }
+    });
+  }
   defense::Defense* def_raw = def.get();
   net.add_minute_hook([def_raw](double m) { def_raw->on_minute(m); });
   if (config.maintain_overlay) {
@@ -156,6 +205,17 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.defense_exchange_messages = ddp->protocol().exchange_messages();
     result.defense_traffic_messages = ddp->protocol().traffic_messages();
     result.defense_rounds = ddp->protocol().rounds_run();
+  }
+  if (plane != nullptr) {
+    result.fault_control = plane->control();
+    result.fault_channel = plane->channel().counters();
+    result.fault_crashes = static_cast<std::size_t>(plane->peers().crash_count());
+    result.fault_stalls = static_cast<std::size_t>(plane->peers().stall_count());
+    metrics::attach_fault_stats(
+        result.summary, result.fault_control.timeouts,
+        result.fault_control.retries, result.fault_control.late_replies,
+        result.fault_control.corrupt_rejects, result.fault_crashes,
+        result.fault_stalls);
   }
   return result;
 }

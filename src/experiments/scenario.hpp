@@ -13,6 +13,7 @@
 #include "attack/scenario.hpp"
 #include "core/config.hpp"
 #include "defense/defense.hpp"
+#include "fault/plane.hpp"
 #include "flow/config.hpp"
 #include "metrics/damage.hpp"
 #include "metrics/errors.hpp"
@@ -46,6 +47,10 @@ struct ScenarioConfig {
   // Engine.
   flow::FlowConfig flow{};
 
+  // Fault injection (all-zero by default: the scenario then builds no
+  // FaultPlane at all and every subsystem runs its exact fault-free path).
+  fault::FaultConfig fault{};
+
   // Run shape.
   double total_minutes = 30.0;
   double warmup_minutes = 3.0;  ///< excluded from averages
@@ -72,6 +77,12 @@ struct ScenarioResult {
   std::uint64_t defense_traffic_messages = 0;
   std::uint64_t defense_rounds = 0;
   double final_active_peers = 0.0;
+
+  // Fault-injection outcomes (all zero on a fault-free run).
+  fault::ControlCounters fault_control{};   ///< DD-POLICE timeout/retry tallies
+  fault::ChannelCounters fault_channel{};   ///< link-level fates drawn
+  std::size_t fault_crashes = 0;            ///< peers crash-stopped
+  std::size_t fault_stalls = 0;             ///< stall episodes
 };
 
 /// Build and run one scenario.

@@ -1,0 +1,54 @@
+#include "fault/channel.hpp"
+
+#include <algorithm>
+
+namespace ddp::fault {
+
+UnreliableChannel::UnreliableChannel(const ChannelFaultConfig& config,
+                                     util::Rng rng)
+    : config_(config), rng_(rng) {}
+
+Transfer UnreliableChannel::transfer() {
+  Transfer t;
+  if (!active()) return t;  // no draws: fault-free runs stay bit-identical
+  ++counters_.transfers;
+  if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+    ++counters_.dropped;
+    t.delivered = false;
+    t.copies = 0;
+    return t;
+  }
+  if (config_.duplicate_probability > 0.0 &&
+      rng_.chance(config_.duplicate_probability)) {
+    ++counters_.duplicated;
+    t.copies = 2;
+  }
+  if (config_.corrupt_probability > 0.0 &&
+      rng_.chance(config_.corrupt_probability)) {
+    ++counters_.corrupted;
+    t.corrupted = true;
+  }
+  t.delay = config_.base_delay_seconds;
+  if (config_.delay_jitter_seconds > 0.0) {
+    t.delay += rng_.uniform() * config_.delay_jitter_seconds;
+  }
+  counters_.delay_seconds_total += t.delay;
+  return t;
+}
+
+void UnreliableChannel::corrupt(std::vector<std::uint8_t>& bytes) {
+  if (bytes.empty()) return;
+  if (rng_.chance(0.5)) {
+    // Truncation: the connection died mid-message.
+    bytes.resize(rng_.below(static_cast<std::uint32_t>(bytes.size())));
+  } else {
+    // Bit flips: 1-4 random bits anywhere in the buffer.
+    const std::uint32_t flips = 1 + rng_.below(4);
+    for (std::uint32_t i = 0; i < flips; ++i) {
+      const std::uint32_t at = rng_.below(static_cast<std::uint32_t>(bytes.size()));
+      bytes[at] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    }
+  }
+}
+
+}  // namespace ddp::fault

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file channel.hpp
+/// UnreliableChannel: the per-message fault policy attached to links.
+///
+/// Every control-plane message (and, in the packet engine, every query
+/// descriptor) passes through transfer(), which draws one fate from the
+/// channel's private Rng stream: delivered or dropped, how many copies,
+/// with what delay, and whether the payload arrives mangled. corrupt()
+/// applies the actual byte damage — truncation or bit flips — to a
+/// serialized buffer, so the receiving codec (ddp::net) is exercised
+/// against realistic wire garbage rather than a boolean flag.
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "util/rng.hpp"
+
+namespace ddp::fault {
+
+/// The fate of one message. `copies` is 0 when dropped, 2 when duplicated.
+struct Transfer {
+  bool delivered = true;
+  bool corrupted = false;
+  std::uint32_t copies = 1;
+  double delay = 0.0;  ///< one-way latency, seconds
+};
+
+struct ChannelCounters {
+  std::uint64_t transfers = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  double delay_seconds_total = 0.0;
+};
+
+class UnreliableChannel {
+ public:
+  UnreliableChannel(const ChannelFaultConfig& config, util::Rng rng);
+
+  /// True when this channel can alter traffic at all. A quiet channel
+  /// short-circuits: transfer() returns the perfect fate without consuming
+  /// any random draws, so attaching a zero-probability channel leaves every
+  /// other stream's draw sequence untouched.
+  bool active() const noexcept { return config_.any(); }
+
+  /// Draw the fate of one message.
+  Transfer transfer();
+
+  /// Damage a serialized message in place: either truncate it at a random
+  /// point or flip a few random bits (both happen on real links; both must
+  /// be survivable by the ddp::net decoders).
+  void corrupt(std::vector<std::uint8_t>& bytes);
+
+  const ChannelFaultConfig& config() const noexcept { return config_; }
+  const ChannelCounters& counters() const noexcept { return counters_; }
+
+ private:
+  ChannelFaultConfig config_;
+  util::Rng rng_;
+  ChannelCounters counters_;
+};
+
+}  // namespace ddp::fault

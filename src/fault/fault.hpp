@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file fault.hpp
+/// Configuration of the deterministic fault-injection subsystem.
+///
+/// The paper's Sec. 3.4 timeout rule ("silent buddy-group members count as
+/// zero") exists because real overlays lose, delay, duplicate and mangle
+/// control messages. This module makes those degradations first-class and
+/// reproducible: every probability below is evaluated against a forked
+/// util::Rng stream, so the same seed + the same FaultConfig replays the
+/// exact same fault schedule, and an all-zero config injects nothing and
+/// draws nothing (fault-free runs stay bit-identical to the seed engine).
+///
+/// Two planes:
+///   * channel faults (UnreliableChannel) — per-message drop / duplicate /
+///     jittered delay / truncation-or-corruption of the serialized
+///     Neighbor_List / Neighbor_Traffic / Query messages;
+///   * peer faults (PeerFaultInjector) — crash-stop, temporary stall
+///     (freeze for N seconds, then resume) and slow peers (multiplied
+///     processing latency), scheduled through a sim::Engine timeline.
+
+#include <cstddef>
+
+namespace ddp::fault {
+
+/// Per-message link behaviour. All probabilities are independent per
+/// transfer; delay = base + uniform[0, jitter).
+struct ChannelFaultConfig {
+  double drop_probability = 0.0;       ///< message lost in transit
+  double duplicate_probability = 0.0;  ///< delivered twice
+  double corrupt_probability = 0.0;    ///< payload truncated or bit-flipped
+  double base_delay_seconds = 0.0;     ///< fixed one-way latency
+  double delay_jitter_seconds = 0.0;   ///< additional uniform jitter
+
+  bool any() const noexcept {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           corrupt_probability > 0.0 || base_delay_seconds > 0.0 ||
+           delay_jitter_seconds > 0.0;
+  }
+};
+
+/// Peer-level fault process, evaluated once per peer per simulated minute.
+struct PeerFaultConfig {
+  /// Crash-stop: the peer goes (and stays) down, without the clean
+  /// departure propagation churn models (no host-cache goodbye).
+  double crash_probability_per_minute = 0.0;
+
+  /// Temporary stall: the peer freezes (answers nothing, issues nothing)
+  /// for stall_duration_seconds, then resumes.
+  double stall_probability_per_minute = 0.0;
+  double stall_duration_seconds = 90.0;
+
+  /// Fraction of peers that are permanently slow: their reply latency is
+  /// multiplied by slow_factor (drawn once at start-up).
+  double slow_peer_fraction = 0.0;
+  double slow_factor = 4.0;
+
+  bool any() const noexcept {
+    return crash_probability_per_minute > 0.0 ||
+           stall_probability_per_minute > 0.0 || slow_peer_fraction > 0.0;
+  }
+};
+
+struct FaultConfig {
+  ChannelFaultConfig channel{};
+  PeerFaultConfig peer{};
+
+  /// When set, channel drop/duplicate rates also degrade the *data* plane
+  /// (the aggregate query flows), not just the DD-POLICE control plane.
+  /// Off by default so the fault ablation isolates control-plane effects.
+  bool data_plane = false;
+
+  bool any() const noexcept { return channel.any() || peer.any(); }
+};
+
+}  // namespace ddp::fault

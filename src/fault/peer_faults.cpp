@@ -1,0 +1,71 @@
+#include "fault/peer_faults.hpp"
+
+namespace ddp::fault {
+
+PeerFaultInjector::PeerFaultInjector(const PeerFaultConfig& config,
+                                     std::size_t peers, util::Rng rng)
+    : config_(config), rng_(rng), crashed_(peers, 0), slow_(peers, 0),
+      stalled_until_(peers, -1.0) {
+  if (config_.slow_peer_fraction > 0.0) {
+    for (std::size_t p = 0; p < peers; ++p) {
+      if (rng_.chance(config_.slow_peer_fraction)) {
+        slow_[p] = 1;
+        ++slow_count_;
+      }
+    }
+  }
+}
+
+void PeerFaultInjector::crash(PeerId p) {
+  if (crashed_[p]) return;
+  crashed_[p] = 1;
+  ++crashes_;
+  if (on_crash) on_crash(p);
+}
+
+void PeerFaultInjector::stall(PeerId p, double until) {
+  if (crashed_[p]) return;
+  const bool was_stalled = is_stalled(p);
+  stalled_until_[p] = std::max(stalled_until_[p], until);
+  if (!was_stalled) {
+    ++stalls_;
+    if (on_stall) on_stall(p);
+  }
+  engine_.schedule_at(until, [this, p] {
+    // Resume only if no overlapping stall extended the freeze and the peer
+    // did not crash while frozen.
+    if (crashed_[p] || stalled_until_[p] > engine_.now() + 1e-9) return;
+    ++resumes_;
+    if (on_resume) on_resume(p);
+  });
+}
+
+void PeerFaultInjector::on_minute(double minute) {
+  // Apply every fault that came due during the minute just completed.
+  engine_.run_until(minute * kMinute);
+
+  if (config_.crash_probability_per_minute <= 0.0 &&
+      config_.stall_probability_per_minute <= 0.0) {
+    return;
+  }
+  // Draw the coming minute's faults at uniform sub-minute offsets. Draw
+  // counts depend only on the (deterministic) crashed set, so the schedule
+  // replays exactly for a given seed + config.
+  const double base = minute * kMinute;
+  for (PeerId p = 0; p < crashed_.size(); ++p) {
+    if (crashed_[p]) continue;
+    if (config_.crash_probability_per_minute > 0.0 &&
+        rng_.chance(config_.crash_probability_per_minute)) {
+      const double at = base + rng_.uniform() * kMinute;
+      engine_.schedule_at(at, [this, p] { crash(p); });
+    }
+    if (config_.stall_probability_per_minute > 0.0 &&
+        rng_.chance(config_.stall_probability_per_minute)) {
+      const double at = base + rng_.uniform() * kMinute;
+      const double until = at + config_.stall_duration_seconds;
+      engine_.schedule_at(at, [this, p, until] { stall(p, until); });
+    }
+  }
+}
+
+}  // namespace ddp::fault

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file peer_faults.hpp
+/// Peer-level fault process: crash-stop, temporary stall and slow peers,
+/// scheduled on a private sim::Engine timeline so fault instants fall at
+/// second granularity inside each simulated minute (not only at minute
+/// boundaries), deterministically for a given seed.
+///
+/// The injector is engine-agnostic: the embedding scenario subscribes to
+/// on_crash / on_stall / on_resume and translates them into its own
+/// membership and issue-rate operations. Queries about a peer's current
+/// state (is_responsive, latency_factor) are what the DD-POLICE control
+/// plane consults when it waits for a reply.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ddp::fault {
+
+class PeerFaultInjector {
+ public:
+  PeerFaultInjector(const PeerFaultConfig& config, std::size_t peers,
+                    util::Rng rng);
+
+  /// Fault-event callbacks (crash is permanent; stall pairs with resume).
+  std::function<void(PeerId)> on_crash;
+  std::function<void(PeerId)> on_stall;
+  std::function<void(PeerId)> on_resume;
+
+  /// Advance the fault timeline to `minute` (applying due events), then
+  /// draw and schedule the coming minute's faults at uniform offsets.
+  /// Call once per completed simulated minute, before the defense runs.
+  void on_minute(double minute);
+
+  bool is_crashed(PeerId p) const noexcept {
+    return p < crashed_.size() && crashed_[p] != 0;
+  }
+  bool is_stalled(PeerId p) const noexcept {
+    return p < stalled_until_.size() && stalled_until_[p] > engine_.now();
+  }
+  /// Able to answer a control-plane request right now.
+  bool is_responsive(PeerId p) const noexcept {
+    return !is_crashed(p) && !is_stalled(p);
+  }
+  /// Reply-latency multiplier (slow peers; 1.0 for everyone else).
+  double latency_factor(PeerId p) const noexcept {
+    return p < slow_.size() && slow_[p] != 0 ? config_.slow_factor : 1.0;
+  }
+
+  std::uint64_t crash_count() const noexcept { return crashes_; }
+  std::uint64_t stall_count() const noexcept { return stalls_; }
+  std::uint64_t resume_count() const noexcept { return resumes_; }
+  std::size_t slow_peer_count() const noexcept { return slow_count_; }
+
+  /// The private fault timeline (exposed for tests).
+  sim::Engine& timeline() noexcept { return engine_; }
+
+ private:
+  void crash(PeerId p);
+  void stall(PeerId p, double until);
+
+  PeerFaultConfig config_;
+  sim::Engine engine_;
+  util::Rng rng_;
+  std::vector<char> crashed_;
+  std::vector<char> slow_;
+  std::vector<double> stalled_until_;
+  std::size_t slow_count_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t resumes_ = 0;
+};
+
+}  // namespace ddp::fault

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file plane.hpp
+/// FaultPlane: the bundle a scenario wires between its engines and the
+/// DD-POLICE control plane — one UnreliableChannel (message fates), one
+/// PeerFaultInjector (crash/stall/slow processes) and the shared
+/// control-plane robustness counters that the hardened DdPolice request
+/// loop (timeout / bounded retry / corrupt-reject, see core/ddpolice.cpp)
+/// reports into and the metrics pipeline exports.
+
+#include <cstdint>
+
+#include "fault/channel.hpp"
+#include "fault/fault.hpp"
+#include "fault/peer_faults.hpp"
+#include "util/rng.hpp"
+
+namespace ddp::fault {
+
+/// Outcomes of the DD-POLICE per-request timeout/retry machinery.
+struct ControlCounters {
+  std::uint64_t timeouts = 0;         ///< requests that exhausted all retries
+  std::uint64_t retries = 0;          ///< re-sent requests (after a failed try)
+  std::uint64_t late_replies = 0;     ///< valid replies past the timeout
+  std::uint64_t corrupt_rejects = 0;  ///< undecodable or inconsistent replies
+  double backoff_seconds_total = 0.0; ///< cumulative exponential backoff waited
+};
+
+class FaultPlane {
+ public:
+  FaultPlane(const FaultConfig& config, std::size_t peers, util::Rng rng)
+      : config_(config),
+        channel_(config.channel, rng.fork("channel")),
+        peers_(config.peer, peers, rng.fork("peer-faults")) {}
+
+  /// True when the control plane must run its timeout/retry path. With an
+  /// all-zero config the hardened DdPolice short-circuits to the exact
+  /// fault-free code path (bit-identical decisions).
+  bool control_active() const noexcept {
+    return config_.channel.any() || config_.peer.any();
+  }
+
+  const FaultConfig& config() const noexcept { return config_; }
+  UnreliableChannel& channel() noexcept { return channel_; }
+  PeerFaultInjector& peers() noexcept { return peers_; }
+  const PeerFaultInjector& peers() const noexcept { return peers_; }
+  ControlCounters& control() noexcept { return control_; }
+  const ControlCounters& control() const noexcept { return control_; }
+
+  /// Advance the peer-fault timeline; call once per completed minute.
+  void on_minute(double minute) { peers_.on_minute(minute); }
+
+ private:
+  FaultConfig config_;
+  UnreliableChannel channel_;
+  PeerFaultInjector peers_;
+  ControlCounters control_;
+};
+
+}  // namespace ddp::fault

@@ -56,6 +56,12 @@ struct FlowConfig {
 
   /// Origins sampled when calibrating the coverage profile.
   std::size_t calibration_samples = 64;
+
+  /// Fraction of each link's in-flight volume that actually arrives
+  /// (data-plane fault injection; src/fault). 1.0 — the default — is a
+  /// perfect transport and is applied as an exact multiplicative identity,
+  /// so fault-free runs stay bit-identical. Values > 1 model duplication.
+  double link_reliability = 1.0;
 };
 
 }  // namespace ddp::flow

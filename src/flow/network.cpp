@@ -137,13 +137,23 @@ void FlowNetwork::step() {
   const double service_time = kMinute / config_.capacity_per_minute;
 
   // ---- Phase 1: gather arrivals per peer. -------------------------------
+  // Each link delivers the link_reliability fraction of its in-flight
+  // volume (fault injection; 1.0 is an exact multiplicative identity).
+  const double rel = config_.link_reliability;
   arrivals_.assign(n, {});
   for (const auto& [key, es] : edges_) {
     const auto to = static_cast<PeerId>(key & 0xffffffffu);
     if (to >= n) continue;
     auto& a = arrivals_[to];
     for (std::size_t c = 0; c < kClasses; ++c) {
-      for (std::size_t k = 0; k < ttl; ++k) a[c][k] += es.cur[c][k];
+      for (std::size_t k = 0; k < ttl; ++k) a[c][k] += es.cur[c][k] * rel;
+    }
+    if (rel < 1.0) {
+      double in_flight = 0.0;
+      for (std::size_t c = 0; c < kClasses; ++c) {
+        for (std::size_t k = 0; k < ttl; ++k) in_flight += es.cur[c][k];
+      }
+      acc_transport_lost_ += in_flight * (1.0 - rel);
     }
   }
 
@@ -177,7 +187,9 @@ void FlowNetwork::step() {
       for (std::size_t e = 0; e < nbrs.size(); ++e) {
         if (const EdgeState* es = find_edge(nbrs[e], v)) {
           for (std::size_t c = 0; c < kClasses; ++c) {
-            for (std::size_t k = 0; k < ttl; ++k) edge_totals[e] += es->cur[c][k];
+            for (std::size_t k = 0; k < ttl; ++k) {
+              edge_totals[e] += es->cur[c][k] * rel;
+            }
           }
         }
       }
@@ -205,7 +217,7 @@ void FlowNetwork::step() {
         acc_dropped_ += edge_totals[e] * (1.0 - sc);
         for (std::size_t c = 0; c < kClasses; ++c) {
           for (std::size_t k = 0; k < ttl; ++k) {
-            fair_arrivals[c][k] += es->cur[c][k] * sc;
+            fair_arrivals[c][k] += es->cur[c][k] * rel * sc;
           }
         }
       }
@@ -356,6 +368,7 @@ void FlowNetwork::rotate_minute() {
   r.dropped = acc_dropped_;
   r.mean_utilization = acc_util_ / static_cast<double>(ticks_per_minute_);
   r.overhead_messages = overhead_accum_;
+  r.transport_lost = acc_transport_lost_;
 
   const std::size_t ttl = std::min(config_.ttl, kMaxTtl);
   if (acc_good_issued_ > 0.0) {
@@ -391,6 +404,7 @@ void FlowNetwork::rotate_minute() {
   acc_traffic_ = acc_attack_traffic_ = 0.0;
   acc_good_issued_ = acc_attack_issued_ = 0.0;
   acc_dropped_ = 0.0;
+  acc_transport_lost_ = 0.0;
   acc_fresh_good_by_hop_.fill(0.0);
   acc_util_ = 0.0;
   acc_delay_weight_ = acc_delay_load_ = 0.0;

@@ -69,6 +69,7 @@ struct MinuteReport {
   double response_time = 0.0;    ///< mean first-response latency, seconds
   double mean_utilization = 0.0; ///< load / capacity, averaged over peers
   double overhead_messages = 0.0;///< defense-protocol messages (set by hooks)
+  double transport_lost = 0.0;   ///< volume lost to link unreliability (faults)
 };
 
 class FlowNetwork {
@@ -183,6 +184,7 @@ class FlowNetwork {
   double acc_good_issued_ = 0.0;
   double acc_attack_issued_ = 0.0;
   double acc_dropped_ = 0.0;
+  double acc_transport_lost_ = 0.0;
   std::array<double, kMaxTtl> acc_fresh_good_by_hop_{};
   double acc_util_ = 0.0;
   double acc_delay_weight_ = 0.0;

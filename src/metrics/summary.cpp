@@ -15,6 +15,7 @@ RunSummary summarize(const std::vector<flow::MinuteReport>& history,
     s.avg_success_rate += r.success_rate;
     s.avg_reach += r.reach_per_query;
     s.avg_drop_per_minute += r.dropped;
+    s.avg_transport_lost += r.transport_lost;
     ++n;
   }
   if (n > 0) {
@@ -26,9 +27,22 @@ RunSummary summarize(const std::vector<flow::MinuteReport>& history,
     s.avg_success_rate /= d;
     s.avg_reach /= d;
     s.avg_drop_per_minute /= d;
+    s.avg_transport_lost /= d;
     s.minutes_measured = d;
   }
   return s;
+}
+
+void attach_fault_stats(RunSummary& s, std::uint64_t timeouts,
+                        std::uint64_t retries, std::uint64_t late_replies,
+                        std::uint64_t corrupt_rejects, std::size_t crashed,
+                        std::size_t stalled) {
+  s.fault_timeouts = static_cast<double>(timeouts);
+  s.fault_retries = static_cast<double>(retries);
+  s.fault_late_replies = static_cast<double>(late_replies);
+  s.fault_corrupt_rejects = static_cast<double>(corrupt_rejects);
+  s.fault_crashed = static_cast<double>(crashed);
+  s.fault_stalled = static_cast<double>(stalled);
 }
 
 }  // namespace ddp::metrics

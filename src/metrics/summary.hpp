@@ -19,8 +19,26 @@ struct RunSummary {
   double avg_success_rate = 0.0;         ///< 0..1
   double avg_reach = 0.0;                ///< peers per good flood
   double avg_drop_per_minute = 0.0;
+  double avg_transport_lost = 0.0;       ///< data-plane fault losses / minute
   double minutes_measured = 0.0;
+
+  // Whole-run fault-injection tallies, attached post-run by the scenario
+  // runner (all zero on a fault-free run). Doubles so downstream table /
+  // CSV code handles them like every other column.
+  double fault_timeouts = 0.0;        ///< control requests that gave up
+  double fault_retries = 0.0;         ///< control re-sends
+  double fault_late_replies = 0.0;    ///< replies past the collect timeout
+  double fault_corrupt_rejects = 0.0; ///< undecodable / inconsistent replies
+  double fault_crashed = 0.0;         ///< peers crash-stopped by injection
+  double fault_stalled = 0.0;         ///< stall episodes injected
 };
+
+/// Copy control-plane fault counters into a summary (plain integers so the
+/// metrics layer needs no dependency on src/fault types).
+void attach_fault_stats(RunSummary& s, std::uint64_t timeouts,
+                        std::uint64_t retries, std::uint64_t late_replies,
+                        std::uint64_t corrupt_rejects, std::size_t crashed,
+                        std::size_t stalled);
 
 /// Average the reports with minute >= from_minute (skipping warm-up).
 RunSummary summarize(const std::vector<flow::MinuteReport>& history,

@@ -34,6 +34,9 @@ void ByteWriter::cstring(std::string_view s) {
 
 void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
   assert(offset + 4 <= buf_.size());
+  // Release builds strip the assert; refuse the out-of-bounds write rather
+  // than scribbling past the buffer.
+  if (offset > buf_.size() || buf_.size() - offset < 4) return;
   for (int i = 0; i < 4; ++i) {
     buf_[offset + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);

@@ -187,11 +187,24 @@ std::vector<std::uint8_t> encode(const Message& msg) {
   return w.take();
 }
 
-std::optional<Message> decode(std::span<const std::uint8_t> data,
-                              std::string* error, std::size_t* consumed) {
+std::string_view decode_status_name(DecodeStatus s) noexcept {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kShortHeader: return "short-header";
+    case DecodeStatus::kUnknownType: return "unknown-type";
+    case DecodeStatus::kOversizedPayload: return "oversized-payload";
+    case DecodeStatus::kTruncatedPayload: return "truncated-payload";
+    case DecodeStatus::kMalformedBody: return "malformed-body";
+  }
+  return "?";
+}
+
+DecodeResult decode_ex(std::span<const std::uint8_t> data) {
+  DecodeResult res;
   if (data.size() < kHeaderSize) {
-    set_error(error, "short header");
-    return std::nullopt;
+    res.status = DecodeStatus::kShortHeader;
+    res.detail = "short header";
+    return res;
   }
   Message msg;
   ByteReader hr(data.first(kHeaderSize));
@@ -207,19 +220,43 @@ std::optional<Message> decode(std::span<const std::uint8_t> data,
       msg.header.type = static_cast<PayloadType>(raw_type);
       break;
     default:
-      set_error(error, "unknown payload type byte");
-      return std::nullopt;
+      res.status = DecodeStatus::kUnknownType;
+      res.detail = "unknown payload type byte";
+      return res;
+  }
+  // Length sanity before any body work: a corrupted length field must not
+  // be able to drive downstream allocation or scanning.
+  if (msg.header.payload_length > kMaxPayloadLength) {
+    res.status = DecodeStatus::kOversizedPayload;
+    res.detail = "declared payload length exceeds cap";
+    return res;
   }
   if (data.size() - kHeaderSize < msg.header.payload_length) {
-    set_error(error, "payload truncated");
-    return std::nullopt;
+    res.status = DecodeStatus::kTruncatedPayload;
+    res.detail = "payload truncated";
+    return res;
   }
   ByteReader br(data.subspan(kHeaderSize, msg.header.payload_length));
-  auto payload = decode_payload(msg.header.type, br, error);
-  if (!payload) return std::nullopt;
+  auto payload = decode_payload(msg.header.type, br, &res.detail);
+  if (!payload) {
+    res.status = DecodeStatus::kMalformedBody;
+    return res;
+  }
   msg.payload = std::move(*payload);
-  if (consumed != nullptr) *consumed = kHeaderSize + msg.header.payload_length;
-  return msg;
+  res.consumed = kHeaderSize + msg.header.payload_length;
+  res.message = std::move(msg);
+  return res;
+}
+
+std::optional<Message> decode(std::span<const std::uint8_t> data,
+                              std::string* error, std::size_t* consumed) {
+  DecodeResult res = decode_ex(data);
+  if (!res.message) {
+    set_error(error, res.detail);
+    return std::nullopt;
+  }
+  if (consumed != nullptr) *consumed = res.consumed;
+  return std::move(res.message);
 }
 
 std::vector<std::uint8_t> encode_neighbor_traffic_body(const NeighborTraffic& nt) {

@@ -133,6 +133,37 @@ std::optional<Message> decode(std::span<const std::uint8_t> data,
                               std::string* error = nullptr,
                               std::size_t* consumed = nullptr);
 
+/// Structured decode outcome: why a buffer was rejected, machine-readably.
+/// The categories mirror the order in which decode() validates, so a fuzzer
+/// (tests/net_fuzz_test.cpp) can classify every mutation's fate.
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kShortHeader,       ///< fewer than the 23 header bytes
+  kUnknownType,       ///< payload-type byte outside the implemented set
+  kOversizedPayload,  ///< declared length exceeds kMaxPayloadLength
+  kTruncatedPayload,  ///< declared length exceeds the bytes present
+  kMalformedBody,     ///< typed body failed bounds or shape validation
+};
+
+std::string_view decode_status_name(DecodeStatus s) noexcept;
+
+/// Framing cap on the declared payload length: no message this substrate
+/// produces comes near 1 MiB, and rejecting the length field before any
+/// body work means a flipped high bit cannot drive allocation or scanning.
+inline constexpr std::size_t kMaxPayloadLength = 1u << 20;
+
+struct DecodeResult {
+  std::optional<Message> message;  ///< engaged iff status == kOk
+  DecodeStatus status = DecodeStatus::kOk;
+  std::string detail;              ///< human-readable reason when rejected
+  std::size_t consumed = 0;        ///< bytes consumed on success, else 0
+  explicit operator bool() const noexcept { return message.has_value(); }
+};
+
+/// Like decode(), but reports the rejection category. decode() is
+/// implemented on top of this and preserves its historical error strings.
+DecodeResult decode_ex(std::span<const std::uint8_t> data);
+
 /// Encode only the Neighbor_Traffic body (Table 1 layout, 20 bytes) —
 /// exposed separately so tests can assert the exact byte offsets.
 std::vector<std::uint8_t> encode_neighbor_traffic_body(const NeighborTraffic& nt);

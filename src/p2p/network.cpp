@@ -96,8 +96,30 @@ void PacketNetwork::transmit(PeerId from, PeerId to, Descriptor d) {
     monitors_.record(from, to, engine_.now());
     if (on_query_sent) on_query_sent(from, to, engine_.now());
   }
-  engine_.schedule_in(config_.hop_latency,
-                      [this, from, to, d]() { arrive(to, from, d); });
+  // Fault-injection fate roll — after the monitors, so DD-POLICE still
+  // observes what the sender pushed (loss happens downstream of the
+  // sender-side Out_query counter, as in the flow engine).
+  std::uint32_t copies = 1;
+  double extra_delay = 0.0;
+  if (channel_ != nullptr && channel_->active()) {
+    const fault::Transfer t = channel_->transfer();
+    if (!t.delivered) {
+      ++totals_.transport_dropped;
+      return;
+    }
+    if (t.corrupted) {
+      // Damaged framing: the receiver cannot parse it and discards.
+      ++totals_.transport_corrupted;
+      return;
+    }
+    copies = t.copies;
+    if (t.copies > 1) totals_.transport_duplicated += t.copies - 1;
+    extra_delay = t.delay;
+  }
+  for (std::uint32_t c = 0; c < copies; ++c) {
+    engine_.schedule_in(config_.hop_latency + extra_delay,
+                        [this, from, to, d]() { arrive(to, from, d); });
+  }
 }
 
 void PacketNetwork::arrive(PeerId at, PeerId from, Descriptor d) {

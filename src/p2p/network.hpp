@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/channel.hpp"
 #include "net/guid.hpp"
 #include "p2p/config.hpp"
 #include "sim/engine.hpp"
@@ -64,6 +65,10 @@ struct NetworkTotals {
   std::uint64_t hits_generated = 0;
   std::uint64_t hits_delivered = 0;      ///< reached the query origin
   double overhead_messages = 0.0;        ///< defense-protocol messages
+  // Fault-injection tallies (zero unless an UnreliableChannel is attached).
+  std::uint64_t transport_dropped = 0;    ///< descriptors lost in flight
+  std::uint64_t transport_corrupted = 0;  ///< discarded as damaged on arrival
+  std::uint64_t transport_duplicated = 0; ///< extra copies delivered
 };
 
 /// Per-directed-link per-minute counters — what DD-POLICE's monitors read.
@@ -130,6 +135,15 @@ class PacketNetwork {
   /// (after the monitors are updated); the DD-POLICE layer subscribes.
   std::function<void(PeerId from, PeerId to, SimTime now)> on_query_sent;
 
+  /// Attach a fault-injection link policy. Every transmission then rolls a
+  /// drop / duplicate / corrupt / jitter fate; monitors still record what
+  /// the sender pushed (loss is a receiver-side event, matching the flow
+  /// engine's semantics). Null, or a channel with all-zero probabilities,
+  /// keeps the exact fault-free path and consumes no random draws.
+  void set_channel(fault::UnreliableChannel* channel) noexcept {
+    channel_ = channel;
+  }
+
  private:
   struct PeerState {
     double capacity_per_minute;
@@ -157,6 +171,7 @@ class PacketNetwork {
   util::Rng rng_;
   std::vector<PeerState> peers_;
   std::vector<PeerKind> kinds_;
+  fault::UnreliableChannel* channel_ = nullptr;
   LinkMonitors monitors_;
   NetworkTotals totals_;
   std::vector<QueryOutcome> outcomes_;

@@ -10,6 +10,7 @@ EventId Engine::schedule_at(SimTime t, Callback fn) {
   const EventId id = next_id_++;
   heap_.push(Scheduled{std::max(t, now_), seq_++, id});
   callbacks_.emplace(id, std::move(fn));
+  ++live_;
   return id;
 }
 
@@ -22,6 +23,7 @@ EventId Engine::schedule_every(SimTime period, Callback fn, SimTime phase) {
   periodics_.emplace(id, Periodic{period, std::move(fn)});
   const SimTime first = now_ + (phase >= 0.0 ? phase : period);
   heap_.push(Scheduled{first, seq_++, id});
+  ++live_;
   return id;
 }
 
@@ -30,6 +32,7 @@ bool Engine::cancel(EventId id) {
   const bool was_periodic = periodics_.erase(id) > 0;
   if (was_oneshot || was_periodic) {
     cancelled_.insert(id);
+    if (live_ > 0) --live_;
     return true;
   }
   return false;
@@ -50,7 +53,16 @@ bool Engine::step(SimTime horizon) {
       // Re-arm before running so the callback may cancel itself.
       heap_.push(Scheduled{now_ + p->second.period, seq_++, top.id});
       ++executed_;
-      p->second.fn();
+      // Move the callback out before invoking it: a callback that cancels
+      // its own periodic erases the map entry, which would otherwise
+      // destroy the std::function currently executing (use-after-free).
+      Callback fn = std::move(p->second.fn);
+      fn();
+      // Restore the callback only if the task still exists (the callback
+      // may have cancelled it — or rehashed the map by scheduling).
+      if (const auto again = periodics_.find(top.id); again != periodics_.end()) {
+        again->second.fn = std::move(fn);
+      }
       return true;
     }
     if (const auto c = callbacks_.find(top.id); c != callbacks_.end()) {
@@ -58,6 +70,7 @@ bool Engine::step(SimTime horizon) {
       Callback fn = std::move(c->second);
       callbacks_.erase(c);
       ++executed_;
+      if (live_ > 0) --live_;
       fn();
       return true;
     }

@@ -57,7 +57,11 @@ class Engine {
   void stop() noexcept { stopped_ = true; }
 
   std::uint64_t events_executed() const noexcept { return executed_; }
-  std::size_t pending() const noexcept { return heap_.size() - cancelled_.size(); }
+  /// Live (not-yet-fired, not-cancelled) events. Maintained as an explicit
+  /// counter rather than heap_.size() - cancelled_.size(): the heap entry of
+  /// a cancelled event is collected lazily, so the two containers shrink at
+  /// different times and their difference can transiently underflow.
+  std::size_t pending() const noexcept { return live_; }
 
  private:
   struct Scheduled {
@@ -83,6 +87,7 @@ class Engine {
   EventId next_id_ = 1;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, Later> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
   std::unordered_map<EventId, Periodic> periodics_;

@@ -14,6 +14,7 @@
 
 #include "core/ddpolice.hpp"
 #include "core/flow_port.hpp"
+#include "experiments/scenario.hpp"
 #include "flow/network.hpp"
 #include "net/message.hpp"
 #include "p2p/network.hpp"
@@ -305,6 +306,56 @@ TEST_P(DetectionTest, SingleAgentAlwaysIsolated) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DetectionTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------- determinism under fault injection
+
+class FaultDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultDeterminismTest, SameSeedSameFaultsSameRun) {
+  // Property: fault injection is part of the deterministic simulation, not
+  // noise on top of it. Two runs with identical seed and fault config must
+  // agree event for event — same decision log, same fault tallies, same
+  // averaged metrics — or fault ablations would not be reproducible.
+  const int seed = GetParam();
+  experiments::ScenarioConfig cfg = experiments::paper_scenario(
+      300, 8, defense::Kind::kDdPolice, static_cast<std::uint64_t>(seed) * 977 + 11);
+  cfg.total_minutes = 10.0;
+  cfg.fault.channel.drop_probability = 0.2;
+  cfg.fault.channel.corrupt_probability = 0.05;
+  cfg.fault.channel.delay_jitter_seconds = 3.0;
+  cfg.fault.peer.crash_probability_per_minute = 0.002;
+  cfg.fault.peer.stall_probability_per_minute = 0.01;
+
+  const auto a = experiments::run_scenario(cfg);
+  const auto b = experiments::run_scenario(cfg);
+
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].minute, b.decisions[i].minute);
+    EXPECT_EQ(a.decisions[i].judge, b.decisions[i].judge);
+    EXPECT_EQ(a.decisions[i].suspect, b.decisions[i].suspect);
+    EXPECT_EQ(a.decisions[i].g, b.decisions[i].g);
+    EXPECT_EQ(a.decisions[i].s, b.decisions[i].s);
+  }
+  EXPECT_EQ(a.fault_control.timeouts, b.fault_control.timeouts);
+  EXPECT_EQ(a.fault_control.retries, b.fault_control.retries);
+  EXPECT_EQ(a.fault_control.late_replies, b.fault_control.late_replies);
+  EXPECT_EQ(a.fault_control.corrupt_rejects, b.fault_control.corrupt_rejects);
+  EXPECT_EQ(a.fault_channel.transfers, b.fault_channel.transfers);
+  EXPECT_EQ(a.fault_channel.dropped, b.fault_channel.dropped);
+  EXPECT_EQ(a.fault_crashes, b.fault_crashes);
+  EXPECT_EQ(a.fault_stalls, b.fault_stalls);
+  // Exact double equality on purpose: bit-for-bit reproducibility.
+  EXPECT_EQ(a.summary.avg_success_rate, b.summary.avg_success_rate);
+  EXPECT_EQ(a.summary.avg_response_time, b.summary.avg_response_time);
+  EXPECT_EQ(a.errors.false_negative, b.errors.false_negative);
+  EXPECT_EQ(a.errors.false_positive, b.errors.false_positive);
+  // And the faults were actually exercised, not vacuously zero.
+  EXPECT_GT(a.fault_channel.transfers, 0u);
+  EXPECT_GT(a.fault_control.retries, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultDeterminismTest, ::testing::Values(1, 2));
 
 }  // namespace
 }  // namespace ddp

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -171,6 +172,73 @@ TEST(Engine, PendingCount) {
   EXPECT_EQ(e.pending(), 1u);
   e.run();
   EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, PendingNeverUnderflowsWithLazyCancellation) {
+  // Regression: pending() used to be heap size minus cancelled-set size;
+  // a cancelled event's heap entry is collected lazily, so the difference
+  // could transiently wrap around to a huge value.
+  Engine e;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(e.schedule_at(1.0 + i, [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) e.cancel(ids[i]);
+  EXPECT_EQ(e.pending(), 8u);
+  e.run_until(6.0);  // fires some, collects some cancelled entries
+  EXPECT_LE(e.pending(), 8u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  // Cancel after fire / double cancel must not decrement below zero.
+  EXPECT_FALSE(e.cancel(ids[1]));
+  EXPECT_FALSE(e.cancel(ids[0]));
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, PendingCountsPeriodicsOnceAcrossRepetitions) {
+  Engine e;
+  const EventId id = e.schedule_every(1.0, [] {});
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until(5.5);  // five firings, still armed
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_EQ(e.pending(), 0u);
+  e.run_until(10.0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, CancelSelfInsidePeriodicCallbackIsSafe) {
+  // Regression: cancelling a periodic from inside its own callback erases
+  // the map entry that owns the executing std::function; the engine must
+  // move the callback out before invoking it (use-after-free otherwise).
+  Engine e;
+  auto fires = std::make_shared<int>(0);
+  auto id = std::make_shared<EventId>(0);
+  *id = e.schedule_every(1.0, [&e, fires, id] {
+    if (++*fires == 2) e.cancel(*id);
+  });
+  e.run_until(50.0);
+  EXPECT_EQ(*fires, 2);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_FALSE(e.cancel(*id));  // already gone
+}
+
+TEST(Engine, PeriodicCallbackMaySchedule) {
+  // Scheduling from inside a periodic callback can rehash the periodic map;
+  // the callback must survive (it is restored into the surviving entry).
+  Engine e;
+  int periodic_fires = 0;
+  int oneshot_fires = 0;
+  e.schedule_every(1.0, [&] {
+    ++periodic_fires;
+    for (int i = 0; i < 8; ++i) {
+      e.schedule_in(0.25, [&] { ++oneshot_fires; });
+    }
+  });
+  e.run_until(4.5);
+  EXPECT_EQ(periodic_fires, 4);
+  EXPECT_EQ(oneshot_fires, 32);
+  EXPECT_EQ(e.pending(), 1u);  // just the periodic remains
 }
 
 TEST(Engine, ManyEventsStressOrdering) {
