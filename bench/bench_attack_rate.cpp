@@ -12,14 +12,14 @@
 #include "bench_common.hpp"
 #include "experiments/extensions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin("bench_attack_rate — Q_d detectability sweep",
+  auto run = bench::begin(argc, argv, "bench_attack_rate — Q_d detectability sweep",
                           "Sec. 3.3 extension (warning-threshold blind spot)");
   const std::size_t agents = std::min<std::size_t>(100, run.scale.peers / 10);
   const auto rows =
       experiments::run_attack_rate_sweep(run.scale, agents, run.seed);
-  bench::finish(experiments::attack_rate_table(rows),
+  bench::finish(run, experiments::attack_rate_table(rows),
                 "attack sourcing rate vs detection and damage", "attack_rate");
   return 0;
 }

@@ -10,13 +10,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin("bench_cheat_ablation — cheating strategies",
+  auto run = bench::begin(argc, argv, "bench_cheat_ablation — cheating strategies",
                           "Sec. 3.4 (cheating case analysis)");
   const std::size_t agents = std::min<std::size_t>(50, run.scale.peers / 12);
   const auto rows = experiments::run_cheat_ablation(run.scale, agents, run.seed);
-  bench::finish(experiments::cheat_table(rows),
+  bench::finish(run, experiments::cheat_table(rows),
                 "Sec. 3.4 — agent cheating strategies vs detection",
                 "cheat_ablation");
   return 0;

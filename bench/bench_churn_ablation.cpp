@@ -9,13 +9,13 @@
 #include "bench_common.hpp"
 #include "experiments/extensions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin("bench_churn_ablation — membership dynamics",
+  auto run = bench::begin(argc, argv, "bench_churn_ablation — membership dynamics",
                           "DESIGN.md ablation (churn sensitivity, Sec. 3.5)");
   const std::size_t agents = std::min<std::size_t>(100, run.scale.peers / 10);
   const auto rows = experiments::run_churn_ablation(run.scale, agents, run.seed);
-  bench::finish(experiments::churn_table(rows),
+  bench::finish(run, experiments::churn_table(rows),
                 "DD-POLICE error counts across churn regimes",
                 "churn_ablation");
   return 0;

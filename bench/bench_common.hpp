@@ -3,9 +3,12 @@
 /// \file bench_common.hpp
 /// Shared scaffolding for the figure-reproduction benches: run-provenance
 /// banner, scale resolution (DDP_FULL / DDP_TRIALS / DDP_SEED) and CSV
-/// emission next to the binary output.
+/// emission into a shared output directory (default `results/`, override
+/// with `--out-dir=DIR`).
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -18,12 +21,32 @@ namespace ddp::bench {
 struct Run {
   experiments::Scale scale;
   std::uint64_t seed;
+  std::string out_dir = "results";
 };
 
-inline Run begin(const std::string& title, const std::string& paper_ref) {
+/// Parse the shared bench flags out of argv. Only `--out-dir=DIR` (or
+/// `--out-dir DIR`) is recognized; unknown arguments are ignored so each
+/// bench stays forward-compatible with future shared flags.
+inline std::string parse_out_dir(int argc, char** argv) {
+  std::string dir = "results";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kPrefix = "--out-dir=";
+    if (arg.rfind(kPrefix, 0) == 0) {
+      dir = std::string(arg.substr(kPrefix.size()));
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      dir = argv[++i];
+    }
+  }
+  return dir;
+}
+
+inline Run begin(int argc, char** argv, const std::string& title,
+                 const std::string& paper_ref) {
   Run run;
   run.scale = experiments::default_scale();
   run.seed = util::env_seed();
+  run.out_dir = parse_out_dir(argc, argv);
   std::printf("%s\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("scale: %zu peers, %.0f min simulated, %u trial(s), seed %llu%s\n",
@@ -33,10 +56,22 @@ inline Run begin(const std::string& title, const std::string& paper_ref) {
   return run;
 }
 
-inline void finish(const util::Table& table, const std::string& title,
-                   const std::string& csv_name) {
+inline Run begin(const std::string& title, const std::string& paper_ref) {
+  return begin(0, nullptr, title, paper_ref);
+}
+
+inline void finish(const Run& run, const util::Table& table,
+                   const std::string& title, const std::string& csv_name) {
   table.print(std::cout, title);
-  const std::string path = csv_name + ".csv";
+  std::error_code ec;
+  std::filesystem::create_directories(run.out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", run.out_dir.c_str(),
+                 ec.message().c_str());
+    return;
+  }
+  const std::string path =
+      (std::filesystem::path(run.out_dir) / (csv_name + ".csv")).string();
   if (table.write_csv(path)) {
     std::printf("wrote %s\n", path.c_str());
   }

@@ -9,15 +9,15 @@
 #include "bench_common.hpp"
 #include "experiments/extensions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin("bench_defense_compare — defenses head to head",
+  auto run = bench::begin(argc, argv, "bench_defense_compare — defenses head to head",
                           "Sec. 4 quantified (none / naive-cut / fair-share / "
                           "DD-POLICE)");
   const std::size_t agents = std::min<std::size_t>(100, run.scale.peers / 10);
   const auto rows =
       experiments::run_defense_comparison(run.scale, agents, run.seed);
-  bench::finish(experiments::defense_table(rows),
+  bench::finish(run, experiments::defense_table(rows),
                 "defense comparison under identical attack",
                 "defense_compare");
   return 0;

@@ -10,6 +10,8 @@
 #include "core/indicators.hpp"
 #include "flow/network.hpp"
 #include "net/message.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "p2p/network.hpp"
 #include "sim/engine.hpp"
 #include "topology/coverage.hpp"
@@ -81,6 +83,73 @@ void BM_PacketEngineFlood(benchmark::State& state) {
       static_cast<double>(messages) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_PacketEngineFlood);
+
+void BM_PacketEngineFloodProfiled(benchmark::State& state) {
+  // Same flood with an EngineProfiler attached: the delta vs
+  // BM_PacketEngineFlood is the cost of per-dispatch wall-clock sampling.
+  util::Rng rng(3);
+  topology::Graph g = topology::paper_topology(200, rng);
+  workload::ContentConfig cc;
+  const workload::ContentModel content(cc, 200);
+  obs::EngineProfiler profiler;
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.set_profiler(&profiler);
+    p2p::P2pConfig cfg;
+    p2p::PacketNetwork net(g, content, engine, cfg, util::Rng(4));
+    net.issue_query(0, 1);
+    engine.run_until(60.0);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(profiler.total_events()));
+  state.counters["transmit_mean_us"] =
+      profiler.stats(obs::EventCategory::kTransmit).mean_us();
+  state.counters["service_mean_us"] =
+      profiler.stats(obs::EventCategory::kService).mean_us();
+  state.counters["max_pending"] = static_cast<double>(profiler.max_pending());
+}
+BENCHMARK(BM_PacketEngineFloodProfiled);
+
+void BM_PacketEngineFloodTraced(benchmark::State& state) {
+  // Same flood with a ring-buffer trace sink bound: the delta vs
+  // BM_PacketEngineFlood is the full tracing cost (event build + store).
+  util::Rng rng(3);
+  topology::Graph g = topology::paper_topology(200, rng);
+  workload::ContentConfig cc;
+  const workload::ContentModel content(cc, 200);
+  obs::RingBufferSink sink(4096);
+  for (auto _ : state) {
+    sim::Engine engine;
+    p2p::P2pConfig cfg;
+    p2p::PacketNetwork net(g, content, engine, cfg, util::Rng(4));
+    net.set_trace_sink(&sink);
+    net.issue_query(0, 1);
+    engine.run_until(60.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sink.total()));
+  state.counters["events/flood"] = static_cast<double>(sink.total()) /
+                                   static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PacketEngineFloodTraced);
+
+void BM_TraceEventSerialize(benchmark::State& state) {
+  // JSONL serialization throughput of one fully-populated event.
+  obs::TraceEvent e;
+  e.t = 123.456;
+  e.type = obs::EventType::kIndicatorComputed;
+  e.a = 17;
+  e.b = 42;
+  e.add_field("g", 165.87);
+  e.add_field("s", 132.537);
+  e.add_field("k", 8.0);
+  e.add_field("responders", 7.0);
+  for (auto _ : state) {
+    auto line = obs::to_jsonl(e);
+    benchmark::DoNotOptimize(line);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEventSerialize);
 
 void BM_FlowEngineMinute(benchmark::State& state) {
   // One simulated minute of the flow engine at the given overlay size.

@@ -8,15 +8,15 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin(
+  auto run = bench::begin(argc, argv,
       "bench_exchange_freq — neighbour-list exchange frequency study",
       "Sec. 3.7.1 (frequency of neighbor list exchanging)");
   const std::size_t agents = std::min<std::size_t>(50, run.scale.peers / 12);
   const auto rows = experiments::run_exchange_frequency_study(
       run.scale, {1.0, 2.0, 4.0, 5.0, 10.0}, true, agents, run.seed);
-  bench::finish(experiments::exchange_frequency_table(rows),
+  bench::finish(run, experiments::exchange_frequency_table(rows),
                 "Sec. 3.7.1 — exchange policy vs errors and overhead",
                 "exchange_freq");
   return 0;

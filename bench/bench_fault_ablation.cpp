@@ -13,9 +13,9 @@
 #include "bench_common.hpp"
 #include "experiments/extensions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin("bench_fault_ablation — DD-POLICE on a lossy wire",
+  auto run = bench::begin(argc, argv, "bench_fault_ablation — DD-POLICE on a lossy wire",
                           "robustness extension (control-plane loss x jitter "
                           "sweep with timeout/retry)");
   const std::size_t agents = std::min<std::size_t>(100, run.scale.peers / 10);
@@ -23,7 +23,7 @@ int main() {
   const std::vector<double> jitters{0.0, 4.0};
   const auto rows = experiments::run_fault_ablation(run.scale, agents,
                                                     run.seed, losses, jitters);
-  bench::finish(experiments::fault_table(rows),
+  bench::finish(run, experiments::fault_table(rows),
                 "detection quality vs control-plane degradation",
                 "fault_ablation");
   return 0;

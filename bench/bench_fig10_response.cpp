@@ -5,13 +5,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  const auto run = bench::begin(
+  const auto run = bench::begin(argc, argv,
       "bench_fig10_response — average response time vs #DDoS agents",
       "Figure 10 (query response time)");
   const auto rows = experiments::run_agent_sweep(run.scale, run.seed);
-  bench::finish(experiments::fig10_response_table(rows),
+  bench::finish(run, experiments::fig10_response_table(rows),
                 "Figure 10 — average response time (seconds)",
                 "fig10_response");
   return 0;

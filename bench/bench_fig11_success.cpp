@@ -5,13 +5,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  const auto run = bench::begin(
+  const auto run = bench::begin(argc, argv,
       "bench_fig11_success — query success rate vs #DDoS agents",
       "Figure 11 (success rate)");
   const auto rows = experiments::run_agent_sweep(run.scale, run.seed);
-  bench::finish(experiments::fig11_success_table(rows),
+  bench::finish(run, experiments::fig11_success_table(rows),
                 "Figure 11 — average success rate (%)", "fig11_success");
   return 0;
 }

@@ -8,14 +8,14 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin("bench_fig13_errors — errors vs cut threshold",
+  auto run = bench::begin(argc, argv, "bench_fig13_errors — errors vs cut threshold",
                           "Figure 13 (errors vs. cut threshold)");
   const std::size_t agents = std::min<std::size_t>(100, run.scale.peers / 10);
   const auto rows = experiments::run_ct_sweep(
       run.scale, {1.0, 2.0, 3.0, 5.0, 7.0, 9.0, 12.0}, agents, run.seed);
-  bench::finish(experiments::fig13_errors_table(rows),
+  bench::finish(run, experiments::fig13_errors_table(rows),
                 "Figure 13 — errors vs cut threshold", "fig13_errors");
   return 0;
 }

@@ -7,15 +7,15 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin(
+  auto run = bench::begin(argc, argv,
       "bench_fig14_recovery — damage recovery time vs cut threshold",
       "Figure 14 (damage recovery time vs. cut threshold)");
   const std::size_t agents = std::min<std::size_t>(100, run.scale.peers / 10);
   const auto rows = experiments::run_ct_sweep(
       run.scale, {1.0, 2.0, 3.0, 5.0, 7.0, 9.0, 12.0}, agents, run.seed);
-  bench::finish(experiments::fig14_recovery_table(rows),
+  bench::finish(run, experiments::fig14_recovery_table(rows),
                 "Figure 14 — damage recovery time (minutes)", "fig14_recovery");
   return 0;
 }

@@ -6,9 +6,9 @@
 #include "bench_common.hpp"
 #include "p2p/testbed.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  const auto run = bench::begin(
+  const auto run = bench::begin(argc, argv,
       "bench_fig5_capacity — single-peer query processing under load",
       "Figure 5 (queries sent out vs. processed)");
 
@@ -24,7 +24,7 @@ int main() {
         .cell(p.processed_per_minute, 0)
         .cell(p.received_by_b, 0);
   }
-  bench::finish(t, "Figure 5 — queries sent vs processed (per minute)",
+  bench::finish(run, t, "Figure 5 — queries sent vs processed (per minute)",
                 "fig5_capacity");
   return 0;
 }

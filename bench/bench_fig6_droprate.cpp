@@ -5,9 +5,9 @@
 #include "bench_common.hpp"
 #include "p2p/testbed.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  const auto run = bench::begin(
+  const auto run = bench::begin(argc, argv,
       "bench_fig6_droprate — drop rate vs query density",
       "Figure 6 (query drop rate vs. query density)");
 
@@ -20,6 +20,6 @@ int main() {
   for (const auto& p : points) {
     t.row().cell(p.sent_per_minute, 0).cell(p.drop_rate * 100.0, 1);
   }
-  bench::finish(t, "Figure 6 — drop rate vs query density", "fig6_droprate");
+  bench::finish(run, t, "Figure 6 — drop rate vs query density", "fig6_droprate");
   return 0;
 }

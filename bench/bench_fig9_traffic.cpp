@@ -7,13 +7,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  const auto run = bench::begin(
+  const auto run = bench::begin(argc, argv,
       "bench_fig9_traffic — average traffic cost vs #DDoS agents",
       "Figure 9 (average traffic cost)");
   const auto rows = experiments::run_agent_sweep(run.scale, run.seed);
-  bench::finish(experiments::fig9_traffic_table(rows),
+  bench::finish(run, experiments::fig9_traffic_table(rows),
                 "Figure 9 — average traffic cost (10^3 msgs/min)",
                 "fig9_traffic");
   return 0;

@@ -8,13 +8,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin("bench_r_ablation — DD-POLICE-r buddy radius",
+  auto run = bench::begin(argc, argv, "bench_r_ablation — DD-POLICE-r buddy radius",
                           "Sec. 3.5 (DD-POLICE-r, r > 1)");
   const std::size_t agents = std::min<std::size_t>(50, run.scale.peers / 12);
   const auto rows = experiments::run_radius_ablation(run.scale, agents, run.seed);
-  bench::finish(experiments::radius_table(rows),
+  bench::finish(run, experiments::radius_table(rows),
                 "Sec. 3.5 — buddy radius ablation", "r_ablation");
   return 0;
 }

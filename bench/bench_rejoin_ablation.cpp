@@ -10,13 +10,13 @@
 #include "bench_common.hpp"
 #include "experiments/extensions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin("bench_rejoin_ablation — attacker persistence",
+  auto run = bench::begin(argc, argv, "bench_rejoin_ablation — attacker persistence",
                           "Sec. 3.7.2 extension (agents rejoining)");
   const std::size_t agents = std::min<std::size_t>(100, run.scale.peers / 10);
   const auto rows = experiments::run_rejoin_study(run.scale, agents, run.seed);
-  bench::finish(experiments::rejoin_table(rows),
+  bench::finish(run, experiments::rejoin_table(rows),
                 "steady state under persistent attackers", "rejoin_ablation");
   return 0;
 }

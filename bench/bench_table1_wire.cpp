@@ -9,9 +9,9 @@
 #include "net/message.hpp"
 #include "util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  bench::begin("bench_table1_wire — Neighbor_Traffic message body",
+  const auto run = bench::begin(argc, argv, "bench_table1_wire — Neighbor_Traffic message body",
                "Table 1 (Neighbor Traffic message body)");
 
   net::NeighborTraffic nt;
@@ -32,7 +32,7 @@ int main() {
       std::to_string(nt.outgoing_queries));
   t.row().cell("# of Incoming queries").cell("16-19").cell(
       std::to_string(nt.incoming_queries));
-  bench::finish(t, "Table 1 — Neighbor_Traffic body (20 bytes, type 0x83)",
+  bench::finish(run, t, "Table 1 — Neighbor_Traffic body (20 bytes, type 0x83)",
                 "table1_wire");
 
   // Round-trip through the full descriptor framing.

@@ -9,14 +9,14 @@
 #include "bench_common.hpp"
 #include "experiments/extensions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ddp;
-  auto run = bench::begin("bench_topology_ablation — overlay families",
+  auto run = bench::begin(argc, argv, "bench_topology_ablation — overlay families",
                           "DESIGN.md ablation (topology robustness)");
   const std::size_t agents = std::min<std::size_t>(100, run.scale.peers / 10);
   const auto rows =
       experiments::run_topology_ablation(run.scale, agents, run.seed);
-  bench::finish(experiments::topology_table(rows),
+  bench::finish(run, experiments::topology_table(rows),
                 "DD-POLICE across topology families", "topology_ablation");
   return 0;
 }

@@ -21,13 +21,22 @@
 //   data_faults[0]       also degrade the query data plane
 //   retries[2] timeout[5] retry/collect-timeout knobs of the hardened plane
 //   csv[-]               write the series to this file
+//
+// Observability:
+//   trace[-]             write a JSONL event trace of the scenario run
+//                        (inspect with trace_tool mode=inspect/summary)
+//   profile[0]           print the wall-clock phase profile of the run
+//   metrics_csv[-]       write per-minute metric snapshots as CSV
+//   metrics_json[-]      write final metric values (incl. histograms) as JSON
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "experiments/scenario.hpp"
 #include "metrics/damage.hpp"
+#include "obs/trace.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 
@@ -100,6 +109,23 @@ int main(int argc, char** argv) {
   cfg.ddpolice.max_exchange_retries = cfg.ddpolice.max_report_retries;
   cfg.ddpolice.collect_timeout_seconds = opts.get("timeout", 5.0);
 
+  // Observability plane.
+  const std::string trace_path = opts.get("trace", std::string("-"));
+  std::unique_ptr<obs::JsonlFileSink> trace_sink;
+  if (trace_path != "-") {
+    trace_sink = std::make_unique<obs::JsonlFileSink>(trace_path);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "ddpsim: cannot open trace file %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    cfg.obs.trace_sink = trace_sink.get();
+  }
+  const std::string metrics_csv = opts.get("metrics_csv", std::string("-"));
+  const std::string metrics_json = opts.get("metrics_json", std::string("-"));
+  cfg.obs.metrics = metrics_csv != "-" || metrics_json != "-";
+  cfg.obs.profile = opts.get("profile", false);
+
   std::printf("ddpsim: %zu peers (%s), %zu agents, defense=%s, %s\n",
               cfg.topo.nodes, topo.c_str(), cfg.attack.agents, def.c_str(),
               opts.summary().c_str());
@@ -145,6 +171,24 @@ int main(int argc, char** argv) {
   const std::string csv = opts.get("csv", std::string("-"));
   if (csv != "-") {
     if (t.write_csv(csv)) std::printf("wrote %s\n", csv.c_str());
+  }
+
+  if (r.profile != nullptr) {
+    std::printf("\n%s", r.profile->report().c_str());
+  }
+  if (trace_sink != nullptr) {
+    trace_sink->flush();
+    std::printf("wrote %llu trace events to %s\n",
+                static_cast<unsigned long long>(trace_sink->lines()),
+                trace_path.c_str());
+  }
+  if (r.metrics_registry != nullptr) {
+    if (metrics_csv != "-" && r.metrics_registry->write_csv(metrics_csv)) {
+      std::printf("wrote %s\n", metrics_csv.c_str());
+    }
+    if (metrics_json != "-" && r.metrics_registry->write_json(metrics_json)) {
+      std::printf("wrote %s\n", metrics_json.c_str());
+    }
   }
   return 0;
 }

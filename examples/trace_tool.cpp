@@ -1,15 +1,24 @@
-// Query-trace tooling: generate a synthetic Gnutella-style query trace
-// (the stand-in for the paper's 24 h / 13M-query capture) or analyze an
-// existing one.
+// Trace tooling. Two families of traces flow through here:
+//
+//  * workload query traces — generate a synthetic Gnutella-style query
+//    trace (the stand-in for the paper's 24 h / 13M-query capture) or
+//    analyze an existing one;
+//  * simulation event traces — the JSONL streams written by the obs layer
+//    (ddpsim trace=run.jsonl): filter them, summarize the defense
+//    storyline, or schema-validate them.
 //
 // Usage:
 //   trace_tool gen  out=trace.log [count=100000] [rate=151.3] [vocab=50000] [seed=1]
 //   trace_tool stats in=trace.log
+//   trace_tool inspect  in=run.jsonl [peer=N] [type=suspect_cut] [tmin=S] [tmax=S] [limit=50]
+//   trace_tool summary  in=run.jsonl
+//   trace_tool validate in=run.jsonl
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#include "obs/trace_read.hpp"
 #include "util/config.hpp"
 #include "workload/trace.hpp"
 
@@ -63,6 +72,109 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::fprintf(stderr, "usage: trace_tool gen|stats [key=value ...]\n");
+  if (mode == "inspect" || mode == "summary" || mode == "validate") {
+    const std::string in = opts.get("in", std::string("run.jsonl"));
+    std::ifstream f(in);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", in.c_str());
+      return 1;
+    }
+
+    if (mode == "validate") {
+      std::vector<obs::SchemaError> errors;
+      const auto records = obs::validate_trace(f, errors);
+      for (const auto& e : errors) {
+        std::fprintf(stderr, "%s:%zu: %s\n", in.c_str(), e.line,
+                     e.message.c_str());
+      }
+      if (!errors.empty()) {
+        std::printf("%s: INVALID (%zu schema error%s, %zu lines parsed)\n",
+                    in.c_str(), errors.size(), errors.size() == 1 ? "" : "s",
+                    records.size());
+        return 1;
+      }
+      std::printf("%s: OK (%zu events, schema-valid)\n", in.c_str(),
+                  records.size());
+      return 0;
+    }
+
+    const auto records = obs::read_trace_records(f);
+
+    if (mode == "summary") {
+      const obs::TraceSummary s = obs::summarize_trace(records);
+      std::printf("trace %s: %llu events, t %.1f..%.1f s\n", in.c_str(),
+                  static_cast<unsigned long long>(s.records), s.first_t,
+                  s.last_t);
+      std::printf("  by type:\n");
+      for (std::size_t i = 0; i < obs::kEventTypeCount; ++i) {
+        if (s.by_type[i] == 0) continue;
+        std::printf("    %-18s %llu\n",
+                    obs::event_name(static_cast<obs::EventType>(i)),
+                    static_cast<unsigned long long>(s.by_type[i]));
+      }
+      if (s.unknown_types > 0) {
+        std::printf("    (unknown types)    %llu\n",
+                    static_cast<unsigned long long>(s.unknown_types));
+      }
+      std::printf("  defense: %llu suspects flagged, %llu cut, %llu list "
+                  "violations",
+                  static_cast<unsigned long long>(s.suspects_flagged),
+                  static_cast<unsigned long long>(s.suspects_cut),
+                  static_cast<unsigned long long>(s.list_violations));
+      if (s.mean_flag_to_cut_minutes >= 0.0) {
+        std::printf(", mean flag-to-cut %.2f min", s.mean_flag_to_cut_minutes);
+      }
+      std::printf("\n");
+      if (s.fault_events > 0 || s.control_timeouts > 0 ||
+          s.control_retries > 0) {
+        std::printf("  faults: %llu fault events, %llu control timeouts, "
+                    "%llu retries\n",
+                    static_cast<unsigned long long>(s.fault_events),
+                    static_cast<unsigned long long>(s.control_timeouts),
+                    static_cast<unsigned long long>(s.control_retries));
+      }
+      return 0;
+    }
+
+    // inspect: filter and print matching events.
+    obs::TraceFilter filter;
+    const auto peer = opts.get("peer", std::int64_t{-1});
+    if (peer >= 0) filter.peer = static_cast<PeerId>(peer);
+    const std::string type = opts.get("type", std::string());
+    if (!type.empty()) {
+      const auto known = obs::event_from_name(type);
+      if (!known) {
+        std::fprintf(stderr, "unknown event type '%s'\n", type.c_str());
+        return 2;
+      }
+      filter.type = known;
+    }
+    filter.t_min = opts.get("tmin", -1.0);
+    filter.t_max = opts.get("tmax", -1.0);
+    const auto limit =
+        static_cast<std::size_t>(opts.get("limit", std::int64_t{50}));
+
+    std::size_t matched = 0, printed = 0;
+    for (const auto& r : records) {
+      if (!filter.matches(r)) continue;
+      ++matched;
+      if (printed >= limit) continue;
+      ++printed;
+      std::printf("t=%-9.2f %-18s", r.t, r.type.c_str());
+      if (r.a != kInvalidPeer) std::printf(" a=%u", r.a);
+      if (r.b != kInvalidPeer) std::printf(" b=%u", r.b);
+      for (const auto& [k, v] : r.kv) std::printf(" %s=%g", k.c_str(), v);
+      if (!r.note.empty()) std::printf(" note=\"%s\"", r.note.c_str());
+      std::printf("\n");
+    }
+    std::printf("%zu of %zu events matched", matched, records.size());
+    if (matched > printed) std::printf(" (%zu shown; raise limit=)", printed);
+    std::printf("\n");
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "usage: trace_tool gen|stats|inspect|summary|validate "
+               "[key=value ...]\n");
   return 2;
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# One-stop pre-merge gate.
+#
+#   scripts/check.sh          # tier-1: configure, build, ctest, trace check
+#   scripts/check.sh --asan   # tier-1 plus the ASan+UBSan suite (slow)
+#
+# Tier-1 is the contract every PR must keep green: the default-preset
+# build, the full ctest suite, and an end-to-end observability check —
+# a small traced scenario run through ddpsim whose JSONL output must be
+# schema-valid per `trace_tool validate`, and deterministic (same seed
+# twice => byte-identical trace files).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_asan=1 ;;
+    *) echo "unknown argument: $arg (expected --asan)" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure + build (default preset) =="
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+
+echo "== ctest (tier-1 suite) =="
+ctest --preset default
+
+echo "== traced scenario: schema validation + determinism =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./build/examples/ddpsim peers=120 agents=12 minutes=8 seed=7 \
+    trace="$tmp/a.jsonl" > /dev/null
+./build/examples/ddpsim peers=120 agents=12 minutes=8 seed=7 \
+    trace="$tmp/b.jsonl" > /dev/null
+./build/examples/trace_tool validate in="$tmp/a.jsonl"
+if ! cmp -s "$tmp/a.jsonl" "$tmp/b.jsonl"; then
+  echo "FAIL: same-seed traces differ (determinism regression)" >&2
+  exit 1
+fi
+echo "trace determinism: OK (same seed => byte-identical JSONL)"
+
+if [ "$run_asan" -eq 1 ]; then
+  echo "== ASan + UBSan suite =="
+  scripts/sanitize.sh
+fi
+
+echo "All checks passed."

@@ -58,6 +58,8 @@ void AttackScenario::start() {
   }
   util::log_info("attack: campaign started with " + std::to_string(picked) +
                  " agents");
+  DDP_TRACE(tracer_, obs::EventType::kAttackStarted, net_.now(), kInvalidPeer,
+            kInvalidPeer, {{"agents", static_cast<double>(picked)}});
 }
 
 void AttackScenario::on_minute(double minute) {
@@ -86,6 +88,8 @@ void AttackScenario::on_minute(double minute) {
         if (added > 0) {
           rejoin_due_[a] = -1.0;
           ++rejoins_;
+          DDP_TRACE(tracer_, obs::EventType::kAgentRejoined, net_.now(), a,
+                    kInvalidPeer, {{"links", static_cast<double>(added)}});
         }
       }
       continue;

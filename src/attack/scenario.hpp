@@ -12,6 +12,7 @@
 
 #include "attack/strategy.hpp"
 #include "flow/network.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace ddp::attack {
@@ -46,12 +47,18 @@ class AttackScenario {
   /// Number of rejoin events so far.
   std::size_t rejoins() const noexcept { return rejoins_; }
 
+  /// Attach a trace sink (null detaches). Emits attack_started at campaign
+  /// launch and agent_rejoined whenever an isolated agent walks back in.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+
  private:
   void start();
 
   flow::FlowNetwork& net_;
   AttackConfig config_;
   util::Rng rng_;
+  obs::Tracer tracer_;
   std::vector<PeerId> agents_;
   std::vector<char> is_agent_;
   std::vector<double> rejoin_due_;  ///< per-agent pending rejoin minute (<0: none)

@@ -176,6 +176,8 @@ void DdPolice::advertise_to(PeerId p, PeerId receiver, double minute) {
   snap.prev_members = std::move(snap.members);
   snap.members = advertised;
   snap.minute = minute;
+  DDP_TRACE(tracer_, obs::EventType::kNeighborListSent, minute * kMinute, p,
+            receiver, {{"entries", static_cast<double>(advertised.size())}});
 
   if (!config_.verify_neighbor_lists) return;
   // Consistency check (Sec. 3.1). Fabricated entries: the receiver
@@ -209,6 +211,8 @@ void DdPolice::advertise_to(PeerId p, PeerId receiver, double minute) {
     d.suspect = p;
     d.list_violation = true;
     decisions_.push_back(d);
+    DDP_TRACE(tracer_, obs::EventType::kListViolation, minute * kMinute, p,
+              receiver);
     port_.disconnect(receiver, p);
   }
 }
@@ -233,9 +237,12 @@ void DdPolice::detection_phase(double minute) {
   for (PeerId i = 0; i < g.node_count(); ++i) {
     if (!g.is_active(i)) continue;
     for (PeerId j : g.neighbors(i)) {
-      if (port_.sent_last_minute(j, i) > config_.warning_threshold) {
+      const double out = port_.sent_last_minute(j, i);
+      if (out > config_.warning_threshold) {
         ++suspicions_;
         judges_by_suspect[j].push_back(i);
+        DDP_TRACE(tracer_, obs::EventType::kSuspectFlagged, minute * kMinute,
+                  j, i, {{"out", out}});
       }
     }
   }
@@ -294,12 +301,19 @@ MemberReport DdPolice::collect_report(PeerId member, PeerId suspect,
     // every silent request runs the full timeout/retry loop.
     return collect_over_faulty_transport(member, suspect, answer, minute);
   }
+  DDP_TRACE(tracer_, obs::EventType::kTrafficRequest, minute * kMinute,
+            member, suspect);
   if (!reachable || !answer) {
     r.responded = false;  // timeout: counters stay zero (Sec. 3.4)
+    DDP_TRACE(tracer_, obs::EventType::kTrafficTimeout, minute * kMinute,
+              member, suspect);
     return r;
   }
   r.out_to_suspect = answer->out_to_suspect;
   r.in_from_suspect = answer->in_from_suspect;
+  DDP_TRACE(tracer_, obs::EventType::kTrafficReply, minute * kMinute, member,
+            suspect,
+            {{"out", r.out_to_suspect}, {"in", r.in_from_suspect}});
   return r;
 }
 
@@ -311,6 +325,8 @@ MemberReport DdPolice::collect_over_faulty_transport(
   MemberReport r;
   r.member = member;
   r.responded = false;
+  DDP_TRACE(tracer_, obs::EventType::kTrafficRequest, minute * kMinute,
+            member, suspect);
   const int attempts = 1 + std::max(0, config_.max_report_retries);
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
@@ -319,6 +335,8 @@ MemberReport DdPolice::collect_over_faulty_transport(
                                    static_cast<double>(1 << (attempt - 1));
       ++traffic_messages_;  // the re-sent request
       port_.report_overhead(1.0);
+      DDP_TRACE(tracer_, obs::EventType::kTrafficRetry, minute * kMinute,
+                member, suspect, {{"attempt", static_cast<double>(attempt)}});
     }
     // Request leg.
     const fault::Transfer req = ch.transfer();
@@ -343,12 +361,16 @@ MemberReport DdPolice::collect_over_faulty_transport(
     const auto decoded = net::decode(bytes);
     if (!decoded || decoded->type() != net::PayloadType::kNeighborTraffic) {
       ++ctr.corrupt_rejects;
+      DDP_TRACE(tracer_, obs::EventType::kCorruptReject, minute * kMinute,
+                member, suspect);
       continue;
     }
     const auto& got = std::get<net::NeighborTraffic>(decoded->payload);
     if (got.source_ip != member || got.suspect_ip != suspect) {
       // Structured validation: identity fields altered in flight.
       ++ctr.corrupt_rejects;
+      DDP_TRACE(tracer_, obs::EventType::kCorruptReject, minute * kMinute,
+                member, suspect);
       continue;
     }
     // Round trip: request + reply latency, the latter scaled by the
@@ -357,14 +379,21 @@ MemberReport DdPolice::collect_over_faulty_transport(
         req.delay + resp.delay * fault_->peers().latency_factor(member);
     if (rtt > config_.collect_timeout_seconds) {
       ++ctr.late_replies;
+      DDP_TRACE(tracer_, obs::EventType::kLateReply, minute * kMinute, member,
+                suspect, {{"rtt", rtt}});
       continue;
     }
     r.out_to_suspect = got.outgoing_queries;
     r.in_from_suspect = got.incoming_queries;
     r.responded = true;
+    DDP_TRACE(tracer_, obs::EventType::kTrafficReply, minute * kMinute,
+              member, suspect,
+              {{"out", r.out_to_suspect}, {"in", r.in_from_suspect}});
     return r;
   }
   ++ctr.timeouts;  // retries exhausted: count-as-zero (Sec. 3.4)
+  DDP_TRACE(tracer_, obs::EventType::kTrafficTimeout, minute * kMinute,
+            member, suspect);
   return r;
 }
 
@@ -441,6 +470,18 @@ void DdPolice::run_round(PeerId suspect, const std::vector<PeerId>& judges,
     // has nobody to corroborate with, so the protocol cannot conclude
     // (the suspect may simply be forwarding for peers unknown to us).
     if (reports.size() < 2) continue;
+    if (tracer_.on()) {
+      double responders = 0.0;
+      for (const auto& r : reports) {
+        if (r.responded) responders += 1.0;
+      }
+      tracer_.emit(obs::EventType::kIndicatorComputed, minute * kMinute,
+                   suspect, judge,
+                   {{"g", gval},
+                    {"s", sval},
+                    {"k", static_cast<double>(reports.size())},
+                    {"responders", responders}});
+    }
     if (is_bad(gval, sval, config_.cut_threshold)) {
       Decision d;
       d.minute = minute;
@@ -456,6 +497,11 @@ void DdPolice::run_round(PeerId suspect, const std::vector<PeerId>& judges,
       d.true_degree = static_cast<std::uint32_t>(g.degree(suspect));
       decisions_.push_back(d);
       pending_disconnects_.emplace_back(judge, suspect);
+      DDP_TRACE(tracer_, obs::EventType::kSuspectCut, minute * kMinute,
+                suspect, judge,
+                {{"g", gval},
+                 {"s", sval},
+                 {"via_single", d.via_single ? 1.0 : 0.0}});
     }
   }
 }

@@ -32,6 +32,7 @@
 #include "core/indicators.hpp"
 #include "core/overlay_port.hpp"
 #include "fault/plane.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -88,6 +89,14 @@ class DdPolice {
   /// Timeout/retry/corrupt-reject counters (zeros without a fault plane).
   const fault::ControlCounters& control_stats() const noexcept;
 
+  /// Attach a trace sink (null detaches). Emits the control-plane
+  /// vocabulary: neighbor_list / list_violation on exchanges,
+  /// suspect_flagged / indicator / suspect_cut during detection, and
+  /// traffic_request/reply/retry/timeout plus corrupt_reject / late_reply
+  /// for each Neighbor_Traffic collection.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+
   /// Run one protocol step; call at every completed simulated minute.
   void on_minute(double minute);
 
@@ -135,6 +144,7 @@ class DdPolice {
   OverlayPort& port_;
   DdPoliceConfig config_;
   util::Rng rng_;
+  obs::Tracer tracer_;
   ReportPolicy report_policy_;
   ListPolicy list_policy_;
   fault::FaultPlane* fault_ = nullptr;

@@ -158,38 +158,149 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
   }
 
+  // Observability plane. Tracing binds the caller's sink to every
+  // instrumented subsystem; it only observes, so an untraced run is
+  // bit-identical. Profiling wraps each minute hook in a wall-clock scope;
+  // the metrics hook runs last so it snapshots the settled minute.
+  if (config.obs.trace_sink != nullptr) {
+    net.set_trace_sink(config.obs.trace_sink);
+    churn.set_trace_sink(config.obs.trace_sink);
+    atk.set_trace_sink(config.obs.trace_sink);
+    if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
+      ddp->protocol().set_trace_sink(config.obs.trace_sink);
+    }
+    if (plane != nullptr) {
+      plane->peers().set_trace_sink(config.obs.trace_sink);
+    }
+  }
+  std::shared_ptr<obs::PhaseProfiler> profiler;
+  std::size_t ph_churn = 0, ph_attack = 0, ph_fault = 0, ph_defense = 0,
+              ph_maintenance = 0;
+  if (config.obs.profile) {
+    profiler = std::make_shared<obs::PhaseProfiler>();
+    ph_churn = profiler->phase("churn");
+    ph_attack = profiler->phase("attack");
+    ph_fault = profiler->phase("fault");
+    ph_defense = profiler->phase("defense");
+    ph_maintenance = profiler->phase("maintenance");
+  }
+  obs::PhaseProfiler* prof = profiler.get();
+  const auto timed = [prof](std::size_t ph, auto&& fn) {
+    if (prof != nullptr) {
+      obs::PhaseProfiler::Scope scope(*prof, ph);
+      fn();
+    } else {
+      fn();
+    }
+  };
+
   util::Rng maint_rng = master.fork("maintenance");
   // Hook order matters: churn first (membership), then the attack campaign
   // (start/rejoin), then faults (crash/stall the current membership), then
   // the defense (reads last-minute counters), then overlay maintenance
   // (re-links what the defense cut).
-  net.add_minute_hook([&](double m) { churn.on_minute(m); });
-  net.add_minute_hook([&](double m) { atk.on_minute(m); });
+  net.add_minute_hook(
+      [&, timed](double m) { timed(ph_churn, [&] { churn.on_minute(m); }); });
+  net.add_minute_hook(
+      [&, timed](double m) { timed(ph_attack, [&] { atk.on_minute(m); }); });
   if (plane != nullptr) {
     fault::FaultPlane* plane_raw = plane.get();
-    net.add_minute_hook([&net, plane_raw](double m) {
-      plane_raw->on_minute(m);
-      // Churn can resurrect a crash-stopped peer (rejoin draws know nothing
-      // of the fault process): put it back down — crash-stop is permanent.
-      auto& g = net.mutable_graph();
-      for (PeerId p = 0; p < g.node_count(); ++p) {
-        if (plane_raw->peers().is_crashed(p) && g.is_active(p)) {
-          net.on_peer_offline(p);
-          g.set_active(p, false);
+    net.add_minute_hook([&net, plane_raw, timed, ph_fault](double m) {
+      timed(ph_fault, [&] {
+        plane_raw->on_minute(m);
+        // Churn can resurrect a crash-stopped peer (rejoin draws know
+        // nothing of the fault process): put it back down — crash-stop is
+        // permanent.
+        auto& g = net.mutable_graph();
+        for (PeerId p = 0; p < g.node_count(); ++p) {
+          if (plane_raw->peers().is_crashed(p) && g.is_active(p)) {
+            net.on_peer_offline(p);
+            g.set_active(p, false);
+          }
         }
-      }
+      });
     });
   }
   defense::Defense* def_raw = def.get();
-  net.add_minute_hook([def_raw](double m) { def_raw->on_minute(m); });
+  net.add_minute_hook([def_raw, timed, ph_defense](double m) {
+    timed(ph_defense, [&] { def_raw->on_minute(m); });
+  });
   if (config.maintain_overlay) {
-    net.add_minute_hook([&](double /*m*/) {
-      maintain_overlay(net, atk, maint_rng, config.maintain_min_degree,
-                       config.maintain_rate_per_minute);
+    net.add_minute_hook([&, timed](double /*m*/) {
+      timed(ph_maintenance, [&] {
+        maintain_overlay(net, atk, maint_rng, config.maintain_min_degree,
+                         config.maintain_rate_per_minute);
+      });
     });
   }
 
-  net.run_minutes(config.total_minutes);
+  // Metrics snapshots: registered last so every per-minute value reflects
+  // the completed hook pipeline for that minute.
+  std::shared_ptr<obs::MetricsRegistry> registry;
+  if (config.obs.metrics) {
+    registry = std::make_shared<obs::MetricsRegistry>();
+    obs::MetricsRegistry* reg = registry.get();
+    const obs::MetricId m_traffic = reg->gauge("flow.traffic_messages");
+    const obs::MetricId m_attack = reg->gauge("flow.attack_messages");
+    const obs::MetricId m_dropped = reg->gauge("flow.dropped");
+    const obs::MetricId m_success = reg->gauge("flow.success_rate");
+    const obs::MetricId m_response = reg->gauge("flow.response_time");
+    const obs::MetricId m_reach = reg->gauge("flow.reach_per_query");
+    const obs::MetricId m_util = reg->gauge("flow.mean_utilization");
+    const obs::MetricId m_overhead = reg->gauge("flow.overhead_messages");
+    const obs::MetricId m_active = reg->gauge("net.active_peers");
+    const obs::MetricId m_joins = reg->gauge("churn.joins");
+    const obs::MetricId m_leaves = reg->gauge("churn.leaves");
+    const obs::MetricId m_rounds = reg->gauge("defense.rounds");
+    const obs::MetricId m_suspicions = reg->gauge("defense.suspicions");
+    const obs::MetricId m_cuts = reg->gauge("defense.decisions");
+    const obs::MetricId m_timeouts = reg->gauge("fault.timeouts");
+    const obs::MetricId m_retries = reg->gauge("fault.retries");
+    const obs::MetricId m_success_hist =
+        reg->histogram("flow.success_rate_hist", 0.0, 1.0, 20);
+    fault::FaultPlane* plane_raw = plane.get();
+    auto* ddp_raw = dynamic_cast<defense::DdPoliceDefense*>(def.get());
+    net.add_minute_hook([=, &net, &churn](double m) {
+      const auto& r = net.last_minute_report();
+      reg->set(m_traffic, r.traffic_messages);
+      reg->set(m_attack, r.attack_messages);
+      reg->set(m_dropped, r.dropped);
+      reg->set(m_success, r.success_rate);
+      reg->set(m_response, r.response_time);
+      reg->set(m_reach, r.reach_per_query);
+      reg->set(m_util, r.mean_utilization);
+      reg->set(m_overhead, r.overhead_messages);
+      reg->set(m_active, static_cast<double>(net.graph().active_count()));
+      reg->set(m_joins, static_cast<double>(churn.joins()));
+      reg->set(m_leaves, static_cast<double>(churn.leaves()));
+      if (ddp_raw != nullptr) {
+        reg->set(m_rounds, static_cast<double>(ddp_raw->protocol().rounds_run()));
+        reg->set(m_suspicions,
+                 static_cast<double>(ddp_raw->protocol().suspicions()));
+        reg->set(m_cuts,
+                 static_cast<double>(ddp_raw->protocol().decisions().size()));
+      }
+      if (plane_raw != nullptr) {
+        reg->set(m_timeouts, static_cast<double>(plane_raw->control().timeouts));
+        reg->set(m_retries, static_cast<double>(plane_raw->control().retries));
+      }
+      reg->observe(m_success_hist, r.success_rate);
+      reg->snapshot_minute(m);
+    });
+  }
+
+  if (prof != nullptr) {
+    // "flow_ticks" is the engine stepping time *excluding* the hooks, so
+    // the phase shares in the report partition the run's wall clock.
+    const std::size_t ph_run = profiler->phase("flow_ticks");
+    const std::uint64_t t0 = obs::wall_ns();
+    net.run_minutes(config.total_minutes);
+    const std::uint64_t total = obs::wall_ns() - t0;
+    const std::uint64_t hooks = profiler->total_wall_nanos();
+    profiler->add(ph_run, total > hooks ? total - hooks : 0);
+  } else {
+    net.run_minutes(config.total_minutes);
+  }
 
   ScenarioResult result;
   result.history = net.minute_history();
@@ -217,12 +328,18 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
         result.fault_control.corrupt_rejects, result.fault_crashes,
         result.fault_stalls);
   }
+  result.metrics_registry = registry;
+  result.profile = profiler;
+  if (config.obs.trace_sink != nullptr) config.obs.trace_sink->flush();
   return result;
 }
 
 ScenarioResult run_baseline(ScenarioConfig config) {
   config.attack.agents = 0;
   config.defense = defense::Kind::kNone;
+  // The reference curve runs unobserved: a shared trace sink would
+  // otherwise interleave baseline events into the scenario's trace.
+  config.obs = ObsConfig{};
   return run_scenario(config);
 }
 

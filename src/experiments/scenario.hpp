@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "attack/scenario.hpp"
 #include "core/config.hpp"
 #include "defense/defense.hpp"
@@ -18,11 +20,28 @@
 #include "metrics/damage.hpp"
 #include "metrics/errors.hpp"
 #include "metrics/summary.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "topology/generators.hpp"
 #include "workload/churn.hpp"
 #include "workload/content.hpp"
 
 namespace ddp::experiments {
+
+/// Observability plane of one run. All knobs default off, in which case
+/// the scenario constructs nothing, binds nothing, and every engine runs
+/// its exact untraced path (bit-identical results, no extra rng draws).
+struct ObsConfig {
+  /// Caller-owned trace sink; bound to every instrumented subsystem
+  /// (flow, churn, attack, DD-POLICE control plane, fault injector).
+  /// Must outlive run_scenario. Null = tracing off.
+  obs::TraceSink* trace_sink = nullptr;
+  /// Collect per-minute metric snapshots into ScenarioResult::metrics.
+  bool metrics = false;
+  /// Wall-clock profile the minute hooks into ScenarioResult::profile.
+  bool profile = false;
+};
 
 struct ScenarioConfig {
   std::uint64_t seed = 20070710;
@@ -64,6 +83,9 @@ struct ScenarioConfig {
   /// neighbours (host-cache discovery and connection establishment take
   /// time, so being wrongly disconnected carries a real service cost).
   double maintain_rate_per_minute = 0.5;
+
+  // Observability (off by default: zero-cost path).
+  ObsConfig obs{};
 };
 
 struct ScenarioResult {
@@ -83,6 +105,11 @@ struct ScenarioResult {
   fault::ChannelCounters fault_channel{};   ///< link-level fates drawn
   std::size_t fault_crashes = 0;            ///< peers crash-stopped
   std::size_t fault_stalls = 0;             ///< stall episodes
+
+  // Observability outputs (null unless the matching ObsConfig knob is on;
+  // shared_ptr keeps ScenarioResult copyable for the bench harnesses).
+  std::shared_ptr<obs::MetricsRegistry> metrics_registry;
+  std::shared_ptr<obs::PhaseProfiler> profile;
 };
 
 /// Build and run one scenario.

@@ -20,6 +20,7 @@ void PeerFaultInjector::crash(PeerId p) {
   if (crashed_[p]) return;
   crashed_[p] = 1;
   ++crashes_;
+  DDP_TRACE(tracer_, obs::EventType::kFaultCrash, engine_.now(), p);
   if (on_crash) on_crash(p);
 }
 
@@ -29,15 +30,21 @@ void PeerFaultInjector::stall(PeerId p, double until) {
   stalled_until_[p] = std::max(stalled_until_[p], until);
   if (!was_stalled) {
     ++stalls_;
+    DDP_TRACE(tracer_, obs::EventType::kFaultStall, engine_.now(), p,
+              kInvalidPeer, {{"until", until}});
     if (on_stall) on_stall(p);
   }
-  engine_.schedule_at(until, [this, p] {
-    // Resume only if no overlapping stall extended the freeze and the peer
-    // did not crash while frozen.
-    if (crashed_[p] || stalled_until_[p] > engine_.now() + 1e-9) return;
-    ++resumes_;
-    if (on_resume) on_resume(p);
-  });
+  engine_.schedule_at(
+      until,
+      [this, p] {
+        // Resume only if no overlapping stall extended the freeze and the
+        // peer did not crash while frozen.
+        if (crashed_[p] || stalled_until_[p] > engine_.now() + 1e-9) return;
+        ++resumes_;
+        DDP_TRACE(tracer_, obs::EventType::kFaultResume, engine_.now(), p);
+        if (on_resume) on_resume(p);
+      },
+      obs::EventCategory::kFault);
 }
 
 void PeerFaultInjector::on_minute(double minute) {
@@ -57,13 +64,15 @@ void PeerFaultInjector::on_minute(double minute) {
     if (config_.crash_probability_per_minute > 0.0 &&
         rng_.chance(config_.crash_probability_per_minute)) {
       const double at = base + rng_.uniform() * kMinute;
-      engine_.schedule_at(at, [this, p] { crash(p); });
+      engine_.schedule_at(at, [this, p] { crash(p); },
+                          obs::EventCategory::kFault);
     }
     if (config_.stall_probability_per_minute > 0.0 &&
         rng_.chance(config_.stall_probability_per_minute)) {
       const double at = base + rng_.uniform() * kMinute;
       const double until = at + config_.stall_duration_seconds;
-      engine_.schedule_at(at, [this, p, until] { stall(p, until); });
+      engine_.schedule_at(at, [this, p, until] { stall(p, until); },
+                          obs::EventCategory::kFault);
     }
   }
 }

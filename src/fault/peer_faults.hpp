@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
@@ -61,6 +62,11 @@ class PeerFaultInjector {
   /// The private fault timeline (exposed for tests).
   sim::Engine& timeline() noexcept { return engine_; }
 
+  /// Attach a trace sink (null detaches). Emits fault_crash / fault_stall
+  /// / fault_resume at the injected instants (second granularity).
+  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+
  private:
   void crash(PeerId p);
   void stall(PeerId p, double until);
@@ -68,6 +74,7 @@ class PeerFaultInjector {
   PeerFaultConfig config_;
   sim::Engine engine_;
   util::Rng rng_;
+  obs::Tracer tracer_;
   std::vector<char> crashed_;
   std::vector<char> slow_;
   std::vector<double> stalled_until_;

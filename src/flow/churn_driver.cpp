@@ -33,6 +33,7 @@ void ChurnDriver::on_minute(double minute) {
       g.set_active(p, false);
       next_event_minute_[p] = minute + to_minutes(model_.sample_offline(rng_));
       ++leaves_;
+      DDP_TRACE(tracer_, obs::EventType::kPeerLeft, minute * kMinute, p);
       if (on_leave) on_leave(p);
     } else {
       // Rejoin: reactivate and wire into the overlay.
@@ -41,6 +42,7 @@ void ChurnDriver::on_minute(double minute) {
       for (PeerId n : g.neighbors(p)) net_.on_edge_added(p, n);
       next_event_minute_[p] = minute + to_minutes(model_.sample_lifetime(rng_));
       ++joins_;
+      DDP_TRACE(tracer_, obs::EventType::kPeerJoined, minute * kMinute, p);
       if (on_join) on_join(p);
     }
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "flow/network.hpp"
+#include "obs/trace.hpp"
 #include "workload/churn.hpp"
 
 namespace ddp::flow {
@@ -33,12 +34,18 @@ class ChurnDriver {
   std::size_t joins() const noexcept { return joins_; }
   std::size_t leaves() const noexcept { return leaves_; }
 
+  /// Attach a trace sink (null detaches). Emits peer_joined / peer_left
+  /// for every membership transition.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+
  private:
   void schedule_initial();
 
   FlowNetwork& net_;
   workload::ChurnModel model_;
   util::Rng rng_;
+  obs::Tracer tracer_;
   /// Per-peer next transition time (minutes); sign-free state is read from
   /// the graph's activity flag.
   std::vector<double> next_event_minute_;

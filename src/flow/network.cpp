@@ -99,7 +99,9 @@ double FlowNetwork::sent_last_minute(PeerId from, PeerId to) const noexcept {
 }
 
 void FlowNetwork::disconnect(PeerId a, PeerId b) {
-  graph_.remove_edge(a, b);
+  if (graph_.remove_edge(a, b)) {
+    DDP_TRACE(tracer_, obs::EventType::kLinkDisconnected, now_, a, b);
+  }
   for (const auto key : {edge_key(a, b), edge_key(b, a)}) {
     const auto it = edges_.find(key);
     if (it == edges_.end()) continue;
@@ -115,12 +117,14 @@ void FlowNetwork::on_edge_added(PeerId a, PeerId b) {
   // clear any stale state left from a previous incarnation of the link.
   edges_.erase(edge_key(a, b));
   edges_.erase(edge_key(b, a));
+  DDP_TRACE(tracer_, obs::EventType::kEdgeAdded, now_, a, b);
 }
 
 void FlowNetwork::on_peer_offline(PeerId p) {
   const std::vector<PeerId> nbrs(graph_.neighbors(p).begin(),
                                  graph_.neighbors(p).end());
   for (PeerId n : nbrs) disconnect(p, n);
+  DDP_TRACE(tracer_, obs::EventType::kPeerOffline, now_, p);
 }
 
 double FlowNetwork::link_capacity_per_tick(PeerId from, PeerId to) const noexcept {
@@ -399,6 +403,12 @@ void FlowNetwork::rotate_minute() {
 
   last_report_ = r;
   history_.push_back(r);
+  DDP_TRACE(tracer_, obs::EventType::kMinuteReport, now_, kInvalidPeer,
+            kInvalidPeer,
+            {{"minute", r.minute},
+             {"traffic", r.traffic_messages},
+             {"dropped", r.dropped},
+             {"success", r.success_rate}});
 
   // Reset running-minute accumulators.
   acc_traffic_ = acc_attack_traffic_ = 0.0;

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "flow/config.hpp"
+#include "obs/trace.hpp"
 #include "topology/bandwidth.hpp"
 #include "topology/coverage.hpp"
 #include "topology/graph.hpp"
@@ -133,6 +134,13 @@ class FlowNetwork {
   /// Force recalibration of the duplicate-damping profile now.
   void recalibrate();
 
+  /// Attach a trace sink (null detaches). The flow engine emits only
+  /// minute-granular and structural events (minute_report, link
+  /// disconnects, edge adds, peer teardown) — never per-tick events, so
+  /// the hot step() loop stays trace-free.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+
  private:
   struct EdgeState {
     /// Flow in transit on the directed link, arriving next tick.
@@ -156,6 +164,7 @@ class FlowNetwork {
   const workload::ContentModel& content_;
   FlowConfig config_;
   util::Rng rng_;
+  obs::Tracer tracer_;
 
   std::vector<PeerKind> kinds_;
   std::vector<double> issue_scale_;

@@ -1,0 +1,53 @@
+#include "obs/event.hpp"
+
+namespace ddp::obs {
+
+namespace {
+
+constexpr const char* kNames[kEventTypeCount] = {
+    "query_issued",       // kQueryIssued
+    "query_forwarded",    // kQueryForwarded
+    "query_dropped",      // kQueryDropped
+    "query_duplicate",    // kQueryDuplicate
+    "query_hit",          // kQueryHit
+    "hit_delivered",      // kHitDelivered
+    "minute_report",      // kMinuteReport
+    "link_disconnected",  // kLinkDisconnected
+    "edge_added",         // kEdgeAdded
+    "peer_offline",       // kPeerOffline
+    "peer_joined",        // kPeerJoined
+    "peer_left",          // kPeerLeft
+    "attack_started",     // kAttackStarted
+    "agent_rejoined",     // kAgentRejoined
+    "neighbor_list",      // kNeighborListSent
+    "list_violation",     // kListViolation
+    "suspect_flagged",    // kSuspectFlagged
+    "indicator",          // kIndicatorComputed
+    "suspect_cut",        // kSuspectCut
+    "traffic_request",    // kTrafficRequest
+    "traffic_reply",      // kTrafficReply
+    "traffic_retry",      // kTrafficRetry
+    "traffic_timeout",    // kTrafficTimeout
+    "corrupt_reject",     // kCorruptReject
+    "late_reply",         // kLateReply
+    "fault_crash",        // kFaultCrash
+    "fault_stall",        // kFaultStall
+    "fault_resume",       // kFaultResume
+    "log",                // kLog
+};
+
+}  // namespace
+
+const char* event_name(EventType type) noexcept {
+  const auto i = static_cast<std::size_t>(type);
+  return i < kEventTypeCount ? kNames[i] : "unknown";
+}
+
+std::optional<EventType> event_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    if (name == kNames[i]) return static_cast<EventType>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ddp::obs

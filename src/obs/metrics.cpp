@@ -1,0 +1,200 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/log.hpp"
+
+namespace ddp::obs {
+
+namespace {
+
+/// Deterministic, locale-independent number rendering shared by the CSV
+/// and JSON exports: integral values print without a fractional part,
+/// everything else with enough significant digits to round-trip the
+/// measurements we take.
+void append_number(std::string& out, double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v >= -9.007199254740992e15 && v <= 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+const char* metric_kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricId MetricsRegistry::register_entry(std::string_view name,
+                                         MetricKind kind) {
+  const MetricId existing = find(name);
+  if (existing != kInvalidMetric) {
+    if (entries_[existing].kind != kind) {
+      util::log_warn("metric re-registered with a different kind; keeping "
+                     "the original");
+    }
+    return existing;
+  }
+  Entry e;
+  e.name.assign(name);
+  e.kind = kind;
+  entries_.push_back(std::move(e));
+  return entries_.size() - 1;
+}
+
+MetricId MetricsRegistry::counter(std::string_view name) {
+  return register_entry(name, MetricKind::kCounter);
+}
+
+MetricId MetricsRegistry::gauge(std::string_view name) {
+  return register_entry(name, MetricKind::kGauge);
+}
+
+MetricId MetricsRegistry::histogram(std::string_view name, double lo,
+                                    double hi, std::size_t bins) {
+  const MetricId id = register_entry(name, MetricKind::kHistogram);
+  if (entries_[id].hist == nullptr) {
+    entries_[id].hist = std::make_unique<util::Histogram>(lo, hi, bins);
+  }
+  return id;
+}
+
+MetricId MetricsRegistry::find(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return i;
+  }
+  return kInvalidMetric;
+}
+
+void MetricsRegistry::add(MetricId id, double delta) noexcept {
+  if (id < entries_.size()) entries_[id].value += delta;
+}
+
+void MetricsRegistry::set(MetricId id, double value) noexcept {
+  if (id < entries_.size()) entries_[id].value = value;
+}
+
+void MetricsRegistry::observe(MetricId id, double value) noexcept {
+  if (id < entries_.size() && entries_[id].hist != nullptr) {
+    entries_[id].hist->add(value);
+    entries_[id].value = entries_[id].hist->total_weight();
+  }
+}
+
+const std::string& MetricsRegistry::name(MetricId id) const noexcept {
+  static const std::string kEmpty;
+  return id < entries_.size() ? entries_[id].name : kEmpty;
+}
+
+MetricKind MetricsRegistry::kind(MetricId id) const noexcept {
+  return id < entries_.size() ? entries_[id].kind : MetricKind::kCounter;
+}
+
+double MetricsRegistry::value(MetricId id) const noexcept {
+  return id < entries_.size() ? entries_[id].value : 0.0;
+}
+
+const util::Histogram* MetricsRegistry::histogram_data(
+    MetricId id) const noexcept {
+  return id < entries_.size() ? entries_[id].hist.get() : nullptr;
+}
+
+void MetricsRegistry::snapshot_minute(double minute) {
+  Snapshot s;
+  s.minute = minute;
+  s.values.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    s.values.push_back(e.kind == MetricKind::kHistogram ? 0.0 : e.value);
+  }
+  history_.push_back(std::move(s));
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::string out = "minute";
+  std::vector<std::size_t> cols;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].kind == MetricKind::kHistogram) continue;
+    out += ',';
+    out += entries_[i].name;
+    cols.push_back(i);
+  }
+  out += '\n';
+  for (const auto& s : history_) {
+    append_number(out, s.minute);
+    for (std::size_t i : cols) {
+      out += ',';
+      // Metrics registered after this snapshot backfill as zero.
+      append_number(out, i < s.values.size() ? s.values[i] : 0.0);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"metrics\":[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"";
+    out += e.name;  // naming convention forbids characters needing escapes
+    out += "\",\"kind\":\"";
+    out += metric_kind_name(e.kind);
+    out += "\",\"value\":";
+    append_number(out, e.value);
+    if (e.hist != nullptr) {
+      out += ",\"lo\":";
+      append_number(out, e.hist->bin_low(0));
+      out += ",\"bin_width\":";
+      append_number(out, e.hist->bin_width());
+      out += ",\"underflow\":";
+      append_number(out, e.hist->underflow());
+      out += ",\"overflow\":";
+      append_number(out, e.hist->overflow());
+      out += ",\"buckets\":[";
+      for (std::size_t b = 0; b < e.hist->bins(); ++b) {
+        if (b > 0) out += ',';
+        append_number(out, e.hist->bin_weight(b));
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+namespace {
+
+bool write_text(const std::string& path, const std::string& text,
+                const char* what) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    util::log_error(std::string("cannot open ") + path + " for " + what);
+    return false;
+  }
+  f << text;
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+bool MetricsRegistry::write_csv(const std::string& path) const {
+  return write_text(path, to_csv(), "metrics CSV");
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  return write_text(path, to_json(), "metrics JSON");
+}
+
+}  // namespace ddp::obs

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file metrics.hpp
+/// MetricsRegistry: named counters, gauges and fixed-bucket histograms,
+/// registered by subsystem under a `subsystem.metric` naming convention
+/// (e.g. "flow.traffic_messages", "defense.rounds", "fault.timeouts").
+///
+/// Scalar metrics are snapshotted per completed simulated minute into a
+/// history that exports as CSV (one row per minute, one column per metric,
+/// same shape as the figure CSVs) or JSON (final values plus histogram
+/// buckets). Registration order is the export order, so a given program
+/// always produces identically-shaped files.
+///
+/// Histograms reuse util::Histogram (fixed-width linear bins with
+/// underflow/overflow), so quantiles and bucket boundaries behave exactly
+/// like the rest of the metrics pipeline.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace ddp::obs {
+
+/// Dense handle into a registry; stable for the registry's lifetime.
+using MetricId = std::size_t;
+inline constexpr MetricId kInvalidMetric =
+    static_cast<MetricId>(-1);
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind kind) noexcept;
+
+class MetricsRegistry {
+ public:
+  /// Register (or look up) a metric by name. Re-registering an existing
+  /// name with the same kind returns the existing id, so subsystems can
+  /// idempotently declare what they export.
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId histogram(std::string_view name, double lo, double hi,
+                     std::size_t bins);
+
+  /// Lookup without registering; kInvalidMetric when absent.
+  MetricId find(std::string_view name) const noexcept;
+
+  void add(MetricId id, double delta = 1.0) noexcept;   ///< counter += delta
+  void set(MetricId id, double value) noexcept;         ///< gauge = value
+  void observe(MetricId id, double value) noexcept;     ///< histogram sample
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::string& name(MetricId id) const noexcept;
+  MetricKind kind(MetricId id) const noexcept;
+  /// Current scalar value (counters/gauges; histograms: total weight).
+  double value(MetricId id) const noexcept;
+  /// Histogram payload; nullptr for scalar metrics.
+  const util::Histogram* histogram_data(MetricId id) const noexcept;
+
+  /// One per-minute snapshot row of every scalar metric (registration
+  /// order). Histograms are cumulative and excluded from rows.
+  struct Snapshot {
+    double minute = 0.0;
+    std::vector<double> values;
+  };
+
+  /// Record the current scalar values as the row for `minute`. Metrics
+  /// registered after the first snapshot backfill earlier rows with 0.
+  void snapshot_minute(double minute);
+  const std::vector<Snapshot>& history() const noexcept { return history_; }
+
+  /// CSV: header "minute,<name>,..." then one row per snapshot.
+  std::string to_csv() const;
+  /// JSON: {"metrics":[{"name":...,"kind":...,"value":...,
+  ///        "buckets":[...](histograms only)},...]}
+  std::string to_json() const;
+
+  bool write_csv(const std::string& path) const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    double value = 0.0;
+    std::unique_ptr<util::Histogram> hist;
+  };
+
+  MetricId register_entry(std::string_view name, MetricKind kind);
+
+  std::vector<Entry> entries_;
+  std::vector<Snapshot> history_;
+};
+
+}  // namespace ddp::obs

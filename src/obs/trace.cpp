@@ -1,0 +1,195 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace ddp::obs {
+
+namespace {
+
+/// Deterministic number rendering (matches the metrics exports): integral
+/// values print as integers, the rest with round-trippable precision.
+void append_number(std::string& out, double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v >= -9.007199254740992e15 && v <= 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_jsonl(const TraceEvent& event) {
+  std::string out;
+  out.reserve(96);
+  out += "{\"t\":";
+  append_number(out, event.t);
+  out += ",\"type\":\"";
+  out += event_name(event.type);
+  out += '"';
+  if (event.a != kInvalidPeer) {
+    out += ",\"a\":";
+    append_number(out, static_cast<double>(event.a));
+  }
+  if (event.b != kInvalidPeer) {
+    out += ",\"b\":";
+    append_number(out, static_cast<double>(event.b));
+  }
+  if (event.n_fields > 0) {
+    out += ",\"kv\":{";
+    for (std::uint8_t i = 0; i < event.n_fields; ++i) {
+      if (i > 0) out += ',';
+      append_json_string(out, event.fields[i].key);
+      out += ':';
+      append_number(out, event.fields[i].value);
+    }
+    out += '}';
+  }
+  if (event.has_note()) {
+    out += ",\"note\":";
+    append_json_string(out, event.note);
+  }
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------- ring
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : buffer_(capacity > 0 ? capacity : 1) {}
+
+void RingBufferSink::on_event(const TraceEvent& event) {
+  buffer_[head_] = event;
+  head_ = (head_ + 1) % buffer_.size();
+  ++total_;
+}
+
+std::size_t RingBufferSink::size() const noexcept {
+  return total_ < buffer_.size() ? static_cast<std::size_t>(total_)
+                                 : buffer_.size();
+}
+
+const TraceEvent& RingBufferSink::at(std::size_t i) const noexcept {
+  const std::size_t n = size();
+  // Oldest retained event sits at head_ once the buffer has wrapped.
+  const std::size_t start = total_ > n ? head_ : 0;
+  return buffer_[(start + i) % buffer_.size()];
+}
+
+std::vector<TraceEvent> RingBufferSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(at(i));
+  return out;
+}
+
+void RingBufferSink::clear() noexcept {
+  head_ = 0;
+  total_ = 0;
+}
+
+// --------------------------------------------------------------- jsonl
+
+void JsonlSink::on_event(const TraceEvent& event) {
+  if (os_ == nullptr) return;
+  *os_ << to_jsonl(event) << '\n';
+  ++lines_;
+}
+
+void JsonlSink::flush() {
+  if (os_ != nullptr) os_->flush();
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : file_(path, std::ios::binary) {
+  if (!file_) {
+    util::log_error("cannot open trace file " + path);
+  }
+  rebind(file_);
+}
+
+JsonlFileSink::~JsonlFileSink() { flush(); }
+
+// ------------------------------------------------------------ counting
+
+CountingSink::CountingSink(MetricsRegistry& registry) : registry_(registry) {
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    ids_[i] = registry_.counter(std::string("trace.") +
+                                event_name(static_cast<EventType>(i)));
+  }
+}
+
+void CountingSink::on_event(const TraceEvent& event) {
+  const auto i = static_cast<std::size_t>(event.type);
+  if (i >= kEventTypeCount) return;
+  ++counts_[i];
+  ++total_;
+  registry_.add(ids_[i]);
+}
+
+std::uint64_t CountingSink::count(EventType type) const noexcept {
+  const auto i = static_cast<std::size_t>(type);
+  return i < kEventTypeCount ? counts_[i] : 0;
+}
+
+// -------------------------------------------------------------- fanout
+
+void FanoutSink::add(TraceSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void FanoutSink::on_event(const TraceEvent& event) {
+  for (TraceSink* s : sinks_) s->on_event(event);
+}
+
+void FanoutSink::flush() {
+  for (TraceSink* s : sinks_) s->flush();
+}
+
+// ---------------------------------------------------------- log bridge
+
+void install_log_bridge(TraceSink* sink) {
+  if (sink == nullptr) {
+    util::set_log_hook({});
+    return;
+  }
+  util::set_log_hook([sink](util::LogLevel level, std::string_view message) {
+    TraceEvent e;
+    e.t = -1.0;  // wall layer: log lines carry no sim clock
+    e.type = EventType::kLog;
+    e.add_field("level", static_cast<double>(static_cast<int>(level)));
+    e.set_note(message);
+    sink->on_event(e);
+  });
+}
+
+}  // namespace ddp::obs

@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file trace.hpp
+/// Trace sinks and the per-subsystem Tracer handle.
+///
+/// Each instrumented object owns a Tracer — a single sink pointer, null by
+/// default. The DDP_TRACE macro compiles to one branch on that pointer, so
+/// an untraced run pays nothing beyond the null check and consumes no
+/// random draws (tracing only observes). Sinks are installed per run by
+/// whoever owns the instrumented objects (the scenario runner, a test, a
+/// tool); nothing is process-global, so parallel trials stay independent
+/// and two runs with the same seed produce byte-identical traces.
+///
+/// Provided sinks:
+///   RingBufferSink — fixed-capacity in-memory tail, wraparound overwrite;
+///   JsonlSink      — one JSON object per event to a caller-owned stream;
+///   JsonlFileSink  — JsonlSink that owns its file;
+///   CountingSink   — per-event-type counters in a MetricsRegistry;
+///   FanoutSink     — forwards to several sinks (e.g. file + counters).
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace ddp::obs {
+
+class MetricsRegistry;
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// The handle an instrumented subsystem owns. Copyable value type; binding
+/// is per object, so the same run may trace some engines and not others.
+class Tracer {
+ public:
+  void bind(TraceSink* sink) noexcept { sink_ = sink; }
+  TraceSink* sink() const noexcept { return sink_; }
+  bool on() const noexcept { return sink_ != nullptr; }
+
+  void emit(const TraceEvent& event) const {
+    if (sink_ != nullptr) sink_->on_event(event);
+  }
+
+  /// Builder-style emission; only called behind DDP_TRACE's branch.
+  void emit(EventType type, SimTime t, PeerId a = kInvalidPeer,
+            PeerId b = kInvalidPeer,
+            std::initializer_list<TraceEvent::Field> fields = {},
+            std::string_view note = {}) const {
+    TraceEvent e;
+    e.t = t;
+    e.type = type;
+    e.a = a;
+    e.b = b;
+    for (const auto& f : fields) e.add_field(f.key, f.value);
+    if (!note.empty()) e.set_note(note);
+    emit(e);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+/// Near-zero-cost emission: one branch on the bound sink pointer when
+/// tracing is off; arguments are not evaluated on the cold path.
+#define DDP_TRACE(tracer, ...)                            \
+  do {                                                    \
+    if ((tracer).on()) (tracer).emit(__VA_ARGS__);        \
+  } while (0)
+
+/// Fixed-capacity in-memory tail of the event stream. When full, the
+/// oldest event is overwritten (flight-recorder semantics).
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity);
+
+  void on_event(const TraceEvent& event) override;
+
+  std::size_t capacity() const noexcept { return buffer_.size(); }
+  /// Events currently retained (<= capacity).
+  std::size_t size() const noexcept;
+  /// Events ever seen (retained + overwritten).
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// i-th retained event, oldest first (0 <= i < size()).
+  const TraceEvent& at(std::size_t i) const noexcept;
+
+  /// Copy of the retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;       ///< next write position
+  std::uint64_t total_ = 0;
+};
+
+/// Serialize one event as the canonical JSONL object:
+///   {"t":<sec>,"type":"<name>","a":<id>,"b":<id>,
+///    "kv":{"<key>":<value>,...},"note":"<text>"}
+/// "a"/"b" are omitted when invalid, "kv" when empty, "note" when unset.
+/// Formatting is locale-independent and deterministic, so identical event
+/// streams serialize to identical bytes.
+std::string to_jsonl(const TraceEvent& event);
+
+/// Streams every event as one JSONL line to a caller-owned ostream.
+class JsonlSink : public TraceSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(&os) {}
+
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+
+  std::uint64_t lines() const noexcept { return lines_; }
+
+ protected:
+  JsonlSink() = default;
+  void rebind(std::ostream& os) noexcept { os_ = &os; }
+
+ private:
+  std::ostream* os_ = nullptr;
+  std::uint64_t lines_ = 0;
+};
+
+/// JsonlSink that owns its output file.
+class JsonlFileSink final : public JsonlSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+
+  bool ok() const noexcept { return static_cast<bool>(file_); }
+
+ private:
+  std::ofstream file_;
+};
+
+/// Counts events per type into `trace.<event_name>` counters of a
+/// MetricsRegistry, so the minute-snapshot pipeline sees trace activity.
+class CountingSink final : public TraceSink {
+ public:
+  explicit CountingSink(MetricsRegistry& registry);
+
+  void on_event(const TraceEvent& event) override;
+
+  std::uint64_t count(EventType type) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  MetricsRegistry& registry_;
+  std::array<std::size_t, kEventTypeCount> ids_{};
+  std::array<std::uint64_t, kEventTypeCount> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// Forwards each event to every added sink, in add() order.
+class FanoutSink final : public TraceSink {
+ public:
+  void add(TraceSink* sink);
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// Mirror every util::log line above the threshold into `sink` as a kLog
+/// event (t = -1: the wall layer has no sim clock). Installs the process
+/// log hook; pass nullptr to uninstall. The sink must outlive the bridge.
+void install_log_bridge(TraceSink* sink);
+
+}  // namespace ddp::obs

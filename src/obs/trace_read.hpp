@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file trace_read.hpp
+/// Reading side of the trace plane: a parser for the canonical JSONL
+/// schema emitted by JsonlSink (and nothing more general — the grammar is
+/// exactly what to_jsonl() produces), plus the filter / summary helpers
+/// behind trace_tool's inspect, summary and validate modes.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace ddp::obs {
+
+/// One parsed trace line. Field keys are owned strings here (the reading
+/// side has no string-literal guarantee).
+struct TraceRecord {
+  double t = 0.0;
+  std::string type;                ///< raw type name from the line
+  std::optional<EventType> known;  ///< resolved when the name is known
+  PeerId a = kInvalidPeer;
+  PeerId b = kInvalidPeer;
+  std::vector<std::pair<std::string, double>> kv;
+  std::string note;
+
+  /// kv lookup; nullopt when the key is absent.
+  std::optional<double> field(std::string_view key) const noexcept;
+};
+
+/// Parse one JSONL line. On failure returns nullopt and, when `error` is
+/// non-null, stores a human-readable reason.
+std::optional<TraceRecord> parse_trace_line(std::string_view line,
+                                            std::string* error = nullptr);
+
+/// Schema violations found by validate_trace.
+struct SchemaError {
+  std::size_t line = 0;  ///< 1-based line number
+  std::string message;
+};
+
+/// Schema-check an entire JSONL stream: every non-empty line must parse,
+/// name a known event type, and carry non-decreasing sim time among
+/// sim-layer events (t >= 0). Returns the records that parsed; errors (up
+/// to `max_errors`) are appended to `errors`.
+std::vector<TraceRecord> validate_trace(std::istream& in,
+                                        std::vector<SchemaError>& errors,
+                                        std::size_t max_errors = 20);
+
+/// Read a JSONL stream leniently (skip unparseable lines).
+std::vector<TraceRecord> read_trace_records(std::istream& in);
+
+/// Predicate bundle for trace_tool's inspect mode.
+struct TraceFilter {
+  std::optional<PeerId> peer;      ///< matches either endpoint
+  std::optional<EventType> type;
+  double t_min = -1.0;             ///< inclusive; < 0 = unbounded
+  double t_max = -1.0;             ///< inclusive; < 0 = unbounded
+
+  bool matches(const TraceRecord& r) const noexcept;
+};
+
+/// Per-run digest of a trace: totals by type plus the defense storyline
+/// (how many suspects were flagged, judged and cut, and how fast).
+struct TraceSummary {
+  std::uint64_t records = 0;
+  std::array<std::uint64_t, kEventTypeCount> by_type{};
+  double first_t = 0.0;
+  double last_t = 0.0;
+  std::uint64_t unknown_types = 0;
+
+  // Defense storyline.
+  std::uint64_t suspects_flagged = 0;   ///< distinct flagged peers
+  std::uint64_t suspects_cut = 0;       ///< distinct cut peers
+  std::uint64_t list_violations = 0;
+  double mean_flag_to_cut_minutes = -1.0;  ///< -1 when nothing was cut
+
+  // Fault storyline.
+  std::uint64_t fault_events = 0;
+  std::uint64_t control_timeouts = 0;
+  std::uint64_t control_retries = 0;
+
+  std::uint64_t count(EventType type) const noexcept {
+    return by_type[static_cast<std::size_t>(type)];
+  }
+};
+
+TraceSummary summarize_trace(const std::vector<TraceRecord>& records);
+
+}  // namespace ddp::obs

@@ -62,6 +62,11 @@ QueryId PacketNetwork::issue_query(PeerId origin, workload::ObjectId object) {
 
   ++totals_.queries_issued;
   if (out.attack) ++totals_.attack_queries_issued;
+  DDP_TRACE(tracer_, obs::EventType::kQueryIssued, engine_.now(), origin,
+            kInvalidPeer,
+            {{"query", static_cast<double>(id)},
+             {"object", static_cast<double>(object)},
+             {"attack", out.attack ? 1.0 : 0.0}});
 
   // The origin marks the GUID seen (it will drop echoes) and floods to all
   // current neighbours.
@@ -95,6 +100,10 @@ void PacketNetwork::transmit(PeerId from, PeerId to, Descriptor d) {
   if (d.kind == Descriptor::Kind::kQuery) {
     monitors_.record(from, to, engine_.now());
     if (on_query_sent) on_query_sent(from, to, engine_.now());
+    DDP_TRACE(tracer_, obs::EventType::kQueryForwarded, engine_.now(), from,
+              to,
+              {{"ttl", static_cast<double>(d.ttl)},
+               {"hops", static_cast<double>(d.hops)}});
   }
   // Fault-injection fate roll — after the monitors, so DD-POLICE still
   // observes what the sender pushed (loss happens downstream of the
@@ -118,7 +127,8 @@ void PacketNetwork::transmit(PeerId from, PeerId to, Descriptor d) {
   }
   for (std::uint32_t c = 0; c < copies; ++c) {
     engine_.schedule_in(config_.hop_latency + extra_delay,
-                        [this, from, to, d]() { arrive(to, from, d); });
+                        [this, from, to, d]() { arrive(to, from, d); },
+                        obs::EventCategory::kTransmit);
   }
 }
 
@@ -129,6 +139,8 @@ void PacketNetwork::arrive(PeerId at, PeerId from, Descriptor d) {
   if (ps.queue.size() >= config_.queue_limit) {
     ++ps.dropped;
     ++totals_.queries_dropped;
+    DDP_TRACE(tracer_, obs::EventType::kQueryDropped, engine_.now(), at,
+              from, {{"queue", static_cast<double>(ps.queue.size())}});
     return;
   }
   // Stash the arrival link in the descriptor's bookkeeping so processing
@@ -138,7 +150,8 @@ void PacketNetwork::arrive(PeerId at, PeerId from, Descriptor d) {
   ps.queue.push_back(q);
   if (!ps.busy) {
     ps.busy = true;
-    engine_.schedule_in(service_time(ps), [this, at]() { service_next(at); });
+    engine_.schedule_in(service_time(ps), [this, at]() { service_next(at); },
+                        obs::EventCategory::kService);
   }
 }
 
@@ -158,7 +171,8 @@ void PacketNetwork::service_next(PeerId at) {
   if (clean.kind == Descriptor::Kind::kQuery) clean.hit_responder = kInvalidPeer;
   process(at, from, clean);
   if (!ps.queue.empty()) {
-    engine_.schedule_in(service_time(ps), [this, at]() { service_next(at); });
+    engine_.schedule_in(service_time(ps), [this, at]() { service_next(at); },
+                        obs::EventCategory::kService);
   } else {
     ps.busy = false;
   }
@@ -183,6 +197,8 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
           out.responded = true;
           out.first_response_at = now;
         }
+        DDP_TRACE(tracer_, obs::EventType::kHitDelivered, now, at,
+                  d.hit_responder, {{"latency", now - out.issued_at}});
       }
       return;
     }
@@ -195,6 +211,7 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
   const auto it = ps.seen.find(d.guid);
   if (it != ps.seen.end()) {
     ++totals_.duplicates_dropped;
+    DDP_TRACE(tracer_, obs::EventType::kQueryDuplicate, now, at, from);
     return;
   }
   ps.seen.emplace(d.guid, std::make_pair(from, now));
@@ -210,6 +227,9 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
     hit.object = d.object;
     hit.hit_responder = at;
     ++totals_.hits_generated;
+    DDP_TRACE(tracer_, obs::EventType::kQueryHit, now, at, d.origin,
+              {{"object", static_cast<double>(d.object)},
+               {"hops", static_cast<double>(d.hops)}});
     if (from != kInvalidPeer && graph_.has_edge(at, from)) {
       transmit(at, from, hit);
     }

@@ -18,6 +18,7 @@
 
 #include "fault/channel.hpp"
 #include "net/guid.hpp"
+#include "obs/trace.hpp"
 #include "p2p/config.hpp"
 #include "sim/engine.hpp"
 #include "topology/graph.hpp"
@@ -144,6 +145,12 @@ class PacketNetwork {
     channel_ = channel;
   }
 
+  /// Attach a trace sink (null detaches). Emits the per-descriptor data
+  /// plane vocabulary: query_issued/forwarded/dropped/duplicate, query_hit,
+  /// hit_delivered. Tracing observes only — no random draws, no state.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+
  private:
   struct PeerState {
     double capacity_per_minute;
@@ -172,6 +179,7 @@ class PacketNetwork {
   std::vector<PeerState> peers_;
   std::vector<PeerKind> kinds_;
   fault::UnreliableChannel* channel_ = nullptr;
+  obs::Tracer tracer_;
   LinkMonitors monitors_;
   NetworkTotals totals_;
   std::vector<QueryOutcome> outcomes_;

@@ -6,23 +6,27 @@
 
 namespace ddp::sim {
 
-EventId Engine::schedule_at(SimTime t, Callback fn) {
+EventId Engine::schedule_at(SimTime t, Callback fn,
+                            obs::EventCategory category) {
   const EventId id = next_id_++;
-  heap_.push(Scheduled{std::max(t, now_), seq_++, id});
+  heap_.push(Scheduled{std::max(t, now_), seq_++, id,
+                       static_cast<std::uint8_t>(category)});
   callbacks_.emplace(id, std::move(fn));
   ++live_;
   return id;
 }
 
-EventId Engine::schedule_in(SimTime delay, Callback fn) {
-  return schedule_at(now_ + std::max(0.0, delay), std::move(fn));
+EventId Engine::schedule_in(SimTime delay, Callback fn,
+                            obs::EventCategory category) {
+  return schedule_at(now_ + std::max(0.0, delay), std::move(fn), category);
 }
 
-EventId Engine::schedule_every(SimTime period, Callback fn, SimTime phase) {
+EventId Engine::schedule_every(SimTime period, Callback fn, SimTime phase,
+                               obs::EventCategory category) {
   const EventId id = next_id_++;
   periodics_.emplace(id, Periodic{period, std::move(fn)});
   const SimTime first = now_ + (phase >= 0.0 ? phase : period);
-  heap_.push(Scheduled{first, seq_++, id});
+  heap_.push(Scheduled{first, seq_++, id, static_cast<std::uint8_t>(category)});
   ++live_;
   return id;
 }
@@ -38,6 +42,16 @@ bool Engine::cancel(EventId id) {
   return false;
 }
 
+void Engine::dispatch(Callback& fn, std::uint8_t category) {
+  if (profiler_ != nullptr) {
+    const std::uint64_t t0 = obs::wall_ns();
+    fn();
+    profiler_->record(category, obs::wall_ns() - t0, live_, now_);
+  } else {
+    fn();
+  }
+}
+
 bool Engine::step(SimTime horizon) {
   while (!heap_.empty()) {
     const Scheduled top = heap_.top();
@@ -51,13 +65,14 @@ bool Engine::step(SimTime horizon) {
     now_ = std::max(now_, top.t);
     if (const auto p = periodics_.find(top.id); p != periodics_.end()) {
       // Re-arm before running so the callback may cancel itself.
-      heap_.push(Scheduled{now_ + p->second.period, seq_++, top.id});
+      heap_.push(Scheduled{now_ + p->second.period, seq_++, top.id,
+                           top.category});
       ++executed_;
       // Move the callback out before invoking it: a callback that cancels
       // its own periodic erases the map entry, which would otherwise
       // destroy the std::function currently executing (use-after-free).
       Callback fn = std::move(p->second.fn);
-      fn();
+      dispatch(fn, top.category);
       // Restore the callback only if the task still exists (the callback
       // may have cancelled it — or rehashed the map by scheduling).
       if (const auto again = periodics_.find(top.id); again != periodics_.end()) {
@@ -71,7 +86,7 @@ bool Engine::step(SimTime horizon) {
       callbacks_.erase(c);
       ++executed_;
       if (live_ > 0) --live_;
-      fn();
+      dispatch(fn, top.category);
       return true;
     }
     // Id fired-and-erased concurrently (shouldn't happen); skip.

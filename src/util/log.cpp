@@ -1,28 +1,46 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 namespace ddp::util {
 
 namespace {
 
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 LogLevel level_from_env() {
   const char* env = std::getenv("DDP_LOG");
   if (env == nullptr) return LogLevel::kWarn;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  if (const auto parsed = parse_log_level(env)) return *parsed;
+  // Garbage in the environment should not silence diagnostics — complain
+  // once and keep the default.
+  std::fprintf(stderr,
+               "[warn] DDP_LOG=\"%s\" is not a log level "
+               "(debug|info|warn|error|off); using warn\n",
+               env);
   return LogLevel::kWarn;
 }
 
 std::atomic<int>& level_store() {
   static std::atomic<int> level{static_cast<int>(level_from_env())};
   return level;
+}
+
+LogHook& hook_store() {
+  static LogHook hook;
+  return hook;
 }
 
 const char* level_name(LogLevel level) {
@@ -36,7 +54,38 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+void append_field(std::string& out, const LogField& f) {
+  out += ' ';
+  out.append(f.key.data(), f.key.size());
+  out += '=';
+  char buf[32];
+  // Integral values print without a trailing ".000000"; others keep %g.
+  const auto as_ll = static_cast<long long>(f.value);
+  if (static_cast<double>(as_ll) == f.value) {
+    std::snprintf(buf, sizeof(buf), "%lld", as_ll);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", f.value);
+  }
+  out += buf;
+}
+
+void emit(LogLevel level, std::string_view formatted) {
+  // One fprintf call -> one write; interleaving-safe enough for diagnostics.
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(formatted.size()), formatted.data());
+  if (const auto& hook = hook_store()) hook(level, formatted);
+}
+
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (iequals(name, "debug")) return LogLevel::kDebug;
+  if (iequals(name, "info")) return LogLevel::kInfo;
+  if (iequals(name, "warn")) return LogLevel::kWarn;
+  if (iequals(name, "error")) return LogLevel::kError;
+  if (iequals(name, "off")) return LogLevel::kOff;
+  return std::nullopt;
+}
 
 void set_log_level(LogLevel level) noexcept {
   level_store().store(static_cast<int>(level), std::memory_order_relaxed);
@@ -46,11 +95,19 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
 }
 
+void set_log_hook(LogHook hook) { hook_store() = std::move(hook); }
+
 void log(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  // One fprintf call -> one write; interleaving-safe enough for diagnostics.
-  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
-               static_cast<int>(message.size()), message.data());
+  emit(level, message);
+}
+
+void log(LogLevel level, std::string_view message,
+         std::initializer_list<LogField> fields) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::string line(message);
+  for (const auto& f : fields) append_field(line, f);
+  emit(level, line);
 }
 
 }  // namespace ddp::util

@@ -4,7 +4,14 @@
 /// Minimal leveled logging. Simulations are single-threaded per run, so the
 /// logger keeps no locks; the experiment harness may run trials on worker
 /// threads, so emission itself is a single atomic stream write.
+///
+/// Messages may carry a structured key=value suffix (log fields), and an
+/// optional process-wide hook observes every emitted line — the obs layer
+/// uses it to mirror log lines into the trace stream.
 
+#include <functional>
+#include <initializer_list>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -12,14 +19,35 @@ namespace ddp::util {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Parse a level name ("debug", "info", "warn", "error", "off"),
+/// case-insensitively. Unknown or empty spellings return nullopt — callers
+/// decide the fallback.
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+
 /// Global threshold; messages below it are dropped. Default kWarn so library
 /// consumers see problems but benches stay quiet. Honors the DDP_LOG
-/// environment variable ("debug", "info", "warn", "error", "off") at first use.
+/// environment variable (any case) at first use; an unparseable value earns
+/// one warning line and falls back to kWarn instead of silently misbehaving.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emit one line: "[level] message\n" to stderr.
+/// One structured payload entry appended to a log line as " key=value".
+struct LogField {
+  std::string_view key;
+  double value = 0.0;
+};
+
+/// Emit one line: "[level] message key=value ...\n" to stderr.
+void log(LogLevel level, std::string_view message,
+         std::initializer_list<LogField> fields);
 void log(LogLevel level, std::string_view message);
+
+/// Observe every emitted (above-threshold) line. The hook receives the
+/// level and the fully formatted message including any key=value suffix;
+/// stderr emission is unaffected. Pass a default-constructed function to
+/// uninstall. Install from the main thread before spawning workers.
+using LogHook = std::function<void(LogLevel, std::string_view)>;
+void set_log_hook(LogHook hook);
 
 inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
 inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }

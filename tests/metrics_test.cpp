@@ -139,5 +139,40 @@ TEST(Summary, EmptyHistory) {
   EXPECT_DOUBLE_EQ(s.avg_success_rate, 0.0);
 }
 
+TEST(Summary, FromMinutePastEndMeasuresNothing) {
+  std::vector<flow::MinuteReport> h{report(1, 0.9), report(2, 0.8)};
+  const auto s = summarize(h, 10.0);
+  EXPECT_DOUBLE_EQ(s.minutes_measured, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_success_rate, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_traffic_per_minute, 0.0);
+}
+
+TEST(Summary, SingleMinuteIsItsOwnAverage) {
+  flow::MinuteReport r = report(4, 0.75);
+  r.traffic_messages = 1234.0;
+  r.overhead_messages = 6.0;
+  r.response_time = 1.5;
+  const auto s = summarize({r}, 4.0);  // boundary minute is included
+  EXPECT_DOUBLE_EQ(s.minutes_measured, 1.0);
+  EXPECT_DOUBLE_EQ(s.avg_success_rate, 0.75);
+  EXPECT_DOUBLE_EQ(s.avg_traffic_per_minute, 1240.0);
+  EXPECT_DOUBLE_EQ(s.avg_overhead_per_minute, 6.0);
+  EXPECT_DOUBLE_EQ(s.avg_response_time, 1.5);
+}
+
+TEST(Summary, AttachFaultStatsRoundTrip) {
+  RunSummary s = summarize({report(1, 0.5)}, 0.0);
+  attach_fault_stats(s, 11, 22, 33, 44, 5, 6);
+  EXPECT_DOUBLE_EQ(s.fault_timeouts, 11.0);
+  EXPECT_DOUBLE_EQ(s.fault_retries, 22.0);
+  EXPECT_DOUBLE_EQ(s.fault_late_replies, 33.0);
+  EXPECT_DOUBLE_EQ(s.fault_corrupt_rejects, 44.0);
+  EXPECT_DOUBLE_EQ(s.fault_crashed, 5.0);
+  EXPECT_DOUBLE_EQ(s.fault_stalled, 6.0);
+  // Attaching must not disturb the averaged quality metrics.
+  EXPECT_DOUBLE_EQ(s.avg_success_rate, 0.5);
+  EXPECT_DOUBLE_EQ(s.minutes_measured, 1.0);
+}
+
 }  // namespace
 }  // namespace ddp::metrics
