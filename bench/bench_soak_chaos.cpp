@@ -1,0 +1,90 @@
+// Chaos soak: run the full self-healing stack (quarantine cuts, priority
+// shedding, partition repair) under a hostile schedule — flooding agents
+// that rejoin after every cut, churn, lossy control links, peer
+// crash/stall faults — and assert the standing invariants every simulated
+// minute (see src/experiments/soak.hpp). Exits non-zero on any violation,
+// so CI can gate on it.
+//
+// Keys (defaults in brackets):
+//   peers[300] agents[30] minutes[480] seed[20070710]
+//   connectivity[0.85]   honest-majority largest-component floor
+//   check_every[1]       minutes between invariant sweeps
+//   csv[-]               write the per-hour series to this file
+//
+// The default schedule is 480 simulated minutes = 8 simulated hours.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "experiments/soak.hpp"
+#include "util/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ddp;
+  const util::Options opts(argc, argv);
+
+  const auto peers =
+      static_cast<std::size_t>(opts.get("peers", std::int64_t{300}));
+  const auto agents =
+      static_cast<std::size_t>(opts.get("agents", std::int64_t{30}));
+  const double minutes = opts.get("minutes", 480.0);
+  const auto seed =
+      static_cast<std::uint64_t>(opts.get("seed", std::int64_t{20070710}));
+
+  experiments::SoakConfig cfg =
+      experiments::chaos_soak_config(peers, agents, minutes, seed);
+  cfg.min_honest_connectivity = opts.get("connectivity", 0.85);
+  cfg.check_every_minutes = opts.get("check_every", 1.0);
+
+  std::printf("bench_soak_chaos — %zu peers, %zu agents, %.0f min "
+              "(%.1f simulated hours), seed %llu\n",
+              peers, agents, minutes, minutes / 60.0,
+              static_cast<unsigned long long>(seed));
+  std::printf("chaos: rejoining agents, churn, loss=%.2f corrupt=%.2f, "
+              "crash=%g/min stall=%g/min, quarantine+priority+repair on\n",
+              cfg.scenario.fault.channel.drop_probability,
+              cfg.scenario.fault.channel.corrupt_probability,
+              cfg.scenario.fault.peer.crash_probability_per_minute,
+              cfg.scenario.fault.peer.stall_probability_per_minute);
+
+  const experiments::SoakReport report = experiments::run_soak(cfg);
+
+  // Per-hour digest of the run: a soak log humans can scan.
+  util::Table t({"hour", "success_pct", "traffic", "dropped", "dropped_good",
+                 "dropped_attack", "active_peers"});
+  const auto& hist = report.result.history;
+  for (std::size_t h = 0; h * 60 < hist.size(); ++h) {
+    double success = 0.0, traffic = 0.0, dropped = 0.0;
+    double dgood = 0.0, dattack = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = h * 60; i < hist.size() && i < (h + 1) * 60; ++i) {
+      success += hist[i].success_rate;
+      traffic += hist[i].traffic_messages;
+      dropped += hist[i].dropped;
+      dgood += hist[i].dropped_good;
+      dattack += hist[i].dropped_attack;
+      ++n;
+    }
+    if (n == 0) break;
+    t.row()
+        .cell(static_cast<std::uint64_t>(h))
+        .cell(success / static_cast<double>(n) * 100.0, 1)
+        .cell(traffic, 0)
+        .cell(dropped, 0)
+        .cell(dgood, 0)
+        .cell(dattack, 0)
+        .cell(report.result.final_active_peers, 0);
+  }
+  t.print(std::cout, "per-hour soak digest");
+
+  std::printf("\n%s\n", experiments::soak_verdict(report).c_str());
+  for (const auto& v : report.violations) {
+    std::printf("  violation @%.0f min: %s\n", v.minute, v.what.c_str());
+  }
+
+  const std::string csv = opts.get("csv", std::string("-"));
+  if (csv != "-" && t.write_csv(csv)) std::printf("wrote %s\n", csv.c_str());
+
+  return report.passed() ? 0 : 1;
+}

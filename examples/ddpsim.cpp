@@ -16,6 +16,12 @@
 //   cheat[honest]        honest | inflate | deflate | mute
 //   lists[honest]        honest | fabricate | withhold
 //   rejoin[0] churn[on] lifetime_min[60] attack_rate[20000]
+//   cut_policy[permanent]  permanent | quarantine   (self-healing cuts)
+//   quarantine_min[10] quarantine_growth[2] probation_min[5]
+//   probation_budget[0.25] probation_links[2] max_strikes[3]
+//   admission[blind]     blind | priority (control reserve, shed attack first)
+//   control_reserve[0.05]
+//   repair[0]            detect partitions and re-bootstrap stranded peers
 //   loss[0] dup[0] corrupt[0] delay[0] jitter[0]   control-channel faults
 //   crash[0] stall[0] stall_s[90] slow[0]          peer faults (per minute)
 //   data_faults[0]       also degrade the query data plane
@@ -80,6 +86,26 @@ int main(int argc, char** argv) {
   cfg.naive_cut_threshold = opts.get("threshold", 500.0);
   cfg.flow.attack_target_per_minute = opts.get("attack_rate", 20000.0);
 
+  // Self-healing stack (all default-off: the paper's permanent cuts,
+  // class-blind shedding and unrepaired overlay).
+  const std::string cut_policy = opts.get("cut_policy", std::string("permanent"));
+  cfg.ddpolice.cut_policy = cut_policy == "quarantine"
+                                ? core::CutPolicy::kQuarantine
+                                : core::CutPolicy::kPermanent;
+  cfg.ddpolice.quarantine_minutes = opts.get("quarantine_min", 10.0);
+  cfg.ddpolice.quarantine_growth = opts.get("quarantine_growth", 2.0);
+  cfg.ddpolice.probation_minutes = opts.get("probation_min", 5.0);
+  cfg.ddpolice.probation_budget = opts.get("probation_budget", 0.25);
+  cfg.ddpolice.probation_links =
+      static_cast<int>(opts.get("probation_links", std::int64_t{2}));
+  cfg.ddpolice.max_strikes =
+      static_cast<int>(opts.get("max_strikes", std::int64_t{3}));
+  const std::string admission = opts.get("admission", std::string("blind"));
+  cfg.flow.admission = admission == "priority" ? flow::AdmissionPolicy::kPriority
+                                               : flow::AdmissionPolicy::kClassBlind;
+  cfg.flow.control_reserve_fraction = opts.get("control_reserve", 0.05);
+  cfg.repair_partitions = opts.get("repair", false);
+
   const std::string cheat = opts.get("cheat", std::string("honest"));
   if (cheat == "inflate") cfg.attack.behavior.report = attack::ReportStrategy::kInflate;
   else if (cheat == "deflate") cfg.attack.behavior.report = attack::ReportStrategy::kDeflate;
@@ -130,6 +156,13 @@ int main(int argc, char** argv) {
               cfg.topo.nodes, topo.c_str(), cfg.attack.agents, def.c_str(),
               opts.summary().c_str());
 
+  // Validate up front: a clear one-line diagnosis instead of a throw from
+  // deep inside the scenario runner.
+  if (const std::string err = experiments::validate_config(cfg); !err.empty()) {
+    std::fprintf(stderr, "ddpsim: invalid configuration: %s\n", err.c_str());
+    return 2;
+  }
+
   const auto baseline = experiments::run_baseline(cfg);
   const auto r = experiments::run_scenario(cfg);
 
@@ -156,6 +189,30 @@ int main(int argc, char** argv) {
               r.summary.avg_success_rate * 100.0, s0 * 100.0,
               dmg.stabilized_damage, r.errors.false_negative,
               r.errors.false_positive);
+  if (cfg.ddpolice.cut_policy == core::CutPolicy::kQuarantine) {
+    double mean_reinstate = 0.0;
+    for (const auto& rec : r.reinstatements) {
+      mean_reinstate += rec.reinstate_minute - rec.cut_minute;
+    }
+    if (!r.reinstatements.empty()) {
+      mean_reinstate /= static_cast<double>(r.reinstatements.size());
+    }
+    std::printf("quarantine: %llu quarantined, %llu probations, %llu "
+                "reinstated (mean %.1f min), %llu banned, %llu re-isolations\n",
+                static_cast<unsigned long long>(r.quarantine.quarantines),
+                static_cast<unsigned long long>(r.quarantine.probations),
+                static_cast<unsigned long long>(r.quarantine.reinstatements),
+                mean_reinstate,
+                static_cast<unsigned long long>(r.quarantine.bans),
+                static_cast<unsigned long long>(r.quarantine.re_isolations));
+  }
+  if (cfg.repair_partitions) {
+    std::printf("repair: %llu sweeps, %llu found partitions, %llu peers "
+                "re-bootstrapped\n",
+                static_cast<unsigned long long>(r.partition_sweeps),
+                static_cast<unsigned long long>(r.partitions_seen),
+                static_cast<unsigned long long>(r.peers_repaired));
+  }
   if (cfg.fault.any()) {
     std::printf("faults: %llu timeouts, %llu retries, %llu late, %llu corrupt "
                 "rejected; %zu crashed, %zu stalls; channel %llu/%llu dropped\n",

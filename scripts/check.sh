@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh          # tier-1: configure, build, ctest, trace check
 #   scripts/check.sh --asan   # tier-1 plus the ASan+UBSan suite (slow)
+#   scripts/check.sh --soak   # tier-1 plus a 2-simulated-hour chaos soak
 #
 # Tier-1 is the contract every PR must keep green: the default-preset
 # build, the full ctest suite, and an end-to-end observability check —
@@ -14,10 +15,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 run_asan=0
+run_soak=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
-    *) echo "unknown argument: $arg (expected --asan)" >&2; exit 2 ;;
+    --soak) run_soak=1 ;;
+    *) echo "unknown argument: $arg (expected --asan or --soak)" >&2; exit 2 ;;
   esac
 done
 
@@ -43,6 +46,13 @@ if ! cmp -s "$tmp/a.jsonl" "$tmp/b.jsonl"; then
   exit 1
 fi
 echo "trace determinism: OK (same seed => byte-identical JSONL)"
+
+if [ "$run_soak" -eq 1 ]; then
+  echo "== chaos soak (quarantine + priority shedding + repair, 2 sim hours) =="
+  # Reduced-length version of the 8-hour soak (bench_soak_chaos with no
+  # arguments); exits non-zero on any standing-invariant violation.
+  ./build/bench/bench_soak_chaos minutes=120
+fi
 
 if [ "$run_asan" -eq 1 ]; then
   echo "== ASan + UBSan suite =="

@@ -6,6 +6,7 @@
 /// warning threshold 500 queries/min, cut threshold CT = 5.
 
 #include <cstddef>
+#include <string>
 
 #include "util/types.hpp"
 
@@ -14,6 +15,14 @@ namespace ddp::core {
 enum class ExchangePolicy : std::uint8_t {
   kPeriodic,     ///< fixed-frequency neighbour-list exchange (the paper's pick)
   kEventDriven,  ///< advertise on every join/leave (higher overhead, Sec. 3.7.1)
+};
+
+/// What a cut decision does to the suspect (Sec. 3.3 vs. the self-healing
+/// extension). The paper's verdict is terminal; the quarantine ladder makes
+/// it recoverable because Fig. 13 shows detection errors are nonzero.
+enum class CutPolicy : std::uint8_t {
+  kPermanent,   ///< the paper's behaviour: disconnected links stay down
+  kQuarantine,  ///< quarantine -> probation -> reinstate/ban state machine
 };
 
 struct DdPoliceConfig {
@@ -79,6 +88,38 @@ struct DdPoliceConfig {
   /// Exponential backoff between retries: retry k waits
   /// retry_backoff_base_seconds * 2^(k-1) seconds before re-sending.
   double retry_backoff_base_seconds = 2.0;
+
+  // ---- Self-healing cut ladder (quarantine -> probation -> reinstate/ban) --
+  // Only consulted when cut_policy == CutPolicy::kQuarantine; the default
+  // reproduces the paper's terminal disconnect bit-for-bit.
+
+  /// Terminal cut (paper) or the recoverable quarantine ladder.
+  CutPolicy cut_policy = CutPolicy::kPermanent;
+
+  /// Base quarantine window after the first offense, minutes. Repeat
+  /// offenders wait quarantine_minutes * quarantine_growth^strikes.
+  double quarantine_minutes = 10.0;
+
+  /// Exponential growth factor applied per prior strike.
+  double quarantine_growth = 2.0;
+
+  /// Length of the probation window after release, minutes. The peer is
+  /// reconnected with probation_links edges and re-scored by its new buddy
+  /// group; surviving the window reinstates it at full budget.
+  double probation_minutes = 5.0;
+
+  /// Fraction of the peer's normal query budget allowed while on probation.
+  double probation_budget = 0.25;
+
+  /// Number of overlay links granted on probational reconnection.
+  int probation_links = 2;
+
+  /// Strikes (cut decisions) after which the peer is banned outright.
+  int max_strikes = 3;
 };
+
+/// Range-checks a DdPoliceConfig. Returns an empty string when every field
+/// is usable, otherwise a human-readable description of the first problem.
+std::string validate(const DdPoliceConfig& cfg);
 
 }  // namespace ddp::core

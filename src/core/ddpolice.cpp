@@ -25,6 +25,12 @@ std::uint32_t quantize_counter(double v) noexcept {
 
 DdPolice::DdPolice(OverlayPort& port, const DdPoliceConfig& config, util::Rng rng)
     : port_(port), config_(config), rng_(rng) {
+  if (config_.cut_policy == CutPolicy::kQuarantine) {
+    // A dedicated fork: ledger reconnection draws never perturb the
+    // protocol's own stream (fork is const, so the stagger draws below
+    // are bit-identical whether or not the ledger exists).
+    ledger_.emplace(port_, config_, rng_.fork("quarantine"));
+  }
   const std::size_t n = port_.graph().node_count();
   next_exchange_minute_.resize(n);
   last_advertised_.resize(n);
@@ -47,6 +53,10 @@ std::vector<PeerId> DdPolice::snapshot_of(PeerId holder, PeerId about) const {
 }
 
 void DdPolice::on_minute(double minute) {
+  // Ledger sweep first: releases/probations/re-isolations settle against
+  // the post-churn topology before this minute's exchanges and rounds,
+  // so a probationer's fresh edges are advertised in the same minute.
+  if (ledger_) ledger_->on_minute(minute);
   exchange_phase(minute);
   detection_phase(minute);
 }
@@ -257,6 +267,20 @@ void DdPolice::detection_phase(double minute) {
   }
   for (const auto& [judge, suspect] : pending_disconnects_) {
     port_.disconnect(judge, suspect);
+  }
+  if (ledger_ && !pending_disconnects_.empty()) {
+    // One ledger verdict per suspect per minute, however many judges
+    // concurred; sorted so strike order is hash-map independent.
+    std::vector<PeerId> suspects;
+    suspects.reserve(pending_disconnects_.size());
+    for (const auto& [judge, suspect] : pending_disconnects_) {
+      (void)judge;
+      suspects.push_back(suspect);
+    }
+    std::sort(suspects.begin(), suspects.end());
+    suspects.erase(std::unique(suspects.begin(), suspects.end()),
+                   suspects.end());
+    for (PeerId s : suspects) ledger_->on_cut(s, minute);
   }
 }
 

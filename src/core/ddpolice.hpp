@@ -31,6 +31,7 @@
 #include "core/config.hpp"
 #include "core/indicators.hpp"
 #include "core/overlay_port.hpp"
+#include "core/quarantine.hpp"
 #include "fault/plane.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
@@ -94,8 +95,17 @@ class DdPolice {
   /// suspect_flagged / indicator / suspect_cut during detection, and
   /// traffic_request/reply/retry/timeout plus corrupt_reject / late_reply
   /// for each Neighbor_Traffic collection.
-  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
+  void set_trace_sink(obs::TraceSink* sink) noexcept {
+    tracer_.bind(sink);
+    if (ledger_) ledger_->set_trace_sink(sink);
+  }
   const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// The quarantine ledger, or null under CutPolicy::kPermanent.
+  const QuarantineLedger* ledger() const noexcept {
+    return ledger_ ? &*ledger_ : nullptr;
+  }
+  QuarantineLedger* ledger() noexcept { return ledger_ ? &*ledger_ : nullptr; }
 
   /// Run one protocol step; call at every completed simulated minute.
   void on_minute(double minute);
@@ -145,6 +155,7 @@ class DdPolice {
   DdPoliceConfig config_;
   util::Rng rng_;
   obs::Tracer tracer_;
+  std::optional<QuarantineLedger> ledger_;  ///< engaged under kQuarantine
   ReportPolicy report_policy_;
   ListPolicy list_policy_;
   fault::FaultPlane* fault_ = nullptr;

@@ -20,6 +20,16 @@ class FlowPort final : public OverlayPort {
 
   void disconnect(PeerId a, PeerId b) override { net_.disconnect(a, b); }
 
+  bool connect(PeerId a, PeerId b) override {
+    if (!net_.mutable_graph().add_edge(a, b)) return false;
+    net_.on_edge_added(a, b);
+    return true;
+  }
+
+  void set_query_budget(PeerId p, double scale) override {
+    net_.set_issue_scale(p, scale);
+  }
+
   void report_overhead(double messages) override {
     net_.add_overhead_messages(messages);
   }

@@ -24,6 +24,22 @@ class OverlayPort {
   /// Tear down the logical connection between a and b.
   virtual void disconnect(PeerId a, PeerId b) = 0;
 
+  /// Establish a logical connection between a and b (probational
+  /// reconnection, partition repair). Engines that cannot add edges keep
+  /// the default refusal and the caller degrades gracefully.
+  virtual bool connect(PeerId a, PeerId b) {
+    (void)a;
+    (void)b;
+    return false;
+  }
+
+  /// Scale a peer's query-issue budget (1.0 = normal, 0.25 = probation).
+  /// Default no-op: engines without rate control simply ignore budgets.
+  virtual void set_query_budget(PeerId p, double scale) {
+    (void)p;
+    (void)scale;
+  }
+
   /// Account protocol messages into the engine's traffic metric.
   virtual void report_overhead(double messages) = 0;
 };

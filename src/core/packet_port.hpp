@@ -29,6 +29,10 @@ class PacketPort final : public OverlayPort {
 
   void disconnect(PeerId a, PeerId b) override { net_->disconnect(a, b); }
 
+  bool connect(PeerId a, PeerId b) override { return net_->connect(a, b); }
+  // set_query_budget keeps the default no-op: the packet engine's issue
+  // schedule is owned by the workload driver, not the engine itself.
+
   void report_overhead(double messages) override {
     net_->add_overhead_messages(messages);
   }

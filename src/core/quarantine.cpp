@@ -1,0 +1,195 @@
+#include "core/quarantine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddp::core {
+
+const char* standing_name(Standing s) noexcept {
+  switch (s) {
+    case Standing::kClear: return "clear";
+    case Standing::kQuarantined: return "quarantined";
+    case Standing::kProbation: return "probation";
+    case Standing::kBanned: return "banned";
+  }
+  return "unknown";
+}
+
+QuarantineLedger::QuarantineLedger(OverlayPort& port,
+                                   const DdPoliceConfig& config, util::Rng rng)
+    : port_(port), config_(config), rng_(rng) {}
+
+Standing QuarantineLedger::standing(PeerId p) const noexcept {
+  const auto it = entries_.find(p);
+  return it == entries_.end() ? Standing::kClear : it->second.state;
+}
+
+int QuarantineLedger::strikes(PeerId p) const noexcept {
+  const auto it = entries_.find(p);
+  return it == entries_.end() ? 0 : it->second.strikes;
+}
+
+bool QuarantineLedger::blocked(PeerId p) const noexcept {
+  const Standing s = standing(p);
+  return s == Standing::kQuarantined || s == Standing::kBanned;
+}
+
+bool QuarantineLedger::restricted(PeerId p) const noexcept {
+  return standing(p) != Standing::kClear;
+}
+
+void QuarantineLedger::isolate(PeerId p) {
+  const auto& g = port_.graph();
+  if (p >= g.node_count()) return;
+  // Copy: disconnect mutates the adjacency we are walking.
+  const std::vector<PeerId> links(g.neighbors(p).begin(), g.neighbors(p).end());
+  for (PeerId n : links) port_.disconnect(n, p);
+}
+
+void QuarantineLedger::on_cut(PeerId suspect, double minute) {
+  Entry& e = entries_[suspect];
+  if (e.state == Standing::kBanned) {
+    // Already struck out; the sweep keeps it isolated.
+    return;
+  }
+  const bool new_episode = e.state == Standing::kClear;
+  ++e.strikes;
+  if (new_episode) e.cut_minute = minute;
+  // Probation budgets must not outlive the episode that granted them.
+  port_.set_query_budget(suspect, 1.0);
+  isolate(suspect);
+  if (e.strikes >= std::max(config_.max_strikes, 1)) {
+    e.state = Standing::kBanned;
+    ++stats_.bans;
+    DDP_TRACE(tracer_, obs::EventType::kPeerBanned, minute * kMinute, suspect,
+              kInvalidPeer, {{"strikes", static_cast<double>(e.strikes)}});
+    return;
+  }
+  // Exponential backoff: strike k waits base * growth^(k-1).
+  const double growth = std::max(config_.quarantine_growth, 1.0);
+  const double window = std::max(config_.quarantine_minutes, 1.0) *
+                        std::pow(growth, static_cast<double>(e.strikes - 1));
+  e.state = Standing::kQuarantined;
+  e.release_minute = minute + window;
+  ++stats_.quarantines;
+  DDP_TRACE(tracer_, obs::EventType::kPeerQuarantined, minute * kMinute,
+            suspect, kInvalidPeer,
+            {{"strikes", static_cast<double>(e.strikes)},
+             {"release", e.release_minute}});
+}
+
+void QuarantineLedger::enter_probation(PeerId p, Entry& e, double minute) {
+  const auto& g = port_.graph();
+  // Degree-preferential reconnection, the same bias a real bootstrap has.
+  // Targets must be clear-standing (a probationer wired to a quarantined
+  // peer would hand the latter edges the ledger must immediately strip).
+  int connected = 0;
+  const int want = std::max(config_.probation_links, 1);
+  const int max_attempts = want * 8;
+  for (int attempt = 0; attempt < max_attempts && connected < want; ++attempt) {
+    const PeerId target = g.random_active_node_by_degree(rng_, p);
+    if (target == kInvalidPeer || target == p) break;
+    if (restricted(target) || g.has_edge(p, target)) continue;
+    if (port_.connect(p, target)) ++connected;
+  }
+  e.state = Standing::kProbation;
+  e.probation_end = minute + std::max(config_.probation_minutes, 1.0);
+  port_.set_query_budget(p, config_.probation_budget);
+  ++stats_.probations;
+  DDP_TRACE(tracer_, obs::EventType::kPeerProbation, minute * kMinute, p,
+            kInvalidPeer,
+            {{"links", static_cast<double>(connected)},
+             {"budget", config_.probation_budget}});
+}
+
+void QuarantineLedger::on_minute(double minute) {
+  // Deterministic sweep order regardless of hash-map layout.
+  std::vector<PeerId> peers;
+  peers.reserve(entries_.size());
+  for (const auto& [p, e] : entries_) {
+    if (e.state != Standing::kClear) peers.push_back(p);
+  }
+  std::sort(peers.begin(), peers.end());
+
+  const auto& g = port_.graph();
+  for (PeerId p : peers) {
+    Entry& e = entries_[p];
+    switch (e.state) {
+      case Standing::kQuarantined:
+        if (p < g.node_count() && g.degree(p) > 0) {
+          // A churn rejoin (or anything else) re-wired a blocked peer.
+          isolate(p);
+          ++stats_.re_isolations;
+        }
+        if (minute + 1e-9 >= e.release_minute) {
+          if (p < g.node_count() && g.is_active(p)) {
+            enter_probation(p, e, minute);
+          } else {
+            // Offline at release: wait until the peer is back before
+            // starting the probation clock (scored absence is meaningless).
+            ++stats_.deferred_releases;
+          }
+        }
+        break;
+      case Standing::kProbation:
+        if (minute + 1e-9 >= e.probation_end) {
+          // Survived the window without a fresh cut: reinstated.
+          e.state = Standing::kClear;
+          port_.set_query_budget(p, 1.0);
+          reinstated_.push_back({p, e.cut_minute, minute});
+          ++stats_.reinstatements;
+          DDP_TRACE(tracer_, obs::EventType::kPeerReinstated, minute * kMinute,
+                    p, kInvalidPeer,
+                    {{"quarantined_minutes", minute - e.cut_minute}});
+        }
+        break;
+      case Standing::kBanned:
+        if (p < g.node_count() && g.degree(p) > 0) {
+          isolate(p);
+          ++stats_.re_isolations;
+        }
+        break;
+      case Standing::kClear:
+        break;
+    }
+  }
+}
+
+bool QuarantineLedger::consistent(std::string* why) const {
+  const auto set_why = [why](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+  };
+  const auto& g = port_.graph();
+  for (const auto& [p, e] : entries_) {
+    const std::string tag = "peer " + std::to_string(p) + " (" +
+                            standing_name(e.state) + "): ";
+    if (e.strikes < 0 || e.strikes > std::max(config_.max_strikes, 1)) {
+      set_why(tag + "strike count " + std::to_string(e.strikes) +
+              " outside [0, max_strikes]");
+      return false;
+    }
+    if (e.state != Standing::kClear && e.strikes == 0) {
+      set_why(tag + "restricted standing with zero strikes");
+      return false;
+    }
+    if (e.state == Standing::kBanned &&
+        e.strikes < std::max(config_.max_strikes, 1)) {
+      set_why(tag + "banned below max_strikes");
+      return false;
+    }
+    if (e.state == Standing::kQuarantined &&
+        e.release_minute < e.cut_minute) {
+      set_why(tag + "release scheduled before the cut");
+      return false;
+    }
+    if ((e.state == Standing::kQuarantined || e.state == Standing::kBanned) &&
+        p < g.node_count() && g.degree(p) > 0) {
+      set_why(tag + "blocked peer holds " + std::to_string(g.degree(p)) +
+              " edges");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ddp::core

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file quarantine.hpp
+/// The self-healing cut ladder: quarantine -> probation -> reinstate/ban.
+///
+/// The paper's verdict (Sec. 3.3) is terminal — a suspect crossing CT is
+/// disconnected forever — but Fig. 13 shows detection errors are nonzero,
+/// so a long-lived overlay must survive its own false positives. Under
+/// CutPolicy::kQuarantine every cut feeds this ledger instead of being
+/// final:
+///
+///   cut        -> kQuarantined: the suspect is fully isolated for
+///                 quarantine_minutes * growth^strikes (exponential
+///                 backoff on repeat offenses);
+///   release    -> kProbation: the peer is reconnected with
+///                 probation_links degree-preferential edges at
+///                 probation_budget of its normal query budget, and its
+///                 new buddy group re-scores it for probation_minutes;
+///   survived   -> kClear (reinstated at full budget; strikes persist);
+///   re-cut     -> back to kQuarantined with one more strike;
+///   strikes >= max_strikes -> kBanned (isolated for good).
+///
+/// The ledger also polices its own invariant each minute: a quarantined
+/// or banned peer that regained edges (e.g. a churn rejoin re-wired it)
+/// is re-isolated on the next sweep.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/overlay_port.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ddp::core {
+
+/// Where a peer sits on the degradation ladder.
+enum class Standing : std::uint8_t {
+  kClear,        ///< never cut, or reinstated after probation
+  kQuarantined,  ///< isolated, waiting out the quarantine window
+  kProbation,    ///< reconnected at reduced budget, being re-scored
+  kBanned,       ///< struck out: isolated permanently
+};
+
+const char* standing_name(Standing s) noexcept;
+
+/// One completed recovery, for the false-positive time-to-reinstate metric.
+struct ReinstateRecord {
+  PeerId peer = kInvalidPeer;
+  double cut_minute = 0.0;        ///< first cut of this episode
+  double reinstate_minute = 0.0;  ///< probation survived
+};
+
+/// Ladder transition counters (monotone; soak invariants lean on that).
+struct QuarantineStats {
+  std::uint64_t quarantines = 0;    ///< entries into kQuarantined
+  std::uint64_t probations = 0;     ///< releases into kProbation
+  std::uint64_t reinstatements = 0; ///< probations survived
+  std::uint64_t bans = 0;           ///< entries into kBanned
+  std::uint64_t re_isolations = 0;  ///< blocked peers stripped of rogue edges
+  std::uint64_t deferred_releases = 0;  ///< release postponed: peer offline
+};
+
+class QuarantineLedger {
+ public:
+  /// The ledger reconnects and re-isolates peers through the same
+  /// OverlayPort the protocol uses; `rng` should be a dedicated fork so
+  /// target selection never perturbs the protocol's own draws.
+  QuarantineLedger(OverlayPort& port, const DdPoliceConfig& config,
+                   util::Rng rng);
+
+  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
+
+  /// Record a cut verdict against `suspect` (call once per suspect per
+  /// minute, after the judges' disconnects were applied). Isolates the
+  /// peer's remaining links and starts/extends its quarantine, or bans it
+  /// outright once strikes reach max_strikes.
+  void on_cut(PeerId suspect, double minute);
+
+  /// Minute sweep: release quarantines whose window elapsed (into
+  /// probation), reinstate peers that survived probation, and re-isolate
+  /// blocked peers that regained edges behind the ledger's back.
+  void on_minute(double minute);
+
+  Standing standing(PeerId p) const noexcept;
+  int strikes(PeerId p) const noexcept;
+
+  /// True when the ledger requires p to stay edge-less (quarantined or
+  /// banned). Maintenance/repair must not re-link such peers.
+  bool blocked(PeerId p) const noexcept;
+
+  /// True when p is quarantined, on probation, or banned — i.e. the
+  /// ladder currently restricts it in some way.
+  bool restricted(PeerId p) const noexcept;
+
+  const std::vector<ReinstateRecord>& reinstatements() const noexcept {
+    return reinstated_;
+  }
+  const QuarantineStats& stats() const noexcept { return stats_; }
+
+  /// Standing self-check for the soak harness. Verifies per-entry
+  /// invariants (strike bounds, window ordering, banned => struck out,
+  /// blocked => edge-less). Returns true when consistent; otherwise
+  /// writes a description of the first violation into *why (if non-null).
+  bool consistent(std::string* why = nullptr) const;
+
+ private:
+  struct Entry {
+    Standing state = Standing::kClear;
+    int strikes = 0;
+    double cut_minute = 0.0;      ///< first cut of the current episode
+    double release_minute = 0.0;  ///< quarantine window end
+    double probation_end = 0.0;   ///< probation window end
+  };
+
+  void isolate(PeerId p);
+  void enter_probation(PeerId p, Entry& e, double minute);
+
+  OverlayPort& port_;
+  const DdPoliceConfig config_;
+  util::Rng rng_;
+  obs::Tracer tracer_;
+  std::unordered_map<PeerId, Entry> entries_;
+  std::vector<ReinstateRecord> reinstated_;
+  QuarantineStats stats_;
+};
+
+}  // namespace ddp::core

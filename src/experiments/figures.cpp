@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "topology/coverage.hpp"
 #include "util/config.hpp"
 #include "util/log.hpp"
 
@@ -175,7 +176,8 @@ util::Table fig12_damage_table(const DamageTimelines& timelines) {
 
 std::vector<CtSweepRow> run_ct_sweep(const Scale& scale,
                                      const std::vector<double>& cut_thresholds,
-                                     std::size_t agents, std::uint64_t seed) {
+                                     std::size_t agents, std::uint64_t seed,
+                                     bool with_quarantine) {
   // Shared baseline success per seed for recovery analysis.
   std::vector<CtSweepRow> rows;
   for (double ct : cut_thresholds) {
@@ -183,6 +185,10 @@ std::vector<CtSweepRow> run_ct_sweep(const Scale& scale,
     row.cut_threshold = ct;
     double det_sum = 0.0;
     std::uint32_t det_n = 0;
+    double reinstate_sum = 0.0;
+    std::uint64_t reinstate_n = 0;
+    double reinstated_success_sum = 0.0;
+    std::uint32_t reinstated_success_n = 0;
     for (std::uint32_t t = 0; t < scale.trials; ++t) {
       const std::uint64_t s = seed + 1000003ULL * t;
       const auto base =
@@ -206,6 +212,65 @@ std::vector<CtSweepRow> run_ct_sweep(const Scale& scale,
         det_sum += r.errors.mean_detection_minute;
         ++det_n;
       }
+      if (with_quarantine) {
+        // Same seed, same threshold, quarantine ladder instead of the
+        // permanent cut: how fast does a falsely cut honest peer get its
+        // service back, and what does that do to S(t)?
+        ScenarioConfig qcfg = cfg;
+        qcfg.ddpolice.cut_policy = core::CutPolicy::kQuarantine;
+        // The recovery receipt: each minute, score every reinstated honest
+        // peer's own flood through the engine's hit model. The hook
+        // overwrites the capture, so the last completed minute wins — an
+        // end-of-run snapshot. While cut the same peers sit at reach 0.
+        double trial_reinstated_success = -1.0;
+        qcfg.inspect = [&trial_reinstated_success](double /*minute*/,
+                                                   const ScenarioView& view) {
+          if (view.ledger == nullptr || view.net == nullptr ||
+              view.attack == nullptr) {
+            return;
+          }
+          std::vector<PeerId> peers;
+          for (const auto& rec : view.ledger->reinstatements()) {
+            peers.push_back(rec.peer);
+          }
+          std::sort(peers.begin(), peers.end());
+          peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+          const auto& g = view.net->graph();
+          double sum = 0.0;
+          std::size_t n = 0;
+          for (PeerId p : peers) {
+            if (view.attack->is_agent(p)) continue;
+            if (p >= g.node_count() || !g.is_active(p)) continue;
+            if (view.ledger->standing(p) != core::Standing::kClear) continue;
+            const auto prof =
+                topology::flood_coverage(g, p, view.net->config().ttl);
+            sum += view.net->content().average_hit_probability(
+                prof.total_reach());
+            ++n;
+          }
+          if (n > 0) trial_reinstated_success = sum / static_cast<double>(n);
+        };
+        const auto qr = run_scenario(qcfg);
+        if (trial_reinstated_success >= 0.0) {
+          reinstated_success_sum += trial_reinstated_success;
+          ++reinstated_success_n;
+        }
+        row.success_permanent += r.summary.avg_success_rate;
+        row.success_quarantine += qr.summary.avg_success_rate;
+        std::vector<PeerId> honest_peers;
+        for (const auto& rec : qr.reinstatements) {
+          if (rec.peer < qr.is_bad.size() && qr.is_bad[rec.peer] == 0) {
+            reinstate_sum += rec.reinstate_minute - rec.cut_minute;
+            ++reinstate_n;
+            honest_peers.push_back(rec.peer);
+          }
+        }
+        std::sort(honest_peers.begin(), honest_peers.end());
+        honest_peers.erase(
+            std::unique(honest_peers.begin(), honest_peers.end()),
+            honest_peers.end());
+        row.honest_reinstated += static_cast<double>(honest_peers.size());
+      }
     }
     const double d = static_cast<double>(scale.trials);
     row.false_negative /= d;
@@ -214,6 +279,21 @@ std::vector<CtSweepRow> run_ct_sweep(const Scale& scale,
     row.recovery_minutes /= d;
     row.stabilized_damage /= d;
     row.detection_minutes = det_n > 0 ? det_sum / det_n : -1.0;
+    if (with_quarantine) {
+      // Fields start at the -1 "not measured" sentinel; shift it out
+      // before averaging the accumulated trial sums.
+      row.success_permanent = (row.success_permanent + 1.0) / d;
+      row.success_quarantine = (row.success_quarantine + 1.0) / d;
+      row.honest_reinstated /= d;
+      row.reinstate_minutes =
+          reinstate_n > 0 ? reinstate_sum / static_cast<double>(reinstate_n)
+                          : -1.0;
+      row.reinstated_success =
+          reinstated_success_n > 0
+              ? reinstated_success_sum /
+                    static_cast<double>(reinstated_success_n)
+              : -1.0;
+    }
     rows.push_back(row);
     util::log_info("ct sweep: CT=" + util::format_double(ct, 1) + " done");
   }
@@ -221,14 +301,35 @@ std::vector<CtSweepRow> run_ct_sweep(const Scale& scale,
 }
 
 util::Table fig13_errors_table(const std::vector<CtSweepRow>& rows) {
-  util::Table t({"cut_threshold", "false_negative(good cut)",
-                 "false_positive(bad missed)", "false_judgment"});
+  // The quarantine columns only appear when the sweep measured them, so
+  // a permanent-cut-only sweep renders the exact pre-extension table.
+  const bool quarantine =
+      !rows.empty() && rows.front().success_quarantine >= 0.0;
+  std::vector<std::string> headers{"cut_threshold", "false_negative(good cut)",
+                                   "false_positive(bad missed)",
+                                   "false_judgment"};
+  if (quarantine) {
+    headers.insert(headers.end(),
+                   {"reinstate_time(min)", "honest_reinstated",
+                    "reinstated_success(%)", "success_permanent(%)",
+                    "success_quarantine(%)"});
+  }
+  util::Table t(headers);
   for (const auto& r : rows) {
     t.row()
         .cell(r.cut_threshold, 0)
         .cell(r.false_negative, 1)
         .cell(r.false_positive, 1)
         .cell(r.false_judgment, 1);
+    if (quarantine) {
+      t.cell(r.reinstate_minutes, 2)
+          .cell(r.honest_reinstated, 1)
+          .cell(r.reinstated_success < 0.0 ? -1.0
+                                           : r.reinstated_success * 100.0,
+                1)
+          .cell(r.success_permanent * 100.0, 1)
+          .cell(r.success_quarantine * 100.0, 1);
+    }
   }
   return t;
 }

@@ -71,11 +71,30 @@ struct CtSweepRow {
   double recovery_minutes = 0.0; ///< damage 20% -> 15% (Fig 14)
   double detection_minutes = 0.0;
   double stabilized_damage = 0.0;
+
+  // Self-healing extension, filled only when run_ct_sweep also ran the
+  // quarantine-policy variant (-1 marks "not measured"). The permanent-cut
+  // columns above are computed from the exact same runs either way.
+  double reinstate_minutes = -1.0;   ///< mean cut->reinstate latency, honest peers
+  double honest_reinstated = 0.0;    ///< honest peers reinstated, per trial
+  double success_permanent = -1.0;   ///< avg S(t) under CutPolicy::kPermanent
+  double success_quarantine = -1.0;  ///< avg S(t) under CutPolicy::kQuarantine
+  /// Mean end-of-run per-peer success probability of the reinstated honest
+  /// peers (their own reach through the engine's hit model). While cut the
+  /// same peers sit at 0 — under kPermanent they stay there forever — so
+  /// this column is the direct "service recovered" receipt.
+  double reinstated_success = -1.0;
 };
 
+/// Error counts vs. cut threshold (Figs 13-14). When `with_quarantine` is
+/// set, each threshold additionally runs the same seeds under
+/// CutPolicy::kQuarantine to measure the mean time-to-reinstate of falsely
+/// cut honest peers and the success-rate recovery it buys; the
+/// permanent-cut error columns are untouched by the extra runs.
 std::vector<CtSweepRow> run_ct_sweep(const Scale& scale,
                                      const std::vector<double>& cut_thresholds,
-                                     std::size_t agents, std::uint64_t seed);
+                                     std::size_t agents, std::uint64_t seed,
+                                     bool with_quarantine = false);
 
 util::Table fig13_errors_table(const std::vector<CtSweepRow>& rows);
 util::Table fig14_recovery_table(const std::vector<CtSweepRow>& rows);

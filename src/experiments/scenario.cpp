@@ -1,7 +1,9 @@
 #include "experiments/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <stdexcept>
 
 #include "core/flow_port.hpp"
 #include "flow/churn_driver.hpp"
@@ -13,13 +15,17 @@ namespace ddp::experiments {
 namespace {
 
 /// Reconnect active good peers that fell below the minimum degree —
-/// modelling Gnutella's host-cache-driven connection maintenance.
+/// modelling Gnutella's host-cache-driven connection maintenance. Peers
+/// the quarantine ledger keeps isolated are skipped on both ends: a host
+/// cache handing out a quarantined address would undo the defense.
 void maintain_overlay(flow::FlowNetwork& net, const attack::AttackScenario& atk,
                       util::Rng& rng, std::size_t min_degree,
-                      double rate_per_minute) {
+                      double rate_per_minute,
+                      const core::QuarantineLedger* ledger) {
   auto& g = net.mutable_graph();
   for (PeerId p = 0; p < g.node_count(); ++p) {
     if (!g.is_active(p) || atk.is_agent(p)) continue;
+    if (ledger != nullptr && ledger->blocked(p)) continue;
     if (g.degree(p) >= min_degree) continue;
     if (!rng.chance(rate_per_minute)) continue;  // discovery takes time
     const std::size_t missing = min_degree - g.degree(p);
@@ -28,6 +34,7 @@ void maintain_overlay(flow::FlowNetwork& net, const attack::AttackScenario& atk,
       const PeerId t = g.random_active_node_by_degree(rng, p);
       if (t == kInvalidPeer) break;
       if (atk.is_agent(t)) continue;  // host caches would not favour leeches
+      if (ledger != nullptr && ledger->blocked(t)) continue;
       if (g.add_edge(p, t)) {
         net.on_edge_added(p, t);
         ++added;
@@ -36,9 +43,131 @@ void maintain_overlay(flow::FlowNetwork& net, const attack::AttackScenario& atk,
   }
 }
 
+bool pos(double v) noexcept { return std::isfinite(v) && v > 0.0; }
+bool nonneg(double v) noexcept { return std::isfinite(v) && v >= 0.0; }
+bool prob(double v) noexcept { return std::isfinite(v) && v >= 0.0 && v <= 1.0; }
+
 }  // namespace
 
+std::string validate_config(const ScenarioConfig& config) {
+  if (config.topo.nodes < 2) return "topo.nodes must be >= 2";
+  if (config.topo.ba_links_per_node < 1) {
+    return "topo.ba_links_per_node must be >= 1";
+  }
+  if (config.content.objects == 0) return "content.objects must be > 0";
+  if (!pos(config.content.mean_replicas)) {
+    return "content.mean_replicas must be a finite value > 0";
+  }
+  if (!nonneg(config.content.popularity_theta)) {
+    return "content.popularity_theta must be finite and >= 0";
+  }
+  if (config.churn.enabled) {
+    if (!pos(config.churn.mean_lifetime)) {
+      return "churn.mean_lifetime must be a finite value > 0";
+    }
+    if (!pos(config.churn.lifetime_variance)) {
+      return "churn.lifetime_variance must be a finite value > 0";
+    }
+    if (!nonneg(config.churn.mean_offline)) {
+      return "churn.mean_offline must be finite and >= 0";
+    }
+    if (config.churn.rejoin_links < 1) return "churn.rejoin_links must be >= 1";
+    if (!pos(config.churn.pareto_shape)) {
+      return "churn.pareto_shape must be a finite value > 0";
+    }
+  }
+  if (config.attack.agents >= config.topo.nodes) {
+    return "attack.agents must be fewer than topo.nodes";
+  }
+  if (!nonneg(config.attack.start_minute)) {
+    return "attack.start_minute must be finite and >= 0";
+  }
+  if (!nonneg(config.attack.rejoin_after_minutes)) {
+    return "attack.rejoin_after_minutes must be finite and >= 0";
+  }
+  if (const std::string err = core::validate(config.ddpolice); !err.empty()) {
+    return err;
+  }
+  if (!pos(config.naive_cut_threshold)) {
+    return "naive_cut_threshold must be a finite value > 0";
+  }
+  if (config.flow.ttl < 1 || config.flow.ttl > flow::kMaxTtl) {
+    return "flow.ttl must be within [1, 8]";
+  }
+  if (!pos(config.flow.tick_seconds)) {
+    return "flow.tick_seconds must be a finite value > 0";
+  }
+  if (!pos(config.flow.capacity_per_minute)) {
+    return "flow.capacity_per_minute must be a finite value > 0";
+  }
+  if (!nonneg(config.flow.good_issue_per_minute)) {
+    return "flow.good_issue_per_minute must be finite and >= 0";
+  }
+  if (!nonneg(config.flow.attack_target_per_minute)) {
+    return "flow.attack_target_per_minute must be finite and >= 0";
+  }
+  if (!nonneg(config.flow.hop_latency)) {
+    return "flow.hop_latency must be finite and >= 0";
+  }
+  if (!nonneg(config.flow.max_queue_delay)) {
+    return "flow.max_queue_delay must be finite and >= 0";
+  }
+  if (!nonneg(config.flow.recalibrate_minutes)) {
+    return "flow.recalibrate_minutes must be finite and >= 0";
+  }
+  if (config.flow.calibration_samples < 1) {
+    return "flow.calibration_samples must be >= 1";
+  }
+  if (!std::isfinite(config.flow.link_reliability) ||
+      config.flow.link_reliability < 0.0 || config.flow.link_reliability > 2.0) {
+    return "flow.link_reliability must be within [0, 2]";
+  }
+  if (!prob(config.flow.control_reserve_fraction) ||
+      config.flow.control_reserve_fraction >= 1.0) {
+    return "flow.control_reserve_fraction must be within [0, 1)";
+  }
+  const auto& ch = config.fault.channel;
+  if (!prob(ch.drop_probability) || !prob(ch.duplicate_probability) ||
+      !prob(ch.corrupt_probability)) {
+    return "fault.channel probabilities must be within [0, 1]";
+  }
+  if (!nonneg(ch.base_delay_seconds) || !nonneg(ch.delay_jitter_seconds)) {
+    return "fault.channel delays must be finite and >= 0";
+  }
+  const auto& pf = config.fault.peer;
+  if (!prob(pf.crash_probability_per_minute) ||
+      !prob(pf.stall_probability_per_minute) || !prob(pf.slow_peer_fraction)) {
+    return "fault.peer probabilities must be within [0, 1]";
+  }
+  if (!nonneg(pf.stall_duration_seconds)) {
+    return "fault.peer.stall_duration_seconds must be finite and >= 0";
+  }
+  if (!pos(pf.slow_factor)) {
+    return "fault.peer.slow_factor must be a finite value > 0";
+  }
+  if (!pos(config.total_minutes)) {
+    return "total_minutes must be a finite value > 0";
+  }
+  if (!nonneg(config.warmup_minutes) ||
+      config.warmup_minutes > config.total_minutes) {
+    return "warmup_minutes must be within [0, total_minutes]";
+  }
+  if (!prob(config.maintain_rate_per_minute)) {
+    return "maintain_rate_per_minute must be within [0, 1]";
+  }
+  if (config.repair_partitions) {
+    if (config.repair.max_attempts < 1) {
+      return "repair.max_attempts must be >= 1";
+    }
+    if (config.repair.links < 1) return "repair.links must be >= 1";
+  }
+  return {};
+}
+
 ScenarioResult run_scenario(const ScenarioConfig& config) {
+  if (const std::string err = validate_config(config); !err.empty()) {
+    throw std::invalid_argument("invalid scenario config: " + err);
+  }
   util::Rng master(config.seed);
   util::Rng topo_rng = master.fork("topology");
 
@@ -152,9 +281,26 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
   }
 
+  core::QuarantineLedger* ledger = nullptr;
+  if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
+    ledger = ddp->protocol().ledger();
+  }
+
   if (plane != nullptr) {
     if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
       ddp->protocol().set_fault_plane(plane.get());
+    }
+    if (ledger != nullptr) {
+      // A stall resume must not clobber a probation budget: resuming peers
+      // come back at whatever rate their ladder standing allows.
+      const double probation_budget = config.ddpolice.probation_budget;
+      core::QuarantineLedger* ledger_raw = ledger;
+      plane->peers().on_resume = [&net, ledger_raw, probation_budget](PeerId p) {
+        if (!net.graph().is_active(p)) return;
+        const bool on_probation =
+            ledger_raw->standing(p) == core::Standing::kProbation;
+        net.set_issue_scale(p, on_probation ? probation_budget : 1.0);
+      };
     }
   }
 
@@ -175,7 +321,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
   std::shared_ptr<obs::PhaseProfiler> profiler;
   std::size_t ph_churn = 0, ph_attack = 0, ph_fault = 0, ph_defense = 0,
-              ph_maintenance = 0;
+              ph_maintenance = 0, ph_repair = 0;
   if (config.obs.profile) {
     profiler = std::make_shared<obs::PhaseProfiler>();
     ph_churn = profiler->phase("churn");
@@ -183,6 +329,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     ph_fault = profiler->phase("fault");
     ph_defense = profiler->phase("defense");
     ph_maintenance = profiler->phase("maintenance");
+    if (config.repair_partitions) ph_repair = profiler->phase("repair");
   }
   obs::PhaseProfiler* prof = profiler.get();
   const auto timed = [prof](std::size_t ph, auto&& fn) {
@@ -226,12 +373,58 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     timed(ph_defense, [&] { def_raw->on_minute(m); });
   });
   if (config.maintain_overlay) {
-    net.add_minute_hook([&, timed](double /*m*/) {
+    net.add_minute_hook([&, timed, ledger](double /*m*/) {
       timed(ph_maintenance, [&] {
         maintain_overlay(net, atk, maint_rng, config.maintain_min_degree,
-                         config.maintain_rate_per_minute);
+                         config.maintain_rate_per_minute, ledger);
       });
     });
+  }
+
+  // Partition repair runs last in the mutation pipeline: after churn,
+  // cuts and maintenance settled the topology, stranded healthy peers are
+  // re-bootstrapped into the main component.
+  std::unique_ptr<p2p::PartitionHealer> healer;
+  if (config.repair_partitions) {
+    healer = std::make_unique<p2p::PartitionHealer>(net.graph(), config.repair,
+                                                    master.fork("repair"));
+    if (config.obs.trace_sink != nullptr) {
+      healer->set_trace_sink(config.obs.trace_sink);
+    }
+    p2p::PartitionHealer* healer_raw = healer.get();
+    net.add_minute_hook([&, healer_raw, ledger, timed, ph_repair](double m) {
+      timed(ph_repair, [&] {
+        healer_raw->heal(
+            m,
+            [&](PeerId p) {
+              return net.graph().is_active(p) && !atk.is_agent(p) &&
+                     (ledger == nullptr || !ledger->blocked(p));
+            },
+            [&](PeerId a, PeerId b) {
+              if (!net.mutable_graph().add_edge(a, b)) return false;
+              net.on_edge_added(a, b);
+              return true;
+            });
+      });
+    });
+  }
+
+  // Caller inspection: runs after the full mutation pipeline settled, so
+  // invariant checks (soak harness) see exactly the state the next minute
+  // starts from. Read-only by contract.
+  if (config.inspect) {
+    ScenarioView view;
+    view.net = &net;
+    view.attack = &atk;
+    view.churn = &churn;
+    if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
+      view.ddpolice = &ddp->protocol();
+    }
+    view.ledger = ledger;
+    view.healer = healer.get();
+    view.fault = plane.get();
+    net.add_minute_hook(
+        [view, inspect = config.inspect](double m) { inspect(m, view); });
   }
 
   // Metrics snapshots: registered last so every per-minute value reflects
@@ -243,6 +436,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     const obs::MetricId m_traffic = reg->gauge("flow.traffic_messages");
     const obs::MetricId m_attack = reg->gauge("flow.attack_messages");
     const obs::MetricId m_dropped = reg->gauge("flow.dropped");
+    const obs::MetricId m_dropped_good = reg->gauge("flow.dropped_good");
+    const obs::MetricId m_dropped_attack = reg->gauge("flow.dropped_attack");
     const obs::MetricId m_success = reg->gauge("flow.success_rate");
     const obs::MetricId m_response = reg->gauge("flow.response_time");
     const obs::MetricId m_reach = reg->gauge("flow.reach_per_query");
@@ -256,15 +451,24 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     const obs::MetricId m_cuts = reg->gauge("defense.decisions");
     const obs::MetricId m_timeouts = reg->gauge("fault.timeouts");
     const obs::MetricId m_retries = reg->gauge("fault.retries");
+    const obs::MetricId m_quarantines = reg->gauge("defense.quarantines");
+    const obs::MetricId m_probations = reg->gauge("defense.probations");
+    const obs::MetricId m_reinstated = reg->gauge("defense.reinstatements");
+    const obs::MetricId m_bans = reg->gauge("defense.bans");
+    const obs::MetricId m_repaired = reg->gauge("repair.peers_repaired");
     const obs::MetricId m_success_hist =
         reg->histogram("flow.success_rate_hist", 0.0, 1.0, 20);
     fault::FaultPlane* plane_raw = plane.get();
     auto* ddp_raw = dynamic_cast<defense::DdPoliceDefense*>(def.get());
+    const core::QuarantineLedger* ledger_raw = ledger;
+    p2p::PartitionHealer* healer_obs = healer.get();
     net.add_minute_hook([=, &net, &churn](double m) {
       const auto& r = net.last_minute_report();
       reg->set(m_traffic, r.traffic_messages);
       reg->set(m_attack, r.attack_messages);
       reg->set(m_dropped, r.dropped);
+      reg->set(m_dropped_good, r.dropped_good);
+      reg->set(m_dropped_attack, r.dropped_attack);
       reg->set(m_success, r.success_rate);
       reg->set(m_response, r.response_time);
       reg->set(m_reach, r.reach_per_query);
@@ -283,6 +487,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       if (plane_raw != nullptr) {
         reg->set(m_timeouts, static_cast<double>(plane_raw->control().timeouts));
         reg->set(m_retries, static_cast<double>(plane_raw->control().retries));
+      }
+      if (ledger_raw != nullptr) {
+        const auto& qs = ledger_raw->stats();
+        reg->set(m_quarantines, static_cast<double>(qs.quarantines));
+        reg->set(m_probations, static_cast<double>(qs.probations));
+        reg->set(m_reinstated, static_cast<double>(qs.reinstatements));
+        reg->set(m_bans, static_cast<double>(qs.bans));
+      }
+      if (healer_obs != nullptr) {
+        reg->set(m_repaired, static_cast<double>(healer_obs->peers_repaired()));
       }
       reg->observe(m_success_hist, r.success_rate);
       reg->snapshot_minute(m);
@@ -316,6 +530,15 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.defense_exchange_messages = ddp->protocol().exchange_messages();
     result.defense_traffic_messages = ddp->protocol().traffic_messages();
     result.defense_rounds = ddp->protocol().rounds_run();
+    if (const core::QuarantineLedger* lg = ddp->protocol().ledger()) {
+      result.reinstatements = lg->reinstatements();
+      result.quarantine = lg->stats();
+    }
+  }
+  if (healer != nullptr) {
+    result.partition_sweeps = healer->sweeps();
+    result.partitions_seen = healer->partitions_seen();
+    result.peers_repaired = healer->peers_repaired();
   }
   if (plane != nullptr) {
     result.fault_control = plane->control();

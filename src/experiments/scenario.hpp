@@ -10,10 +10,15 @@
 #include <cstdint>
 #include <vector>
 
+#include <functional>
+
 #include <memory>
+
+#include <string>
 
 #include "attack/scenario.hpp"
 #include "core/config.hpp"
+#include "core/quarantine.hpp"
 #include "defense/defense.hpp"
 #include "fault/plane.hpp"
 #include "flow/config.hpp"
@@ -23,11 +28,30 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "p2p/partition.hpp"
 #include "topology/generators.hpp"
 #include "workload/churn.hpp"
 #include "workload/content.hpp"
 
+namespace ddp::flow {
+class ChurnDriver;
+}
+
 namespace ddp::experiments {
+
+/// Read-only view of the live system handed to inspection hooks: the soak
+/// harness asserts standing invariants against these. Pointers are valid
+/// only for the duration of the hook call; subsystems a run did not build
+/// are null (ledger without kQuarantine, healer without repair, ...).
+struct ScenarioView {
+  const flow::FlowNetwork* net = nullptr;
+  const attack::AttackScenario* attack = nullptr;
+  const flow::ChurnDriver* churn = nullptr;
+  const core::DdPolice* ddpolice = nullptr;
+  const core::QuarantineLedger* ledger = nullptr;
+  const p2p::PartitionHealer* healer = nullptr;
+  const fault::FaultPlane* fault = nullptr;
+};
 
 /// Observability plane of one run. All knobs default off, in which case
 /// the scenario constructs nothing, binds nothing, and every engine runs
@@ -84,8 +108,20 @@ struct ScenarioConfig {
   /// time, so being wrongly disconnected carries a real service cost).
   double maintain_rate_per_minute = 0.5;
 
+  /// Detect disconnected components each minute (after maintenance) and
+  /// re-bootstrap stranded healthy peers into the main component. Off by
+  /// default: the paper's overlay has no repair, and the default run must
+  /// stay bit-identical.
+  bool repair_partitions = false;
+  p2p::RepairConfig repair{};
+
   // Observability (off by default: zero-cost path).
   ObsConfig obs{};
+
+  /// Inspection hook, run at every completed minute after all mutation
+  /// hooks (churn/attack/fault/defense/maintenance/repair) settled. Null
+  /// (the default) registers nothing.
+  std::function<void(double minute, const ScenarioView& view)> inspect;
 };
 
 struct ScenarioResult {
@@ -100,6 +136,13 @@ struct ScenarioResult {
   std::uint64_t defense_rounds = 0;
   double final_active_peers = 0.0;
 
+  // Self-healing outcomes (empty/zero under CutPolicy::kPermanent).
+  std::vector<core::ReinstateRecord> reinstatements;
+  core::QuarantineStats quarantine{};
+  std::uint64_t partition_sweeps = 0;   ///< healer invocations
+  std::uint64_t partitions_seen = 0;    ///< sweeps that found > 1 component
+  std::uint64_t peers_repaired = 0;     ///< stranded peers re-bootstrapped
+
   // Fault-injection outcomes (all zero on a fault-free run).
   fault::ControlCounters fault_control{};   ///< DD-POLICE timeout/retry tallies
   fault::ChannelCounters fault_channel{};   ///< link-level fates drawn
@@ -112,7 +155,14 @@ struct ScenarioResult {
   std::shared_ptr<obs::PhaseProfiler> profile;
 };
 
-/// Build and run one scenario.
+/// Range-check every numeric knob of a scenario (engine rates, protocol
+/// thresholds, fault probabilities, run shape). Returns an empty string
+/// when the configuration is usable, otherwise a human-readable
+/// description of the first problem found.
+std::string validate_config(const ScenarioConfig& config);
+
+/// Build and run one scenario. Throws std::invalid_argument with the
+/// validate_config() message if the configuration is out of range.
 ScenarioResult run_scenario(const ScenarioConfig& config);
 
 /// Same configuration with the attack and defense removed — the paper's

@@ -1,0 +1,272 @@
+#include "experiments/soak.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "core/ddpolice.hpp"
+#include "fault/plane.hpp"
+#include "flow/churn_driver.hpp"
+#include "flow/network.hpp"
+
+namespace ddp::experiments {
+
+namespace {
+
+/// Cumulative counters snapshotted between sweeps for invariant 3.
+struct CounterSnapshot {
+  std::uint64_t rounds = 0;
+  std::uint64_t suspicions = 0;
+  std::uint64_t exchange_messages = 0;
+  std::uint64_t traffic_messages = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t repair_sweeps = 0;
+  std::uint64_t peers_repaired = 0;
+  std::uint64_t edges_added = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t probations = 0;
+  std::uint64_t reinstatements = 0;
+  std::uint64_t bans = 0;
+  std::uint64_t re_isolations = 0;
+  std::uint64_t fault_timeouts = 0;
+  std::uint64_t fault_retries = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t stalls = 0;
+};
+
+/// Live invariant checker, shared between the inspection hook closure and
+/// run_soak (the ScenarioConfig copy inside run_scenario owns the hook).
+struct Checker {
+  // Thresholds (copied from SoakConfig).
+  double check_every = 1.0;
+  double warmup = 10.0;
+  double min_connectivity = 0.85;
+  double in_flight_factor = 1.0;
+  std::size_t max_recorded = 32;
+
+  // State.
+  double next_check = 0.0;
+  CounterSnapshot prev{};
+  std::uint64_t checks = 0;
+  std::uint64_t violation_count = 0;
+  std::vector<SoakViolation> violations;
+
+  void fail(double minute, std::string what) {
+    ++violation_count;
+    if (violations.size() < max_recorded) {
+      violations.push_back({minute, std::move(what)});
+    }
+  }
+
+  void mono(double minute, const char* name, std::uint64_t& last,
+            std::uint64_t cur) {
+    if (cur < last) {
+      std::ostringstream os;
+      os << name << " went backwards: " << last << " -> " << cur;
+      fail(minute, os.str());
+    }
+    last = cur;
+  }
+
+  void check(double minute, const ScenarioView& view) {
+    if (minute + 1e-9 < warmup) return;
+    if (minute + 1e-9 < next_check) return;
+    next_check = minute + check_every;
+    ++checks;
+
+    const auto& g = view.net->graph();
+
+    // Invariant 1: the honest, active, non-restricted majority stays in
+    // one component. Quarantined/banned peers are isolated by design and
+    // agents are hostile, so neither counts against connectivity.
+    const p2p::PartitionReport rep = p2p::find_partitions(g);
+    std::size_t honest = 0;
+    std::size_t in_core = 0;
+    for (PeerId p = 0; p < g.node_count(); ++p) {
+      if (!g.is_active(p)) continue;
+      if (view.attack != nullptr && view.attack->is_agent(p)) continue;
+      if (view.ledger != nullptr && view.ledger->blocked(p)) continue;
+      ++honest;
+      if (g.degree(p) > 0 && rep.label[p] == 0) ++in_core;
+    }
+    if (honest > 0) {
+      const double frac =
+          static_cast<double>(in_core) / static_cast<double>(honest);
+      if (frac < min_connectivity) {
+        std::ostringstream os;
+        os << "honest connectivity " << frac << " below floor "
+           << min_connectivity << " (" << in_core << "/" << honest
+           << " in largest of " << rep.components << " components)";
+        fail(minute, os.str());
+      }
+    }
+
+    // Invariant 2: quarantine ledger coherent, blocked peers isolated.
+    if (view.ledger != nullptr) {
+      std::string why;
+      if (!view.ledger->consistent(&why)) {
+        fail(minute, "quarantine ledger inconsistent: " + why);
+      }
+    }
+
+    // Invariant 3: cumulative counters never move backwards.
+    if (view.ddpolice != nullptr) {
+      mono(minute, "defense.rounds", prev.rounds, view.ddpolice->rounds_run());
+      mono(minute, "defense.suspicions", prev.suspicions,
+           view.ddpolice->suspicions());
+      mono(minute, "defense.exchange_messages", prev.exchange_messages,
+           view.ddpolice->exchange_messages());
+      mono(minute, "defense.traffic_messages", prev.traffic_messages,
+           view.ddpolice->traffic_messages());
+      mono(minute, "defense.decisions", prev.decisions,
+           view.ddpolice->decisions().size());
+    }
+    if (view.churn != nullptr) {
+      mono(minute, "churn.joins", prev.joins, view.churn->joins());
+      mono(minute, "churn.leaves", prev.leaves, view.churn->leaves());
+    }
+    if (view.healer != nullptr) {
+      mono(minute, "repair.sweeps", prev.repair_sweeps, view.healer->sweeps());
+      mono(minute, "repair.peers_repaired", prev.peers_repaired,
+           view.healer->peers_repaired());
+      mono(minute, "repair.edges_added", prev.edges_added,
+           view.healer->edges_added());
+    }
+    if (view.ledger != nullptr) {
+      const core::QuarantineStats& qs = view.ledger->stats();
+      mono(minute, "quarantine.quarantines", prev.quarantines, qs.quarantines);
+      mono(minute, "quarantine.probations", prev.probations, qs.probations);
+      mono(minute, "quarantine.reinstatements", prev.reinstatements,
+           qs.reinstatements);
+      mono(minute, "quarantine.bans", prev.bans, qs.bans);
+      mono(minute, "quarantine.re_isolations", prev.re_isolations,
+           qs.re_isolations);
+    }
+    if (view.fault != nullptr) {
+      mono(minute, "fault.timeouts", prev.fault_timeouts,
+           view.fault->control().timeouts);
+      mono(minute, "fault.retries", prev.fault_retries,
+           view.fault->control().retries);
+      mono(minute, "fault.crashes", prev.crashes,
+           view.fault->peers().crash_count());
+      mono(minute, "fault.stalls", prev.stalls,
+           view.fault->peers().stall_count());
+    }
+
+    // Invariant 4: engine state bounded and per-minute report sane.
+    const double in_flight = view.net->total_in_flight();
+    const double cap = view.net->config().capacity_per_minute;
+    const double bound =
+        in_flight_factor * cap * static_cast<double>(g.active_count());
+    if (!std::isfinite(in_flight) || in_flight < -1e-9 || in_flight > bound) {
+      std::ostringstream os;
+      os << "in-flight volume " << in_flight << " outside [0, " << bound
+         << "]";
+      fail(minute, os.str());
+    }
+    const flow::MinuteReport& r = view.net->last_minute_report();
+    if (!std::isfinite(r.success_rate) || r.success_rate < -1e-9 ||
+        r.success_rate > 1.0 + 1e-9) {
+      std::ostringstream os;
+      os << "success rate " << r.success_rate << " outside [0, 1]";
+      fail(minute, os.str());
+    }
+    if (!std::isfinite(r.mean_utilization) || r.mean_utilization < -1e-9 ||
+        r.mean_utilization > 1.0 + 1e-6) {
+      std::ostringstream os;
+      os << "mean utilization " << r.mean_utilization << " outside [0, 1]";
+      fail(minute, os.str());
+    }
+    if (r.dropped < -1e-9 || r.dropped_good < -1e-9 ||
+        r.dropped_attack < -1e-9) {
+      fail(minute, "negative drop tally in minute report");
+    }
+    const double split = r.dropped_good + r.dropped_attack;
+    if (std::abs(split - r.dropped) > 1e-6 * std::max(1.0, r.dropped)) {
+      std::ostringstream os;
+      os << "per-class drop split " << split << " != total dropped "
+         << r.dropped;
+      fail(minute, os.str());
+    }
+  }
+};
+
+}  // namespace
+
+SoakConfig chaos_soak_config(std::size_t peers, std::size_t agents,
+                             double minutes, std::uint64_t seed) {
+  SoakConfig cfg;
+  ScenarioConfig& s = cfg.scenario;
+  s = paper_scenario(peers, agents, defense::Kind::kDdPolice, seed);
+  s.total_minutes = minutes;
+  s.warmup_minutes = std::min(6.0, minutes / 4.0);
+
+  // Hostile workload: agents rejoin after every cut, churn stays on.
+  s.attack.rejoin = true;
+
+  // Full self-healing stack.
+  s.ddpolice.cut_policy = core::CutPolicy::kQuarantine;
+  s.ddpolice.quarantine_minutes = 8.0;
+  s.ddpolice.quarantine_growth = 2.0;
+  s.ddpolice.probation_minutes = 4.0;
+  s.ddpolice.probation_budget = 0.25;
+  s.ddpolice.max_strikes = 3;
+  s.flow.admission = flow::AdmissionPolicy::kPriority;
+  s.repair_partitions = true;
+
+  // Chaos: lossy control links, crash-stop and stall faults, slow peers.
+  s.fault.channel.drop_probability = 0.03;
+  s.fault.channel.corrupt_probability = 0.01;
+  s.fault.channel.delay_jitter_seconds = 0.4;
+  s.fault.peer.crash_probability_per_minute = 2e-4;
+  s.fault.peer.stall_probability_per_minute = 3e-3;
+  s.fault.peer.stall_duration_seconds = 90.0;
+  s.fault.peer.slow_peer_fraction = 0.1;
+
+  cfg.check_warmup_minutes = std::max(10.0, s.warmup_minutes);
+  return cfg;
+}
+
+SoakReport run_soak(const SoakConfig& config) {
+  auto checker = std::make_shared<Checker>();
+  checker->check_every = config.check_every_minutes;
+  checker->warmup = config.check_warmup_minutes;
+  checker->min_connectivity = config.min_honest_connectivity;
+  checker->in_flight_factor = config.max_in_flight_capacity_factor;
+  checker->max_recorded = config.max_recorded_violations;
+
+  ScenarioConfig sc = config.scenario;
+  sc.inspect = [checker](double minute, const ScenarioView& view) {
+    checker->check(minute, view);
+  };
+
+  SoakReport report;
+  report.result = run_scenario(sc);
+  report.minutes = config.scenario.total_minutes;
+  report.checks = checker->checks;
+  report.violation_count = checker->violation_count;
+  report.violations = std::move(checker->violations);
+  return report;
+}
+
+std::string soak_verdict(const SoakReport& report) {
+  std::ostringstream os;
+  os << (report.passed() ? "PASS" : "FAIL") << ": " << report.minutes
+     << " min soak, " << report.checks << " invariant sweeps, "
+     << report.violation_count << " violations"
+     << " | quarantines=" << report.result.quarantine.quarantines
+     << " reinstated=" << report.result.quarantine.reinstatements
+     << " bans=" << report.result.quarantine.bans
+     << " repaired=" << report.result.peers_repaired
+     << " rejoins=" << report.result.attack_rejoins;
+  if (!report.violations.empty()) {
+    os << "\n  first violation @" << report.violations.front().minute << ": "
+       << report.violations.front().what;
+  }
+  return os.str();
+}
+
+}  // namespace ddp::experiments

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file soak.hpp
+/// Chaos soak harness: run a hostile scenario — flooding agents that
+/// rejoin, heavy churn, lossy links, peer crash/stall faults — with the
+/// full self-healing stack enabled (quarantine cuts, priority shedding,
+/// partition repair), and assert a set of standing invariants at every
+/// simulated minute. A soak passes when the system survived the whole
+/// schedule with zero invariant violations.
+///
+/// Standing invariants (checked after the warmup window):
+///   1. Connectivity — the honest, active, non-quarantined majority stays
+///      in one overlay component (fraction in the largest component at or
+///      above a configured floor).
+///   2. Quarantine consistency — the ledger's internal state machine is
+///      coherent and every blocked peer really is isolated (no leaked
+///      edges to quarantined or banned peers).
+///   3. Monotonicity — every cumulative counter (protocol rounds,
+///      suspicions, churn joins/leaves, repair sweeps, quarantine stats)
+///      only ever grows.
+///   4. Bounded engine state — in-flight volume stays finite and below a
+///      capacity-derived ceiling; per-minute report fields stay in range
+///      and the per-class drop split sums to the total.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+
+namespace ddp::experiments {
+
+struct SoakConfig {
+  /// Full system under test. chaos_soak_config() fills a hostile default;
+  /// callers may tune any knob before running.
+  ScenarioConfig scenario{};
+
+  /// Minutes between invariant sweeps (1.0 = every completed minute).
+  double check_every_minutes = 1.0;
+  /// Invariant checks start after this many minutes (the overlay needs a
+  /// few minutes of calibration and ramp-up before "steady state" holds).
+  double check_warmup_minutes = 10.0;
+
+  /// Invariant 1: minimum fraction of honest, active, non-restricted
+  /// peers that must sit in the largest overlay component.
+  double min_honest_connectivity = 0.85;
+
+  /// Invariant 4: in-flight ceiling as a multiple of
+  /// active_peers * capacity_per_minute (generous — per-tick in-flight is
+  /// far below a full minute of fleet-wide capacity unless state leaks).
+  double max_in_flight_capacity_factor = 1.0;
+
+  /// Violations recorded verbatim (all are *counted* regardless).
+  std::size_t max_recorded_violations = 32;
+};
+
+/// One failed invariant check.
+struct SoakViolation {
+  double minute = 0.0;
+  std::string what;
+};
+
+struct SoakReport {
+  double minutes = 0.0;             ///< simulated minutes run
+  std::uint64_t checks = 0;         ///< invariant sweeps executed
+  std::uint64_t violation_count = 0;
+  std::vector<SoakViolation> violations;  ///< first max_recorded_violations
+  ScenarioResult result;            ///< full run telemetry
+
+  bool passed() const noexcept { return violation_count == 0; }
+};
+
+/// Hostile-but-survivable default schedule at the given scale: flooding
+/// agents with rejoin, churn, link faults, crash/stall faults, quarantine
+/// cut policy, priority admission, and partition repair all enabled.
+SoakConfig chaos_soak_config(std::size_t peers, std::size_t agents,
+                             double minutes, std::uint64_t seed);
+
+/// Run the soak: executes the scenario with an inspection hook that
+/// evaluates the standing invariants each check interval.
+SoakReport run_soak(const SoakConfig& config);
+
+/// Render a human-readable one-line verdict (for benches and CI logs).
+std::string soak_verdict(const SoakReport& report);
+
+}  // namespace ddp::experiments

@@ -19,12 +19,31 @@ enum class ServiceDiscipline : std::uint8_t {
   kFairShare,
 };
 
+/// How a peer sheds load when arrivals exceed its service capacity.
+enum class AdmissionPolicy : std::uint8_t {
+  /// Class-blind tail drop: every arriving query is equally likely to be
+  /// discarded (plain Gnutella; the paper's model).
+  kClassBlind,
+  /// Priority shedding: a control-plane reserve is held back so defense
+  /// messages are shed last, good query traffic is admitted first from
+  /// the remaining budget, and attack-class traffic is shed first.
+  kPriority,
+};
+
 struct FlowConfig {
   /// Initial TTL of query floods (Gnutella default, as in the paper).
   std::size_t ttl = 7;
 
   /// Capacity-sharing policy at each peer.
   ServiceDiscipline discipline = ServiceDiscipline::kPooledFifo;
+
+  /// Overload shedding policy (kClassBlind reproduces the paper exactly).
+  AdmissionPolicy admission = AdmissionPolicy::kClassBlind;
+
+  /// Fraction of per-peer capacity held back for control-plane messages
+  /// under kPriority (Neighbor_List / Neighbor_Traffic / Ping never starve
+  /// even while the peer is being flooded). Ignored under kClassBlind.
+  double control_reserve_fraction = 0.05;
 
   /// Engine tick, seconds. Per-minute protocol state rotates every
   /// 60 / tick ticks; 1 s is fine-grained enough for every experiment.

@@ -169,6 +169,7 @@ void FlowNetwork::step() {
   std::vector<EdgeState*> out_edges;  // per-node scratch
   std::array<std::array<double, kMaxTtl>, kClasses> fair_arrivals{};
   std::vector<double> edge_totals;  // fair-share scratch
+  std::vector<std::array<double, kClasses>> edge_class_totals;
   double tick_util = 0.0;
   std::size_t util_nodes = 0;
   for (PeerId v = 0; v < n; ++v) {
@@ -180,19 +181,33 @@ void FlowNetwork::step() {
     for (std::size_t c = 0; c < kClasses; ++c) {
       for (std::size_t k = 0; k < ttl; ++k) in_total += arrivals_[v][c][k];
     }
+    // Per-class arrival totals, summed separately so in_total keeps its
+    // original accumulation order (side accounting must not perturb it).
+    std::array<double, kClasses> in_class{};
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      for (std::size_t k = 0; k < ttl; ++k) in_class[c] += arrivals_[v][c][k];
+    }
 
     double survive = in_total > cap_tick ? cap_tick / in_total : 1.0;
+    // Per-class admission factors; under class-blind shedding both entries
+    // hold the same double as `survive`, so the arithmetic downstream is
+    // bit-identical to the scalar path.
+    std::array<double, kClasses> survive_c{};
+    survive_c.fill(survive);
     if (config_.discipline == ServiceDiscipline::kFairShare &&
         in_total > cap_tick) {
       // Max-min fair allocation of the service budget across in-links
       // (the load-balancing baseline [21]): lightly-loaded links are fully
       // served; heavy links are capped at the waterfill share.
       edge_totals.assign(nbrs.size(), 0.0);
+      edge_class_totals.assign(nbrs.size(), {});
       for (std::size_t e = 0; e < nbrs.size(); ++e) {
         if (const EdgeState* es = find_edge(nbrs[e], v)) {
           for (std::size_t c = 0; c < kClasses; ++c) {
             for (std::size_t k = 0; k < ttl; ++k) {
-              edge_totals[e] += es->cur[c][k] * rel;
+              const double vol = es->cur[c][k] * rel;
+              edge_totals[e] += vol;
+              edge_class_totals[e][c] += vol;
             }
           }
         }
@@ -220,6 +235,9 @@ void FlowNetwork::step() {
         const double sc = done[e] ? 1.0 : share / edge_totals[e];
         acc_dropped_ += edge_totals[e] * (1.0 - sc);
         for (std::size_t c = 0; c < kClasses; ++c) {
+          acc_dropped_class_[c] += edge_class_totals[e][c] * (1.0 - sc);
+        }
+        for (std::size_t c = 0; c < kClasses; ++c) {
           for (std::size_t k = 0; k < ttl; ++k) {
             fair_arrivals[c][k] += es->cur[c][k] * rel * sc;
           }
@@ -227,8 +245,35 @@ void FlowNetwork::step() {
       }
       arrivals_[v] = fair_arrivals;
       survive = 1.0;  // per-edge scaling already applied
+      survive_c.fill(1.0);
+    } else if (config_.admission == AdmissionPolicy::kPriority &&
+               in_total > cap_tick) {
+      // Priority shedding: hold back the control-plane reserve (defense
+      // messages travel out-of-band here, but the reserve models the
+      // capacity a real servent would pin for them), admit good-class
+      // traffic first from the remaining budget, shed attack-class first.
+      const double reserve =
+          std::clamp(config_.control_reserve_fraction, 0.0, 0.5);
+      const double budget = cap_tick * (1.0 - reserve);
+      const auto good = static_cast<std::size_t>(TrafficClass::kGood);
+      const auto bad = static_cast<std::size_t>(TrafficClass::kAttack);
+      const double sg =
+          in_class[good] > 0.0 ? std::min(1.0, budget / in_class[good]) : 1.0;
+      const double left = std::max(0.0, budget - in_class[good] * sg);
+      const double sa =
+          in_class[bad] > 0.0 ? std::min(1.0, left / in_class[bad]) : 1.0;
+      survive_c[good] = sg;
+      survive_c[bad] = sa;
+      const double d_good = in_class[good] * (1.0 - sg);
+      const double d_bad = in_class[bad] * (1.0 - sa);
+      acc_dropped_ += d_good + d_bad;
+      acc_dropped_class_[good] += d_good;
+      acc_dropped_class_[bad] += d_bad;
     } else {
       acc_dropped_ += in_total * (1.0 - survive);
+      for (std::size_t c = 0; c < kClasses; ++c) {
+        acc_dropped_class_[c] += in_class[c] * (1.0 - survive);
+      }
     }
     const auto& a = arrivals_[v];
 
@@ -285,7 +330,7 @@ void FlowNetwork::step() {
       const double fan = (deg - 1.0) / deg;
       for (std::size_t c = 0; c < kClasses; ++c) {
         for (std::size_t k = 0; k < ttl; ++k) {
-          const double vol = a[c][k] * survive;
+          const double vol = a[c][k] * survive_c[c];
           if (vol <= 0.0) continue;
           const std::size_t hop = ttl - k;  // arrival hop of this flow
           if (c == static_cast<std::size_t>(TrafficClass::kGood)) {
@@ -305,7 +350,8 @@ void FlowNetwork::step() {
       // toward reach.
       for (std::size_t k = 0; k < ttl; ++k) {
         const double vol =
-            a[static_cast<std::size_t>(TrafficClass::kGood)][k] * survive;
+            a[static_cast<std::size_t>(TrafficClass::kGood)][k] *
+            survive_c[static_cast<std::size_t>(TrafficClass::kGood)];
         if (vol <= 0.0) continue;
         const std::size_t hop = ttl - k;
         acc_fresh_good_by_hop_[hop - 1] += vol * profile_.fresh_fraction(hop);
@@ -319,8 +365,12 @@ void FlowNetwork::step() {
     const auto from = static_cast<PeerId>(it->first >> 32);
     const auto to = static_cast<PeerId>(it->first & 0xffffffffu);
     double total = 0.0;
+    std::array<double, kClasses> cls_tot{};
     for (std::size_t c = 0; c < kClasses; ++c) {
-      for (std::size_t k = 0; k < ttl; ++k) total += es.nxt[c][k];
+      for (std::size_t k = 0; k < ttl; ++k) {
+        total += es.nxt[c][k];
+        cls_tot[c] += es.nxt[c][k];
+      }
     }
     if (total > 0.0) {
       const double clamp = link_capacity_per_tick(from, to);
@@ -328,6 +378,9 @@ void FlowNetwork::step() {
       if (total > clamp) {
         scale = clamp / total;
         acc_dropped_ += total - clamp;
+        for (std::size_t c = 0; c < kClasses; ++c) {
+          acc_dropped_class_[c] += cls_tot[c] * (1.0 - scale);
+        }
         total = clamp;
       }
       double attack_part = 0.0;
@@ -373,6 +426,10 @@ void FlowNetwork::rotate_minute() {
   r.mean_utilization = acc_util_ / static_cast<double>(ticks_per_minute_);
   r.overhead_messages = overhead_accum_;
   r.transport_lost = acc_transport_lost_;
+  r.dropped_good =
+      acc_dropped_class_[static_cast<std::size_t>(TrafficClass::kGood)];
+  r.dropped_attack =
+      acc_dropped_class_[static_cast<std::size_t>(TrafficClass::kAttack)];
 
   const std::size_t ttl = std::min(config_.ttl, kMaxTtl);
   if (acc_good_issued_ > 0.0) {
@@ -414,6 +471,7 @@ void FlowNetwork::rotate_minute() {
   acc_traffic_ = acc_attack_traffic_ = 0.0;
   acc_good_issued_ = acc_attack_issued_ = 0.0;
   acc_dropped_ = 0.0;
+  acc_dropped_class_.fill(0.0);
   acc_transport_lost_ = 0.0;
   acc_fresh_good_by_hop_.fill(0.0);
   acc_util_ = 0.0;
@@ -427,6 +485,17 @@ void FlowNetwork::rotate_minute() {
   }
 
   for (const auto& hook : minute_hooks_) hook(r.minute);
+}
+
+double FlowNetwork::total_in_flight() const noexcept {
+  double total = 0.0;
+  for (const auto& [key, es] : edges_) {
+    (void)key;
+    for (const auto& cls : es.cur) {
+      for (double v : cls) total += v;
+    }
+  }
+  return total;
 }
 
 void FlowNetwork::run_minutes(double m) {

@@ -71,6 +71,8 @@ struct MinuteReport {
   double mean_utilization = 0.0; ///< load / capacity, averaged over peers
   double overhead_messages = 0.0;///< defense-protocol messages (set by hooks)
   double transport_lost = 0.0;   ///< volume lost to link unreliability (faults)
+  double dropped_good = 0.0;     ///< capacity drops, good class only
+  double dropped_attack = 0.0;   ///< capacity drops, attack class only
 };
 
 class FlowNetwork {
@@ -120,6 +122,10 @@ class FlowNetwork {
   /// Defense layers report their own message overhead here so the traffic
   /// metric includes it (Sec. 3.7: "slightly higher average traffic cost").
   void add_overhead_messages(double count) { overhead_accum_ += count; }
+
+  /// Total query volume currently in transit on all links (all classes,
+  /// all TTLs) — the soak harness's bounded-queue-occupancy observable.
+  double total_in_flight() const noexcept;
 
   const MinuteReport& last_minute_report() const noexcept { return last_report_; }
   const std::vector<MinuteReport>& minute_history() const noexcept {
@@ -193,6 +199,9 @@ class FlowNetwork {
   double acc_good_issued_ = 0.0;
   double acc_attack_issued_ = 0.0;
   double acc_dropped_ = 0.0;
+  /// Ground-truth split of acc_dropped_ by traffic class (purely additive
+  /// side accounting; never feeds back into the flow arithmetic).
+  std::array<double, kClasses> acc_dropped_class_{};
   double acc_transport_lost_ = 0.0;
   std::array<double, kMaxTtl> acc_fresh_good_by_hop_{};
   double acc_util_ = 0.0;

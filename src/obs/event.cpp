@@ -33,6 +33,12 @@ constexpr const char* kNames[kEventTypeCount] = {
     "fault_crash",        // kFaultCrash
     "fault_stall",        // kFaultStall
     "fault_resume",       // kFaultResume
+    "peer_quarantined",   // kPeerQuarantined
+    "peer_probation",     // kPeerProbation
+    "peer_reinstated",    // kPeerReinstated
+    "peer_banned",        // kPeerBanned
+    "partition_detected", // kPartitionDetected
+    "peer_rebootstrapped",// kPeerRebootstrapped
     "log",                // kLog
 };
 

@@ -60,6 +60,14 @@ enum class EventType : std::uint8_t {
   kFaultStall,        ///< a = stalled peer; kv: until
   kFaultResume,       ///< a = peer resuming from a stall
 
+  // Self-healing: quarantine ladder and partition repair.
+  kPeerQuarantined,   ///< a = suspect; kv: strikes, release (minute)
+  kPeerProbation,     ///< a = peer on probation; kv: links, budget
+  kPeerReinstated,    ///< a = reinstated peer; kv: quarantined_minutes
+  kPeerBanned,        ///< a = banned peer; kv: strikes
+  kPartitionDetected, ///< kv: components, stranded, largest
+  kPeerRebootstrapped,///< a = repaired peer; kv: links, attempts
+
   // util::log bridge (t < 0: wall-layer, no sim clock available).
   kLog,               ///< kv: level; note = message (truncated)
 

@@ -88,6 +88,13 @@ void PacketNetwork::disconnect(PeerId a, PeerId b) {
   if (graph_.remove_edge(a, b)) monitors_.forget(a, b);
 }
 
+bool PacketNetwork::connect(PeerId a, PeerId b) {
+  if (!graph_.add_edge(a, b)) return false;
+  monitors_.forget(a, b);
+  DDP_TRACE(tracer_, obs::EventType::kEdgeAdded, engine_.now(), a, b);
+  return true;
+}
+
 void PacketNetwork::reset_peer(PeerId p) {
   auto& ps = peers_[p];
   ps.queue.clear();

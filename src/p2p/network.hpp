@@ -114,6 +114,11 @@ class PacketNetwork {
   /// instantaneous); future sends stop.
   void disconnect(PeerId a, PeerId b);
 
+  /// Re-establish a logical connection (probational reconnection or
+  /// partition repair). Monitors start fresh — a new TCP connection has no
+  /// history. False when the edge already exists or an endpoint is down.
+  bool connect(PeerId a, PeerId b);
+
   /// Reset per-peer protocol state after a rejoin (seen GUIDs, queues).
   void reset_peer(PeerId p);
 

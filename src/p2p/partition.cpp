@@ -1,0 +1,120 @@
+#include "p2p/partition.hpp"
+
+#include <algorithm>
+
+namespace ddp::p2p {
+
+PartitionReport find_partitions(const topology::Graph& graph) {
+  const std::size_t n = graph.node_count();
+  PartitionReport rep;
+  rep.label.assign(n, PartitionReport::kNoComponent);
+
+  std::vector<std::size_t> sizes;
+  std::vector<PeerId> queue;
+  for (PeerId s = 0; s < n; ++s) {
+    if (!graph.is_active(s) || graph.degree(s) == 0) continue;
+    if (rep.label[s] != PartitionReport::kNoComponent) continue;
+    const auto comp = static_cast<std::uint32_t>(sizes.size());
+    std::size_t size = 0;
+    queue.clear();
+    queue.push_back(s);
+    rep.label[s] = comp;
+    while (!queue.empty()) {
+      const PeerId u = queue.back();
+      queue.pop_back();
+      ++size;
+      for (PeerId v : graph.neighbors(u)) {
+        if (!graph.is_active(v)) continue;
+        if (rep.label[v] != PartitionReport::kNoComponent) continue;
+        rep.label[v] = comp;
+        queue.push_back(v);
+      }
+    }
+    sizes.push_back(size);
+  }
+
+  rep.components = sizes.size();
+  std::uint32_t largest_comp = PartitionReport::kNoComponent;
+  for (std::uint32_t c = 0; c < sizes.size(); ++c) {
+    if (largest_comp == PartitionReport::kNoComponent ||
+        sizes[c] > sizes[largest_comp]) {
+      largest_comp = c;
+    }
+  }
+  if (largest_comp != PartitionReport::kNoComponent) {
+    rep.largest = sizes[largest_comp];
+    for (PeerId p = 0; p < n; ++p) {
+      if (rep.label[p] != PartitionReport::kNoComponent &&
+          rep.label[p] != largest_comp) {
+        rep.stranded.push_back(p);
+      }
+      // Normalize: the largest component is always label 0 for callers.
+      if (rep.label[p] == largest_comp) {
+        rep.label[p] = 0;
+      } else if (rep.label[p] == 0) {
+        rep.label[p] = largest_comp;
+      }
+    }
+  }
+  return rep;
+}
+
+std::size_t PartitionHealer::heal(double minute, const EligibleFilter& eligible,
+                                  const ConnectFn& connect) {
+  ++sweeps_;
+  const std::size_t n = graph_.node_count();
+  PartitionReport rep = find_partitions(graph_);
+
+  // Stranded = linked-but-disconnected peers plus fully isolated active
+  // peers (all their links were cut); both need a re-bootstrap.
+  std::vector<PeerId> stranded = rep.stranded;
+  for (PeerId p = 0; p < n; ++p) {
+    if (graph_.is_active(p) && graph_.degree(p) == 0) stranded.push_back(p);
+  }
+  std::sort(stranded.begin(), stranded.end());
+
+  if (rep.partitioned()) ++partitions_seen_;
+  if (stranded.empty()) return 0;
+
+  DDP_TRACE(tracer_, obs::EventType::kPartitionDetected, minute * kMinute,
+            kInvalidPeer, kInvalidPeer,
+            {{"components", static_cast<double>(rep.components)},
+             {"stranded", static_cast<double>(stranded.size())},
+             {"largest", static_cast<double>(rep.largest)}});
+
+  const bool have_core = rep.largest > 0;
+  std::size_t repaired = 0;
+  for (PeerId p : stranded) {
+    if (!eligible(p)) continue;
+    int made = 0;
+    int attempts = 0;
+    const int want = std::max(config_.links, 1);
+    const int max_attempts = std::max(config_.max_attempts, want);
+    while (made < want && attempts < max_attempts) {
+      ++attempts;
+      // Degree-preferential target draw: a host cache biases toward
+      // well-connected, long-lived peers.
+      const PeerId target = graph_.random_active_node_by_degree(rng_, p);
+      if (target == kInvalidPeer) break;
+      if (!eligible(target) || graph_.has_edge(p, target)) continue;
+      // Wire into the main component, not a fellow fragment (when one
+      // exists); a repaired fragment member counts as core next sweep.
+      if (have_core && rep.label[target] != 0) continue;
+      if (connect(p, target)) {
+        ++made;
+        ++edges_added_;
+      }
+    }
+    if (made > 0) {
+      ++repaired;
+      ++peers_repaired_;
+      DDP_TRACE(tracer_, obs::EventType::kPeerRebootstrapped,
+                minute * kMinute, p, kInvalidPeer,
+                {{"links", static_cast<double>(made)},
+                 {"attempts", static_cast<double>(attempts)}});
+    }
+  }
+  return repaired;
+}
+
+}  // namespace ddp::p2p

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file partition.hpp
+/// Partition detection and repair for the overlay graph.
+///
+/// DD-POLICE cuts plus churn can fragment an unstructured overlay (the
+/// hard-cutoff study of Guclu & Yuksel shows exactly this failure mode
+/// for scale-free graphs): healthy peers stranded outside the main
+/// component keep issuing queries that can never reach the content they
+/// seek. Detection labels the connected components over active, linked
+/// peers; repair re-bootstraps eligible stranded peers into the largest
+/// component with bounded-retry, degree-preferential reconnection — the
+/// same join procedure a real Gnutella servent runs against its host
+/// cache when all of its connections die.
+///
+/// The healer only proposes edges; the engine-specific callback actually
+/// creates them (flow and packet engines differ in bookkeeping), and an
+/// eligibility filter lets the caller exclude attack agents and peers the
+/// quarantine ledger has blocked.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ddp::p2p {
+
+/// Snapshot of the overlay's component structure. Peers that are inactive
+/// or fully isolated (degree 0) are not part of any component.
+struct PartitionReport {
+  std::size_t components = 0;      ///< connected components over linked peers
+  std::size_t largest = 0;         ///< size of the largest component
+  std::vector<PeerId> stranded;    ///< linked peers outside the largest
+  /// Component label per peer (kNoComponent for inactive/isolated peers).
+  static constexpr std::uint32_t kNoComponent = 0xffffffffu;
+  std::vector<std::uint32_t> label;
+
+  bool partitioned() const noexcept { return components > 1; }
+};
+
+/// BFS component labeling over active peers with at least one edge.
+PartitionReport find_partitions(const topology::Graph& graph);
+
+struct RepairConfig {
+  /// Candidate-target draws per peer before giving up this sweep (the
+  /// bounded retry of a real re-bootstrap: a host cache hands out a
+  /// limited number of addresses per attempt).
+  int max_attempts = 8;
+  /// Overlay links to establish per re-bootstrapped peer.
+  int links = 2;
+};
+
+/// Repairs partitions by reconnecting stranded eligible peers into the
+/// largest component. Stateless between sweeps except for counters.
+class PartitionHealer {
+ public:
+  PartitionHealer(const topology::Graph& graph, const RepairConfig& config,
+                  util::Rng rng)
+      : graph_(graph), config_(config), rng_(rng) {}
+
+  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
+
+  /// True when `peer` may be re-linked (false for agents / blocked peers).
+  using EligibleFilter = std::function<bool(PeerId peer)>;
+  /// Creates the edge in the owning engine; returns success.
+  using ConnectFn = std::function<bool(PeerId stranded, PeerId target)>;
+
+  /// One repair sweep at `minute`: detect components, and for every
+  /// stranded eligible peer try to wire `links` edges into the largest
+  /// component (or, when nothing is linked at all, to any eligible active
+  /// peer). Returns the number of peers that regained connectivity.
+  std::size_t heal(double minute, const EligibleFilter& eligible,
+                   const ConnectFn& connect);
+
+  /// Monotone counters for the soak invariants.
+  std::uint64_t sweeps() const noexcept { return sweeps_; }
+  std::uint64_t partitions_seen() const noexcept { return partitions_seen_; }
+  std::uint64_t peers_repaired() const noexcept { return peers_repaired_; }
+  std::uint64_t edges_added() const noexcept { return edges_added_; }
+
+ private:
+  const topology::Graph& graph_;
+  RepairConfig config_;
+  util::Rng rng_;
+  obs::Tracer tracer_;
+  std::uint64_t sweeps_ = 0;
+  std::uint64_t partitions_seen_ = 0;
+  std::uint64_t peers_repaired_ = 0;
+  std::uint64_t edges_added_ = 0;
+};
+
+}  // namespace ddp::p2p

@@ -464,5 +464,171 @@ TEST(PacketPortDdPolice, QuietOverlayUndisturbed) {
   EXPECT_TRUE(police.decisions().empty());
 }
 
+// --------------------------------------------------------- quarantine cuts
+
+DdPoliceConfig quarantine_config() {
+  DdPoliceConfig cfg;
+  cfg.cut_policy = CutPolicy::kQuarantine;
+  cfg.quarantine_minutes = 2.0;
+  cfg.quarantine_growth = 2.0;
+  cfg.probation_minutes = 1.0;
+  cfg.probation_links = 2;
+  cfg.max_strikes = 3;
+  return cfg;
+}
+
+TEST(QuarantineLedger, CutIsolatesThenLaddersToReinstatement) {
+  util::Rng rng(21);
+  ProtocolWorld w(topology::paper_topology(80, rng), DdPoliceConfig{});
+  QuarantineLedger lg(*w.port, quarantine_config(), util::Rng(7));
+  ASSERT_GT(w.graph.degree(5), 0u);
+
+  lg.on_cut(5, 0.0);
+  EXPECT_EQ(lg.standing(5), Standing::kQuarantined);
+  EXPECT_TRUE(lg.blocked(5));
+  EXPECT_EQ(w.graph.degree(5), 0u);  // fully isolated, like a permanent cut
+
+  lg.on_minute(1.0);  // window (2 min) not over yet
+  EXPECT_EQ(lg.standing(5), Standing::kQuarantined);
+
+  lg.on_minute(2.0);  // released into probation with partial connectivity
+  EXPECT_EQ(lg.standing(5), Standing::kProbation);
+  EXPECT_FALSE(lg.blocked(5));
+  EXPECT_GT(w.graph.degree(5), 0u);
+
+  lg.on_minute(3.0);  // probation survived: reinstated
+  EXPECT_EQ(lg.standing(5), Standing::kClear);
+  ASSERT_EQ(lg.reinstatements().size(), 1u);
+  EXPECT_DOUBLE_EQ(lg.reinstatements()[0].cut_minute, 0.0);
+  EXPECT_DOUBLE_EQ(lg.reinstatements()[0].reinstate_minute, 3.0);
+  EXPECT_EQ(lg.stats().quarantines, 1u);
+  EXPECT_EQ(lg.stats().probations, 1u);
+  EXPECT_EQ(lg.stats().reinstatements, 1u);
+  EXPECT_TRUE(lg.consistent());
+}
+
+TEST(QuarantineLedger, RepeatOffensesGrowTheWindowAndEndInBan) {
+  util::Rng rng(22);
+  ProtocolWorld w(topology::paper_topology(80, rng), DdPoliceConfig{});
+  QuarantineLedger lg(*w.port, quarantine_config(), util::Rng(8));
+
+  lg.on_cut(5, 0.0);        // strike 1: window 2, release at 2
+  lg.on_minute(2.0);        // probation
+  lg.on_cut(5, 2.5);        // strike 2 during probation: window 2*2 = 4
+  EXPECT_EQ(lg.strikes(5), 2);
+  EXPECT_EQ(lg.standing(5), Standing::kQuarantined);
+  lg.on_minute(4.0);        // 2.5 + 4 = 6.5 not reached
+  EXPECT_EQ(lg.standing(5), Standing::kQuarantined);
+  lg.on_minute(6.5);
+  EXPECT_EQ(lg.standing(5), Standing::kProbation);
+  lg.on_cut(5, 7.0);        // strike 3 == max_strikes: banned for good
+  EXPECT_EQ(lg.standing(5), Standing::kBanned);
+  EXPECT_EQ(w.graph.degree(5), 0u);
+  lg.on_cut(5, 8.0);        // further decisions are no-ops
+  EXPECT_EQ(lg.stats().bans, 1u);
+  EXPECT_EQ(lg.stats().quarantines, 2u);
+  EXPECT_TRUE(lg.reinstatements().empty());
+  EXPECT_TRUE(lg.consistent());
+}
+
+TEST(QuarantineLedger, RejoinEdgesWhileBlockedAreStripped) {
+  // A churn rejoin (or a cooperative neighbour) wires a quarantined peer
+  // back in; the next sweep must strip the edges again.
+  util::Rng rng(23);
+  ProtocolWorld w(topology::paper_topology(80, rng), DdPoliceConfig{});
+  QuarantineLedger lg(*w.port, quarantine_config(), util::Rng(9));
+  lg.on_cut(5, 0.0);
+  ASSERT_EQ(w.graph.degree(5), 0u);
+
+  ASSERT_TRUE(w.graph.add_edge(5, 6));
+  w.net->on_edge_added(5, 6);
+  std::string why;
+  EXPECT_FALSE(lg.consistent(&why));  // the leak is detectable
+  EXPECT_NE(why.find("edges"), std::string::npos);
+
+  lg.on_minute(1.0);
+  EXPECT_EQ(w.graph.degree(5), 0u);
+  EXPECT_GE(lg.stats().re_isolations, 1u);
+  EXPECT_TRUE(lg.consistent());
+}
+
+TEST(QuarantineLedger, OfflineReleaseDeferredUntilPeerReturns) {
+  util::Rng rng(24);
+  ProtocolWorld w(topology::paper_topology(80, rng), DdPoliceConfig{});
+  QuarantineLedger lg(*w.port, quarantine_config(), util::Rng(10));
+  lg.on_cut(5, 0.0);
+  w.graph.set_active(5, false);  // churn takes the peer offline
+
+  lg.on_minute(2.0);  // release due, but the peer is gone
+  EXPECT_EQ(lg.standing(5), Standing::kQuarantined);
+  EXPECT_GE(lg.stats().deferred_releases, 1u);
+
+  w.graph.set_active(5, true);
+  lg.on_minute(3.0);  // probation starts only once it is back
+  EXPECT_EQ(lg.standing(5), Standing::kProbation);
+  EXPECT_GT(w.graph.degree(5), 0u);
+  EXPECT_TRUE(lg.consistent());
+}
+
+TEST(DdPolice, QuarantinePolicyLaddersARelentlessAttacker) {
+  // With the quarantine policy the protocol hands cuts to the ledger: the
+  // attacker is isolated, paroled, re-detected on probation (its budget
+  // scales the flood but not below CT), and eventually banned.
+  util::Rng rng(31);
+  DdPoliceConfig cfg = quarantine_config();
+  cfg.quarantine_minutes = 1.0;
+  ProtocolWorld w(topology::paper_topology(120, rng), cfg);
+  ASSERT_NE(w.police->ledger(), nullptr);
+  w.net->set_kind(5, PeerKind::kBad);
+  w.net->run_minutes(16.0);
+
+  const QuarantineLedger& lg = *w.police->ledger();
+  EXPECT_GE(lg.stats().quarantines, 2u);   // caught more than once
+  EXPECT_EQ(lg.standing(5), Standing::kBanned);
+  EXPECT_EQ(w.net->graph().degree(5), 0u);
+  EXPECT_TRUE(lg.consistent());
+}
+
+TEST(DdPolice, PermanentPolicyBuildsNoLedger) {
+  util::Rng rng(32);
+  ProtocolWorld w(topology::paper_topology(60, rng), DdPoliceConfig{});
+  EXPECT_EQ(w.police->ledger(), nullptr);
+}
+
+// --------------------------------------------------------- config checking
+
+TEST(ConfigValidate, AcceptsDefaults) {
+  EXPECT_EQ(validate(DdPoliceConfig{}), "");
+  EXPECT_EQ(validate(quarantine_config()), "");
+}
+
+TEST(ConfigValidate, RejectsOutOfRangeKnobs) {
+  DdPoliceConfig cfg;
+  cfg.cut_threshold = 0.0;
+  EXPECT_NE(validate(cfg), "");
+
+  cfg = DdPoliceConfig{};
+  cfg.buddy_radius = 3;
+  EXPECT_NE(validate(cfg), "");
+
+  cfg = DdPoliceConfig{};
+  cfg.probation_budget = 1.5;
+  EXPECT_NE(validate(cfg), "");
+
+  cfg = DdPoliceConfig{};
+  cfg.quarantine_growth = 0.5;
+  EXPECT_NE(validate(cfg), "");
+
+  cfg = DdPoliceConfig{};
+  cfg.max_strikes = 0;
+  EXPECT_NE(validate(cfg), "");
+}
+
+TEST(ConfigValidate, MessagesNameTheKnob) {
+  DdPoliceConfig cfg;
+  cfg.quarantine_minutes = -1.0;
+  EXPECT_NE(validate(cfg).find("quarantine_minutes"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ddp::core

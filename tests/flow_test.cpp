@@ -332,5 +332,52 @@ TEST(ChurnDriver, RejoiningPeerIsWiredIn) {
   EXPECT_LT(isolated_active, 5u);
 }
 
+// ---------------------------------------------- drop classes & admission
+
+TEST(FlowNetwork, PerClassDropAccountingSumsToTotal) {
+  util::Rng rng(41);
+  World w(topology::paper_topology(200, rng), quiet_config(), 11);
+  for (PeerId a = 0; a < 5; ++a) w.net->set_kind(a, PeerKind::kBad);
+  w.net->run_minutes(3.0);
+  const auto& r = w.net->last_minute_report();
+  ASSERT_GT(r.dropped, 0.0);
+  EXPECT_GT(r.dropped_attack, 0.0);
+  EXPECT_GE(r.dropped_good, 0.0);
+  // The per-class split is pure side accounting of the same drops.
+  EXPECT_NEAR(r.dropped_good + r.dropped_attack, r.dropped,
+              1e-6 * r.dropped + 1e-9);
+  // Under a flood, the overload is overwhelmingly attack volume.
+  EXPECT_GT(r.dropped_attack, r.dropped_good);
+}
+
+TEST(FlowNetwork, QuietNetworkDropsNothingInEitherClass) {
+  util::Rng rng(42);
+  World w(topology::paper_topology(100, rng), quiet_config());
+  w.net->run_minutes(2.0);
+  const auto& r = w.net->last_minute_report();
+  EXPECT_DOUBLE_EQ(r.dropped_good, 0.0);
+  EXPECT_DOUBLE_EQ(r.dropped_attack, 0.0);
+}
+
+TEST(FlowNetwork, PriorityAdmissionShedsAttackTrafficFirst) {
+  auto report_for = [](AdmissionPolicy admission) {
+    util::Rng rng(43);
+    FlowConfig cfg;
+    cfg.bandwidth_limits = false;
+    cfg.admission = admission;
+    World w(topology::paper_topology(200, rng), cfg, 11);
+    for (PeerId a = 0; a < 5; ++a) w.net->set_kind(a, PeerKind::kBad);
+    w.net->run_minutes(3.0);
+    return w.net->last_minute_report();
+  };
+  const auto blind = report_for(AdmissionPolicy::kClassBlind);
+  const auto prio = report_for(AdmissionPolicy::kPriority);
+  ASSERT_GT(blind.dropped_good, 0.0);  // blind tail drop hits good traffic
+  // Priority shedding spends the scarce budget on the good class.
+  EXPECT_LT(prio.dropped_good, blind.dropped_good);
+  EXPECT_GT(prio.dropped_attack, 0.0);
+  EXPECT_GE(prio.success_rate + 1e-9, blind.success_rate);
+}
+
 }  // namespace
 }  // namespace ddp::flow
