@@ -7,6 +7,7 @@
 /// with `--out-dir=DIR`).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -24,9 +25,10 @@ struct Run {
   std::string out_dir = "results";
 };
 
-/// Parse the shared bench flags out of argv. Only `--out-dir=DIR` (or
-/// `--out-dir DIR`) is recognized; unknown arguments are ignored so each
-/// bench stays forward-compatible with future shared flags.
+/// Parse the shared bench flags out of argv. `--out-dir=DIR` (or
+/// `--out-dir DIR`) and `--jobs=N` (or `--jobs N`) are recognized; unknown
+/// arguments are ignored so each bench stays forward-compatible with
+/// future shared flags.
 inline std::string parse_out_dir(int argc, char** argv) {
   std::string dir = "results";
   for (int i = 1; i < argc; ++i) {
@@ -41,10 +43,36 @@ inline std::string parse_out_dir(int argc, char** argv) {
   return dir;
 }
 
+/// Worker threads for SweepRunner-backed sweeps: `--jobs N` / `--jobs=N`
+/// (0 = one per hardware thread), falling back to DDP_JOBS, then
+/// `fallback`. Output is jobs-invariant; only wall clock changes.
+inline unsigned parse_jobs(int argc, char** argv, unsigned fallback) {
+  unsigned jobs = util::env_jobs(fallback);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kPrefix = "--jobs=";
+    std::string value;
+    if (arg.rfind(kPrefix, 0) == 0) {
+      value = std::string(arg.substr(kPrefix.size()));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    if (end != value.c_str() && *end == '\0') {
+      jobs = static_cast<unsigned>(v);
+    }
+  }
+  return jobs;
+}
+
 inline Run begin(int argc, char** argv, const std::string& title,
                  const std::string& paper_ref) {
   Run run;
   run.scale = experiments::default_scale();
+  run.scale.jobs = parse_jobs(argc, argv, run.scale.jobs);
   run.seed = util::env_seed();
   run.out_dir = parse_out_dir(argc, argv);
   std::printf("%s\n", title.c_str());
@@ -53,6 +81,9 @@ inline Run begin(int argc, char** argv, const std::string& title,
               run.scale.peers, run.scale.total_minutes, run.scale.trials,
               static_cast<unsigned long long>(run.seed),
               util::full_scale_requested() ? " [FULL]" : " [laptop; DDP_FULL=1 for paper scale]");
+  if (run.scale.jobs != 1) {
+    std::printf("jobs: %u (output identical to --jobs 1)\n", run.scale.jobs);
+  }
   return run;
 }
 

@@ -2,10 +2,22 @@
 // wire codec speed, flood propagation rate in both engines, coverage
 // profiling and the DD-POLICE indicator computation. These quantify the
 // simulator itself, not the paper's results.
+//
+// Besides the google-benchmark console table, the binary runs a fixed
+// headline pass and writes machine-readable BENCH_engine.json (and .csv)
+// into --out-dir [results/]: events/sec, ns/event, queries/sec, wall
+// time, jobs — one file per run, so the perf trajectory is diffable
+// across PRs. `--headline-only` skips the google-benchmark suite.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/indicators.hpp"
 #include "flow/network.hpp"
@@ -186,6 +198,143 @@ void BM_Indicators(benchmark::State& state) {
 }
 BENCHMARK(BM_Indicators);
 
+// ------------------------------------------------------- headline pass
+
+/// Event-core throughput: schedule-and-drain cycles of `n` one-shot
+/// events through fresh engines for at least `min_seconds` of wall time.
+/// Returns events per second.
+double headline_events_per_sec(std::size_t n, double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t events = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    sim::Engine e;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      e.schedule_at(static_cast<double>((i * 7919) % 1000),
+                    [&sink] { ++sink; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(sink);
+    events += e.events_executed();
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(events) / elapsed;
+}
+
+/// Packet-engine query throughput: repeated TTL-7 floods through a
+/// 200-peer overlay. Returns serviced queries per second of wall time.
+double headline_queries_per_sec(double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  util::Rng rng(3);
+  topology::Graph g = topology::paper_topology(200, rng);
+  workload::ContentConfig cc;
+  const workload::ContentModel content(cc, 200);
+  std::uint64_t queries = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    sim::Engine engine;
+    p2p::P2pConfig cfg;
+    p2p::PacketNetwork net(g, content, engine, cfg, util::Rng(4));
+    net.issue_query(0, 1);
+    engine.run_until(60.0);
+    queries += net.totals().queries_processed;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(queries) / elapsed;
+}
+
+void write_headline(const std::string& out_dir, double events_per_sec,
+                    double queries_per_sec, double wall_seconds,
+                    unsigned jobs) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return;
+  }
+  const double ns_per_event =
+      events_per_sec > 0.0 ? 1e9 / events_per_sec : 0.0;
+  const std::string json_path =
+      (std::filesystem::path(out_dir) / "BENCH_engine.json").string();
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"engine_perf\",\n"
+                 "  \"events_per_sec\": %.1f,\n"
+                 "  \"ns_per_event\": %.2f,\n"
+                 "  \"queries_per_sec\": %.1f,\n"
+                 "  \"wall_seconds\": %.3f,\n"
+                 "  \"jobs\": %u\n"
+                 "}\n",
+                 events_per_sec, ns_per_event, queries_per_sec, wall_seconds,
+                 jobs);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  const std::string csv_path =
+      (std::filesystem::path(out_dir) / "BENCH_engine.csv").string();
+  if (std::FILE* f = std::fopen(csv_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "events_per_sec,ns_per_event,queries_per_sec,wall_seconds,"
+                 "jobs\n%.1f,%.2f,%.1f,%.3f,%u\n",
+                 events_per_sec, ns_per_event, queries_per_sec, wall_seconds,
+                 jobs);
+    std::fclose(f);
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+
+  // Pull the shared bench flags out before google-benchmark parses the
+  // rest (it rejects flags it does not know).
+  std::string out_dir = "results";
+  unsigned jobs = 1;
+  bool headline_only = false;
+  std::vector<char*> pass{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(10);
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--headline-only") {
+      headline_only = true;
+    } else {
+      pass.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(pass.size());
+  benchmark::Initialize(&pass_argc, pass.data());
+  if (!headline_only) {
+    if (benchmark::ReportUnrecognizedArguments(pass_argc, pass.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+
+  // Headline pass: fixed workloads, wall-clock timed, machine-readable.
+  const double events_per_sec = headline_events_per_sec(100000, 1.0);
+  const double queries_per_sec = headline_queries_per_sec(1.0);
+  const double wall =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  std::printf("headline: %.2fM events/s (%.1f ns/event), %.0f queries/s, "
+              "%.1fs wall\n",
+              events_per_sec / 1e6, 1e9 / events_per_sec, queries_per_sec,
+              wall);
+  write_headline(out_dir, events_per_sec, queries_per_sec, wall, jobs);
+  return 0;
+}

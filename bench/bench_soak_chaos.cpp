@@ -10,14 +10,23 @@
 //   connectivity[0.85]   honest-majority largest-component floor
 //   check_every[1]       minutes between invariant sweeps
 //   csv[-]               write the per-hour series to this file
+//   soaks[1]             independent soak instances (seed, seed+1000003, …)
+//   jobs[1]              worker threads across soak instances (0 = nproc)
 //
 // The default schedule is 480 simulated minutes = 8 simulated hours.
+// With soaks > 1 the extra instances fan out across the SweepRunner pool;
+// the digest below always shows the first (base-seed) instance, and the
+// exit code is non-zero if ANY instance violated an invariant.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "experiments/soak.hpp"
+#include "experiments/sweep.hpp"
 #include "util/config.hpp"
 
 int main(int argc, char** argv) {
@@ -31,6 +40,10 @@ int main(int argc, char** argv) {
   const double minutes = opts.get("minutes", 480.0);
   const auto seed =
       static_cast<std::uint64_t>(opts.get("seed", std::int64_t{20070710}));
+  const auto soaks = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, opts.get("soaks", std::int64_t{1})));
+  const auto jobs = static_cast<unsigned>(opts.get(
+      "jobs", static_cast<std::int64_t>(util::env_jobs(1))));
 
   experiments::SoakConfig cfg =
       experiments::chaos_soak_config(peers, agents, minutes, seed);
@@ -38,9 +51,9 @@ int main(int argc, char** argv) {
   cfg.check_every_minutes = opts.get("check_every", 1.0);
 
   std::printf("bench_soak_chaos — %zu peers, %zu agents, %.0f min "
-              "(%.1f simulated hours), seed %llu\n",
+              "(%.1f simulated hours), seed %llu, %zu soak(s), %u job(s)\n",
               peers, agents, minutes, minutes / 60.0,
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed), soaks, jobs);
   std::printf("chaos: rejoining agents, churn, loss=%.2f corrupt=%.2f, "
               "crash=%g/min stall=%g/min, quarantine+priority+repair on\n",
               cfg.scenario.fault.channel.drop_probability,
@@ -48,7 +61,16 @@ int main(int argc, char** argv) {
               cfg.scenario.fault.peer.crash_probability_per_minute,
               cfg.scenario.fault.peer.stall_probability_per_minute);
 
-  const experiments::SoakReport report = experiments::run_soak(cfg);
+  // Fan independent soak instances (distinct seeds, otherwise identical
+  // hostile schedule) across the trial-granularity pool.
+  experiments::SweepRunner runner(jobs);
+  const std::vector<experiments::SoakReport> reports =
+      runner.map(soaks, [&](std::size_t i) {
+        experiments::SoakConfig instance = cfg;
+        instance.scenario.seed = seed + 1000003ULL * i;
+        return experiments::run_soak(instance);
+      });
+  const experiments::SoakReport& report = reports.front();
 
   // Per-hour digest of the run: a soak log humans can scan.
   util::Table t({"hour", "success_pct", "traffic", "dropped", "dropped_good",
@@ -78,13 +100,20 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout, "per-hour soak digest");
 
-  std::printf("\n%s\n", experiments::soak_verdict(report).c_str());
-  for (const auto& v : report.violations) {
-    std::printf("  violation @%.0f min: %s\n", v.minute, v.what.c_str());
+  bool all_passed = true;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    all_passed = all_passed && r.passed();
+    std::printf("\n[soak %zu, seed %llu] %s\n", i,
+                static_cast<unsigned long long>(seed + 1000003ULL * i),
+                experiments::soak_verdict(r).c_str());
+    for (const auto& v : r.violations) {
+      std::printf("  violation @%.0f min: %s\n", v.minute, v.what.c_str());
+    }
   }
 
   const std::string csv = opts.get("csv", std::string("-"));
   if (csv != "-" && t.write_csv(csv)) std::printf("wrote %s\n", csv.c_str());
 
-  return report.passed() ? 0 : 1;
+  return all_passed ? 0 : 1;
 }

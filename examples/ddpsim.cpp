@@ -27,6 +27,8 @@
 //   data_faults[0]       also degrade the query data plane
 //   retries[2] timeout[5] retry/collect-timeout knobs of the hardened plane
 //   csv[-]               write the series to this file
+//   jobs[1]              >1 runs the baseline and scenario legs on
+//                        separate threads (identical output, less wall)
 //
 // Observability:
 //   trace[-]             write a JSONL event trace of the scenario run
@@ -41,6 +43,7 @@
 #include <memory>
 
 #include "experiments/scenario.hpp"
+#include "experiments/sweep.hpp"
 #include "metrics/damage.hpp"
 #include "obs/trace.hpp"
 #include "util/config.hpp"
@@ -163,8 +166,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto baseline = experiments::run_baseline(cfg);
-  const auto r = experiments::run_scenario(cfg);
+  // The two legs are fully independent (run_baseline strips the obs
+  // plane), so jobs>1 runs them on separate threads. Either way the
+  // results — and every file written from them — are identical.
+  const auto jobs = static_cast<unsigned>(
+      opts.get("jobs", static_cast<std::int64_t>(util::env_jobs(1))));
+  experiments::SweepRunner runner(jobs > 1 ? 2u : 1u);
+  auto legs = runner.map(2, [&](std::size_t i) {
+    return i == 0 ? experiments::run_baseline(cfg)
+                  : experiments::run_scenario(cfg);
+  });
+  const auto baseline = std::move(legs[0]);
+  const auto r = std::move(legs[1]);
 
   util::Table t({"minute", "success_pct", "damage_pct", "response_s",
                  "traffic", "attack_issued", "overhead"});

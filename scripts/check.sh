@@ -4,6 +4,8 @@
 #   scripts/check.sh          # tier-1: configure, build, ctest, trace check
 #   scripts/check.sh --asan   # tier-1 plus the ASan+UBSan suite (slow)
 #   scripts/check.sh --soak   # tier-1 plus a 2-simulated-hour chaos soak
+#   scripts/check.sh --tsan   # tier-1 plus the threaded sweep harness
+#                             # under ThreadSanitizer (pool + parallel sweeps)
 #
 # Tier-1 is the contract every PR must keep green: the default-preset
 # build, the full ctest suite, and an end-to-end observability check —
@@ -16,11 +18,13 @@ cd "$(dirname "$0")/.."
 
 run_asan=0
 run_soak=0
+run_tsan=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --soak) run_soak=1 ;;
-    *) echo "unknown argument: $arg (expected --asan or --soak)" >&2; exit 2 ;;
+    --tsan) run_tsan=1 ;;
+    *) echo "unknown argument: $arg (expected --asan, --soak or --tsan)" >&2; exit 2 ;;
   esac
 done
 
@@ -52,6 +56,19 @@ if [ "$run_soak" -eq 1 ]; then
   # Reduced-length version of the 8-hour soak (bench_soak_chaos with no
   # arguments); exits non-zero on any standing-invariant violation.
   ./build/bench/bench_soak_chaos minutes=120
+fi
+
+if [ "$run_tsan" -eq 1 ]; then
+  echo "== ThreadSanitizer: pool + parallel sweep harness =="
+  # Builds the tsan preset and runs the concurrency surface under TSan:
+  # the sweep/pool unit tests (which include jobs=1 vs jobs=N identity
+  # checks on the real fig 9-11 pipeline) and a fanned-out mini soak.
+  # Any data race aborts the process, so this gate fails loudly.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" --target sweep_test bench_soak_chaos
+  ./build-tsan/tests/sweep_test
+  ./build-tsan/bench/bench_soak_chaos minutes=30 soaks=2 jobs=2 > /dev/null
+  echo "tsan sweep harness: OK (no races reported)"
 fi
 
 if [ "$run_asan" -eq 1 ]; then

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "experiments/sweep.hpp"
 #include "util/log.hpp"
 
 namespace ddp::experiments {
@@ -286,32 +287,47 @@ std::vector<ChurnRow> run_churn_ablation(const Scale& scale,
       {"exponential 60min", true, workload::LifetimeDistribution::kExponential, 60},
       {"pareto 60min", true, workload::LifetimeDistribution::kPareto, 60},
   };
+  // One parallel unit per (regime, trial) cell, reduced in serial order.
+  struct Cell {
+    double false_negative, false_positive, stabilized_damage;
+  };
+  SweepRunner runner(scale.jobs);
+  const auto cells =
+      runner.map(cases.size() * scale.trials, [&](std::size_t idx) {
+        const Case& c = cases[idx / scale.trials];
+        const auto t = static_cast<std::uint32_t>(idx % scale.trials);
+        const std::uint64_t s = seed + 1000003ULL * t;
+        auto configure = [&](ScenarioConfig cfg) {
+          cfg.churn.enabled = c.enabled;
+          cfg.churn.distribution = c.dist;
+          if (c.mean_minutes > 0) {
+            cfg.churn.mean_lifetime = minutes(c.mean_minutes);
+            cfg.churn.lifetime_variance =
+                c.mean_minutes / 2.0 * kMinute * kMinute;
+          }
+          return cfg;
+        };
+        const auto base = run_baseline(
+            configure(scaled(scale, 0, defense::Kind::kNone, s)));
+        const auto r = run_scenario(
+            configure(scaled(scale, agents, defense::Kind::kDdPolice, s)));
+        const auto dmg = metrics::analyze_damage(
+            r.history, base.summary.avg_success_rate, scale.attack_start);
+        return Cell{static_cast<double>(r.errors.false_negative),
+                    static_cast<double>(r.errors.false_positive),
+                    dmg.stabilized_damage};
+      });
   std::vector<ChurnRow> rows;
-  for (const auto& c : cases) {
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const Case& c = cases[ci];
     ChurnRow row;
     row.regime = c.label;
     row.mean_lifetime_minutes = c.mean_minutes;
     for (std::uint32_t t = 0; t < scale.trials; ++t) {
-      const std::uint64_t s = seed + 1000003ULL * t;
-      auto configure = [&](ScenarioConfig cfg) {
-        cfg.churn.enabled = c.enabled;
-        cfg.churn.distribution = c.dist;
-        if (c.mean_minutes > 0) {
-          cfg.churn.mean_lifetime = minutes(c.mean_minutes);
-          cfg.churn.lifetime_variance =
-              c.mean_minutes / 2.0 * kMinute * kMinute;
-        }
-        return cfg;
-      };
-      const auto base = run_baseline(
-          configure(scaled(scale, 0, defense::Kind::kNone, s)));
-      const auto r = run_scenario(
-          configure(scaled(scale, agents, defense::Kind::kDdPolice, s)));
-      row.false_negative += static_cast<double>(r.errors.false_negative);
-      row.false_positive += static_cast<double>(r.errors.false_positive);
-      const auto dmg = metrics::analyze_damage(
-          r.history, base.summary.avg_success_rate, scale.attack_start);
-      row.stabilized_damage += dmg.stabilized_damage;
+      const Cell& cell = cells[ci * scale.trials + t];
+      row.false_negative += cell.false_negative;
+      row.false_positive += cell.false_positive;
+      row.stabilized_damage += cell.stabilized_damage;
     }
     const double d = static_cast<double>(scale.trials);
     row.false_negative /= d;
@@ -395,33 +411,52 @@ util::Table rejoin_table(const std::vector<RejoinRow>& rows) {
 std::vector<RateRow> run_attack_rate_sweep(const Scale& scale,
                                            std::size_t agents,
                                            std::uint64_t seed) {
+  const std::vector<double> rates{250.0,  500.0,   1000.0,  2000.0,
+                                  5000.0, 10000.0, 20000.0};
+  // One parallel unit per (rate, trial) cell, reduced in serial order.
+  struct Cell {
+    double bad_identified_pct, damage_undefended, damage_defended;
+    double detection_minute;  ///< < 0 when the trial never detected
+  };
+  SweepRunner runner(scale.jobs);
+  const auto cells =
+      runner.map(rates.size() * scale.trials, [&](std::size_t idx) {
+        const double rate = rates[idx / scale.trials];
+        const auto t = static_cast<std::uint32_t>(idx % scale.trials);
+        const std::uint64_t s = seed + 1000003ULL * t;
+        const auto base =
+            run_baseline(scaled(scale, 0, defense::Kind::kNone, s));
+        ScenarioConfig none_cfg = scaled(scale, agents, defense::Kind::kNone, s);
+        none_cfg.flow.attack_target_per_minute = rate;
+        const auto none = run_scenario(none_cfg);
+        ScenarioConfig ddp_cfg =
+            scaled(scale, agents, defense::Kind::kDdPolice, s);
+        ddp_cfg.flow.attack_target_per_minute = rate;
+        const auto ddp = run_scenario(ddp_cfg);
+        const auto dmg_none = metrics::analyze_damage(
+            none.history, base.summary.avg_success_rate, scale.attack_start);
+        const auto dmg_ddp = metrics::analyze_damage(
+            ddp.history, base.summary.avg_success_rate, scale.attack_start);
+        return Cell{(static_cast<double>(agents) -
+                     static_cast<double>(ddp.errors.false_positive)) /
+                        static_cast<double>(agents) * 100.0,
+                    dmg_none.stabilized_damage, dmg_ddp.stabilized_damage,
+                    ddp.errors.mean_detection_minute};
+      });
   std::vector<RateRow> rows;
-  for (double rate : {250.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 20000.0}) {
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    const double rate = rates[ri];
     RateRow row;
     row.attack_rate_per_minute = rate;
     double det_sum = 0.0;
     std::uint32_t det_n = 0;
     for (std::uint32_t t = 0; t < scale.trials; ++t) {
-      const std::uint64_t s = seed + 1000003ULL * t;
-      const auto base = run_baseline(scaled(scale, 0, defense::Kind::kNone, s));
-      ScenarioConfig none_cfg = scaled(scale, agents, defense::Kind::kNone, s);
-      none_cfg.flow.attack_target_per_minute = rate;
-      const auto none = run_scenario(none_cfg);
-      ScenarioConfig ddp_cfg = scaled(scale, agents, defense::Kind::kDdPolice, s);
-      ddp_cfg.flow.attack_target_per_minute = rate;
-      const auto ddp = run_scenario(ddp_cfg);
-      row.bad_identified_pct +=
-          (static_cast<double>(agents) -
-           static_cast<double>(ddp.errors.false_positive)) /
-          static_cast<double>(agents) * 100.0;
-      const auto dmg_none = metrics::analyze_damage(
-          none.history, base.summary.avg_success_rate, scale.attack_start);
-      const auto dmg_ddp = metrics::analyze_damage(
-          ddp.history, base.summary.avg_success_rate, scale.attack_start);
-      row.stabilized_damage_undefended += dmg_none.stabilized_damage;
-      row.stabilized_damage_defended += dmg_ddp.stabilized_damage;
-      if (ddp.errors.mean_detection_minute >= 0.0) {
-        det_sum += ddp.errors.mean_detection_minute;
+      const Cell& c = cells[ri * scale.trials + t];
+      row.bad_identified_pct += c.bad_identified_pct;
+      row.stabilized_damage_undefended += c.damage_undefended;
+      row.stabilized_damage_defended += c.damage_defended;
+      if (c.detection_minute >= 0.0) {
+        det_sum += c.detection_minute;
         ++det_n;
       }
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "experiments/sweep.hpp"
 #include "topology/coverage.hpp"
 #include "util/config.hpp"
 #include "util/log.hpp"
@@ -32,6 +33,7 @@ Scale default_scale() {
     s.trials = 3;
   }
   s.trials = util::env_trials(s.trials);
+  s.jobs = util::env_jobs(s.jobs);
   return s;
 }
 
@@ -39,32 +41,55 @@ Scale default_scale() {
 
 std::vector<AgentSweepRow> run_agent_sweep(const Scale& scale,
                                            std::uint64_t seed) {
+  // One sweep unit per (agent-count, trial) cell; each unit builds its
+  // whole world from its own seed, so units are embarrassingly parallel.
+  struct Cell {
+    double traffic_none, traffic_ddp, traffic_base;
+    double response_none, response_ddp, response_base;
+    double success_none, success_ddp, success_base;
+  };
+  SweepRunner runner(scale.jobs);
+  const auto cells = runner.map(
+      scale.agent_counts.size() * scale.trials, [&](std::size_t idx) {
+        const std::size_t k = scale.agent_counts[idx / scale.trials];
+        const auto t = static_cast<std::uint32_t>(idx % scale.trials);
+        const std::uint64_t s = seed + 1000003ULL * t;
+        const auto r_base =
+            run_baseline(scaled_scenario(scale, 0, defense::Kind::kNone, s));
+        const auto r_none = k == 0
+                                ? r_base
+                                : run_scenario(scaled_scenario(
+                                      scale, k, defense::Kind::kNone, s));
+        const auto r_ddp = run_scenario(
+            scaled_scenario(scale, k, defense::Kind::kDdPolice, s));
+        return Cell{r_none.summary.avg_traffic_per_minute,
+                    r_ddp.summary.avg_traffic_per_minute,
+                    r_base.summary.avg_traffic_per_minute,
+                    r_none.summary.avg_response_time,
+                    r_ddp.summary.avg_response_time,
+                    r_base.summary.avg_response_time,
+                    r_none.summary.avg_success_rate,
+                    r_ddp.summary.avg_success_rate,
+                    r_base.summary.avg_success_rate};
+      });
+  // Reduce in the serial loops' exact (agent-count, trial) order so the
+  // float accumulation — and therefore the output — is jobs-invariant.
   std::vector<AgentSweepRow> rows;
-  for (std::size_t k : scale.agent_counts) {
+  for (std::size_t ki = 0; ki < scale.agent_counts.size(); ++ki) {
+    const std::size_t k = scale.agent_counts[ki];
     AgentSweepRow row;
     row.agents = k;
     for (std::uint32_t t = 0; t < scale.trials; ++t) {
-      const std::uint64_t s = seed + 1000003ULL * t;
-      const auto r_base =
-          run_baseline(scaled_scenario(scale, 0, defense::Kind::kNone, s));
-      const auto r_none = k == 0
-                              ? r_base
-                              : run_scenario(scaled_scenario(
-                                    scale, k, defense::Kind::kNone, s));
-      const auto r_ddp =
-          k == 0 ? run_scenario(
-                       scaled_scenario(scale, 0, defense::Kind::kDdPolice, s))
-                 : run_scenario(
-                       scaled_scenario(scale, k, defense::Kind::kDdPolice, s));
-      row.traffic_none += r_none.summary.avg_traffic_per_minute;
-      row.traffic_ddp += r_ddp.summary.avg_traffic_per_minute;
-      row.traffic_base += r_base.summary.avg_traffic_per_minute;
-      row.response_none += r_none.summary.avg_response_time;
-      row.response_ddp += r_ddp.summary.avg_response_time;
-      row.response_base += r_base.summary.avg_response_time;
-      row.success_none += r_none.summary.avg_success_rate;
-      row.success_ddp += r_ddp.summary.avg_success_rate;
-      row.success_base += r_base.summary.avg_success_rate;
+      const Cell& c = cells[ki * scale.trials + t];
+      row.traffic_none += c.traffic_none;
+      row.traffic_ddp += c.traffic_ddp;
+      row.traffic_base += c.traffic_base;
+      row.response_none += c.response_none;
+      row.response_ddp += c.response_ddp;
+      row.response_base += c.response_base;
+      row.success_none += c.success_none;
+      row.success_ddp += c.success_ddp;
+      row.success_base += c.success_base;
     }
     const double d = static_cast<double>(scale.trials);
     row.traffic_none /= d;

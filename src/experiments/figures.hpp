@@ -26,10 +26,14 @@ struct Scale {
   double warmup_minutes = 8.0;  ///< measurement window start (post-attack)
   std::uint32_t trials = 2;
   std::vector<std::size_t> agent_counts{0, 1, 2, 5, 10, 20, 50, 100, 200};
+  /// Worker threads for the sweeps built on SweepRunner (0 = one per
+  /// hardware thread). Results are jobs-invariant: every reduction runs
+  /// in the serial loops' index order, so jobs only changes wall clock.
+  unsigned jobs = 1;
 };
 
 /// Laptop scale, or the paper's full scale when DDP_FULL is set; trials
-/// overridable via DDP_TRIALS.
+/// overridable via DDP_TRIALS, jobs via DDP_JOBS.
 Scale default_scale();
 
 // ---------------------------------------------------------------- Figs 9-11

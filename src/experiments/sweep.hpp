@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file sweep.hpp
+/// SweepRunner: deterministic trial-granularity parallelism for the
+/// figure sweeps. A sweep is a list of independent units — typically one
+/// (config row, trial seed) cell — each of which builds its whole world
+/// from its own seed (engine, RNG streams, tracer, metrics; run_scenario
+/// is self-contained by design). The runner evaluates the units across a
+/// util::ThreadPool and returns results **in index order**, so every
+/// reduction downstream (float accumulation included) happens in exactly
+/// the order the old serial loops used: the output is invariant under
+/// the jobs count, byte for byte.
+///
+/// jobs == 1 runs inline on the calling thread with no pool at all,
+/// which is the reference ordering the parallel path must reproduce.
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace ddp::experiments {
+
+class SweepRunner {
+ public:
+  /// `jobs` worker threads; 0 means one per hardware thread.
+  explicit SweepRunner(unsigned jobs = 1)
+      : jobs_(util::resolve_jobs(jobs)) {}
+
+  unsigned jobs() const noexcept { return jobs_; }
+
+  /// Evaluate fn(0), …, fn(n-1) — concurrently when jobs() > 1 — and
+  /// return the results indexed by input position. fn must be
+  /// self-contained per index: no shared mutable state, no ordering
+  /// assumptions. If any unit throws, the exception of the lowest index
+  /// is rethrown after all units finished.
+  template <typename Fn,
+            typename R = std::invoke_result_t<Fn, std::size_t>>
+  std::vector<R> map(std::size_t n, Fn&& fn) {
+    std::vector<std::optional<R>> out(n);
+    std::vector<std::exception_ptr> errors(n);
+    if (jobs_ <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i].emplace(fn(i));
+      }
+    } else {
+      util::ThreadPool pool(static_cast<unsigned>(
+          std::min<std::size_t>(jobs_, n)));
+      for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&, i] {
+          try {
+            out[i].emplace(fn(i));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+    }
+    std::vector<R> results;
+    results.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      results.push_back(std::move(*out[i]));
+    }
+    return results;
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace ddp::experiments

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file guid_table.hpp
+/// Flat open-addressed GUID dedup table: the per-peer "seen descriptors"
+/// structure on the packet engine's hottest path (every query arrival
+/// probes it; every duplicate drop is decided by it). Replaces an
+/// `unordered_map<net::Guid, pair<PeerId, SimTime>>` with linear probing
+/// over a single contiguous slot array — one hash, no buckets, no
+/// per-node allocation, and the 16-byte key sits next to its value so a
+/// probe costs at most a couple of cache lines.
+///
+/// Deletion model: there are no tombstones. Entries leave the table only
+/// through epoch compaction — prune(cutoff) rebuilds the table keeping
+/// entries at least as new as the cutoff — or clear(). That matches how
+/// the engine uses the dedup horizon (amortized prune every TTL/4) and is
+/// what bounds the table's growth within a run: after each compaction the
+/// capacity is re-sized to the surviving population.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/guid.hpp"
+#include "util/types.hpp"
+
+namespace ddp::p2p {
+
+class GuidTable {
+ public:
+  struct Entry {
+    net::Guid guid{};
+    SimTime when = 0.0;
+    PeerId from = kInvalidPeer;
+    bool used = false;
+  };
+
+  /// Pointer to the entry for `g`, or nullptr if absent. Stable only
+  /// until the next mutating call.
+  Entry* find(const net::Guid& g) noexcept {
+    if (size_ == 0) return nullptr;
+    std::size_t i = net::GuidHash{}(g) & mask_;
+    while (slots_[i].used) {
+      if (slots_[i].guid == g) return &slots_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const Entry* find(const net::Guid& g) const noexcept {
+    return const_cast<GuidTable*>(this)->find(g);
+  }
+
+  /// Insert or overwrite the entry for `g`.
+  void upsert(const net::Guid& g, PeerId from, SimTime when) {
+    if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    std::size_t i = net::GuidHash{}(g) & mask_;
+    while (slots_[i].used) {
+      if (slots_[i].guid == g) {
+        slots_[i].from = from;
+        slots_[i].when = when;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = Entry{g, when, from, true};
+    ++size_;
+  }
+
+  /// Epoch compaction: drop every entry strictly older than `cutoff` and
+  /// shrink the capacity to fit the survivors. This is the only way
+  /// entries age out (no tombstones), so calling it on the dedup-TTL
+  /// epoch bounds the table within a run.
+  void prune(SimTime cutoff) {
+    if (size_ == 0) return;
+    std::vector<Entry> old;
+    old.swap(slots_);
+    std::size_t survivors = 0;
+    for (const Entry& e : old) {
+      if (e.used && e.when >= cutoff) ++survivors;
+    }
+    size_ = 0;
+    rehash(capacity_for(survivors));
+    for (const Entry& e : old) {
+      if (e.used && e.when >= cutoff) upsert(e.guid, e.from, e.when);
+    }
+  }
+
+  void clear() noexcept {
+    slots_.clear();
+    mask_ = 0;
+    size_ = 0;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;  // power of two
+
+  static std::size_t capacity_for(std::size_t n) noexcept {
+    std::size_t cap = kMinCapacity;
+    while (cap < 2 * n + 2) cap *= 2;  // keep load factor below 1/2
+    return cap;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Entry> old;
+    old.swap(slots_);
+    slots_.assign(new_capacity, Entry{});
+    mask_ = new_capacity - 1;
+    for (const Entry& e : old) {
+      if (!e.used) continue;
+      std::size_t i = net::GuidHash{}(e.guid) & mask_;
+      while (slots_[i].used) i = (i + 1) & mask_;
+      slots_[i] = e;
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ddp::p2p

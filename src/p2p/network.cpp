@@ -71,7 +71,9 @@ QueryId PacketNetwork::issue_query(PeerId origin, workload::ObjectId object) {
   // The origin marks the GUID seen (it will drop echoes) and floods to all
   // current neighbours.
   auto& ps = peers_[origin];
-  ps.seen[d.guid] = {kInvalidPeer, engine_.now()};
+  const std::size_t before = ps.seen.size();
+  ps.seen.upsert(d.guid, kInvalidPeer, engine_.now());
+  note_guid_entries(before, ps.seen.size());
   prune_seen(ps, engine_.now());
   // Copy the neighbour set: transmission callbacks may disconnect links.
   const std::vector<PeerId> nbrs(graph_.neighbors(origin).begin(),
@@ -98,8 +100,27 @@ bool PacketNetwork::connect(PeerId a, PeerId b) {
 void PacketNetwork::reset_peer(PeerId p) {
   auto& ps = peers_[p];
   ps.queue.clear();
+  const std::size_t before = ps.seen.size();
   ps.seen.clear();
+  note_guid_entries(before, 0);
   ps.busy = false;
+}
+
+void PacketNetwork::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  guid_gauge_ = registry != nullptr ? registry->gauge("p2p.guid_table_size")
+                                    : obs::kInvalidMetric;
+  if (metrics_ != nullptr) {
+    metrics_->set(guid_gauge_, static_cast<double>(guid_entries_));
+  }
+}
+
+void PacketNetwork::note_guid_entries(std::size_t before, std::size_t after) {
+  guid_entries_ += static_cast<std::uint64_t>(after) -
+                   static_cast<std::uint64_t>(before);  // wraps on shrink
+  if (metrics_ != nullptr) {
+    metrics_->set(guid_gauge_, static_cast<double>(guid_entries_));
+  }
 }
 
 void PacketNetwork::transmit(PeerId from, PeerId to, Descriptor d) {
@@ -191,9 +212,9 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
 
   if (d.kind == Descriptor::Kind::kQueryHit) {
     // Route back along the inverse path recorded in the seen-table.
-    const auto it = ps.seen.find(d.guid);
-    if (it == ps.seen.end()) return;  // route evaporated (churn) — hit dies
-    const PeerId back = it->second.first;
+    const GuidTable::Entry* e = ps.seen.find(d.guid);
+    if (e == nullptr) return;  // route evaporated (churn) — hit dies
+    const PeerId back = e->from;
     if (back == kInvalidPeer) {
       // We are the origin.
       const auto oi = outcome_index_.find(d.guid);
@@ -215,13 +236,14 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
 
   // Query handling.
   prune_seen(ps, now);
-  const auto it = ps.seen.find(d.guid);
-  if (it != ps.seen.end()) {
+  if (ps.seen.find(d.guid) != nullptr) {
     ++totals_.duplicates_dropped;
     DDP_TRACE(tracer_, obs::EventType::kQueryDuplicate, now, at, from);
     return;
   }
-  ps.seen.emplace(d.guid, std::make_pair(from, now));
+  const std::size_t before = ps.seen.size();
+  ps.seen.upsert(d.guid, from, now);
+  note_guid_entries(before, ps.seen.size());
 
   // Local lookup; respond with a QueryHit routed back towards the origin.
   if (content_.peer_has(at, d.object)) {
@@ -256,14 +278,14 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
 }
 
 void PacketNetwork::prune_seen(PeerState& ps, SimTime now) {
-  // Amortized: prune at most every horizon/4 seconds.
+  // Amortized: compact at most every horizon/4 seconds (the dedup-TTL
+  // epoch). Compaction is also what re-sizes the flat table down, so this
+  // cadence is what bounds per-peer GUID memory within a run.
   if (now - ps.last_prune < config_.seen_horizon / 4.0) return;
   ps.last_prune = now;
-  const SimTime cutoff = now - config_.seen_horizon;
-  for (auto it = ps.seen.begin(); it != ps.seen.end();) {
-    if (it->second.second < cutoff) it = ps.seen.erase(it);
-    else ++it;
-  }
+  const std::size_t before = ps.seen.size();
+  ps.seen.prune(now - config_.seen_horizon);
+  note_guid_entries(before, ps.seen.size());
 }
 
 }  // namespace ddp::p2p

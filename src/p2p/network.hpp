@@ -18,8 +18,10 @@
 
 #include "fault/channel.hpp"
 #include "net/guid.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "p2p/config.hpp"
+#include "p2p/guid_table.hpp"
 #include "sim/engine.hpp"
 #include "topology/graph.hpp"
 #include "util/rate_window.hpp"
@@ -156,13 +158,21 @@ class PacketNetwork {
   void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
   const obs::Tracer& tracer() const noexcept { return tracer_; }
 
+  /// Attach a metrics registry (null detaches). Exports the
+  /// `p2p.guid_table_size` gauge: total live GUID-dedup entries across all
+  /// peers, refreshed whenever a table changes size (insert, prune
+  /// compaction, peer reset). Observation only — no behavioural effect.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Total live GUID-dedup entries across all peers (the gauge's value).
+  std::uint64_t guid_table_size() const noexcept { return guid_entries_; }
+
  private:
   struct PeerState {
     double capacity_per_minute;
     std::deque<Descriptor> queue;
     bool busy = false;
-    std::unordered_map<net::Guid, std::pair<PeerId, SimTime>, net::GuidHash>
-        seen;  ///< guid -> (arrived-from, when): dup table + inverse route
+    GuidTable seen;  ///< guid -> (arrived-from, when): dup table + inverse route
     std::uint64_t processed = 0;
     std::uint64_t dropped = 0;
     std::uint64_t received = 0;
@@ -175,6 +185,7 @@ class PacketNetwork {
   void process(PeerId at, PeerId from, const Descriptor& d);
   void prune_seen(PeerState& ps, SimTime now);
   double service_time(const PeerState& ps) const noexcept;
+  void note_guid_entries(std::size_t before, std::size_t after);
 
   topology::Graph& graph_;
   const workload::ContentModel& content_;
@@ -185,6 +196,9 @@ class PacketNetwork {
   std::vector<PeerKind> kinds_;
   fault::UnreliableChannel* channel_ = nullptr;
   obs::Tracer tracer_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricId guid_gauge_ = obs::kInvalidMetric;
+  std::uint64_t guid_entries_ = 0;  ///< sum of all peers' seen.size()
   LinkMonitors monitors_;
   NetworkTotals totals_;
   std::vector<QueryOutcome> outcomes_;

@@ -1,19 +1,102 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <utility>
 
 namespace ddp::sim {
 
+std::uint32_t Engine::alloc_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  records_.emplace_back();
+  assert(records_.size() <= (kSlotMask + 1) &&
+         "more than 2^24 concurrently live events");
+  return static_cast<std::uint32_t>(records_.size() - 1);
+}
+
+void Engine::free_slot(std::uint32_t slot) {
+  Record& r = records_[slot];
+  r.fn = nullptr;
+  r.period = -1.0;
+  r.live = false;
+  // The generation bump is what retires every EventId minted for this
+  // slot so far; wraparound after 2^32 reuses is acceptable (an id would
+  // have to be held across four billion reuses of one slot to alias).
+  ++r.generation;
+  free_.push_back(slot);
+}
+
+// 4-ary heap: half the depth of a binary heap, and with 16-byte entries
+// each node's four children span a single cache line, so the extra
+// compares per level are nearly free next to the avoided memory touches.
+
+void Engine::sift_up(std::size_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = e;
+}
+
+void Engine::sift_down(std::size_t pos) {
+  const HeapEntry e = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    const std::size_t end = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = e;
+}
+
+void Engine::heap_push(SimTime t, std::uint32_t slot) {
+  heap_.push_back(HeapEntry{t, (seq_++ << kSlotBits) | slot});
+  sift_up(heap_.size() - 1);
+}
+
+void Engine::heap_pop_root() {
+  const std::size_t last = heap_.size() - 1;
+  if (last > 0) {
+    heap_[0] = heap_[last];
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Engine::heap_rearm_root(SimTime t) {
+  heap_[0].t = t;
+  heap_[0].seq_slot = (seq_++ << kSlotBits) | (heap_[0].seq_slot & kSlotMask);
+  sift_down(0);  // the new key is never earlier than the old minimum
+}
+
 EventId Engine::schedule_at(SimTime t, Callback fn,
                             obs::EventCategory category) {
-  const EventId id = next_id_++;
-  heap_.push(Scheduled{std::max(t, now_), seq_++, id,
-                       static_cast<std::uint8_t>(category)});
-  callbacks_.emplace(id, std::move(fn));
+  const std::uint32_t slot = alloc_slot();
+  Record& r = records_[slot];
+  r.fn = std::move(fn);
+  r.period = -1.0;
+  r.category = static_cast<std::uint8_t>(category);
+  r.live = true;
+  heap_push(std::max(t, now_), slot);
   ++live_;
-  return id;
+  return make_id(slot, r.generation);
 }
 
 EventId Engine::schedule_in(SimTime delay, Callback fn,
@@ -23,23 +106,33 @@ EventId Engine::schedule_in(SimTime delay, Callback fn,
 
 EventId Engine::schedule_every(SimTime period, Callback fn, SimTime phase,
                                obs::EventCategory category) {
-  const EventId id = next_id_++;
-  periodics_.emplace(id, Periodic{period, std::move(fn)});
-  const SimTime first = now_ + (phase >= 0.0 ? phase : period);
-  heap_.push(Scheduled{first, seq_++, id, static_cast<std::uint8_t>(category)});
+  const std::uint32_t slot = alloc_slot();
+  Record& r = records_[slot];
+  r.fn = std::move(fn);
+  r.period = period;
+  r.category = static_cast<std::uint8_t>(category);
+  r.live = true;
+  heap_push(now_ + (phase >= 0.0 ? phase : period), slot);
   ++live_;
-  return id;
+  return make_id(slot, r.generation);
 }
 
 bool Engine::cancel(EventId id) {
-  const bool was_oneshot = callbacks_.erase(id) > 0;
-  const bool was_periodic = periodics_.erase(id) > 0;
-  if (was_oneshot || was_periodic) {
-    cancelled_.insert(id);
-    if (live_ > 0) --live_;
-    return true;
+  if (id == kInvalidEvent) return false;
+  const std::uint64_t low = id & 0xffffffffULL;
+  if (low == 0 || low > records_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(low - 1);
+  Record& r = records_[slot];
+  if (!r.live || r.generation != static_cast<std::uint32_t>(id >> 32)) {
+    return false;  // already fired, already cancelled, or a stale handle
   }
-  return false;
+  // O(1): clear the record in place and release the payload now; the heap
+  // entry drains lazily when it surfaces at the root, which also returns
+  // the slot to the free list (so the slot cannot be reused before then).
+  r.live = false;
+  r.fn = nullptr;
+  if (live_ > 0) --live_;
+  return true;
 }
 
 void Engine::dispatch(Callback& fn, std::uint8_t category) {
@@ -54,42 +147,48 @@ void Engine::dispatch(Callback& fn, std::uint8_t category) {
 
 bool Engine::step(SimTime horizon) {
   while (!heap_.empty()) {
-    const Scheduled top = heap_.top();
-    if (const auto c = cancelled_.find(top.id); c != cancelled_.end()) {
-      heap_.pop();
-      cancelled_.erase(c);
+    const HeapEntry top = heap_.front();
+    const std::uint32_t slot = top.slot();
+    Record& r = records_[slot];
+    if (!r.live) {
+      // A cancelled event's entry: reclaim the slot and keep looking.
+      heap_pop_root();
+      free_slot(slot);
       continue;
     }
     if (top.t > horizon) return false;
-    heap_.pop();
     now_ = std::max(now_, top.t);
-    if (const auto p = periodics_.find(top.id); p != periodics_.end()) {
-      // Re-arm before running so the callback may cancel itself.
-      heap_.push(Scheduled{now_ + p->second.period, seq_++, top.id,
-                           top.category});
-      ++executed_;
-      // Move the callback out before invoking it: a callback that cancels
-      // its own periodic erases the map entry, which would otherwise
-      // destroy the std::function currently executing (use-after-free).
-      Callback fn = std::move(p->second.fn);
-      dispatch(fn, top.category);
-      // Restore the callback only if the task still exists (the callback
-      // may have cancelled it — or rehashed the map by scheduling).
-      if (const auto again = periodics_.find(top.id); again != periodics_.end()) {
-        again->second.fn = std::move(fn);
+    const std::uint8_t category = r.category;
+    ++executed_;
+    if (r.period >= 0.0) {
+      // Periodic: re-arm in place before running, so the callback may
+      // cancel itself. The seq draw happens before the callback runs —
+      // anything the callback schedules sorts after this task at equal
+      // times, exactly as a push-then-run implementation would order it.
+      const std::uint32_t generation = r.generation;
+      heap_rearm_root(now_ + r.period);
+      // Move the callback out before invoking it: a self-cancelling
+      // callback clears the record, which would otherwise destroy the
+      // std::function currently executing (use-after-free).
+      Callback fn = std::move(r.fn);
+      dispatch(fn, category);
+      // Restore the callback only if the task still exists under the same
+      // generation (the callback may have cancelled it).
+      Record& again = records_[slot];
+      if (again.live && again.generation == generation) {
+        again.fn = std::move(fn);
       }
       return true;
     }
-    if (const auto c = callbacks_.find(top.id); c != callbacks_.end()) {
-      // Move out so the callback may schedule (and even cancel) freely.
-      Callback fn = std::move(c->second);
-      callbacks_.erase(c);
-      ++executed_;
-      if (live_ > 0) --live_;
-      dispatch(fn, top.category);
-      return true;
-    }
-    // Id fired-and-erased concurrently (shouldn't happen); skip.
+    // One-shot: release the slot before dispatch so cancel(id) inside the
+    // callback reports false (the event has fired) and the slot is free
+    // for immediate reuse by anything the callback schedules.
+    Callback fn = std::move(r.fn);
+    heap_pop_root();
+    free_slot(slot);
+    if (live_ > 0) --live_;
+    dispatch(fn, category);
+    return true;
   }
   return false;
 }

@@ -1,13 +1,26 @@
 #pragma once
 
 /// \file engine.hpp
-/// Discrete-event simulation engine. A binary heap of timestamped events
-/// with deterministic FIFO tie-breaking (events scheduled earlier run
-/// earlier at equal timestamps), cancellation handles, and periodic tasks.
+/// Discrete-event simulation engine. A single indexed binary heap of
+/// timestamped events with deterministic FIFO tie-breaking (events
+/// scheduled earlier run earlier at equal timestamps), O(1)-validated
+/// cancellation handles, and periodic tasks rescheduled in place.
 ///
-/// The engine is deliberately single-threaded: determinism and
-/// reproducibility outrank parallel speedup inside one run, and the
-/// experiment harness parallelizes at trial granularity instead.
+/// Storage layout: event records live in a slab (vector + free list) whose
+/// slots own their callbacks inline; the heap holds only (time, seq, slot)
+/// triples. cancel() is O(1): it clears the record in place (liveness is a
+/// flag in the slab, not a tombstone hash-set) and the dead heap entry is
+/// reclaimed when it surfaces at the root — no hash-map probes anywhere on
+/// the hot path. EventIds are generation-tagged slot handles: a slot bumps
+/// its generation on reuse, so a stale id can never cancel a newer event.
+///
+/// Threading contract: the engine is single-writer. All scheduling,
+/// cancellation and run_*() calls must come from the one thread that owns
+/// the engine (events themselves run on that thread); nothing here is
+/// locked. Determinism and reproducibility outrank parallel speedup inside
+/// one run — cross-run parallelism is provided by experiments::SweepRunner,
+/// which fans independent (config, seed) trials across a util::ThreadPool,
+/// one engine per trial, and never shares an engine between threads.
 ///
 /// Observability: every event carries an obs::EventCategory tag, and an
 /// optional obs::EngineProfiler (set_profiler) receives per-dispatch
@@ -16,9 +29,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "obs/profile.hpp"
@@ -53,8 +63,9 @@ class Engine {
   EventId schedule_every(SimTime period, Callback fn, SimTime phase = -1.0,
                          obs::EventCategory category = obs::EventCategory::kPeriodic);
 
-  /// Cancel a pending (or periodic) event. Safe on already-fired or
-  /// unknown ids; returns whether something was actually cancelled.
+  /// Cancel a pending (or periodic) event. Safe on already-fired, unknown
+  /// or stale (generation-reused) ids; returns whether something was
+  /// actually cancelled.
   bool cancel(EventId id);
 
   /// Run until the event queue drains or simulated time would pass
@@ -75,29 +86,59 @@ class Engine {
   obs::EngineProfiler* profiler() const noexcept { return profiler_; }
 
   std::uint64_t events_executed() const noexcept { return executed_; }
-  /// Live (not-yet-fired, not-cancelled) events. Maintained as an explicit
-  /// counter rather than heap_.size() - cancelled_.size(): the heap entry of
-  /// a cancelled event is collected lazily, so the two containers shrink at
-  /// different times and their difference can transiently underflow.
+  /// Live (not-yet-fired, not-cancelled) events; a periodic counts once
+  /// for its whole lifetime. Maintained as an explicit counter: a
+  /// cancelled event's heap entry is reclaimed lazily, so the heap size
+  /// alone transiently overcounts.
   std::size_t pending() const noexcept { return live_; }
 
  private:
-  struct Scheduled {
-    SimTime t;
-    std::uint64_t seq;  ///< tie-break: FIFO among equal times
-    EventId id;
-    std::uint8_t category;  ///< obs::EventCategory of the dispatch
+  /// Slab slot owning one event's callback. `period < 0` marks a one-shot.
+  /// `generation` is baked into the EventId so slot reuse invalidates old
+  /// handles; `live` is the inline cancellation flag (a cancelled slot's
+  /// heap entry drains lazily, and the slot is only reusable after it has).
+  struct Record {
+    Callback fn;
+    SimTime period = -1.0;
+    std::uint32_t generation = 0;
+    std::uint8_t category = 0;
+    bool live = false;
   };
-  struct Later {
-    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
+
+  /// Heap key: earliest time first, FIFO (seq) among equal times. The
+  /// entry is packed to 16 bytes — `seq_slot` holds the 40-bit schedule
+  /// sequence number in the high bits and the 24-bit slab slot in the low
+  /// bits, so the tie-break is one integer compare and four entries share
+  /// a cache line. 2^40 total schedules and 2^24 concurrently-live events
+  /// are far beyond any simulated workload here (alloc_slot asserts the
+  /// slot bound).
+  struct HeapEntry {
+    SimTime t;
+    std::uint64_t seq_slot;
+
+    std::uint32_t slot() const noexcept {
+      return static_cast<std::uint32_t>(seq_slot & kSlotMask);
     }
   };
-  struct Periodic {
-    SimTime period;
-    Callback fn;
-  };
+  static constexpr std::uint64_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq_slot < b.seq_slot;  // seq occupies the high bits
+  }
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) noexcept {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  void heap_push(SimTime t, std::uint32_t slot);
+  void heap_pop_root();
+  void heap_rearm_root(SimTime t);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
 
   bool step(SimTime horizon);
   void dispatch(Callback& fn, std::uint8_t category);
@@ -105,14 +146,12 @@ class Engine {
   obs::EngineProfiler* profiler_ = nullptr;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
-  EventId next_id_ = 1;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::unordered_map<EventId, Periodic> periodics_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Record> records_;
+  std::vector<std::uint32_t> free_;
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace ddp::sim

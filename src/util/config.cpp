@@ -52,6 +52,13 @@ std::uint32_t env_trials(std::uint32_t fallback) noexcept {
   return fallback;
 }
 
+unsigned env_jobs(unsigned fallback) noexcept {
+  if (auto v = env_int("DDP_JOBS"); v && *v >= 0) {
+    return static_cast<unsigned>(*v);
+  }
+  return fallback;
+}
+
 Options::Options(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

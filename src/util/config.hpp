@@ -26,6 +26,10 @@ std::uint64_t env_seed(std::uint64_t fallback = 20070710) noexcept;
 /// Number of independent trials: DDP_TRIALS if set, else `fallback`.
 std::uint32_t env_trials(std::uint32_t fallback) noexcept;
 
+/// Parallel sweep workers: DDP_JOBS if set, else `fallback`. The value 0
+/// means "one per hardware thread" (resolved by util::resolve_jobs).
+unsigned env_jobs(unsigned fallback) noexcept;
+
 /// Read an arbitrary numeric environment override.
 std::optional<double> env_double(const char* name) noexcept;
 std::optional<std::int64_t> env_int(const char* name) noexcept;

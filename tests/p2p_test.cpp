@@ -235,5 +235,103 @@ TEST(Testbed, SweepIsMonotoneInLoad) {
   EXPECT_LT(pts.back().processed_per_minute, cfg.capacity_per_minute * 1.1);
 }
 
+TEST(GuidTable, FindUpsertAndOverwrite) {
+  GuidTable t;
+  util::Rng rng(7);
+  const net::Guid g = net::Guid::random(rng);
+  EXPECT_EQ(t.find(g), nullptr);
+  t.upsert(g, 3, 1.0);
+  ASSERT_NE(t.find(g), nullptr);
+  EXPECT_EQ(t.find(g)->from, 3u);
+  EXPECT_DOUBLE_EQ(t.find(g)->when, 1.0);
+  t.upsert(g, 5, 2.0);  // overwrite, not duplicate
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(g)->from, 5u);
+}
+
+TEST(GuidTable, RehashKeepsAllEntries) {
+  GuidTable t;
+  util::Rng rng(8);
+  std::vector<net::Guid> guids;
+  for (std::size_t i = 0; i < 300; ++i) {
+    guids.push_back(net::Guid::random(rng));
+    t.upsert(guids.back(), static_cast<PeerId>(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(t.size(), 300u);
+  for (std::size_t i = 0; i < guids.size(); ++i) {
+    ASSERT_NE(t.find(guids[i]), nullptr);
+    EXPECT_EQ(t.find(guids[i])->from, static_cast<PeerId>(i));
+  }
+}
+
+TEST(GuidTable, PruneDropsOldEpochAndAllowsReinsert) {
+  // Regression for the epoch-expiry semantics: entries strictly older
+  // than the cutoff leave the table, survivors keep their route, and an
+  // expired GUID can be inserted again (a late re-flood is forwardable).
+  GuidTable t;
+  util::Rng rng(9);
+  const net::Guid old_g = net::Guid::random(rng);
+  const net::Guid new_g = net::Guid::random(rng);
+  t.upsert(old_g, 1, 10.0);
+  t.upsert(new_g, 2, 100.0);
+  t.prune(50.0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(old_g), nullptr);
+  ASSERT_NE(t.find(new_g), nullptr);
+  EXPECT_EQ(t.find(new_g)->from, 2u);  // inverse-path route survives
+  t.upsert(old_g, 4, 120.0);           // expired GUID is insertable again
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.find(old_g)->from, 4u);
+}
+
+TEST(GuidTable, PruneToEmptyThenGrowAgain) {
+  GuidTable t;
+  util::Rng rng(10);
+  std::vector<net::Guid> guids;
+  for (std::size_t i = 0; i < 64; ++i) {
+    guids.push_back(net::Guid::random(rng));
+    t.upsert(guids.back(), 0, 1.0);
+  }
+  t.prune(2.0);  // everything is older than the cutoff
+  EXPECT_EQ(t.size(), 0u);
+  for (const auto& g : guids) EXPECT_EQ(t.find(g), nullptr);
+  t.upsert(guids.front(), 7, 3.0);
+  EXPECT_EQ(t.size(), 1u);
+  ASSERT_NE(t.find(guids.front()), nullptr);
+}
+
+TEST(PacketNetwork, SeenTableBoundedByEpochExpiry) {
+  // A second query wave after the dedup horizon must not stack on top of
+  // the first wave's entries: prune_seen compacts the expired epoch, so
+  // the total GUID-table population stays bounded by live traffic.
+  Fixture f(line(3));
+  f.cfg.seen_horizon = 10.0;
+  f.net = std::make_unique<PacketNetwork>(f.graph, *f.content, f.engine, f.cfg,
+                                          util::Rng(1));
+  f.net->issue_query(0, 1);
+  f.engine.run_until(5.0);
+  const std::uint64_t after_first = f.net->guid_table_size();
+  EXPECT_GT(after_first, 0u);
+  f.engine.schedule_at(100.0, [&f] { f.net->issue_query(0, 2); });
+  f.engine.run_until(120.0);
+  // Old entries (age ~100 >> horizon 10) were compacted away as the new
+  // wave touched each peer; only the new wave's entries remain.
+  EXPECT_EQ(f.net->guid_table_size(), after_first);
+}
+
+TEST(PacketNetwork, GuidTableGaugeTracksPopulation) {
+  obs::MetricsRegistry reg;
+  Fixture f(line(4));
+  f.net->set_metrics(&reg);
+  const obs::MetricId gauge = reg.find("p2p.guid_table_size");
+  ASSERT_NE(gauge, obs::kInvalidMetric);
+  EXPECT_DOUBLE_EQ(reg.value(gauge), 0.0);
+  f.net->issue_query(0, 1);
+  f.engine.run_until(10.0);
+  EXPECT_GT(f.net->guid_table_size(), 0u);
+  EXPECT_DOUBLE_EQ(reg.value(gauge),
+                   static_cast<double>(f.net->guid_table_size()));
+}
+
 }  // namespace
 }  // namespace ddp::p2p

@@ -241,6 +241,64 @@ TEST(Engine, PeriodicCallbackMaySchedule) {
   EXPECT_EQ(e.pending(), 1u);  // just the periodic remains
 }
 
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  // Once a one-shot has fired its slot is freed and the generation bumped;
+  // the stale EventId must be rejected, not cancel whatever lives there now.
+  Engine e;
+  int fires = 0;
+  const EventId id = e.schedule_at(1.0, [&] { ++fires; });
+  e.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, GenerationReuseStaleIdCannotCancelNewOccupant) {
+  // Force slot reuse: fire a one-shot (frees its slot), then schedule a
+  // new event that recycles the slot. The stale id shares the slot bits
+  // but not the generation, so cancel(stale) must be a no-op.
+  Engine e;
+  const EventId first = e.schedule_at(1.0, [] {});
+  e.run();  // slot freed, generation bumped
+  int fires = 0;
+  const EventId second = e.schedule_at(2.0, [&] { ++fires; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(e.cancel(first));  // stale generation
+  EXPECT_EQ(e.pending(), 1u);     // new occupant untouched
+  e.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Engine, PeriodicSelfCancelStillCountsAsExecuted) {
+  // A periodic that cancels itself mid-callback: that firing still ran, so
+  // step() reports progress and events_executed includes it.
+  Engine e;
+  auto id = std::make_shared<EventId>(0);
+  *id = e.schedule_every(1.0, [&e, id] { e.cancel(*id); });
+  e.run_until(10.0);
+  EXPECT_EQ(e.events_executed(), 1u);  // fired exactly once
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, CancelledHeapEntriesDrainWithoutDispatch) {
+  // Cancel is O(1): the heap entry stays behind as a dead record and is
+  // reclaimed when it surfaces at the root. None of them may dispatch.
+  Engine e;
+  int fires = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(
+        e.schedule_at(static_cast<double>(i), [&fires] { ++fires; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(e.cancel(ids[i]));
+  }
+  EXPECT_EQ(e.pending(), 32u);
+  e.run();
+  EXPECT_EQ(fires, 32);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.events_executed(), 32u);
+}
+
 TEST(Engine, ManyEventsStressOrdering) {
   Engine e;
   std::vector<double> times;

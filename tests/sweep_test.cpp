@@ -1,0 +1,167 @@
+// Parallel trial runner tests: ThreadPool lifecycle, SweepRunner index
+// ordering and exception routing, and the property the whole harness is
+// built around — sweep output is jobs-invariant, so `--jobs N` can only
+// change wall clock, never a CSV byte or a per-trial trace.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "experiments/figures.hpp"
+#include "experiments/scenario.hpp"
+#include "experiments/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ddp {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+  }  // ~ThreadPool joins after the queue is empty
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_EQ(util::resolve_jobs(3), 3u);
+  EXPECT_GE(util::resolve_jobs(0), 1u);  // 0 = one per hardware thread
+}
+
+TEST(SweepRunner, ResultsInIndexOrder) {
+  experiments::SweepRunner runner(8);
+  const std::vector<std::size_t> out =
+      runner.map(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepRunner, SerialAndParallelResultsIdentical) {
+  const auto fn = [](std::size_t i) {
+    // Deterministic per-index work with float accumulation: the kind of
+    // computation whose result would drift if the harness reordered it.
+    double acc = 0.0;
+    for (std::size_t k = 1; k <= 1000; ++k) {
+      acc += 1.0 / static_cast<double>(i * 1000 + k);
+    }
+    return acc;
+  };
+  experiments::SweepRunner serial(1);
+  experiments::SweepRunner parallel(8);
+  const auto a = serial.map(64, fn);
+  const auto b = parallel.map(64, fn);
+  EXPECT_EQ(a, b);  // exact: same indices, same serial math per index
+}
+
+TEST(SweepRunner, LowestIndexExceptionWins) {
+  experiments::SweepRunner runner(8);
+  try {
+    runner.map(16, [](std::size_t i) -> int {
+      if (i == 3) throw std::runtime_error("boom 3");
+      if (i == 11) throw std::runtime_error("boom 11");
+      return 0;
+    });
+    FAIL() << "map should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+}
+
+experiments::Scale tiny_scale(unsigned jobs) {
+  experiments::Scale s;
+  s.peers = 80;
+  s.total_minutes = 10.0;
+  s.attack_start = 2.0;
+  s.warmup_minutes = 3.0;
+  s.trials = 2;
+  s.agent_counts = {0, 2};
+  s.jobs = jobs;
+  return s;
+}
+
+TEST(SweepRunner, AgentSweepIsJobsInvariant) {
+  // The acceptance property for the whole harness: the fig 9-11 sweep
+  // must produce bit-identical rows whether trials run serially or fanned
+  // across workers. Reductions run serially in (row, trial) order either
+  // way, so every double must match exactly — not approximately.
+  const auto serial = experiments::run_agent_sweep(tiny_scale(1), 42);
+  const auto fanned = experiments::run_agent_sweep(tiny_scale(4), 42);
+  ASSERT_EQ(serial.size(), fanned.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].agents, fanned[i].agents);
+    EXPECT_EQ(serial[i].traffic_none, fanned[i].traffic_none);
+    EXPECT_EQ(serial[i].traffic_ddp, fanned[i].traffic_ddp);
+    EXPECT_EQ(serial[i].traffic_base, fanned[i].traffic_base);
+    EXPECT_EQ(serial[i].response_none, fanned[i].response_none);
+    EXPECT_EQ(serial[i].response_ddp, fanned[i].response_ddp);
+    EXPECT_EQ(serial[i].response_base, fanned[i].response_base);
+    EXPECT_EQ(serial[i].success_none, fanned[i].success_none);
+    EXPECT_EQ(serial[i].success_ddp, fanned[i].success_ddp);
+    EXPECT_EQ(serial[i].success_base, fanned[i].success_base);
+  }
+}
+
+TEST(SweepRunner, PerTrialTracesAreJobsInvariant) {
+  // Beyond the reduced rows: the full per-minute history of each trial
+  // must be identical under parallel execution (each trial owns a private
+  // engine + RNG seeded only by its index).
+  const auto make_config = [](std::uint64_t seed) {
+    experiments::ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.topo.nodes = 80;
+    cfg.total_minutes = 8.0;
+    cfg.warmup_minutes = 2.0;
+    cfg.attack.agents = 2;
+    cfg.attack.start_minute = 2.0;
+    cfg.defense = defense::Kind::kDdPolice;
+    return cfg;
+  };
+  const auto fn = [&make_config](std::size_t i) {
+    return experiments::run_scenario(make_config(42 + 1000003ULL * i));
+  };
+  experiments::SweepRunner serial(1);
+  experiments::SweepRunner parallel(4);
+  const auto a = serial.map(4, fn);
+  const auto b = parallel.map(4, fn);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].history.size(), b[t].history.size());
+    for (std::size_t m = 0; m < a[t].history.size(); ++m) {
+      EXPECT_EQ(a[t].history[m].success_rate, b[t].history[m].success_rate);
+      EXPECT_EQ(a[t].history[m].traffic_messages,
+                b[t].history[m].traffic_messages);
+      EXPECT_EQ(a[t].history[m].dropped, b[t].history[m].dropped);
+    }
+    EXPECT_EQ(a[t].decisions.size(), b[t].decisions.size());
+    EXPECT_EQ(a[t].summary.avg_success_rate, b[t].summary.avg_success_rate);
+  }
+}
+
+}  // namespace
+}  // namespace ddp
