@@ -10,14 +10,49 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "experiments/figures.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 
 namespace ddp::bench {
+
+/// Peak resident set size of this process in bytes (0 if unknown).
+/// Prefers VmHWM from /proc/self/status (Linux, byte-accurate pages);
+/// falls back to getrusage, whose ru_maxrss unit is KiB on Linux and
+/// bytes on macOS.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      const std::uint64_t kib =
+          std::strtoull(line.c_str() + 6, nullptr, 10);
+      if (kib != 0) return kib * 1024;
+      break;
+    }
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
 
 struct Run {
   experiments::Scale scale;
@@ -105,6 +140,23 @@ inline void finish(const Run& run, const util::Table& table,
       (std::filesystem::path(run.out_dir) / (csv_name + ".csv")).string();
   if (table.write_csv(path)) {
     std::printf("wrote %s\n", path.c_str());
+  }
+  // Memory provenance rides in a side file so the figure CSV bytes stay
+  // golden-comparable across runs and releases.
+  const std::uint64_t rss = peak_rss_bytes();
+  if (rss != 0) {
+    std::printf("peak RSS: %.1f MiB\n",
+                static_cast<double>(rss) / (1024.0 * 1024.0));
+    const std::string meta =
+        (std::filesystem::path(run.out_dir) / (csv_name + "_meta.csv"))
+            .string();
+    std::ofstream out(meta, std::ios::trunc);
+    if (out) {
+      out << "metric,value\n";
+      out << "peak_rss_bytes," << rss << "\n";
+      out << "peers," << run.scale.peers << "\n";
+      out << "seed," << run.seed << "\n";
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/indicators.hpp"
 #include "flow/network.hpp"
 #include "net/message.hpp"
@@ -246,8 +247,35 @@ double headline_queries_per_sec(double min_seconds) {
   return static_cast<double>(queries) / elapsed;
 }
 
+/// Flow-engine throughput: simulated minutes per second of wall time on a
+/// paper-scale (2,000-peer) overlay under a 5% compromised-peer load —
+/// the figure benches' dominant inner loop.
+double headline_flow_minutes_per_sec(std::size_t peers, double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  util::Rng rng(5);
+  topology::Graph g = topology::paper_topology(peers, rng);
+  util::Rng bw_rng = rng.fork("bw");
+  const topology::BandwidthMap bw(peers, bw_rng);
+  workload::ContentConfig cc;
+  const workload::ContentModel content(cc, peers);
+  flow::FlowConfig cfg;
+  flow::FlowNetwork net(g, bw, content, cfg, rng.fork("flow"));
+  for (PeerId a = 0; a < peers / 20; ++a) net.set_kind(a, PeerKind::kBad);
+  std::uint64_t minutes = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    net.run_minutes(1.0);
+    benchmark::DoNotOptimize(net.last_minute_report());
+    ++minutes;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(minutes) / elapsed;
+}
+
 void write_headline(const std::string& out_dir, double events_per_sec,
-                    double queries_per_sec, double wall_seconds,
+                    double queries_per_sec, double flow_minutes_per_sec,
+                    std::size_t flow_peers, double wall_seconds,
                     unsigned jobs) {
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
@@ -260,6 +288,7 @@ void write_headline(const std::string& out_dir, double events_per_sec,
       events_per_sec > 0.0 ? 1e9 / events_per_sec : 0.0;
   const std::string json_path =
       (std::filesystem::path(out_dir) / "BENCH_engine.json").string();
+  const std::uint64_t rss = ddp::bench::peak_rss_bytes();
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f,
                  "{\n"
@@ -267,11 +296,15 @@ void write_headline(const std::string& out_dir, double events_per_sec,
                  "  \"events_per_sec\": %.1f,\n"
                  "  \"ns_per_event\": %.2f,\n"
                  "  \"queries_per_sec\": %.1f,\n"
+                 "  \"flow_minutes_per_sec\": %.2f,\n"
+                 "  \"flow_peers\": %zu,\n"
+                 "  \"peak_rss_bytes\": %llu,\n"
                  "  \"wall_seconds\": %.3f,\n"
                  "  \"jobs\": %u\n"
                  "}\n",
-                 events_per_sec, ns_per_event, queries_per_sec, wall_seconds,
-                 jobs);
+                 events_per_sec, ns_per_event, queries_per_sec,
+                 flow_minutes_per_sec, flow_peers,
+                 static_cast<unsigned long long>(rss), wall_seconds, jobs);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
@@ -279,10 +312,12 @@ void write_headline(const std::string& out_dir, double events_per_sec,
       (std::filesystem::path(out_dir) / "BENCH_engine.csv").string();
   if (std::FILE* f = std::fopen(csv_path.c_str(), "w")) {
     std::fprintf(f,
-                 "events_per_sec,ns_per_event,queries_per_sec,wall_seconds,"
-                 "jobs\n%.1f,%.2f,%.1f,%.3f,%u\n",
-                 events_per_sec, ns_per_event, queries_per_sec, wall_seconds,
-                 jobs);
+                 "events_per_sec,ns_per_event,queries_per_sec,"
+                 "flow_minutes_per_sec,flow_peers,peak_rss_bytes,"
+                 "wall_seconds,jobs\n%.1f,%.2f,%.1f,%.2f,%zu,%llu,%.3f,%u\n",
+                 events_per_sec, ns_per_event, queries_per_sec,
+                 flow_minutes_per_sec, flow_peers,
+                 static_cast<unsigned long long>(rss), wall_seconds, jobs);
     std::fclose(f);
     std::printf("wrote %s\n", csv_path.c_str());
   }
@@ -329,12 +364,16 @@ int main(int argc, char** argv) {
   // Headline pass: fixed workloads, wall-clock timed, machine-readable.
   const double events_per_sec = headline_events_per_sec(100000, 1.0);
   const double queries_per_sec = headline_queries_per_sec(1.0);
+  const std::size_t flow_peers = 2000;
+  const double flow_minutes_per_sec =
+      headline_flow_minutes_per_sec(flow_peers, 2.0);
   const double wall =
       std::chrono::duration<double>(clock::now() - t0).count();
   std::printf("headline: %.2fM events/s (%.1f ns/event), %.0f queries/s, "
-              "%.1fs wall\n",
+              "%.2f flow min/s @%zu peers, %.1fs wall\n",
               events_per_sec / 1e6, 1e9 / events_per_sec, queries_per_sec,
-              wall);
-  write_headline(out_dir, events_per_sec, queries_per_sec, wall, jobs);
+              flow_minutes_per_sec, flow_peers, wall);
+  write_headline(out_dir, events_per_sec, queries_per_sec,
+                 flow_minutes_per_sec, flow_peers, wall, jobs);
   return 0;
 }

@@ -115,5 +115,11 @@ int main(int argc, char** argv) {
   const std::string csv = opts.get("csv", std::string("-"));
   if (csv != "-" && t.write_csv(csv)) std::printf("wrote %s\n", csv.c_str());
 
+  const std::uint64_t rss = bench::peak_rss_bytes();
+  if (rss != 0) {
+    std::printf("peak RSS: %.1f MiB\n",
+                static_cast<double>(rss) / (1024.0 * 1024.0));
+  }
+
   return all_passed ? 0 : 1;
 }

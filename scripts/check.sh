@@ -15,6 +15,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+repo="$(pwd)"
 
 run_asan=0
 run_soak=0
@@ -50,6 +51,30 @@ if ! cmp -s "$tmp/a.jsonl" "$tmp/b.jsonl"; then
   exit 1
 fi
 echo "trace determinism: OK (same seed => byte-identical JSONL)"
+
+echo "== golden byte-identity gate (figure CSVs + short trace) =="
+# Laptop-scale runs of the figure benches plus a short traced ddpsim
+# scenario, hashed against the committed manifest. Catches any change to
+# the simulation arithmetic, iteration order or output formatting: a
+# refactor that claims bit-exactness must leave every hash untouched
+# (regenerate with scripts/regen_golden.sh when a change is *meant* to
+# shift results, and say so in the PR).
+mkdir -p "$tmp/golden"
+env -u DDP_FULL -u DDP_SEED ./build/bench/bench_fig5_capacity \
+    --out-dir "$tmp/golden" > /dev/null
+env -u DDP_FULL -u DDP_SEED DDP_TRIALS=1 ./build/bench/bench_fig11_success \
+    --out-dir "$tmp/golden" > /dev/null
+env -u DDP_FULL -u DDP_SEED DDP_TRIALS=1 ./build/bench/bench_attack_rate \
+    --out-dir "$tmp/golden" > /dev/null
+./build/examples/ddpsim peers=300 agents=20 minutes=8 seed=7 \
+    trace="$tmp/golden/ddpsim_short.jsonl" \
+    csv="$tmp/golden/ddpsim_short.csv" > /dev/null
+if (cd "$tmp/golden" && sha256sum -c "$repo/tests/golden/sha256sums.txt"); then
+  echo "golden byte-identity: OK"
+else
+  echo "FAIL: golden outputs diverged from tests/golden/sha256sums.txt" >&2
+  exit 1
+fi
 
 if [ "$run_soak" -eq 1 ]; then
   echo "== chaos soak (quarantine + priority shedding + repair, 2 sim hours) =="

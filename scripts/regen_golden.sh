@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Regenerate tests/golden/sha256sums.txt from the current build.
+#
+# Run this ONLY when a change is *supposed* to shift simulation results
+# (new physics, calibration change, output-format change) — and say so in
+# the PR. A pure refactor must keep the existing manifest green in
+# scripts/check.sh without regeneration.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+env -u DDP_FULL -u DDP_SEED ./build/bench/bench_fig5_capacity \
+    --out-dir "$tmp" > /dev/null
+env -u DDP_FULL -u DDP_SEED DDP_TRIALS=1 ./build/bench/bench_fig11_success \
+    --out-dir "$tmp" > /dev/null
+env -u DDP_FULL -u DDP_SEED DDP_TRIALS=1 ./build/bench/bench_attack_rate \
+    --out-dir "$tmp" > /dev/null
+./build/examples/ddpsim peers=300 agents=20 minutes=8 seed=7 \
+    trace="$tmp/ddpsim_short.jsonl" csv="$tmp/ddpsim_short.csv" > /dev/null
+
+mkdir -p tests/golden
+(cd "$tmp" && sha256sum fig5_capacity.csv fig11_success.csv \
+    attack_rate.csv ddpsim_short.csv ddpsim_short.jsonl) \
+    > tests/golden/sha256sums.txt
+echo "wrote tests/golden/sha256sums.txt:"
+cat tests/golden/sha256sums.txt

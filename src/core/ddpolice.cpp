@@ -47,9 +47,30 @@ const fault::ControlCounters& DdPolice::control_stats() const noexcept {
   return fault_ != nullptr ? fault_->control() : kZero;
 }
 
+const DdPolice::Snapshot* DdPolice::find_snapshot(PeerId holder,
+                                                  PeerId about) const noexcept {
+  const std::vector<Snapshot>* held = snapshots_.find(holder);
+  if (held == nullptr) return nullptr;
+  for (const Snapshot& s : *held) {
+    if (s.about == about) return &s;
+  }
+  return nullptr;
+}
+
+DdPolice::Snapshot& DdPolice::snapshot_for(PeerId holder, PeerId about) {
+  std::vector<Snapshot>& held = snapshots_[holder];
+  for (Snapshot& s : held) {
+    if (s.about == about) return s;
+  }
+  ++snapshot_count_;
+  held.emplace_back();
+  held.back().about = about;
+  return held.back();
+}
+
 std::vector<PeerId> DdPolice::snapshot_of(PeerId holder, PeerId about) const {
-  const auto it = snapshots_.find(pair_key(holder, about));
-  return it == snapshots_.end() ? std::vector<PeerId>{} : it->second.members;
+  const Snapshot* s = find_snapshot(holder, about);
+  return s == nullptr ? std::vector<PeerId>{} : s->members;
 }
 
 void DdPolice::on_minute(double minute) {
@@ -75,7 +96,7 @@ void DdPolice::exchange_phase(double minute) {
   for (PeerId p = 0; p < g.node_count(); ++p) {
     if (!g.is_active(p)) continue;
     for (PeerId n : g.neighbors(p)) {
-      if (snapshots_.find(pair_key(n, p)) == snapshots_.end()) {
+      if (find_snapshot(n, p) == nullptr) {
         fresh.push_back(p);
         break;
       }
@@ -104,7 +125,7 @@ void DdPolice::exchange_phase(double minute) {
   // these on the Gnutella keep-alive Pings they exchange anyway.)
   if (config_.ping_period_minutes > 0.0) {
     const double per_minute =
-        static_cast<double>(snapshots_.size()) / config_.ping_period_minutes;
+        static_cast<double>(snapshot_count_) / config_.ping_period_minutes;
     traffic_messages_ += static_cast<std::uint64_t>(per_minute);
     port_.report_overhead(per_minute);
   }
@@ -182,7 +203,7 @@ void DdPolice::advertise_to(PeerId p, PeerId receiver, double minute) {
     ++exchange_messages_;
     port_.report_overhead(1.0);
   }
-  auto& snap = snapshots_[pair_key(receiver, p)];
+  Snapshot& snap = snapshot_for(receiver, p);
   snap.prev_members = std::move(snap.members);
   snap.members = advertised;
   snap.minute = minute;
@@ -243,14 +264,20 @@ void DdPolice::detection_phase(double minute) {
   // Group suspicious neighbours by suspect: if several members of a buddy
   // group raise suspicion in the same minute they share one round (the
   // Neighbor_Traffic suppression window of Sec. 3.3).
-  std::unordered_map<PeerId, std::vector<PeerId>> judges_by_suspect;
+  // Rounds run in first-flag order (judges scan in PeerId order), so the
+  // per-minute round sequence is canonical rather than hash-layout-driven.
+  // Scratch buffers persist across minutes: the per-suspect judge vectors
+  // keep their capacity, so steady-state detection allocates nothing.
+  flagged_.clear();
   for (PeerId i = 0; i < g.node_count(); ++i) {
     if (!g.is_active(i)) continue;
     for (PeerId j : g.neighbors(i)) {
       const double out = port_.sent_last_minute(j, i);
       if (out > config_.warning_threshold) {
         ++suspicions_;
-        judges_by_suspect[j].push_back(i);
+        auto& judges = judges_scratch_[j];
+        if (judges.empty()) flagged_.push_back(j);
+        judges.push_back(i);
         DDP_TRACE(tracer_, obs::EventType::kSuspectFlagged, minute * kMinute,
                   j, i, {{"out", out}});
       }
@@ -262,9 +289,10 @@ void DdPolice::detection_phase(double minute) {
   // the same suppression window). This also makes the outcome independent
   // of round processing order.
   pending_disconnects_.clear();
-  for (auto& [suspect, judges] : judges_by_suspect) {
-    run_round(suspect, judges, minute);
+  for (PeerId suspect : flagged_) {
+    run_round(suspect, judges_scratch_[suspect], minute);
   }
+  for (PeerId suspect : flagged_) judges_scratch_[suspect].clear();
   for (const auto& [judge, suspect] : pending_disconnects_) {
     port_.disconnect(judge, suspect);
   }
@@ -290,10 +318,9 @@ std::vector<PeerId> DdPolice::believed_group(PeerId judge, PeerId suspect) const
   // traffic during the counted minute, so the judge keeps consulting it
   // for one more generation (its monitors remember that minute too).
   std::vector<PeerId> group;
-  const auto it = snapshots_.find(pair_key(judge, suspect));
-  if (it != snapshots_.end()) {
-    group = it->second.members;
-    for (PeerId m : it->second.prev_members) {
+  if (const Snapshot* snap = find_snapshot(judge, suspect)) {
+    group = snap->members;
+    for (PeerId m : snap->prev_members) {
       if (std::find(group.begin(), group.end(), m) == group.end()) {
         group.push_back(m);
       }

@@ -23,9 +23,9 @@
 /// behaviour is injected through ReportPolicy / ListPolicy so the
 /// experiment harness can reproduce Sec. 3.4's case analysis.
 
+#include <cstddef>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -34,6 +34,7 @@
 #include "core/quarantine.hpp"
 #include "fault/plane.hpp"
 #include "obs/trace.hpp"
+#include "topology/edge_index.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -123,14 +124,20 @@ class DdPolice {
   std::vector<PeerId> snapshot_of(PeerId holder, PeerId about) const;
 
  private:
+  /// A neighbour-list snapshot `holder` keeps about `about`. Snapshots
+  /// deliberately outlive the holder-about edge (a cut or churned link
+  /// does not erase what the holder learned), so they are NOT slot-keyed:
+  /// each holder keeps a small dense vector scanned by `about` (buddy
+  /// degree ~6), replacing the global (holder,about)-keyed hash map.
   struct Snapshot {
+    PeerId about = kInvalidPeer;
     std::vector<PeerId> members;
     std::vector<PeerId> prev_members;  ///< previous advertisement generation
     double minute = -1.0;
   };
-  static std::uint64_t pair_key(PeerId holder, PeerId about) noexcept {
-    return (static_cast<std::uint64_t>(holder) << 32) | about;
-  }
+
+  const Snapshot* find_snapshot(PeerId holder, PeerId about) const noexcept;
+  Snapshot& snapshot_for(PeerId holder, PeerId about);
 
   void exchange_phase(double minute);
   std::vector<PeerId> advertised_list(PeerId p) const;
@@ -160,10 +167,16 @@ class DdPolice {
   ListPolicy list_policy_;
   fault::FaultPlane* fault_ = nullptr;
 
-  std::unordered_map<std::uint64_t, Snapshot> snapshots_;
+  topology::PeerMap<std::vector<Snapshot>> snapshots_;  ///< by holder
+  std::size_t snapshot_count_ = 0;  ///< total held snapshots (ping costing)
   std::vector<std::pair<PeerId, PeerId>> pending_disconnects_;
   std::vector<double> next_exchange_minute_;
   std::vector<std::vector<PeerId>> last_advertised_;  ///< event-driven diffing
+  /// Buddy-round scratch, reused across minutes: per-suspect judge lists
+  /// (dense, by suspect) plus the suspects of this minute in first-flag
+  /// order — the canonical round order.
+  topology::PeerMap<std::vector<PeerId>> judges_scratch_;
+  std::vector<PeerId> flagged_;
 
   std::vector<Decision> decisions_;
   std::uint64_t exchange_messages_ = 0;

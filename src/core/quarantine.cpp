@@ -20,13 +20,13 @@ QuarantineLedger::QuarantineLedger(OverlayPort& port,
     : port_(port), config_(config), rng_(rng) {}
 
 Standing QuarantineLedger::standing(PeerId p) const noexcept {
-  const auto it = entries_.find(p);
-  return it == entries_.end() ? Standing::kClear : it->second.state;
+  const Entry* e = entries_.find(p);
+  return e == nullptr ? Standing::kClear : e->state;
 }
 
 int QuarantineLedger::strikes(PeerId p) const noexcept {
-  const auto it = entries_.find(p);
-  return it == entries_.end() ? 0 : it->second.strikes;
+  const Entry* e = entries_.find(p);
+  return e == nullptr ? 0 : e->strikes;
 }
 
 bool QuarantineLedger::blocked(PeerId p) const noexcept {
@@ -103,13 +103,11 @@ void QuarantineLedger::enter_probation(PeerId p, Entry& e, double minute) {
 }
 
 void QuarantineLedger::on_minute(double minute) {
-  // Deterministic sweep order regardless of hash-map layout.
+  // Dense sweep in PeerId order (deterministic by construction).
   std::vector<PeerId> peers;
-  peers.reserve(entries_.size());
-  for (const auto& [p, e] : entries_) {
+  entries_.for_each([&peers](PeerId p, const Entry& e) {
     if (e.state != Standing::kClear) peers.push_back(p);
-  }
-  std::sort(peers.begin(), peers.end());
+  });
 
   const auto& g = port_.graph();
   for (PeerId p : peers) {
@@ -160,7 +158,8 @@ bool QuarantineLedger::consistent(std::string* why) const {
     if (why != nullptr) *why = std::move(msg);
   };
   const auto& g = port_.graph();
-  for (const auto& [p, e] : entries_) {
+  for (PeerId p = 0; p < entries_.extent(); ++p) {
+    const Entry& e = *entries_.find(p);
     const std::string tag = "peer " + std::to_string(p) + " (" +
                             standing_name(e.state) + "): ";
     if (e.strikes < 0 || e.strikes > std::max(config_.max_strikes, 1)) {

@@ -26,12 +26,12 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/overlay_port.hpp"
 #include "obs/trace.hpp"
+#include "topology/edge_index.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -123,7 +123,9 @@ class QuarantineLedger {
   const DdPoliceConfig config_;
   util::Rng rng_;
   obs::Tracer tracer_;
-  std::unordered_map<PeerId, Entry> entries_;
+  /// Dense by PeerId; a default entry (kClear, zero strikes) is
+  /// indistinguishable from an absent one, so the map semantics carry over.
+  topology::PeerMap<Entry> entries_;
   std::vector<ReinstateRecord> reinstated_;
   QuarantineStats stats_;
 };

@@ -18,12 +18,18 @@ NaiveCutDefense::NaiveCutDefense(flow::FlowNetwork& net,
 
 void NaiveCutDefense::on_minute(double minute) {
   const auto& g = net_.graph();
-  // Collect first: disconnecting mutates adjacency.
+  const auto& index = g.edge_index();
+  // Collect first: disconnecting mutates adjacency. The in-link counter
+  // j -> i is the reverse slot of each of i's out-slots — O(1) per link.
   std::vector<std::pair<PeerId, PeerId>> cuts;
   for (PeerId i = 0; i < g.node_count(); ++i) {
     if (!g.is_active(i)) continue;
-    for (PeerId j : g.neighbors(i)) {
-      if (net_.sent_last_minute(j, i) > threshold_) cuts.emplace_back(i, j);
+    const auto nbrs = g.neighbors(i);
+    const auto slots = g.out_slots(i);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      if (net_.sent_last_minute(index.reverse(slots[k])) > threshold_) {
+        cuts.emplace_back(i, nbrs[k]);
+      }
     }
   }
   for (const auto& [i, j] : cuts) {

@@ -456,6 +456,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     const obs::MetricId m_reinstated = reg->gauge("defense.reinstatements");
     const obs::MetricId m_bans = reg->gauge("defense.bans");
     const obs::MetricId m_repaired = reg->gauge("repair.peers_repaired");
+    const obs::MetricId m_edge_slots = reg->gauge("topology.edge_slots");
+    const obs::MetricId m_edge_live = reg->gauge("topology.edge_live");
     const obs::MetricId m_success_hist =
         reg->histogram("flow.success_rate_hist", 0.0, 1.0, 20);
     fault::FaultPlane* plane_raw = plane.get();
@@ -498,6 +500,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       if (healer_obs != nullptr) {
         reg->set(m_repaired, static_cast<double>(healer_obs->peers_repaired()));
       }
+      // Slot-slab occupancy: capacity tracks the high-water mark of live
+      // directed edges (free-list reuse keeps it from growing with churn).
+      const auto& ei = net.graph().edge_index();
+      reg->set(m_edge_slots, static_cast<double>(ei.capacity()));
+      reg->set(m_edge_live, static_cast<double>(ei.live_count()));
       reg->observe(m_success_hist, r.success_rate);
       reg->snapshot_minute(m);
     });

@@ -112,6 +112,22 @@ struct Checker {
       }
     }
 
+    // Invariant 2b: the edge-slot index — every engine's shared per-link
+    // state authority — stays structurally sound under churn and cuts,
+    // and its live slot count tracks the adjacency lists exactly.
+    {
+      std::string why;
+      if (!g.edge_index().consistent(&why)) {
+        fail(minute, "edge index inconsistent: " + why);
+      }
+      if (g.edge_index().live_count() != 2 * g.edge_count()) {
+        std::ostringstream os;
+        os << "edge index live slots " << g.edge_index().live_count()
+           << " != 2 * edge_count " << 2 * g.edge_count();
+        fail(minute, os.str());
+      }
+    }
+
     // Invariant 3: cumulative counters never move backwards.
     if (view.ddpolice != nullptr) {
       mono(minute, "defense.rounds", prev.rounds, view.ddpolice->rounds_run());

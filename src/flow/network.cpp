@@ -14,7 +14,8 @@ FlowNetwork::FlowNetwork(topology::Graph& graph,
                          const FlowConfig& config, util::Rng rng)
     : graph_(graph), bandwidth_(bandwidth), content_(content), config_(config),
       rng_(rng), kinds_(graph.node_count(), PeerKind::kGood),
-      issue_scale_(graph.node_count(), 1.0) {
+      issue_scale_(graph.node_count(), 1.0),
+      edge_state_(graph.edge_index()) {
   ticks_per_minute_ =
       static_cast<std::uint64_t>(std::llround(kMinute / config_.tick_seconds));
   if (ticks_per_minute_ == 0) ticks_per_minute_ = 1;
@@ -81,42 +82,53 @@ void FlowNetwork::recalibrate() {
   last_calibration_minute_ = current_minute();
 }
 
-FlowNetwork::EdgeState& FlowNetwork::edge(PeerId from, PeerId to) {
-  return edges_[edge_key(from, to)];
-}
-
 const FlowNetwork::EdgeState* FlowNetwork::find_edge(PeerId from,
                                                      PeerId to) const noexcept {
-  const auto it = edges_.find(edge_key(from, to));
-  return it == edges_.end() ? nullptr : &it->second;
+  const auto slot = graph_.edge_slot(from, to);
+  return slot == topology::EdgeIndex::kInvalidSlot ? nullptr
+                                                   : edge_state_.find(slot);
 }
 
 double FlowNetwork::sent_last_minute(PeerId from, PeerId to) const noexcept {
   if (const EdgeState* es = find_edge(from, to)) return es->minute_done;
-  // Link gone, but the endpoint monitors still hold the last minute.
-  const auto it = ghost_minute_counts_.find(edge_key(from, to));
-  return it == ghost_minute_counts_.end() ? 0.0 : it->second;
+  // Link gone, but the endpoint monitors still hold the last minute. The
+  // ghost list only ever holds this minute's cuts, so a scan is cheap.
+  for (const GhostCount& g : ghost_minute_counts_) {
+    if (g.from == from && g.to == to) return g.count;
+  }
+  return 0.0;
+}
+
+double FlowNetwork::sent_last_minute(
+    topology::EdgeIndex::Slot slot) const noexcept {
+  const EdgeState* es = edge_state_.find(slot);
+  return es == nullptr ? 0.0 : es->minute_done;
 }
 
 void FlowNetwork::disconnect(PeerId a, PeerId b) {
+  // Capture the completed-minute counters before remove_edge releases the
+  // slot pair (which retires both directions' flow state).
+  const auto slot = graph_.edge_slot(a, b);
+  if (slot != topology::EdgeIndex::kInvalidSlot) {
+    if (const EdgeState* es = edge_state_.find(slot);
+        es != nullptr && es->minute_done > 0.0) {
+      ghost_minute_counts_.push_back({a, b, es->minute_done});
+    }
+    const auto rev = graph_.edge_index().reverse(slot);
+    if (const EdgeState* es = edge_state_.find(rev);
+        es != nullptr && es->minute_done > 0.0) {
+      ghost_minute_counts_.push_back({b, a, es->minute_done});
+    }
+  }
   if (graph_.remove_edge(a, b)) {
     DDP_TRACE(tracer_, obs::EventType::kLinkDisconnected, now_, a, b);
-  }
-  for (const auto key : {edge_key(a, b), edge_key(b, a)}) {
-    const auto it = edges_.find(key);
-    if (it == edges_.end()) continue;
-    if (it->second.minute_done > 0.0) {
-      ghost_minute_counts_[key] = it->second.minute_done;
-    }
-    edges_.erase(it);
   }
 }
 
 void FlowNetwork::on_edge_added(PeerId a, PeerId b) {
-  // Flow state is created lazily on first transmission; nothing to do but
-  // clear any stale state left from a previous incarnation of the link.
-  edges_.erase(edge_key(a, b));
-  edges_.erase(edge_key(b, a));
+  // Flow state is created lazily on first transmission, and any state a
+  // previous incarnation of this link held died with its slot generation —
+  // nothing to clean up.
   DDP_TRACE(tracer_, obs::EventType::kEdgeAdded, now_, a, b);
 }
 
@@ -139,25 +151,33 @@ void FlowNetwork::step() {
   const double cap_tick =
       config_.capacity_per_minute / static_cast<double>(ticks_per_minute_);
   const double service_time = kMinute / config_.capacity_per_minute;
+  const topology::EdgeIndex& index = graph_.edge_index();
+  edge_state_.sync();
 
   // ---- Phase 1: gather arrivals per peer. -------------------------------
   // Each link delivers the link_reliability fraction of its in-flight
   // volume (fault injection; 1.0 is an exact multiplicative identity).
+  // Canonical sweep order — destinations in PeerId order, in-links in
+  // adjacency order — so the floating-point accumulation order is a
+  // property of the topology, not of any container's internal layout.
   const double rel = config_.link_reliability;
   arrivals_.assign(n, {});
-  for (const auto& [key, es] : edges_) {
-    const auto to = static_cast<PeerId>(key & 0xffffffffu);
-    if (to >= n) continue;
+  for (PeerId to = 0; to < n; ++to) {
     auto& a = arrivals_[to];
-    for (std::size_t c = 0; c < kClasses; ++c) {
-      for (std::size_t k = 0; k < ttl; ++k) a[c][k] += es.cur[c][k] * rel;
-    }
-    if (rel < 1.0) {
-      double in_flight = 0.0;
+    for (const std::uint32_t out : graph_.out_slots(to)) {
+      // reverse(to -> from) is the in-link from -> to.
+      const EdgeState* es = edge_state_.find(index.reverse(out));
+      if (es == nullptr) continue;
       for (std::size_t c = 0; c < kClasses; ++c) {
-        for (std::size_t k = 0; k < ttl; ++k) in_flight += es.cur[c][k];
+        for (std::size_t k = 0; k < ttl; ++k) a[c][k] += es->cur[c][k] * rel;
       }
-      acc_transport_lost_ += in_flight * (1.0 - rel);
+      if (rel < 1.0) {
+        double in_flight = 0.0;
+        for (std::size_t c = 0; c < kClasses; ++c) {
+          for (std::size_t k = 0; k < ttl; ++k) in_flight += es->cur[c][k];
+        }
+        acc_transport_lost_ += in_flight * (1.0 - rel);
+      }
     }
   }
 
@@ -199,10 +219,11 @@ void FlowNetwork::step() {
       // Max-min fair allocation of the service budget across in-links
       // (the load-balancing baseline [21]): lightly-loaded links are fully
       // served; heavy links are capped at the waterfill share.
+      const auto vslots = graph_.out_slots(v);
       edge_totals.assign(nbrs.size(), 0.0);
       edge_class_totals.assign(nbrs.size(), {});
       for (std::size_t e = 0; e < nbrs.size(); ++e) {
-        if (const EdgeState* es = find_edge(nbrs[e], v)) {
+        if (const EdgeState* es = edge_state_.find(index.reverse(vslots[e]))) {
           for (std::size_t c = 0; c < kClasses; ++c) {
             for (std::size_t k = 0; k < ttl; ++k) {
               const double vol = es->cur[c][k] * rel;
@@ -230,7 +251,7 @@ void FlowNetwork::step() {
       }
       for (auto& cls : fair_arrivals) cls.fill(0.0);
       for (std::size_t e = 0; e < nbrs.size(); ++e) {
-        const EdgeState* es = find_edge(nbrs[e], v);
+        const EdgeState* es = edge_state_.find(index.reverse(vslots[e]));
         if (es == nullptr || edge_totals[e] <= 0.0) continue;
         const double sc = done[e] ? 1.0 : share / edge_totals[e];
         acc_dropped_ += edge_totals[e] * (1.0 - sc);
@@ -291,7 +312,9 @@ void FlowNetwork::step() {
     if (nbrs.empty()) continue;
 
     out_edges.clear();
-    for (PeerId u : nbrs) out_edges.push_back(&edge(v, u));
+    for (const std::uint32_t out : graph_.out_slots(v)) {
+      out_edges.push_back(&edge_state_.touch(out));
+    }
 
     // Issuance. Good peers flood one copy of each fresh query per link;
     // compromised peers send *distinct* queries per link (Sec. 2.1), at
@@ -360,10 +383,16 @@ void FlowNetwork::step() {
   }
 
   // ---- Phase 3: bandwidth clamp at the sender, count, rotate. ------------
-  for (auto it = edges_.begin(); it != edges_.end(); ++it) {
-    auto& es = it->second;
-    const auto from = static_cast<PeerId>(it->first >> 32);
-    const auto to = static_cast<PeerId>(it->first & 0xffffffffu);
+  // Canonical order again (senders in PeerId order, out-links in adjacency
+  // order) so the global drop/traffic accumulators sum deterministically.
+  for (PeerId from = 0; from < n; ++from) {
+    const auto nbrs = graph_.neighbors(from);
+    const auto slots = graph_.out_slots(from);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+    EdgeState* esp = edge_state_.find(slots[i]);
+    if (esp == nullptr) continue;
+    auto& es = *esp;
+    const PeerId to = nbrs[i];
     double total = 0.0;
     std::array<double, kClasses> cls_tot{};
     for (std::size_t c = 0; c < kClasses; ++c) {
@@ -398,6 +427,7 @@ void FlowNetwork::step() {
     }
     es.cur = es.nxt;
     for (auto& cls : es.nxt) cls.fill(0.0);
+    }
   }
 
   acc_util_ += util_nodes > 0 ? tick_util / static_cast<double>(util_nodes) : 0.0;
@@ -408,13 +438,14 @@ void FlowNetwork::step() {
 }
 
 void FlowNetwork::rotate_minute() {
-  // Complete the per-link minute counters; ghosts of torn-down links only
-  // cover the minute in which they were cut.
+  // Complete the per-link minute counters — one linear sweep over the
+  // slot space; ghosts of torn-down links only cover the minute in which
+  // they were cut.
   ghost_minute_counts_.clear();
-  for (auto& [key, es] : edges_) {
+  edge_state_.for_each([](std::uint32_t, EdgeState& es) {
     es.minute_done = es.minute_acc;
     es.minute_acc = 0.0;
-  }
+  });
 
   MinuteReport r;
   r.minute = to_minutes(now_);
@@ -489,10 +520,14 @@ void FlowNetwork::rotate_minute() {
 
 double FlowNetwork::total_in_flight() const noexcept {
   double total = 0.0;
-  for (const auto& [key, es] : edges_) {
-    (void)key;
-    for (const auto& cls : es.cur) {
-      for (double v : cls) total += v;
+  const std::size_t n = graph_.node_count();
+  for (PeerId from = 0; from < n; ++from) {
+    for (PeerId to : graph_.neighbors(from)) {
+      const EdgeState* es = find_edge(from, to);
+      if (es == nullptr) continue;
+      for (const auto& cls : es->cur) {
+        for (double v : cls) total += v;
+      }
     }
   }
   return total;

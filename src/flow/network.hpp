@@ -35,13 +35,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "flow/config.hpp"
 #include "obs/trace.hpp"
 #include "topology/bandwidth.hpp"
 #include "topology/coverage.hpp"
+#include "topology/edge_index.hpp"
 #include "topology/graph.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
@@ -103,6 +103,12 @@ class FlowNetwork {
   /// counter a DD-POLICE monitor reports in a Neighbor_Traffic message.
   double sent_last_minute(PeerId from, PeerId to) const noexcept;
 
+  /// Same counter keyed by directed edge slot — O(1), for defense sweeps
+  /// that already walk `graph().out_slots()`. Live slots only (a dead or
+  /// recycled slot reads 0; the PeerId overload also consults the ghost
+  /// counters of links cut earlier this minute).
+  double sent_last_minute(topology::EdgeIndex::Slot slot) const noexcept;
+
   /// Tear down a logical link (defense action or churn). In-flight flow on
   /// the link is discarded; monitors reset.
   void disconnect(PeerId a, PeerId b);
@@ -156,10 +162,6 @@ class FlowNetwork {
     double minute_done = 0.0;  ///< volume sent in the last completed minute
   };
 
-  static std::uint64_t edge_key(PeerId from, PeerId to) noexcept {
-    return (static_cast<std::uint64_t>(from) << 32) | to;
-  }
-  EdgeState& edge(PeerId from, PeerId to);
   const EdgeState* find_edge(PeerId from, PeerId to) const noexcept;
 
   void rotate_minute();
@@ -174,7 +176,11 @@ class FlowNetwork {
 
   std::vector<PeerKind> kinds_;
   std::vector<double> issue_scale_;
-  std::unordered_map<std::uint64_t, EdgeState> edges_;
+  /// Per-directed-link flow state, slot-indexed via the graph's EdgeIndex.
+  /// Entries are created lazily (first transmission touches the slot) and
+  /// retire automatically when the slot's generation moves on — edge
+  /// teardown needs no flow-side erase.
+  topology::EdgeMap<EdgeState> edge_state_;
 
   topology::CoverageProfile profile_;  ///< exact reach ratios (per-hop)
   /// Per-hop forwarding damping, calibrated closed-loop: a unit impulse
@@ -186,8 +192,15 @@ class FlowNetwork {
 
   /// Monitors remember the last completed minute even after a link is torn
   /// down (a peer's Out_query/In_query windows do not vanish when a TCP
-  /// connection closes). Keyed like edges_, cleared at each minute rotation.
-  std::unordered_map<std::uint64_t, double> ghost_minute_counts_;
+  /// connection closes). Captured at disconnect time — before the slot is
+  /// released — and cleared at each minute rotation; the population is only
+  /// ever the links cut in the current minute, so lookups scan linearly.
+  struct GhostCount {
+    PeerId from = kInvalidPeer;
+    PeerId to = kInvalidPeer;
+    double count = 0.0;
+  };
+  std::vector<GhostCount> ghost_minute_counts_;
 
   SimTime now_ = 0.0;
   std::uint64_t tick_count_ = 0;

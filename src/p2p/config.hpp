@@ -40,6 +40,13 @@ struct P2pConfig {
 
   /// Seen-GUID table pruning horizon, seconds (memory bound).
   double seen_horizon = 600.0;
+
+  /// Query-outcome retention horizon, seconds. A hit can only route back
+  /// while the per-peer seen tables still hold its GUID, so an outcome
+  /// older than the seen horizon can never change; records past this
+  /// horizon are pruned (aggregate totals stay exact, and outcomes()
+  /// keeps only the still-mutable tail). Non-positive keeps every record.
+  double outcome_horizon = 900.0;
 };
 
 }  // namespace ddp::p2p

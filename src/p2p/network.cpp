@@ -7,19 +7,23 @@
 namespace ddp::p2p {
 
 double LinkMonitors::out_per_minute(PeerId from, PeerId to, SimTime now) {
-  const auto it = windows_.find(key(from, to));
-  if (it == windows_.end()) return 0.0;
-  return it->second.per_minute(now);
+  const auto slot = graph_->edge_slot(from, to);
+  if (slot == topology::EdgeIndex::kInvalidSlot) return 0.0;
+  util::RateWindow* w = windows_.find(slot);
+  return w == nullptr ? 0.0 : w->per_minute(now);
 }
 
 void LinkMonitors::record(PeerId from, PeerId to, SimTime now) {
-  auto [it, inserted] = windows_.try_emplace(key(from, to), kMinute, 60);
-  it->second.add(now, 1.0);
+  const auto slot = graph_->edge_slot(from, to);
+  if (slot == topology::EdgeIndex::kInvalidSlot) return;
+  windows_.touch(slot).add(now, 1.0);
 }
 
 void LinkMonitors::forget(PeerId a, PeerId b) {
-  windows_.erase(key(a, b));
-  windows_.erase(key(b, a));
+  const auto slot = graph_->edge_slot(a, b);
+  if (slot == topology::EdgeIndex::kInvalidSlot) return;
+  windows_.erase(slot);
+  windows_.erase(graph_->edge_index().reverse(slot));
 }
 
 PacketNetwork::PacketNetwork(topology::Graph& graph,
@@ -28,7 +32,7 @@ PacketNetwork::PacketNetwork(topology::Graph& graph,
                              util::Rng rng)
     : graph_(graph), content_(content), engine_(engine), config_(config),
       rng_(rng), peers_(graph.node_count()),
-      kinds_(graph.node_count(), PeerKind::kGood) {
+      kinds_(graph.node_count(), PeerKind::kGood), monitors_(graph) {
   for (auto& ps : peers_) ps.capacity_per_minute = config_.capacity_per_minute;
 }
 
@@ -51,13 +55,15 @@ QueryId PacketNetwork::issue_query(PeerId origin, workload::ObjectId object) {
   d.origin = origin;
   d.object = object;
 
+  prune_outcomes(engine_.now());
   const QueryId id = next_query_++;
   QueryOutcome out;
   out.id = id;
+  out.guid = d.guid;
   out.origin = origin;
   out.issued_at = engine_.now();
   out.attack = kinds_[origin] == PeerKind::kBad;
-  outcome_index_.emplace(d.guid, outcomes_.size());
+  outcome_index_.emplace(d.guid, outcome_base_ + outcomes_.size());
   outcomes_.push_back(out);
 
   ++totals_.queries_issued;
@@ -87,12 +93,15 @@ QueryId PacketNetwork::issue_random_query(PeerId origin) {
 }
 
 void PacketNetwork::disconnect(PeerId a, PeerId b) {
-  if (graph_.remove_edge(a, b)) monitors_.forget(a, b);
+  // remove_edge releases the slot pair, which retires both directions'
+  // rate windows — no monitor-side cleanup to forget.
+  graph_.remove_edge(a, b);
 }
 
 bool PacketNetwork::connect(PeerId a, PeerId b) {
+  // A fresh edge acquires a fresh slot generation, so the monitors start
+  // with no history (a new TCP connection has none).
   if (!graph_.add_edge(a, b)) return false;
-  monitors_.forget(a, b);
   DDP_TRACE(tracer_, obs::EventType::kEdgeAdded, engine_.now(), a, b);
   return true;
 }
@@ -219,7 +228,7 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
       // We are the origin.
       const auto oi = outcome_index_.find(d.guid);
       if (oi != outcome_index_.end()) {
-        auto& out = outcomes_[oi->second];
+        auto& out = outcomes_[oi->second - outcome_base_];
         ++totals_.hits_delivered;
         if (!out.responded) {
           out.responded = true;
@@ -275,6 +284,21 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
     if (n == from) continue;
     transmit(at, n, fwd);
   }
+}
+
+void PacketNetwork::prune_outcomes(SimTime now) {
+  if (config_.outcome_horizon <= 0.0) return;
+  const SimTime cutoff = now - config_.outcome_horizon;
+  std::size_t n = 0;
+  while (n < outcomes_.size() && outcomes_[n].issued_at < cutoff) ++n;
+  // Amortize the front erase: compact only once the settled prefix is at
+  // least half the buffer, so long runs stay O(1) per issued query and
+  // memory is bounded by ~2x the queries of one horizon window.
+  if (n == 0 || n * 2 < outcomes_.size()) return;
+  for (std::size_t i = 0; i < n; ++i) outcome_index_.erase(outcomes_[i].guid);
+  outcomes_.erase(outcomes_.begin(),
+                  outcomes_.begin() + static_cast<std::ptrdiff_t>(n));
+  outcome_base_ += n;
 }
 
 void PacketNetwork::prune_seen(PeerState& ps, SimTime now) {

@@ -50,6 +50,7 @@ struct Descriptor {
 /// metrics; Sec. 3.6 definitions).
 struct QueryOutcome {
   QueryId id = 0;
+  net::Guid guid{};  ///< wire GUID (keys the index; needed to unindex)
   PeerId origin = kInvalidPeer;
   SimTime issued_at = 0.0;
   bool responded = false;
@@ -75,17 +76,24 @@ struct NetworkTotals {
 };
 
 /// Per-directed-link per-minute counters — what DD-POLICE's monitors read.
+/// Windows live in an EdgeMap keyed by the graph's directed-edge slots, so
+/// tearing a link down (graph remove_edge -> slot release) retires both
+/// directions' windows automatically and a re-established connection
+/// always starts with fresh history.
 class LinkMonitors {
  public:
+  explicit LinkMonitors(const topology::Graph& graph)
+      : graph_(&graph), windows_(graph.edge_index()) {}
+
   double out_per_minute(PeerId from, PeerId to, SimTime now);
   void record(PeerId from, PeerId to, SimTime now);
+  /// Explicitly reset both directions of a live link (slot release already
+  /// covers teardown; this is for resets that keep the edge up).
   void forget(PeerId a, PeerId b);
 
  private:
-  static std::uint64_t key(PeerId from, PeerId to) noexcept {
-    return (static_cast<std::uint64_t>(from) << 32) | to;
-  }
-  std::unordered_map<std::uint64_t, util::RateWindow> windows_;
+  const topology::Graph* graph_;
+  topology::EdgeMap<util::RateWindow> windows_;
 };
 
 /// The packet-level network. Owns peer state; borrows the graph, content
@@ -129,7 +137,15 @@ class PacketNetwork {
   /// Account defense-protocol messages (the packet engine does not
   /// simulate them individually; they are tallied into the totals).
   void add_overhead_messages(double count) { totals_.overhead_messages += count; }
+
+  /// Outcome records still inside the retention horizon (older records are
+  /// settled — no hit can still route back once the seen tables forgot the
+  /// GUID — and get pruned so memory does not grow with issued queries;
+  /// the aggregate `totals()` are exact over the whole run regardless).
   const std::vector<QueryOutcome>& outcomes() const noexcept { return outcomes_; }
+
+  /// Settled outcome records dropped so far (memory-bound accounting).
+  std::uint64_t outcomes_pruned() const noexcept { return outcome_base_; }
   LinkMonitors& monitors() noexcept { return monitors_; }
   sim::Engine& engine() noexcept { return engine_; }
   const topology::Graph& graph() const noexcept { return graph_; }
@@ -184,6 +200,7 @@ class PacketNetwork {
   void service_next(PeerId at);
   void process(PeerId at, PeerId from, const Descriptor& d);
   void prune_seen(PeerState& ps, SimTime now);
+  void prune_outcomes(SimTime now);
   double service_time(const PeerState& ps) const noexcept;
   void note_guid_entries(std::size_t before, std::size_t after);
 
@@ -202,7 +219,10 @@ class PacketNetwork {
   LinkMonitors monitors_;
   NetworkTotals totals_;
   std::vector<QueryOutcome> outcomes_;
+  /// guid -> *absolute* outcome index (subtract outcome_base_ to address
+  /// outcomes_; pruned records are unindexed before they are dropped).
   std::unordered_map<net::Guid, std::size_t, net::GuidHash> outcome_index_;
+  std::size_t outcome_base_ = 0;  ///< absolute index of outcomes_[0]
   QueryId next_query_ = 1;
 };
 

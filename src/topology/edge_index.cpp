@@ -1,0 +1,94 @@
+#include "topology/edge_index.hpp"
+
+#include <algorithm>
+
+namespace ddp::topology {
+
+EdgeIndex::Slot EdgeIndex::acquire_one(PeerId u, PeerId v) {
+  Slot s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = static_cast<Slot>(slots_.size());
+    slots_.emplace_back();
+  }
+  SlotInfo& info = slots_[s];
+  info.from = u;
+  info.to = v;
+  ++live_;
+  return s;
+}
+
+std::pair<EdgeIndex::Slot, EdgeIndex::Slot> EdgeIndex::acquire_pair(PeerId u,
+                                                                   PeerId v) {
+  const Slot uv = acquire_one(u, v);
+  const Slot vu = acquire_one(v, u);
+  slots_[uv].rev = vu;
+  slots_[vu].rev = uv;
+  return {uv, vu};
+}
+
+void EdgeIndex::release(Slot slot) {
+  const Slot rev = slots_[slot].rev;
+  for (const Slot s : {slot, rev}) {
+    SlotInfo& info = slots_[s];
+    info.from = kInvalidPeer;
+    info.to = kInvalidPeer;
+    info.rev = kInvalidSlot;
+    // Generation bump is what retires every EdgeMap entry keyed to this
+    // incarnation; skip the never-written sentinel on wraparound.
+    if (++info.gen == kNeverGeneration) info.gen = 0;
+    --live_;
+  }
+  // LIFO reuse keeps the hot end of the slot space cache-resident and the
+  // recycling order deterministic.
+  free_.push_back(rev);
+  free_.push_back(slot);
+}
+
+bool EdgeIndex::consistent(std::string* why) const {
+  const auto fail = [why](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+  std::size_t live = 0;
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    const SlotInfo& info = slots_[s];
+    if (info.from == kInvalidPeer) continue;
+    ++live;
+    if (info.to == kInvalidPeer || info.from == info.to) {
+      return fail("slot " + std::to_string(s) + " has invalid endpoints");
+    }
+    if (info.rev >= slots_.size()) {
+      return fail("slot " + std::to_string(s) + " has out-of-range reverse");
+    }
+    const SlotInfo& rev = slots_[info.rev];
+    if (rev.rev != s || rev.from != info.to || rev.to != info.from) {
+      return fail("slot " + std::to_string(s) + " reverse is not mutual");
+    }
+  }
+  if (live != live_) {
+    return fail("live count " + std::to_string(live_) + " != scanned " +
+                std::to_string(live));
+  }
+  if (live + free_.size() != slots_.size()) {
+    return fail("free list size " + std::to_string(free_.size()) +
+                " does not complement live set");
+  }
+  std::vector<Slot> free_sorted = free_;
+  std::sort(free_sorted.begin(), free_sorted.end());
+  for (std::size_t i = 0; i < free_sorted.size(); ++i) {
+    const Slot s = free_sorted[i];
+    if (s >= slots_.size() || slots_[s].from != kInvalidPeer) {
+      return fail("free list holds live or out-of-range slot " +
+                  std::to_string(s));
+    }
+    if (i > 0 && free_sorted[i - 1] == s) {
+      return fail("free list holds slot " + std::to_string(s) + " twice");
+    }
+  }
+  return true;
+}
+
+}  // namespace ddp::topology

@@ -6,10 +6,12 @@
 namespace ddp::topology {
 
 Graph::Graph(std::size_t node_count)
-    : adj_(node_count), active_(node_count, 1), active_count_(node_count) {}
+    : adj_(node_count), out_slots_(node_count), active_(node_count, 1),
+      active_count_(node_count) {}
 
 PeerId Graph::add_node() {
   adj_.emplace_back();
+  out_slots_.emplace_back();
   active_.push_back(1);
   ++active_count_;
   return static_cast<PeerId>(adj_.size() - 1);
@@ -33,8 +35,11 @@ bool Graph::add_edge(PeerId u, PeerId v) {
   // nothing may re-attach to an inactive peer.
   if (!active_[u] || !active_[v]) return false;
   if (has_edge(u, v)) return false;
+  const auto [suv, svu] = index_.acquire_pair(u, v);
   adj_[u].push_back(v);
+  out_slots_[u].push_back(suv);
   adj_[v].push_back(u);
+  out_slots_[v].push_back(svu);
   ++edge_count_;
   return true;
 }
@@ -44,15 +49,42 @@ bool Graph::remove_edge(PeerId u, PeerId v) {
   auto& au = adj_[u];
   const auto iu = std::find(au.begin(), au.end(), v);
   if (iu == au.end()) return false;
+  const auto pu = static_cast<std::size_t>(iu - au.begin());
+  // Releasing one direction releases both (and retires any EdgeMap state
+  // either direction carried).
+  index_.release(out_slots_[u][pu]);
   // Swap-erase: neighbour order carries no meaning.
   *iu = au.back();
   au.pop_back();
+  out_slots_[u][pu] = out_slots_[u].back();
+  out_slots_[u].pop_back();
   auto& av = adj_[v];
   const auto iv = std::find(av.begin(), av.end(), u);
+  const auto pv = static_cast<std::size_t>(iv - av.begin());
   *iv = av.back();
   av.pop_back();
+  out_slots_[v][pv] = out_slots_[v].back();
+  out_slots_[v].pop_back();
   --edge_count_;
   return true;
+}
+
+std::uint32_t Graph::edge_slot(PeerId u, PeerId v) const noexcept {
+  if (u >= adj_.size() || v >= adj_.size()) return EdgeIndex::kInvalidSlot;
+  // Scan the smaller adjacency; reverse() recovers the asked direction
+  // when the hit lands on v's side.
+  if (adj_[u].size() <= adj_[v].size()) {
+    const auto& au = adj_[u];
+    for (std::size_t i = 0; i < au.size(); ++i) {
+      if (au[i] == v) return out_slots_[u][i];
+    }
+    return EdgeIndex::kInvalidSlot;
+  }
+  const auto& av = adj_[v];
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    if (av[i] == u) return index_.reverse(out_slots_[v][i]);
+  }
+  return EdgeIndex::kInvalidSlot;
 }
 
 bool Graph::has_edge(PeerId u, PeerId v) const noexcept {

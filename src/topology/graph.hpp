@@ -9,9 +9,11 @@
 /// neighbour spans, connectivity).
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "topology/edge_index.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -45,6 +47,21 @@ class Graph {
     return {adj_[u].data(), adj_[u].size()};
   }
 
+  /// The dense directed-edge slot index. Every add_edge acquires a slot
+  /// pair, every remove_edge releases it — all edge teardown funnels
+  /// through here, so the engines' EdgeMaps never leak a direction.
+  const EdgeIndex& edge_index() const noexcept { return index_; }
+
+  /// Directed slots parallel to neighbors(u): out_slots(u)[i] is the slot
+  /// of the edge u -> neighbors(u)[i].
+  std::span<const std::uint32_t> out_slots(PeerId u) const noexcept {
+    return {out_slots_[u].data(), out_slots_[u].size()};
+  }
+
+  /// Slot of the directed edge u -> v, or EdgeIndex::kInvalidSlot if the
+  /// edge does not exist. Linear in min-degree, like has_edge.
+  std::uint32_t edge_slot(PeerId u, PeerId v) const noexcept;
+
   /// Remove all edges of u (keeps it active).
   void isolate(PeerId u);
 
@@ -71,6 +88,9 @@ class Graph {
 
  private:
   std::vector<std::vector<PeerId>> adj_;
+  /// Parallel to adj_: out_slots_[u][i] is the slot of u -> adj_[u][i].
+  std::vector<std::vector<std::uint32_t>> out_slots_;
+  EdgeIndex index_;
   std::vector<char> active_;
   std::size_t edge_count_ = 0;
   std::size_t active_count_ = 0;

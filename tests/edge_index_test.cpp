@@ -1,0 +1,355 @@
+// EdgeIndex / EdgeMap / PeerMap tests: slot reuse and generation
+// invalidation under randomized churn, iteration-order determinism, the
+// teardown-symmetry regression (every layer's disconnect path must release
+// the slot), and cross-engine agreement on the live directed edge set.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+#include "flow/network.hpp"
+#include "p2p/network.hpp"
+#include "topology/edge_index.hpp"
+#include "topology/generators.hpp"
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ddp::topology {
+namespace {
+
+using DirectedEdge = std::pair<PeerId, PeerId>;
+
+/// Live directed edge set as the index sees it.
+std::set<DirectedEdge> live_set_from_index(const EdgeIndex& ei) {
+  std::set<DirectedEdge> out;
+  for (EdgeIndex::Slot s = 0; s < ei.capacity(); ++s) {
+    if (ei.live(s)) out.insert({ei.from(s), ei.to(s)});
+  }
+  return out;
+}
+
+/// Live directed edge set as the adjacency lists see it.
+std::set<DirectedEdge> live_set_from_adjacency(const Graph& g) {
+  std::set<DirectedEdge> out;
+  for (PeerId p = 0; p < g.node_count(); ++p) {
+    for (PeerId n : g.neighbors(p)) out.insert({p, n});
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ EdgeIndex
+
+TEST(EdgeIndex, AcquireReleaseBasics) {
+  EdgeIndex ei;
+  const auto [uv, vu] = ei.acquire_pair(3, 7);
+  EXPECT_EQ(ei.live_count(), 2u);
+  EXPECT_TRUE(ei.live(uv));
+  EXPECT_TRUE(ei.live(vu));
+  EXPECT_EQ(ei.from(uv), 3u);
+  EXPECT_EQ(ei.to(uv), 7u);
+  EXPECT_EQ(ei.from(vu), 7u);
+  EXPECT_EQ(ei.to(vu), 3u);
+  EXPECT_EQ(ei.reverse(uv), vu);
+  EXPECT_EQ(ei.reverse(vu), uv);
+  std::string why;
+  EXPECT_TRUE(ei.consistent(&why)) << why;
+
+  // Releasing either direction kills both.
+  const std::uint32_t gen_uv = ei.generation(uv);
+  ei.release(uv);
+  EXPECT_EQ(ei.live_count(), 0u);
+  EXPECT_FALSE(ei.live(uv));
+  EXPECT_FALSE(ei.live(vu));
+  EXPECT_NE(ei.generation(uv), gen_uv);
+  EXPECT_TRUE(ei.consistent(&why)) << why;
+}
+
+TEST(EdgeIndex, SlotReuseBoundsCapacityUnderRandomizedChurn) {
+  // Random add/remove churn: capacity must track the *high-water mark* of
+  // concurrently live edges, not the total number of edges ever created.
+  util::Rng rng(42);
+  Graph g(30);
+  std::vector<std::pair<PeerId, PeerId>> edges;
+  std::size_t high_water = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const bool add = edges.empty() || (rng.uniform() < 0.55);
+    if (add) {
+      const PeerId a = static_cast<PeerId>(rng.below(30));
+      const PeerId b = static_cast<PeerId>(rng.below(30));
+      if (a == b || g.has_edge(a, b)) continue;
+      ASSERT_TRUE(g.add_edge(a, b));
+      edges.push_back({a, b});
+    } else {
+      const std::size_t i = rng.below(static_cast<std::uint32_t>(edges.size()));
+      ASSERT_TRUE(g.remove_edge(edges[i].first, edges[i].second));
+      edges[i] = edges.back();
+      edges.pop_back();
+    }
+    high_water = std::max(high_water, 2 * edges.size());
+  }
+  const EdgeIndex& ei = g.edge_index();
+  EXPECT_EQ(ei.live_count(), 2 * edges.size());
+  EXPECT_LE(ei.capacity(), high_water);  // free-list reuse, no growth leak
+  std::string why;
+  ASSERT_TRUE(ei.consistent(&why)) << why;
+  EXPECT_EQ(live_set_from_index(ei), live_set_from_adjacency(g));
+}
+
+TEST(EdgeIndex, GenerationInvalidatesStaleEdgeMapEntries) {
+  Graph g(4);
+  ASSERT_TRUE(g.add_edge(0, 1));
+  const EdgeIndex::Slot s01 = g.edge_slot(0, 1);
+  ASSERT_NE(s01, EdgeIndex::kInvalidSlot);
+
+  EdgeMap<int> m(g.edge_index());
+  m.touch(s01) = 41;
+  ASSERT_NE(m.find(s01), nullptr);
+  EXPECT_EQ(*m.find(s01), 41);
+
+  // Tear the edge down: the entry must read as absent without any erase.
+  ASSERT_TRUE(g.remove_edge(0, 1));
+  EXPECT_EQ(m.find(s01), nullptr);
+
+  // Re-adding an edge recycles the slot (LIFO free list) with a bumped
+  // generation: the stale value is unreadable, touch() resets it.
+  ASSERT_TRUE(g.add_edge(2, 3));
+  const EdgeIndex::Slot s23 = g.edge_slot(2, 3);
+  const EdgeIndex::Slot s32 = g.edge_slot(3, 2);
+  EXPECT_TRUE(s23 == s01 || s32 == s01);  // slot recycled
+  EXPECT_EQ(m.find(s01), nullptr);        // but the old entry is dead
+  EXPECT_EQ(m.touch(s01), 0);             // reset on first touch
+}
+
+// -------------------------------------------------------------- EdgeMap
+
+TEST(EdgeMap, IterationIsSlotOrderedAndDeterministic) {
+  // Two graphs built by the same add/remove history must present the same
+  // slots in the same order (slot assignment is a pure function of the
+  // history, never of hash layout or allocation addresses).
+  const auto build = [](Graph& g, EdgeMap<int>& m) {
+    ASSERT_TRUE(g.add_edge(0, 1));
+    ASSERT_TRUE(g.add_edge(1, 2));
+    ASSERT_TRUE(g.add_edge(2, 3));
+    ASSERT_TRUE(g.remove_edge(1, 2));  // frees slots into the LIFO list
+    ASSERT_TRUE(g.add_edge(3, 4));     // recycles them
+    ASSERT_TRUE(g.add_edge(4, 0));     // extends the slab
+    for (PeerId p = 0; p < g.node_count(); ++p) {
+      for (const std::uint32_t s : g.out_slots(p)) m.touch(s) = static_cast<int>(p);
+    }
+  };
+  Graph g1(5), g2(5);
+  EdgeMap<int> m1(g1.edge_index()), m2(g2.edge_index());
+  build(g1, m1);
+  build(g2, m2);
+
+  std::vector<std::uint32_t> order1, order2;
+  m1.for_each([&](std::uint32_t s, int&) { order1.push_back(s); });
+  m2.for_each([&](std::uint32_t s, int&) { order2.push_back(s); });
+  EXPECT_EQ(order1, order2);
+  EXPECT_TRUE(std::is_sorted(order1.begin(), order1.end()));  // slot order
+  EXPECT_EQ(order1.size(), g1.edge_index().live_count());
+
+  // The visited (from, to) pairs agree too, pairwise in order.
+  for (std::size_t i = 0; i < order1.size(); ++i) {
+    EXPECT_EQ(g1.edge_index().from(order1[i]), g2.edge_index().from(order2[i]));
+    EXPECT_EQ(g1.edge_index().to(order1[i]), g2.edge_index().to(order2[i]));
+  }
+}
+
+TEST(EdgeMap, TouchFindEraseSemantics) {
+  Graph g(3);
+  ASSERT_TRUE(g.add_edge(0, 1));
+  const EdgeIndex::Slot s = g.edge_slot(0, 1);
+  EdgeMap<int> m(g.edge_index());
+
+  EXPECT_EQ(m.find(s), nullptr);  // never touched
+  m.touch(s) = 7;
+  ASSERT_NE(m.find(s), nullptr);
+  m.erase(s);
+  EXPECT_EQ(m.find(s), nullptr);  // erased while the edge is still live
+  EXPECT_EQ(m.touch(s), 0);       // and touch() recreates fresh
+  EXPECT_EQ(m.find(EdgeIndex::kInvalidSlot), nullptr);  // invalid is safe
+}
+
+// -------------------------------------------------------------- PeerMap
+
+TEST(PeerMap, DefaultAbsentGrowsOnDemandIteratesInIdOrder) {
+  PeerMap<int> m;
+  EXPECT_EQ(m.extent(), 0u);
+  EXPECT_EQ(m.find(5), nullptr);
+  m[5] = 50;
+  m[2] = 20;
+  EXPECT_EQ(m.extent(), 6u);
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 50);
+  EXPECT_EQ(*m.find(3), 0);  // inside extent, default-valued
+
+  std::vector<PeerId> order;
+  m.for_each([&](PeerId p, int&) { order.push_back(p); });
+  EXPECT_EQ(order, (std::vector<PeerId>{0, 1, 2, 3, 4, 5}));
+}
+
+// -------------------------------------- teardown symmetry (regression)
+
+TEST(TeardownSymmetry, PacketEngineChurnReleasesSlotsBothDirections) {
+  // Alternating add/remove churn through the packet engine's
+  // connect/disconnect: every teardown must release both directed slots
+  // (the pre-index code risked forgetting one direction's monitor).
+  util::Rng topo_rng(9);
+  Graph graph = paper_topology(60, topo_rng);
+  workload::ContentConfig cc;
+  cc.objects = 16;
+  workload::ContentModel content(cc, graph.node_count());
+  sim::Engine engine;
+  p2p::P2pConfig cfg;
+  p2p::PacketNetwork net(graph, content, engine, cfg, util::Rng(17));
+
+  const std::size_t cap_before_churn = graph.edge_index().capacity();
+  util::Rng rng(23);
+  double t = 1.0;
+  for (int round = 0; round < 200; ++round) {
+    const PeerId a = static_cast<PeerId>(rng.below(60));
+    const PeerId b = static_cast<PeerId>(rng.below(60));
+    if (a == b) continue;
+    if (graph.has_edge(a, b)) {
+      net.disconnect(a, b);
+    } else {
+      net.connect(a, b);
+    }
+    // Interleave traffic so monitors write state on the churned links.
+    net.issue_random_query(static_cast<PeerId>(rng.below(60)));
+    engine.run_until(t);
+    t += 1.0;
+    ASSERT_EQ(graph.edge_index().live_count(), 2 * graph.edge_count());
+  }
+  std::string why;
+  ASSERT_TRUE(graph.edge_index().consistent(&why)) << why;
+  EXPECT_EQ(live_set_from_index(graph.edge_index()),
+            live_set_from_adjacency(graph));
+  // Alternating churn reuses freed slots: the slab grows by at most the
+  // net edge-count increase, never by the churn volume.
+  const std::size_t net_growth =
+      2 * graph.edge_count() > cap_before_churn
+          ? 2 * graph.edge_count() - cap_before_churn
+          : 0;
+  EXPECT_LE(graph.edge_index().capacity(), cap_before_churn + net_growth + 2);
+}
+
+TEST(TeardownSymmetry, FlowEngineDisconnectReleasesSlots) {
+  util::Rng topo_rng(4);
+  Graph graph = paper_topology(50, topo_rng);
+  util::Rng rng(5);
+  util::Rng bw_rng = rng.fork("bw");
+  topology::BandwidthMap bw(graph.node_count(), bw_rng);
+  workload::ContentConfig cc;
+  cc.objects = 100;
+  workload::ContentModel content(cc, graph.node_count());
+  flow::FlowConfig fcfg;
+  flow::FlowNetwork net(graph, bw, content, fcfg, rng.fork("flow"));
+
+  net.run_minutes(1.0);  // populate per-link flow state
+  std::vector<DirectedEdge> cut;
+  for (const DirectedEdge& e : live_set_from_adjacency(graph)) {
+    if (e.first < e.second && cut.size() < 20) cut.push_back(e);
+  }
+  for (const DirectedEdge& e : cut) {
+    net.disconnect(e.first, e.second);
+    ASSERT_EQ(graph.edge_slot(e.first, e.second), EdgeIndex::kInvalidSlot);
+  }
+  ASSERT_EQ(graph.edge_index().live_count(), 2 * graph.edge_count());
+  net.run_minutes(1.0);  // engine keeps running over the churned index
+  std::string why;
+  EXPECT_TRUE(graph.edge_index().consistent(&why)) << why;
+  EXPECT_EQ(live_set_from_index(graph.edge_index()),
+            live_set_from_adjacency(graph));
+}
+
+// --------------------------------------------------- cross-engine check
+
+TEST(CrossEngine, LiveEdgeSetAgreementEveryMinute) {
+  // The flow engine, the packet engine, and a plain reference graph apply
+  // the same edge add/remove history; after every simulated minute all
+  // three must agree on the live directed edge set — no engine's teardown
+  // path may leak or drop a direction.
+  const std::size_t n = 40;
+  const auto make_graph = [&] {
+    util::Rng r(77);
+    return paper_topology(n, r);
+  };
+  Graph g_ref = make_graph();
+  Graph g_flow = make_graph();
+  Graph g_p2p = make_graph();
+  ASSERT_EQ(live_set_from_adjacency(g_ref), live_set_from_adjacency(g_flow));
+
+  util::Rng rng(31);
+  util::Rng bw_rng = rng.fork("bw");
+  topology::BandwidthMap bw(n, bw_rng);
+  workload::ContentConfig cc;
+  cc.objects = 50;
+  workload::ContentModel content(cc, n);
+  flow::FlowConfig fcfg;
+  flow::FlowNetwork flow_net(g_flow, bw, content, fcfg, rng.fork("flow"));
+  sim::Engine engine;
+  p2p::P2pConfig pcfg;
+  p2p::PacketNetwork p2p_net(g_p2p, content, engine, pcfg, rng.fork("p2p"));
+
+  util::Rng churn(13);
+  for (int minute = 1; minute <= 8; ++minute) {
+    for (int op = 0; op < 6; ++op) {
+      const PeerId a = static_cast<PeerId>(churn.below(static_cast<std::uint32_t>(n)));
+      const PeerId b = static_cast<PeerId>(churn.below(static_cast<std::uint32_t>(n)));
+      if (a == b) continue;
+      if (g_ref.has_edge(a, b)) {
+        ASSERT_TRUE(g_ref.remove_edge(a, b));
+        flow_net.disconnect(a, b);
+        p2p_net.disconnect(a, b);
+      } else {
+        ASSERT_TRUE(g_ref.add_edge(a, b));
+        ASSERT_TRUE(g_flow.add_edge(a, b));
+        flow_net.on_edge_added(a, b);
+        ASSERT_TRUE(p2p_net.connect(a, b));
+      }
+    }
+    flow_net.run_minutes(1.0);
+    p2p_net.issue_random_query(static_cast<PeerId>(churn.below(static_cast<std::uint32_t>(n))));
+    engine.run_until(minute * 60.0);
+
+    const auto ref = live_set_from_adjacency(g_ref);
+    ASSERT_EQ(live_set_from_index(g_flow.edge_index()), ref)
+        << "flow live-edge set diverged at minute " << minute;
+    ASSERT_EQ(live_set_from_index(g_p2p.edge_index()), ref)
+        << "p2p live-edge set diverged at minute " << minute;
+    std::string why;
+    ASSERT_TRUE(g_flow.edge_index().consistent(&why)) << why;
+    ASSERT_TRUE(g_p2p.edge_index().consistent(&why)) << why;
+  }
+}
+
+TEST(CrossEngine, DdPoliceScenarioIndexStaysConsistentEveryMinute) {
+  // Full defended scenario (attack + churn + DD-POLICE cuts + overlay
+  // maintenance): the shared index must match the adjacency lists after
+  // every completed minute, no matter which layer tore an edge down.
+  auto cfg = experiments::paper_scenario(150, 8, defense::Kind::kDdPolice, 3);
+  cfg.total_minutes = 8.0;
+  cfg.warmup_minutes = 1.0;
+  int checked = 0;
+  cfg.inspect = [&](double, const experiments::ScenarioView& view) {
+    const Graph& g = view.net->graph();
+    std::string why;
+    ASSERT_TRUE(g.edge_index().consistent(&why)) << why;
+    ASSERT_EQ(live_set_from_index(g.edge_index()), live_set_from_adjacency(g));
+    ASSERT_EQ(g.edge_index().live_count(), 2 * g.edge_count());
+    ++checked;
+  };
+  (void)experiments::run_scenario(cfg);
+  EXPECT_GE(checked, 8);
+}
+
+}  // namespace
+}  // namespace ddp::topology
