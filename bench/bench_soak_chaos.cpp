@@ -13,6 +13,14 @@
 //   soaks[1]             independent soak instances (seed, seed+1000003, …)
 //   jobs[1]              worker threads across soak instances (0 = nproc)
 //
+// Crash-resume drill (base-seed instance only; see docs/robustness.md):
+//   checkpoint[-]        snapshot file for periodic checkpoints
+//   checkpoint_every[0]  minutes between checkpoints (0 = only at kill)
+//   kill_at[0]           >0: stop at that minute, checkpoint, then resume
+//                        from the snapshot in-process and run to the end —
+//                        the kill-and-resume leg of the chaos soak
+//   restore[-]           resume the base instance from an existing snapshot
+//
 // The default schedule is 480 simulated minutes = 8 simulated hours.
 // With soaks > 1 the extra instances fan out across the SweepRunner pool;
 // the digest below always shows the first (base-seed) instance, and the
@@ -50,6 +58,11 @@ int main(int argc, char** argv) {
   cfg.min_honest_connectivity = opts.get("connectivity", 0.85);
   cfg.check_every_minutes = opts.get("check_every", 1.0);
 
+  const std::string ckpt_path = opts.get("checkpoint", std::string("-"));
+  const double ckpt_every = opts.get("checkpoint_every", 0.0);
+  const double kill_at = opts.get("kill_at", 0.0);
+  const std::string restore_path = opts.get("restore", std::string("-"));
+
   std::printf("bench_soak_chaos — %zu peers, %zu agents, %.0f min "
               "(%.1f simulated hours), seed %llu, %zu soak(s), %u job(s)\n",
               peers, agents, minutes, minutes / 60.0,
@@ -68,6 +81,34 @@ int main(int argc, char** argv) {
       runner.map(soaks, [&](std::size_t i) {
         experiments::SoakConfig instance = cfg;
         instance.scenario.seed = seed + 1000003ULL * i;
+        if (i != 0) return experiments::run_soak(instance);
+
+        // The base-seed instance carries the crash-resume drill: the
+        // snapshot file is a single path, so only one instance may use it.
+        if (ckpt_path != "-") {
+          instance.checkpoint_path = ckpt_path;
+          instance.checkpoint_every_minutes = ckpt_every;
+        }
+        if (restore_path != "-") instance.restore_path = restore_path;
+        if (kill_at > 0.0 && ckpt_path != "-") {
+          instance.kill_at_minute = kill_at;
+          experiments::SoakReport first = experiments::run_soak(instance);
+          if (!first.killed) return first;  // kill_at beyond the schedule
+
+          std::printf("killed at minute %.0f, resuming from %s\n",
+                      first.minutes, ckpt_path.c_str());
+          experiments::SoakConfig resumed = instance;
+          resumed.kill_at_minute = 0.0;
+          resumed.restore_path = ckpt_path;
+          experiments::SoakReport second = experiments::run_soak(resumed);
+          // Verdict covers both legs of the drill.
+          second.checks += first.checks;
+          second.violation_count += first.violation_count;
+          second.violations.insert(second.violations.begin(),
+                                   first.violations.begin(),
+                                   first.violations.end());
+          return second;
+        }
         return experiments::run_soak(instance);
       });
   const experiments::SoakReport& report = reports.front();

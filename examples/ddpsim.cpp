@@ -36,18 +36,43 @@
 //   profile[0]           print the wall-clock phase profile of the run
 //   metrics_csv[-]       write per-minute metric snapshots as CSV
 //   metrics_json[-]      write final metric values (incl. histograms) as JSON
+//
+// Checkpoint/restore (crash-resume; see docs/robustness.md):
+//   checkpoint[-]        snapshot file; written when the run completes or is
+//                        interrupted (SIGINT/SIGTERM checkpoint-then-exit)
+//   checkpoint_every[0]  also snapshot every N completed minutes
+//   restore[-]           resume the scenario leg from this snapshot; the
+//                        behavioural config must match the one it was taken
+//                        under (minutes= may be extended, trace=/csv= may
+//                        point anywhere). Continued runs replay the exact
+//                        event sequence of an uninterrupted run.
 
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 
+#include "experiments/runtime.hpp"
 #include "experiments/scenario.hpp"
 #include "experiments/sweep.hpp"
 #include "metrics/damage.hpp"
 #include "obs/trace.hpp"
+#include "snapshot/snapshot.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+// Written by the signal handler, polled at minute boundaries by the
+// scenario leg: the run stops at the next completed minute, writes a final
+// checkpoint and exits with the conventional 128+signo code.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void on_signal(int sig) { g_signal = sig; }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ddp;
@@ -64,7 +89,10 @@ int main(int argc, char** argv) {
   cfg.attack.start_minute = opts.get("attack_start", 5.0);
   cfg.attack.rejoin = opts.get("rejoin", false);
   cfg.total_minutes = opts.get("minutes", 26.0);
-  cfg.warmup_minutes = cfg.attack.start_minute + 3.0;
+  // Short runs (e.g. the first leg of a checkpointed pair) may end before
+  // the usual warmup horizon; clamp so validate_config stays happy.
+  cfg.warmup_minutes =
+      std::min(cfg.attack.start_minute + 3.0, cfg.total_minutes);
 
   const std::string topo = opts.get("topo", std::string("ba"));
   if (topo == "waxman") cfg.topo.model = topology::Model::kWaxman;
@@ -166,6 +194,53 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string ckpt_path = opts.get("checkpoint", std::string("-"));
+  const double ckpt_every = opts.get("checkpoint_every", 0.0);
+  const std::string restore_path = opts.get("restore", std::string("-"));
+
+  // The scenario leg runs minute-by-minute on a ScenarioRuntime so it can
+  // be checkpointed, resumed and interrupted at quiescent boundaries; this
+  // is exactly the machinery run_scenario() is built on, so runs without
+  // snapshot options are byte-identical to the classic path.
+  std::unique_ptr<experiments::ScenarioRuntime> runtime;
+  try {
+    runtime = std::make_unique<experiments::ScenarioRuntime>(cfg);
+    if (restore_path != "-") {
+      runtime->load_file(restore_path);
+      std::printf("restored %s at minute %.0f\n", restore_path.c_str(),
+                  runtime->current_minute());
+    }
+  } catch (const snapshot::SnapshotError& e) {
+    std::fprintf(stderr, "ddpsim: snapshot rejected: %s\n", e.what());
+    return 3;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::string ckpt_error;
+  auto run_scenario_leg = [&]() {
+    double m = runtime->current_minute();
+    double next_ckpt = ckpt_every > 0.0 ? m + ckpt_every : 0.0;
+    while (m + 1e-9 < cfg.total_minutes && g_signal == 0) {
+      m = std::min(m + 1.0, cfg.total_minutes);
+      runtime->run_to_minute(m);
+      if (ckpt_every > 0.0 && ckpt_path != "-" && m + 1e-9 >= next_ckpt) {
+        try {
+          // Flush first so the on-disk trace is consistent with the
+          // snapshot should the process die right after.
+          if (trace_sink != nullptr) trace_sink->flush();
+          runtime->save_file(ckpt_path);
+        } catch (const snapshot::SnapshotError& e) {
+          ckpt_error = e.what();
+          break;
+        }
+        next_ckpt += ckpt_every;
+      }
+    }
+    return runtime->result();
+  };
+
   // The two legs are fully independent (run_baseline strips the obs
   // plane), so jobs>1 runs them on separate threads. Either way the
   // results — and every file written from them — are identical.
@@ -173,11 +248,38 @@ int main(int argc, char** argv) {
       opts.get("jobs", static_cast<std::int64_t>(util::env_jobs(1))));
   experiments::SweepRunner runner(jobs > 1 ? 2u : 1u);
   auto legs = runner.map(2, [&](std::size_t i) {
-    return i == 0 ? experiments::run_baseline(cfg)
-                  : experiments::run_scenario(cfg);
+    return i == 0 ? experiments::run_baseline(cfg) : run_scenario_leg();
   });
   const auto baseline = std::move(legs[0]);
   const auto r = std::move(legs[1]);
+
+  if (!ckpt_error.empty()) {
+    std::fprintf(stderr, "ddpsim: checkpoint failed: %s\n",
+                 ckpt_error.c_str());
+    return 3;
+  }
+  if (g_signal != 0 || ckpt_path != "-") {
+    // Final (or interrupt) checkpoint at the minute boundary we stopped on.
+    if (ckpt_path != "-") {
+      try {
+        if (trace_sink != nullptr) trace_sink->flush();
+        runtime->save_file(ckpt_path);
+        std::printf("checkpoint %s at minute %.0f\n", ckpt_path.c_str(),
+                    runtime->current_minute());
+      } catch (const snapshot::SnapshotError& e) {
+        std::fprintf(stderr, "ddpsim: checkpoint failed: %s\n", e.what());
+        return 3;
+      }
+    }
+    if (g_signal != 0) {
+      if (trace_sink != nullptr) trace_sink->flush();
+      std::fprintf(stderr,
+                   "ddpsim: interrupted by signal %d at minute %.0f%s\n",
+                   static_cast<int>(g_signal), runtime->current_minute(),
+                   ckpt_path != "-" ? "; resume with restore=" : "");
+      return 128 + static_cast<int>(g_signal);
+    }
+  }
 
   util::Table t({"minute", "success_pct", "damage_pct", "response_s",
                  "traffic", "attack_issued", "overhead"});

@@ -93,6 +93,12 @@ int main(int argc, char** argv) {
                     records.size());
         return 1;
       }
+      if (records.empty()) {
+        // An empty trace is never what a run produces; treat it as a
+        // failed capture rather than a vacuous pass.
+        std::printf("%s: INVALID (no events)\n", in.c_str());
+        return 1;
+      }
       std::printf("%s: OK (%zu events, schema-valid)\n", in.c_str(),
                   records.size());
       return 0;

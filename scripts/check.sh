@@ -6,6 +6,11 @@
 #   scripts/check.sh --soak   # tier-1 plus a 2-simulated-hour chaos soak
 #   scripts/check.sh --tsan   # tier-1 plus the threaded sweep harness
 #                             # under ThreadSanitizer (pool + parallel sweeps)
+#   scripts/check.sh --snapshot  # tier-1 plus the checkpoint/restore gate:
+#                             # checkpoint mid-run, resume in a fresh
+#                             # process, require byte-identical outputs;
+#                             # truncated snapshots must be rejected; plus
+#                             # a chaos-soak kill-and-resume drill
 #
 # Tier-1 is the contract every PR must keep green: the default-preset
 # build, the full ctest suite, and an end-to-end observability check —
@@ -20,12 +25,14 @@ repo="$(pwd)"
 run_asan=0
 run_soak=0
 run_tsan=0
+run_snapshot=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --soak) run_soak=1 ;;
     --tsan) run_tsan=1 ;;
-    *) echo "unknown argument: $arg (expected --asan, --soak or --tsan)" >&2; exit 2 ;;
+    --snapshot) run_snapshot=1 ;;
+    *) echo "unknown argument: $arg (expected --asan, --soak, --tsan or --snapshot)" >&2; exit 2 ;;
   esac
 done
 
@@ -76,6 +83,55 @@ else
   exit 1
 fi
 
+if [ "$run_snapshot" -eq 1 ]; then
+  echo "== checkpoint/restore determinism gate =="
+  # Uninterrupted 8-minute run vs the same schedule checkpointed at minute
+  # 4 and resumed in a fresh process: the concatenated traces and the
+  # resumed CSV must be byte-identical to the uninterrupted run's.
+  mkdir -p "$tmp/snap"
+  ./build/examples/ddpsim peers=120 agents=12 minutes=8 seed=7 \
+      trace="$tmp/snap/full.jsonl" csv="$tmp/snap/full.csv" > /dev/null
+  ./build/examples/ddpsim peers=120 agents=12 minutes=4 seed=7 \
+      trace="$tmp/snap/part1.jsonl" checkpoint="$tmp/snap/ck.snap" > /dev/null
+  ./build/examples/ddpsim peers=120 agents=12 minutes=8 seed=7 \
+      trace="$tmp/snap/part2.jsonl" csv="$tmp/snap/resumed.csv" \
+      restore="$tmp/snap/ck.snap" > /dev/null
+  cat "$tmp/snap/part1.jsonl" "$tmp/snap/part2.jsonl" > "$tmp/snap/joined.jsonl"
+  if ! cmp -s "$tmp/snap/joined.jsonl" "$tmp/snap/full.jsonl"; then
+    echo "FAIL: resumed trace diverges from the uninterrupted run" >&2
+    exit 1
+  fi
+  if ! cmp -s "$tmp/snap/resumed.csv" "$tmp/snap/full.csv"; then
+    echo "FAIL: resumed per-minute CSV diverges from the uninterrupted run" >&2
+    exit 1
+  fi
+  echo "checkpoint/restore determinism: OK (byte-identical trace + CSV)"
+
+  # A torn snapshot must be rejected with the structured exit code 3,
+  # never half-loaded.
+  size="$(wc -c < "$tmp/snap/ck.snap")"
+  head -c "$((size / 2))" "$tmp/snap/ck.snap" > "$tmp/snap/torn.snap"
+  if ./build/examples/ddpsim peers=120 agents=12 minutes=8 seed=7 \
+      restore="$tmp/snap/torn.snap" > /dev/null 2>&1; then
+    echo "FAIL: truncated snapshot was accepted" >&2
+    exit 1
+  else
+    rc=$?
+    if [ "$rc" -ne 3 ]; then
+      echo "FAIL: truncated snapshot exited $rc, expected 3" >&2
+      exit 1
+    fi
+  fi
+  echo "torn snapshot rejection: OK (exit 3)"
+
+  echo "== chaos soak kill-and-resume drill =="
+  # Kill the soak at a minute boundary, checkpoint, resume from the file
+  # and run to the end; exits non-zero on any standing-invariant
+  # violation across either leg.
+  ./build/bench/bench_soak_chaos peers=150 agents=15 minutes=40 \
+      kill_at=20 checkpoint="$tmp/snap/soak.snap"
+fi
+
 if [ "$run_soak" -eq 1 ]; then
   echo "== chaos soak (quarantine + priority shedding + repair, 2 sim hours) =="
   # Reduced-length version of the 8-hour soak (bench_soak_chaos with no
@@ -90,8 +146,10 @@ if [ "$run_tsan" -eq 1 ]; then
   # checks on the real fig 9-11 pipeline) and a fanned-out mini soak.
   # Any data race aborts the process, so this gate fails loudly.
   cmake --preset tsan
-  cmake --build --preset tsan -j "$jobs" --target sweep_test bench_soak_chaos
+  cmake --build --preset tsan -j "$jobs" \
+      --target sweep_test snapshot_test bench_soak_chaos
   ./build-tsan/tests/sweep_test
+  ./build-tsan/tests/snapshot_test
   ./build-tsan/bench/bench_soak_chaos minutes=30 soaks=2 jobs=2 > /dev/null
   echo "tsan sweep harness: OK (no races reported)"
 fi

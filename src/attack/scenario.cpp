@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snapshot/state_io.hpp"
 #include "util/log.hpp"
 
 namespace ddp::attack {
@@ -100,6 +101,32 @@ void AttackScenario::on_minute(double minute) {
         rejoin_due_[a] = minute + config_.rejoin_after_minutes;
       }
     }
+  }
+}
+
+void AttackScenario::save(snapshot::Writer& w) const {
+  w.size(agents_.size());
+  for (const PeerId p : agents_) w.u32(p);
+  w.size(is_agent_.size());
+  for (const char c : is_agent_) w.boolean(c != 0);
+  snapshot::save_f64_vector(w, rejoin_due_);
+  w.boolean(started_);
+  w.u64(rejoins_);
+  snapshot::save_rng(w, rng_);
+}
+
+void AttackScenario::load(snapshot::Reader& r) {
+  constexpr std::size_t kMaxPeers = 1u << 24;
+  agents_.resize(r.size(kMaxPeers));
+  for (PeerId& p : agents_) p = r.u32();
+  is_agent_.resize(r.size(kMaxPeers));
+  for (char& c : is_agent_) c = r.boolean() ? 1 : 0;
+  snapshot::load_f64_vector(r, rejoin_due_, kMaxPeers);
+  started_ = r.boolean();
+  rejoins_ = static_cast<std::size_t>(r.u64());
+  snapshot::load_rng(r, rng_);
+  if (rejoin_due_.size() != net_.graph().node_count()) {
+    throw snapshot::SnapshotError("attack rejoin schedule size != node count");
   }
 }
 

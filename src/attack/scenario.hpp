@@ -52,6 +52,13 @@ class AttackScenario {
   void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
   const obs::Tracer& tracer() const noexcept { return tracer_; }
 
+  /// Serialize campaign state (agent set, rejoin schedule, rng) into the
+  /// writer's open section.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save().
+  void load(snapshot::Reader& r);
+
  private:
   void start();
 

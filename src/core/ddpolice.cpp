@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "net/message.hpp"
+#include "snapshot/state_io.hpp"
 #include "util/log.hpp"
 
 namespace ddp::core {
@@ -555,6 +556,110 @@ void DdPolice::run_round(PeerId suspect, const std::vector<PeerId>& judges,
                  {"via_single", d.via_single ? 1.0 : 0.0}});
     }
   }
+}
+
+namespace {
+
+void save_peer_vector(snapshot::Writer& w, const std::vector<PeerId>& v) {
+  w.size(v.size());
+  for (const PeerId p : v) w.u32(p);
+}
+
+void load_peer_vector(snapshot::Reader& r, std::vector<PeerId>& v) {
+  v.resize(r.size(1u << 24));
+  for (PeerId& p : v) p = r.u32();
+}
+
+}  // namespace
+
+void save_decision(snapshot::Writer& w, const Decision& d) {
+  w.f64(d.minute);
+  w.u32(d.judge);
+  w.u32(d.suspect);
+  w.f64(d.g);
+  w.f64(d.s);
+  w.boolean(d.via_single);
+  w.boolean(d.list_violation);
+  w.u32(d.believed_k);
+  w.u32(d.responders);
+  w.u32(d.true_degree);
+}
+
+void load_decision(snapshot::Reader& r, Decision& d) {
+  d.minute = r.f64();
+  d.judge = r.u32();
+  d.suspect = r.u32();
+  d.g = r.f64();
+  d.s = r.f64();
+  d.via_single = r.boolean();
+  d.list_violation = r.boolean();
+  d.believed_k = r.u32();
+  d.responders = r.u32();
+  d.true_degree = r.u32();
+}
+
+void DdPolice::save(snapshot::Writer& w) const {
+  w.size(snapshots_.extent());
+  snapshots_.for_each([&w](PeerId, const std::vector<Snapshot>& held) {
+    w.size(held.size());
+    for (const Snapshot& s : held) {
+      w.u32(s.about);
+      save_peer_vector(w, s.members);
+      save_peer_vector(w, s.prev_members);
+      w.f64(s.minute);
+    }
+  });
+  w.u64(snapshot_count_);
+  snapshot::save_f64_vector(w, next_exchange_minute_);
+  w.size(last_advertised_.size());
+  for (const std::vector<PeerId>& adv : last_advertised_) save_peer_vector(w, adv);
+
+  w.size(decisions_.size());
+  for (const Decision& d : decisions_) save_decision(w, d);
+  w.u64(exchange_messages_);
+  w.u64(traffic_messages_);
+  w.u64(rounds_);
+  w.u64(suspicions_);
+
+  w.boolean(ledger_.has_value());
+  if (ledger_) ledger_->save(w);
+  snapshot::save_rng(w, rng_);
+}
+
+void DdPolice::load(snapshot::Reader& r) {
+  constexpr std::size_t kMaxPeers = 1u << 24;
+  const std::size_t extent = r.size(kMaxPeers);
+  snapshots_.clear();
+  snapshot_count_ = 0;
+  for (PeerId holder = 0; holder < extent; ++holder) {
+    std::vector<Snapshot>& held = snapshots_[holder];
+    held.resize(r.size(kMaxPeers));
+    for (Snapshot& s : held) {
+      s.about = r.u32();
+      load_peer_vector(r, s.members);
+      load_peer_vector(r, s.prev_members);
+      s.minute = r.f64();
+    }
+  }
+  snapshot_count_ = r.u64();
+  snapshot::load_f64_vector(r, next_exchange_minute_, kMaxPeers);
+  last_advertised_.resize(r.size(kMaxPeers));
+  for (std::vector<PeerId>& adv : last_advertised_) load_peer_vector(r, adv);
+
+  decisions_.resize(r.size(1u << 26));
+  for (Decision& d : decisions_) load_decision(r, d);
+  exchange_messages_ = r.u64();
+  traffic_messages_ = r.u64();
+  rounds_ = r.u64();
+  suspicions_ = r.u64();
+
+  const bool had_ledger = r.boolean();
+  if (had_ledger != ledger_.has_value()) {
+    throw snapshot::SnapshotError(
+        "snapshot cut policy (quarantine ledger presence) disagrees with config");
+  }
+  if (ledger_) ledger_->load(r);
+  snapshot::load_rng(r, rng_);
 }
 
 }  // namespace ddp::core

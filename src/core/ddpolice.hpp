@@ -38,6 +38,11 @@
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
+
 namespace ddp::core {
 
 /// Truthful counters handed to a report policy.
@@ -69,6 +74,10 @@ struct Decision {
   std::uint32_t responders = 0;   ///< members that answered the round
   std::uint32_t true_degree = 0;  ///< suspect's actual degree at decision time
 };
+
+/// Checkpoint io for Decision, shared by every defense that records them.
+void save_decision(snapshot::Writer& w, const Decision& d);
+void load_decision(snapshot::Reader& r, Decision& d);
 
 class DdPolice {
  public:
@@ -122,6 +131,17 @@ class DdPolice {
   /// The snapshot a peer holds about a neighbour (empty if none) —
   /// exposed for tests and the exchange-frequency study.
   std::vector<PeerId> snapshot_of(PeerId holder, PeerId about) const;
+
+  /// Serialize durable protocol state (neighbour-list snapshots, exchange
+  /// schedule, decisions, counters, ledger, rng) into the writer's open
+  /// section. Per-minute scratch (flagged set, judge lists, pending
+  /// disconnects) is minute-local and excluded — checkpoints are taken at
+  /// minute boundaries where it is empty by construction.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save(). The ledger presence (cut policy) must
+  /// match the snapshot's; throws SnapshotError otherwise.
+  void load(snapshot::Reader& r);
 
  private:
   /// A neighbour-list snapshot `holder` keeps about `about`. Snapshots

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snapshot/state_io.hpp"
+
 namespace ddp::core {
 
 const char* standing_name(Standing s) noexcept {
@@ -189,6 +191,65 @@ bool QuarantineLedger::consistent(std::string* why) const {
     }
   }
   return true;
+}
+
+void QuarantineLedger::save(snapshot::Writer& w) const {
+  w.size(entries_.extent());
+  entries_.for_each([&w](PeerId, const Entry& e) {
+    w.u8(static_cast<std::uint8_t>(e.state));
+    w.i64(e.strikes);
+    w.f64(e.cut_minute);
+    w.f64(e.release_minute);
+    w.f64(e.probation_end);
+  });
+  w.size(reinstated_.size());
+  for (const ReinstateRecord& rec : reinstated_) {
+    w.u32(rec.peer);
+    w.f64(rec.cut_minute);
+    w.f64(rec.reinstate_minute);
+  }
+  w.u64(stats_.quarantines);
+  w.u64(stats_.probations);
+  w.u64(stats_.reinstatements);
+  w.u64(stats_.bans);
+  w.u64(stats_.re_isolations);
+  w.u64(stats_.deferred_releases);
+  snapshot::save_rng(w, rng_);
+}
+
+void QuarantineLedger::load(snapshot::Reader& r) {
+  constexpr std::size_t kMaxPeers = 1u << 24;
+  const std::size_t extent = r.size(kMaxPeers);
+  entries_.clear();
+  for (PeerId p = 0; p < extent; ++p) {
+    Entry& e = entries_[p];
+    const std::uint8_t state = r.u8();
+    if (state > static_cast<std::uint8_t>(Standing::kBanned)) {
+      throw snapshot::SnapshotError("invalid quarantine standing value");
+    }
+    e.state = static_cast<Standing>(state);
+    e.strikes = static_cast<int>(r.i64());
+    e.cut_minute = r.f64();
+    e.release_minute = r.f64();
+    e.probation_end = r.f64();
+  }
+  reinstated_.resize(r.size(1u << 26));
+  for (ReinstateRecord& rec : reinstated_) {
+    rec.peer = r.u32();
+    rec.cut_minute = r.f64();
+    rec.reinstate_minute = r.f64();
+  }
+  stats_.quarantines = r.u64();
+  stats_.probations = r.u64();
+  stats_.reinstatements = r.u64();
+  stats_.bans = r.u64();
+  stats_.re_isolations = r.u64();
+  stats_.deferred_releases = r.u64();
+  snapshot::load_rng(r, rng_);
+  std::string why;
+  if (!consistent(&why)) {
+    throw snapshot::SnapshotError("restored quarantine ledger inconsistent: " + why);
+  }
 }
 
 }  // namespace ddp::core

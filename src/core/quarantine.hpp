@@ -35,6 +35,11 @@
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
+
 namespace ddp::core {
 
 /// Where a peer sits on the degradation ladder.
@@ -106,6 +111,14 @@ class QuarantineLedger {
   /// blocked => edge-less). Returns true when consistent; otherwise
   /// writes a description of the first violation into *why (if non-null).
   bool consistent(std::string* why = nullptr) const;
+
+  /// Serialize the full ladder (per-peer entries, reinstate records,
+  /// transition counters, rng) into the writer's open section.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save(). Throws SnapshotError when the restored
+  /// ladder fails consistent().
+  void load(snapshot::Reader& r);
 
  private:
   struct Entry {

@@ -1,5 +1,7 @@
 #include "defense/defense.hpp"
 
+#include "snapshot/snapshot.hpp"
+
 namespace ddp::defense {
 
 std::string_view kind_name(Kind k) noexcept {
@@ -41,6 +43,16 @@ void NaiveCutDefense::on_minute(double minute) {
     decisions_.push_back(d);
     net_.disconnect(i, j);
   }
+}
+
+void NaiveCutDefense::save(snapshot::Writer& w) const {
+  w.size(decisions_.size());
+  for (const core::Decision& d : decisions_) core::save_decision(w, d);
+}
+
+void NaiveCutDefense::load(snapshot::Reader& r) {
+  decisions_.resize(r.size(1u << 26));
+  for (core::Decision& d : decisions_) core::load_decision(r, d);
 }
 
 DdPoliceDefense::DdPoliceDefense(flow::FlowNetwork& net,

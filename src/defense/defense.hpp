@@ -37,6 +37,10 @@ class Defense {
   virtual void on_minute(double minute) = 0;
   /// Disconnect decisions taken so far (empty for non-cutting defenses).
   virtual const std::vector<core::Decision>& decisions() const = 0;
+  /// Checkpoint hooks. Stateless defenses (none, fair-share) have nothing
+  /// to persist; stateful ones override both.
+  virtual void save(snapshot::Writer&) const {}
+  virtual void load(snapshot::Reader&) {}
 };
 
 /// Undefended baseline.
@@ -62,6 +66,8 @@ class NaiveCutDefense final : public Defense {
   const std::vector<core::Decision>& decisions() const override {
     return decisions_;
   }
+  void save(snapshot::Writer& w) const override;
+  void load(snapshot::Reader& r) override;
 
  private:
   flow::FlowNetwork& net_;
@@ -80,6 +86,8 @@ class DdPoliceDefense final : public Defense {
   const std::vector<core::Decision>& decisions() const override {
     return protocol_.decisions();
   }
+  void save(snapshot::Writer& w) const override { protocol_.save(w); }
+  void load(snapshot::Reader& r) override { protocol_.load(r); }
 
   core::DdPolice& protocol() noexcept { return protocol_; }
 

@@ -1,47 +1,12 @@
 #include "experiments/scenario.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <memory>
-#include <stdexcept>
 
-#include "core/flow_port.hpp"
-#include "flow/churn_driver.hpp"
-#include "topology/bandwidth.hpp"
-#include "util/log.hpp"
+#include "experiments/runtime.hpp"
 
 namespace ddp::experiments {
 
 namespace {
-
-/// Reconnect active good peers that fell below the minimum degree —
-/// modelling Gnutella's host-cache-driven connection maintenance. Peers
-/// the quarantine ledger keeps isolated are skipped on both ends: a host
-/// cache handing out a quarantined address would undo the defense.
-void maintain_overlay(flow::FlowNetwork& net, const attack::AttackScenario& atk,
-                      util::Rng& rng, std::size_t min_degree,
-                      double rate_per_minute,
-                      const core::QuarantineLedger* ledger) {
-  auto& g = net.mutable_graph();
-  for (PeerId p = 0; p < g.node_count(); ++p) {
-    if (!g.is_active(p) || atk.is_agent(p)) continue;
-    if (ledger != nullptr && ledger->blocked(p)) continue;
-    if (g.degree(p) >= min_degree) continue;
-    if (!rng.chance(rate_per_minute)) continue;  // discovery takes time
-    const std::size_t missing = min_degree - g.degree(p);
-    for (std::size_t tries = 0, added = 0;
-         tries < missing * 8 && added < missing; ++tries) {
-      const PeerId t = g.random_active_node_by_degree(rng, p);
-      if (t == kInvalidPeer) break;
-      if (atk.is_agent(t)) continue;  // host caches would not favour leeches
-      if (ledger != nullptr && ledger->blocked(t)) continue;
-      if (g.add_edge(p, t)) {
-        net.on_edge_added(p, t);
-        ++added;
-      }
-    }
-  }
-}
 
 bool pos(double v) noexcept { return std::isfinite(v) && v > 0.0; }
 bool nonneg(double v) noexcept { return std::isfinite(v) && v >= 0.0; }
@@ -165,403 +130,13 @@ std::string validate_config(const ScenarioConfig& config) {
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
-  if (const std::string err = validate_config(config); !err.empty()) {
-    throw std::invalid_argument("invalid scenario config: " + err);
-  }
-  util::Rng master(config.seed);
-  util::Rng topo_rng = master.fork("topology");
-
-  topology::Graph graph = topology::generate(config.topo, topo_rng);
-  util::Rng bw_rng = master.fork("bandwidth");
-  const topology::BandwidthMap bandwidth(graph.node_count(), bw_rng);
-  const workload::ContentModel content(config.content, graph.node_count());
-
-  flow::FlowConfig flow_cfg = config.flow;
-  if (config.defense == defense::Kind::kFairShare) {
-    flow_cfg.discipline = flow::ServiceDiscipline::kFairShare;
-  }
-  if (config.fault.data_plane && config.fault.channel.any()) {
-    // Data-plane degradation: the expected delivered fraction per link
-    // (drop removes volume, duplication adds it back). Off by default so
-    // the fault ablation isolates control-plane effects.
-    flow_cfg.link_reliability =
-        std::clamp(1.0 - config.fault.channel.drop_probability +
-                       config.fault.channel.duplicate_probability,
-                   0.0, 2.0);
-  }
-  flow::FlowNetwork net(graph, bandwidth, content, flow_cfg,
-                        master.fork("flow"));
-
-  // Fault plane: built only when some fault rate is non-zero, so fault-free
-  // runs do not even construct the subsystem (and consume no rng draws —
-  // fork() is order-independent, but not constructing is simplest of all).
-  std::unique_ptr<fault::FaultPlane> plane;
-  if (config.fault.any()) {
-    plane = std::make_unique<fault::FaultPlane>(
-        config.fault, graph.node_count(), master.fork("fault"));
-    plane->peers().on_crash = [&net](PeerId p) {
-      net.on_peer_offline(p);
-      net.mutable_graph().set_active(p, false);
-    };
-    plane->peers().on_stall = [&net](PeerId p) { net.set_issue_scale(p, 0.0); };
-    plane->peers().on_resume = [&net](PeerId p) {
-      if (net.graph().is_active(p)) net.set_issue_scale(p, 1.0);
-    };
-  }
-
-  const workload::ChurnModel churn_model(config.churn);
-  flow::ChurnDriver churn(net, churn_model, master.fork("churn"));
-
-  attack::AttackScenario atk(net, config.attack, master.fork("attack"));
-
-  std::unique_ptr<defense::Defense> def;
-  switch (config.defense) {
-    case defense::Kind::kNone:
-      def = std::make_unique<defense::NoDefense>();
-      break;
-    case defense::Kind::kFairShare:
-      def = std::make_unique<defense::FairShareDefense>();
-      break;
-    case defense::Kind::kNaiveCut:
-      def = std::make_unique<defense::NaiveCutDefense>(net,
-                                                       config.naive_cut_threshold);
-      break;
-    case defense::Kind::kDdPolice: {
-      auto ddp = std::make_unique<defense::DdPoliceDefense>(
-          net, config.ddpolice, master.fork("ddpolice"));
-      // Compromised peers cheat per the configured behaviour (Sec. 3.4).
-      const attack::AgentBehavior behavior = config.attack.behavior;
-      ddp->protocol().set_report_policy(
-          [&atk, behavior](PeerId reporter, PeerId /*suspect*/,
-                           const core::TrafficTruth& truth)
-              -> std::optional<core::TrafficTruth> {
-            if (!atk.is_agent(reporter)) return truth;
-            switch (behavior.report) {
-              case attack::ReportStrategy::kHonest:
-                return truth;
-              case attack::ReportStrategy::kInflate: {
-                core::TrafficTruth t = truth;
-                t.out_to_suspect *= behavior.inflate_factor;
-                return t;
-              }
-              case attack::ReportStrategy::kDeflate: {
-                core::TrafficTruth t = truth;
-                t.out_to_suspect *= behavior.deflate_factor;
-                return t;
-              }
-              case attack::ReportStrategy::kMute:
-                return std::nullopt;
-            }
-            return truth;
-          });
-      if (config.attack.behavior.list != attack::ListStrategy::kHonest) {
-        const attack::ListStrategy ls = config.attack.behavior.list;
-        util::Rng list_rng = master.fork("liar");
-        auto* net_ptr = &net;
-        ddp->protocol().set_list_policy(
-            [&atk, ls, list_rng, net_ptr](
-                PeerId owner, std::vector<PeerId> truth) mutable {
-              if (!atk.is_agent(owner)) return truth;
-              if (ls == attack::ListStrategy::kWithhold) {
-                if (truth.size() > 1) truth.resize(truth.size() / 2);
-                return truth;
-              }
-              // Fabricate: claim a random non-neighbour as a buddy.
-              const PeerId fake =
-                  net_ptr->graph().random_active_node(list_rng, owner);
-              if (fake != kInvalidPeer &&
-                  !net_ptr->graph().has_edge(owner, fake)) {
-                truth.push_back(fake);
-              }
-              return truth;
-            });
-      }
-      def = std::move(ddp);
-      break;
-    }
-  }
-
-  core::QuarantineLedger* ledger = nullptr;
-  if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
-    ledger = ddp->protocol().ledger();
-  }
-
-  if (plane != nullptr) {
-    if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
-      ddp->protocol().set_fault_plane(plane.get());
-    }
-    if (ledger != nullptr) {
-      // A stall resume must not clobber a probation budget: resuming peers
-      // come back at whatever rate their ladder standing allows.
-      const double probation_budget = config.ddpolice.probation_budget;
-      core::QuarantineLedger* ledger_raw = ledger;
-      plane->peers().on_resume = [&net, ledger_raw, probation_budget](PeerId p) {
-        if (!net.graph().is_active(p)) return;
-        const bool on_probation =
-            ledger_raw->standing(p) == core::Standing::kProbation;
-        net.set_issue_scale(p, on_probation ? probation_budget : 1.0);
-      };
-    }
-  }
-
-  // Observability plane. Tracing binds the caller's sink to every
-  // instrumented subsystem; it only observes, so an untraced run is
-  // bit-identical. Profiling wraps each minute hook in a wall-clock scope;
-  // the metrics hook runs last so it snapshots the settled minute.
-  if (config.obs.trace_sink != nullptr) {
-    net.set_trace_sink(config.obs.trace_sink);
-    churn.set_trace_sink(config.obs.trace_sink);
-    atk.set_trace_sink(config.obs.trace_sink);
-    if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
-      ddp->protocol().set_trace_sink(config.obs.trace_sink);
-    }
-    if (plane != nullptr) {
-      plane->peers().set_trace_sink(config.obs.trace_sink);
-    }
-  }
-  std::shared_ptr<obs::PhaseProfiler> profiler;
-  std::size_t ph_churn = 0, ph_attack = 0, ph_fault = 0, ph_defense = 0,
-              ph_maintenance = 0, ph_repair = 0;
-  if (config.obs.profile) {
-    profiler = std::make_shared<obs::PhaseProfiler>();
-    ph_churn = profiler->phase("churn");
-    ph_attack = profiler->phase("attack");
-    ph_fault = profiler->phase("fault");
-    ph_defense = profiler->phase("defense");
-    ph_maintenance = profiler->phase("maintenance");
-    if (config.repair_partitions) ph_repair = profiler->phase("repair");
-  }
-  obs::PhaseProfiler* prof = profiler.get();
-  const auto timed = [prof](std::size_t ph, auto&& fn) {
-    if (prof != nullptr) {
-      obs::PhaseProfiler::Scope scope(*prof, ph);
-      fn();
-    } else {
-      fn();
-    }
-  };
-
-  util::Rng maint_rng = master.fork("maintenance");
-  // Hook order matters: churn first (membership), then the attack campaign
-  // (start/rejoin), then faults (crash/stall the current membership), then
-  // the defense (reads last-minute counters), then overlay maintenance
-  // (re-links what the defense cut).
-  net.add_minute_hook(
-      [&, timed](double m) { timed(ph_churn, [&] { churn.on_minute(m); }); });
-  net.add_minute_hook(
-      [&, timed](double m) { timed(ph_attack, [&] { atk.on_minute(m); }); });
-  if (plane != nullptr) {
-    fault::FaultPlane* plane_raw = plane.get();
-    net.add_minute_hook([&net, plane_raw, timed, ph_fault](double m) {
-      timed(ph_fault, [&] {
-        plane_raw->on_minute(m);
-        // Churn can resurrect a crash-stopped peer (rejoin draws know
-        // nothing of the fault process): put it back down — crash-stop is
-        // permanent.
-        auto& g = net.mutable_graph();
-        for (PeerId p = 0; p < g.node_count(); ++p) {
-          if (plane_raw->peers().is_crashed(p) && g.is_active(p)) {
-            net.on_peer_offline(p);
-            g.set_active(p, false);
-          }
-        }
-      });
-    });
-  }
-  defense::Defense* def_raw = def.get();
-  net.add_minute_hook([def_raw, timed, ph_defense](double m) {
-    timed(ph_defense, [&] { def_raw->on_minute(m); });
-  });
-  if (config.maintain_overlay) {
-    net.add_minute_hook([&, timed, ledger](double /*m*/) {
-      timed(ph_maintenance, [&] {
-        maintain_overlay(net, atk, maint_rng, config.maintain_min_degree,
-                         config.maintain_rate_per_minute, ledger);
-      });
-    });
-  }
-
-  // Partition repair runs last in the mutation pipeline: after churn,
-  // cuts and maintenance settled the topology, stranded healthy peers are
-  // re-bootstrapped into the main component.
-  std::unique_ptr<p2p::PartitionHealer> healer;
-  if (config.repair_partitions) {
-    healer = std::make_unique<p2p::PartitionHealer>(net.graph(), config.repair,
-                                                    master.fork("repair"));
-    if (config.obs.trace_sink != nullptr) {
-      healer->set_trace_sink(config.obs.trace_sink);
-    }
-    p2p::PartitionHealer* healer_raw = healer.get();
-    net.add_minute_hook([&, healer_raw, ledger, timed, ph_repair](double m) {
-      timed(ph_repair, [&] {
-        healer_raw->heal(
-            m,
-            [&](PeerId p) {
-              return net.graph().is_active(p) && !atk.is_agent(p) &&
-                     (ledger == nullptr || !ledger->blocked(p));
-            },
-            [&](PeerId a, PeerId b) {
-              if (!net.mutable_graph().add_edge(a, b)) return false;
-              net.on_edge_added(a, b);
-              return true;
-            });
-      });
-    });
-  }
-
-  // Caller inspection: runs after the full mutation pipeline settled, so
-  // invariant checks (soak harness) see exactly the state the next minute
-  // starts from. Read-only by contract.
-  if (config.inspect) {
-    ScenarioView view;
-    view.net = &net;
-    view.attack = &atk;
-    view.churn = &churn;
-    if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
-      view.ddpolice = &ddp->protocol();
-    }
-    view.ledger = ledger;
-    view.healer = healer.get();
-    view.fault = plane.get();
-    net.add_minute_hook(
-        [view, inspect = config.inspect](double m) { inspect(m, view); });
-  }
-
-  // Metrics snapshots: registered last so every per-minute value reflects
-  // the completed hook pipeline for that minute.
-  std::shared_ptr<obs::MetricsRegistry> registry;
-  if (config.obs.metrics) {
-    registry = std::make_shared<obs::MetricsRegistry>();
-    obs::MetricsRegistry* reg = registry.get();
-    const obs::MetricId m_traffic = reg->gauge("flow.traffic_messages");
-    const obs::MetricId m_attack = reg->gauge("flow.attack_messages");
-    const obs::MetricId m_dropped = reg->gauge("flow.dropped");
-    const obs::MetricId m_dropped_good = reg->gauge("flow.dropped_good");
-    const obs::MetricId m_dropped_attack = reg->gauge("flow.dropped_attack");
-    const obs::MetricId m_success = reg->gauge("flow.success_rate");
-    const obs::MetricId m_response = reg->gauge("flow.response_time");
-    const obs::MetricId m_reach = reg->gauge("flow.reach_per_query");
-    const obs::MetricId m_util = reg->gauge("flow.mean_utilization");
-    const obs::MetricId m_overhead = reg->gauge("flow.overhead_messages");
-    const obs::MetricId m_active = reg->gauge("net.active_peers");
-    const obs::MetricId m_joins = reg->gauge("churn.joins");
-    const obs::MetricId m_leaves = reg->gauge("churn.leaves");
-    const obs::MetricId m_rounds = reg->gauge("defense.rounds");
-    const obs::MetricId m_suspicions = reg->gauge("defense.suspicions");
-    const obs::MetricId m_cuts = reg->gauge("defense.decisions");
-    const obs::MetricId m_timeouts = reg->gauge("fault.timeouts");
-    const obs::MetricId m_retries = reg->gauge("fault.retries");
-    const obs::MetricId m_quarantines = reg->gauge("defense.quarantines");
-    const obs::MetricId m_probations = reg->gauge("defense.probations");
-    const obs::MetricId m_reinstated = reg->gauge("defense.reinstatements");
-    const obs::MetricId m_bans = reg->gauge("defense.bans");
-    const obs::MetricId m_repaired = reg->gauge("repair.peers_repaired");
-    const obs::MetricId m_edge_slots = reg->gauge("topology.edge_slots");
-    const obs::MetricId m_edge_live = reg->gauge("topology.edge_live");
-    const obs::MetricId m_success_hist =
-        reg->histogram("flow.success_rate_hist", 0.0, 1.0, 20);
-    fault::FaultPlane* plane_raw = plane.get();
-    auto* ddp_raw = dynamic_cast<defense::DdPoliceDefense*>(def.get());
-    const core::QuarantineLedger* ledger_raw = ledger;
-    p2p::PartitionHealer* healer_obs = healer.get();
-    net.add_minute_hook([=, &net, &churn](double m) {
-      const auto& r = net.last_minute_report();
-      reg->set(m_traffic, r.traffic_messages);
-      reg->set(m_attack, r.attack_messages);
-      reg->set(m_dropped, r.dropped);
-      reg->set(m_dropped_good, r.dropped_good);
-      reg->set(m_dropped_attack, r.dropped_attack);
-      reg->set(m_success, r.success_rate);
-      reg->set(m_response, r.response_time);
-      reg->set(m_reach, r.reach_per_query);
-      reg->set(m_util, r.mean_utilization);
-      reg->set(m_overhead, r.overhead_messages);
-      reg->set(m_active, static_cast<double>(net.graph().active_count()));
-      reg->set(m_joins, static_cast<double>(churn.joins()));
-      reg->set(m_leaves, static_cast<double>(churn.leaves()));
-      if (ddp_raw != nullptr) {
-        reg->set(m_rounds, static_cast<double>(ddp_raw->protocol().rounds_run()));
-        reg->set(m_suspicions,
-                 static_cast<double>(ddp_raw->protocol().suspicions()));
-        reg->set(m_cuts,
-                 static_cast<double>(ddp_raw->protocol().decisions().size()));
-      }
-      if (plane_raw != nullptr) {
-        reg->set(m_timeouts, static_cast<double>(plane_raw->control().timeouts));
-        reg->set(m_retries, static_cast<double>(plane_raw->control().retries));
-      }
-      if (ledger_raw != nullptr) {
-        const auto& qs = ledger_raw->stats();
-        reg->set(m_quarantines, static_cast<double>(qs.quarantines));
-        reg->set(m_probations, static_cast<double>(qs.probations));
-        reg->set(m_reinstated, static_cast<double>(qs.reinstatements));
-        reg->set(m_bans, static_cast<double>(qs.bans));
-      }
-      if (healer_obs != nullptr) {
-        reg->set(m_repaired, static_cast<double>(healer_obs->peers_repaired()));
-      }
-      // Slot-slab occupancy: capacity tracks the high-water mark of live
-      // directed edges (free-list reuse keeps it from growing with churn).
-      const auto& ei = net.graph().edge_index();
-      reg->set(m_edge_slots, static_cast<double>(ei.capacity()));
-      reg->set(m_edge_live, static_cast<double>(ei.live_count()));
-      reg->observe(m_success_hist, r.success_rate);
-      reg->snapshot_minute(m);
-    });
-  }
-
-  if (prof != nullptr) {
-    // "flow_ticks" is the engine stepping time *excluding* the hooks, so
-    // the phase shares in the report partition the run's wall clock.
-    const std::size_t ph_run = profiler->phase("flow_ticks");
-    const std::uint64_t t0 = obs::wall_ns();
-    net.run_minutes(config.total_minutes);
-    const std::uint64_t total = obs::wall_ns() - t0;
-    const std::uint64_t hooks = profiler->total_wall_nanos();
-    profiler->add(ph_run, total > hooks ? total - hooks : 0);
-  } else {
-    net.run_minutes(config.total_minutes);
-  }
-
-  ScenarioResult result;
-  result.history = net.minute_history();
-  result.summary = metrics::summarize(result.history, config.warmup_minutes);
-  result.decisions = def->decisions();
-  result.is_bad.assign(graph.node_count(), 0);
-  for (PeerId a : atk.agents()) result.is_bad[a] = 1;
-  result.errors = metrics::tally_errors(result.decisions, result.is_bad,
-                                        config.attack.start_minute);
-  result.attack_rejoins = atk.rejoins();
-  result.final_active_peers = static_cast<double>(graph.active_count());
-  if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def.get())) {
-    result.defense_exchange_messages = ddp->protocol().exchange_messages();
-    result.defense_traffic_messages = ddp->protocol().traffic_messages();
-    result.defense_rounds = ddp->protocol().rounds_run();
-    if (const core::QuarantineLedger* lg = ddp->protocol().ledger()) {
-      result.reinstatements = lg->reinstatements();
-      result.quarantine = lg->stats();
-    }
-  }
-  if (healer != nullptr) {
-    result.partition_sweeps = healer->sweeps();
-    result.partitions_seen = healer->partitions_seen();
-    result.peers_repaired = healer->peers_repaired();
-  }
-  if (plane != nullptr) {
-    result.fault_control = plane->control();
-    result.fault_channel = plane->channel().counters();
-    result.fault_crashes = static_cast<std::size_t>(plane->peers().crash_count());
-    result.fault_stalls = static_cast<std::size_t>(plane->peers().stall_count());
-    metrics::attach_fault_stats(
-        result.summary, result.fault_control.timeouts,
-        result.fault_control.retries, result.fault_control.late_replies,
-        result.fault_control.corrupt_rejects, result.fault_crashes,
-        result.fault_stalls);
-  }
-  result.metrics_registry = registry;
-  result.profile = profiler;
-  if (config.obs.trace_sink != nullptr) config.obs.trace_sink->flush();
-  return result;
+  // The scenario is now a long-lived object with a checkpoint boundary
+  // (runtime.hpp); this entry point keeps the one-shot contract every
+  // figure bench and test relies on, bit-identical to the pre-runtime
+  // implementation.
+  ScenarioRuntime runtime(config);
+  runtime.run_all();
+  return runtime.result();
 }
 
 ScenarioResult run_baseline(ScenarioConfig config) {

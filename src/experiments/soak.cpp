@@ -6,9 +6,11 @@
 #include <sstream>
 
 #include "core/ddpolice.hpp"
+#include "experiments/runtime.hpp"
 #include "fault/plane.hpp"
 #include "flow/churn_driver.hpp"
 #include "flow/network.hpp"
+#include "sim/engine.hpp"
 
 namespace ddp::experiments {
 
@@ -161,6 +163,16 @@ struct Checker {
       mono(minute, "quarantine.re_isolations", prev.re_isolations,
            qs.re_isolations);
     }
+    // Invariant 2c: the fault plane's event timeline — the one discrete
+    // event engine in the scenario path — stays structurally sound (heap
+    // ordering, slab accounting, handle table, periodic chains).
+    if (view.fault != nullptr) {
+      std::string why;
+      if (!view.fault->peers().timeline().consistent(&why)) {
+        fail(minute, "fault timeline engine inconsistent: " + why);
+      }
+    }
+
     if (view.fault != nullptr) {
       mono(minute, "fault.timeouts", prev.fault_timeouts,
            view.fault->control().timeouts);
@@ -259,9 +271,35 @@ SoakReport run_soak(const SoakConfig& config) {
     checker->check(minute, view);
   };
 
+  // Minute-driven runtime so the soak can checkpoint, be killed at a
+  // boundary and later resumed from the snapshot (crash-resume drill).
+  ScenarioRuntime runtime(sc);
+  if (!config.restore_path.empty()) runtime.load_file(config.restore_path);
+
+  const double total = sc.total_minutes;
+  const double stop = config.kill_at_minute > 0.0
+                          ? std::min(config.kill_at_minute, total)
+                          : total;
+  double m = runtime.current_minute();
+  double next_ckpt = m + config.checkpoint_every_minutes;
+  while (m + 1e-9 < stop) {
+    m = std::min(m + 1.0, stop);
+    runtime.run_to_minute(m);
+    if (!config.checkpoint_path.empty() &&
+        config.checkpoint_every_minutes > 0.0 && m + 1e-9 >= next_ckpt) {
+      runtime.save_file(config.checkpoint_path);
+      next_ckpt += config.checkpoint_every_minutes;
+    }
+  }
+  const bool killed = stop + 1e-9 < total;
+  if (killed && !config.checkpoint_path.empty()) {
+    runtime.save_file(config.checkpoint_path);
+  }
+
   SoakReport report;
-  report.result = run_scenario(sc);
-  report.minutes = config.scenario.total_minutes;
+  report.result = runtime.result();
+  report.minutes = m;
+  report.killed = killed;
   report.checks = checker->checks;
   report.violation_count = checker->violation_count;
   report.violations = std::move(checker->violations);
@@ -271,7 +309,8 @@ SoakReport run_soak(const SoakConfig& config) {
 std::string soak_verdict(const SoakReport& report) {
   std::ostringstream os;
   os << (report.passed() ? "PASS" : "FAIL") << ": " << report.minutes
-     << " min soak, " << report.checks << " invariant sweeps, "
+     << " min soak" << (report.killed ? " (killed at checkpoint)" : "")
+     << ", " << report.checks << " invariant sweeps, "
      << report.violation_count << " violations"
      << " | quarantines=" << report.result.quarantine.quarantines
      << " reinstated=" << report.result.quarantine.reinstatements

@@ -52,6 +52,18 @@ struct SoakConfig {
 
   /// Violations recorded verbatim (all are *counted* regardless).
   std::size_t max_recorded_violations = 32;
+
+  /// Crash-resume drill (empty/zero = off). With a checkpoint_path set the
+  /// soak snapshots the full runtime there every checkpoint_every_minutes
+  /// completed minutes (0 = only at kill). kill_at_minute > 0 stops the
+  /// soak at that minute boundary after writing a final checkpoint — the
+  /// harness then runs a second soak with restore_path set to the same
+  /// file, which must replay the remaining schedule exactly as an
+  /// uninterrupted run would have.
+  std::string checkpoint_path;
+  double checkpoint_every_minutes = 0.0;
+  double kill_at_minute = 0.0;
+  std::string restore_path;
 };
 
 /// One failed invariant check.
@@ -61,11 +73,12 @@ struct SoakViolation {
 };
 
 struct SoakReport {
-  double minutes = 0.0;             ///< simulated minutes run
+  double minutes = 0.0;             ///< absolute minute the soak reached
   std::uint64_t checks = 0;         ///< invariant sweeps executed
   std::uint64_t violation_count = 0;
   std::vector<SoakViolation> violations;  ///< first max_recorded_violations
   ScenarioResult result;            ///< full run telemetry
+  bool killed = false;  ///< stopped early at kill_at_minute (checkpoint written)
 
   bool passed() const noexcept { return violation_count == 0; }
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/state_io.hpp"
+
 namespace ddp::fault {
 
 UnreliableChannel::UnreliableChannel(const ChannelFaultConfig& config,
@@ -49,6 +51,24 @@ void UnreliableChannel::corrupt(std::vector<std::uint8_t>& bytes) {
       bytes[at] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
     }
   }
+}
+
+void UnreliableChannel::save(snapshot::Writer& w) const {
+  snapshot::save_rng(w, rng_);
+  w.u64(counters_.transfers);
+  w.u64(counters_.dropped);
+  w.u64(counters_.duplicated);
+  w.u64(counters_.corrupted);
+  w.f64(counters_.delay_seconds_total);
+}
+
+void UnreliableChannel::load(snapshot::Reader& r) {
+  snapshot::load_rng(r, rng_);
+  counters_.transfers = r.u64();
+  counters_.dropped = r.u64();
+  counters_.duplicated = r.u64();
+  counters_.corrupted = r.u64();
+  counters_.delay_seconds_total = r.f64();
 }
 
 }  // namespace ddp::fault

@@ -17,6 +17,11 @@
 #include "fault/fault.hpp"
 #include "util/rng.hpp"
 
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
+
 namespace ddp::fault {
 
 /// The fate of one message. `copies` is 0 when dropped, 2 when duplicated.
@@ -55,6 +60,13 @@ class UnreliableChannel {
 
   const ChannelFaultConfig& config() const noexcept { return config_; }
   const ChannelCounters& counters() const noexcept { return counters_; }
+
+  /// Serialize the channel's rng stream and counters into the writer's
+  /// open section.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save().
+  void load(snapshot::Reader& r);
 
  private:
   ChannelFaultConfig config_;

@@ -1,5 +1,7 @@
 #include "fault/peer_faults.hpp"
 
+#include "snapshot/state_io.hpp"
+
 namespace ddp::fault {
 
 PeerFaultInjector::PeerFaultInjector(const PeerFaultConfig& config,
@@ -34,17 +36,17 @@ void PeerFaultInjector::stall(PeerId p, double until) {
               kInvalidPeer, {{"until", until}});
     if (on_stall) on_stall(p);
   }
-  engine_.schedule_at(
-      until,
-      [this, p] {
-        // Resume only if no overlapping stall extended the freeze and the
-        // peer did not crash while frozen.
-        if (crashed_[p] || stalled_until_[p] > engine_.now() + 1e-9) return;
-        ++resumes_;
-        DDP_TRACE(tracer_, obs::EventType::kFaultResume, engine_.now(), p);
-        if (on_resume) on_resume(p);
-      },
-      obs::EventCategory::kFault);
+  engine_.schedule_at(until, [this, p] { resume_check(p); },
+                      obs::EventCategory::kFault, make_tag(kTagResume, p));
+}
+
+void PeerFaultInjector::resume_check(PeerId p) {
+  // Resume only if no overlapping stall extended the freeze and the
+  // peer did not crash while frozen.
+  if (crashed_[p] || stalled_until_[p] > engine_.now() + 1e-9) return;
+  ++resumes_;
+  DDP_TRACE(tracer_, obs::EventType::kFaultResume, engine_.now(), p);
+  if (on_resume) on_resume(p);
 }
 
 void PeerFaultInjector::on_minute(double minute) {
@@ -65,16 +67,63 @@ void PeerFaultInjector::on_minute(double minute) {
         rng_.chance(config_.crash_probability_per_minute)) {
       const double at = base + rng_.uniform() * kMinute;
       engine_.schedule_at(at, [this, p] { crash(p); },
-                          obs::EventCategory::kFault);
+                          obs::EventCategory::kFault, make_tag(kTagCrash, p));
     }
     if (config_.stall_probability_per_minute > 0.0 &&
         rng_.chance(config_.stall_probability_per_minute)) {
       const double at = base + rng_.uniform() * kMinute;
       const double until = at + config_.stall_duration_seconds;
       engine_.schedule_at(at, [this, p, until] { stall(p, until); },
-                          obs::EventCategory::kFault);
+                          obs::EventCategory::kFault, make_tag(kTagStall, p));
     }
   }
+}
+
+void PeerFaultInjector::save(snapshot::Writer& w) const {
+  w.size(crashed_.size());
+  for (const char c : crashed_) w.boolean(c != 0);
+  w.size(slow_.size());
+  for (const char c : slow_) w.boolean(c != 0);
+  snapshot::save_f64_vector(w, stalled_until_);
+  w.u64(slow_count_);
+  w.u64(crashes_);
+  w.u64(stalls_);
+  w.u64(resumes_);
+  engine_.save(w);
+  snapshot::save_rng(w, rng_);
+}
+
+void PeerFaultInjector::load(snapshot::Reader& r) {
+  constexpr std::size_t kMaxPeers = 1u << 24;
+  crashed_.resize(r.size(kMaxPeers));
+  for (char& c : crashed_) c = r.boolean() ? 1 : 0;
+  slow_.resize(r.size(kMaxPeers));
+  for (char& c : slow_) c = r.boolean() ? 1 : 0;
+  snapshot::load_f64_vector(r, stalled_until_, kMaxPeers);
+  slow_count_ = static_cast<std::size_t>(r.u64());
+  crashes_ = r.u64();
+  stalls_ = r.u64();
+  resumes_ = r.u64();
+  engine_.load(r, [this](std::uint64_t tag, SimTime t, SimTime,
+                         obs::EventCategory) -> sim::Engine::Callback {
+    const std::uint64_t kind = tag & 0xff;
+    const auto p = static_cast<PeerId>(tag >> 8);
+    if (p >= crashed_.size()) return nullptr;
+    switch (kind) {
+      case kTagCrash:
+        return [this, p] { crash(p); };
+      case kTagStall: {
+        // A pending stall's freeze window starts when the event fires.
+        const double until = t + config_.stall_duration_seconds;
+        return [this, p, until] { stall(p, until); };
+      }
+      case kTagResume:
+        return [this, p] { resume_check(p); };
+      default:
+        return nullptr;
+    }
+  });
+  snapshot::load_rng(r, rng_);
 }
 
 }  // namespace ddp::fault

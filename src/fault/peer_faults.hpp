@@ -59,17 +59,37 @@ class PeerFaultInjector {
   std::uint64_t resume_count() const noexcept { return resumes_; }
   std::size_t slow_peer_count() const noexcept { return slow_count_; }
 
-  /// The private fault timeline (exposed for tests).
+  /// The private fault timeline (exposed for tests and soak invariants).
   sim::Engine& timeline() noexcept { return engine_; }
+  const sim::Engine& timeline() const noexcept { return engine_; }
 
   /// Attach a trace sink (null detaches). Emits fault_crash / fault_stall
   /// / fault_resume at the injected instants (second granularity).
   void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
   const obs::Tracer& tracer() const noexcept { return tracer_; }
 
+  /// Serialize the fault state and the private timeline (pending crash,
+  /// stall and resume events included) into the writer's open section.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save(), rebinding pending timeline events to
+  /// fresh callbacks. The on_crash/on_stall/on_resume subscribers are
+  /// rebound by the reconstructing scenario, not serialized.
+  void load(snapshot::Reader& r);
+
  private:
+  /// Event tags on the private timeline: kind in the low 8 bits, peer id
+  /// in the bits above — enough to rebind any pending event on restore.
+  static constexpr std::uint64_t kTagCrash = 1;
+  static constexpr std::uint64_t kTagStall = 2;
+  static constexpr std::uint64_t kTagResume = 3;
+  static constexpr std::uint64_t make_tag(std::uint64_t kind, PeerId p) noexcept {
+    return kind | (static_cast<std::uint64_t>(p) << 8);
+  }
+
   void crash(PeerId p);
   void stall(PeerId p, double until);
+  void resume_check(PeerId p);
 
   PeerFaultConfig config_;
   sim::Engine engine_;

@@ -13,6 +13,7 @@
 #include "fault/channel.hpp"
 #include "fault/fault.hpp"
 #include "fault/peer_faults.hpp"
+#include "snapshot/snapshot.hpp"
 #include "util/rng.hpp"
 
 namespace ddp::fault {
@@ -49,6 +50,29 @@ class FaultPlane {
 
   /// Advance the peer-fault timeline; call once per completed minute.
   void on_minute(double minute) { peers_.on_minute(minute); }
+
+  /// Serialize the bundled channel, injector and control counters into the
+  /// writer's open section.
+  void save(snapshot::Writer& w) const {
+    channel_.save(w);
+    peers_.save(w);
+    w.u64(control_.timeouts);
+    w.u64(control_.retries);
+    w.u64(control_.late_replies);
+    w.u64(control_.corrupt_rejects);
+    w.f64(control_.backoff_seconds_total);
+  }
+
+  /// Restore state saved by save().
+  void load(snapshot::Reader& r) {
+    channel_.load(r);
+    peers_.load(r);
+    control_.timeouts = r.u64();
+    control_.retries = r.u64();
+    control_.late_replies = r.u64();
+    control_.corrupt_rejects = r.u64();
+    control_.backoff_seconds_total = r.f64();
+  }
 
  private:
   FaultConfig config_;

@@ -1,5 +1,6 @@
 #include "flow/churn_driver.hpp"
 
+#include "snapshot/state_io.hpp"
 #include "util/types.hpp"
 
 namespace ddp::flow {
@@ -46,6 +47,23 @@ void ChurnDriver::on_minute(double minute) {
       if (on_join) on_join(p);
     }
   }
+}
+
+void ChurnDriver::save(snapshot::Writer& w) const {
+  snapshot::save_f64_vector(w, next_event_minute_);
+  w.u64(joins_);
+  w.u64(leaves_);
+  snapshot::save_rng(w, rng_);
+}
+
+void ChurnDriver::load(snapshot::Reader& r) {
+  snapshot::load_f64_vector(r, next_event_minute_, 1u << 24);
+  if (next_event_minute_.size() != net_.graph().node_count()) {
+    throw snapshot::SnapshotError("churn schedule size != node count");
+  }
+  joins_ = static_cast<std::size_t>(r.u64());
+  leaves_ = static_cast<std::size_t>(r.u64());
+  snapshot::load_rng(r, rng_);
 }
 
 }  // namespace ddp::flow

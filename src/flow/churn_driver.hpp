@@ -39,6 +39,15 @@ class ChurnDriver {
   void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
   const obs::Tracer& tracer() const noexcept { return tracer_; }
 
+  /// Serialize the per-peer transition schedule, counters and rng into the
+  /// writer's open section (the on_join/on_leave callbacks are rebound by
+  /// the reconstructing scenario, not serialized).
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save(), replacing the schedule drawn at
+  /// construction time.
+  void load(snapshot::Reader& r);
+
  private:
   void schedule_initial();
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "snapshot/state_io.hpp"
 #include "util/log.hpp"
 
 namespace ddp::flow {
@@ -537,6 +538,167 @@ void FlowNetwork::run_minutes(double m) {
   const auto ticks = static_cast<std::uint64_t>(
       std::llround(m * static_cast<double>(ticks_per_minute_)));
   for (std::uint64_t i = 0; i < ticks; ++i) step();
+}
+
+void FlowNetwork::run_until_minute(double m) {
+  const auto target = static_cast<std::uint64_t>(
+      std::llround(m * static_cast<double>(ticks_per_minute_)));
+  while (tick_count_ < target) step();
+}
+
+namespace {
+
+void save_report(snapshot::Writer& w, const MinuteReport& r) {
+  w.f64(r.minute);
+  w.f64(r.traffic_messages);
+  w.f64(r.attack_messages);
+  w.f64(r.good_issued);
+  w.f64(r.attack_issued);
+  w.f64(r.dropped);
+  w.f64(r.reach_per_query);
+  w.f64(r.success_rate);
+  w.f64(r.response_time);
+  w.f64(r.mean_utilization);
+  w.f64(r.overhead_messages);
+  w.f64(r.transport_lost);
+  w.f64(r.dropped_good);
+  w.f64(r.dropped_attack);
+}
+
+void load_report(snapshot::Reader& r, MinuteReport& m) {
+  m.minute = r.f64();
+  m.traffic_messages = r.f64();
+  m.attack_messages = r.f64();
+  m.good_issued = r.f64();
+  m.attack_issued = r.f64();
+  m.dropped = r.f64();
+  m.reach_per_query = r.f64();
+  m.success_rate = r.f64();
+  m.response_time = r.f64();
+  m.mean_utilization = r.f64();
+  m.overhead_messages = r.f64();
+  m.transport_lost = r.f64();
+  m.dropped_good = r.f64();
+  m.dropped_attack = r.f64();
+}
+
+}  // namespace
+
+void FlowNetwork::save(snapshot::Writer& w) const {
+  w.size(kinds_.size());
+  for (const PeerKind k : kinds_) w.u8(static_cast<std::uint8_t>(k));
+  snapshot::save_f64_vector(w, issue_scale_);
+
+  std::size_t entries = 0;
+  edge_state_.for_each([&entries](std::uint32_t, const EdgeState&) { ++entries; });
+  w.size(entries);
+  edge_state_.for_each([&w](std::uint32_t slot, const EdgeState& es) {
+    w.u32(slot);
+    for (const auto& cls : es.cur) {
+      for (const double v : cls) w.f64(v);
+    }
+    for (const auto& cls : es.nxt) {
+      for (const double v : cls) w.f64(v);
+    }
+    w.f64(es.minute_acc);
+    w.f64(es.minute_done);
+  });
+
+  snapshot::save_f64_vector(w, profile_.new_nodes);
+  snapshot::save_f64_vector(w, profile_.messages);
+  for (const double d : forward_damping_) w.f64(d);
+  w.f64(last_calibration_minute_);
+
+  w.size(ghost_minute_counts_.size());
+  for (const GhostCount& g : ghost_minute_counts_) {
+    w.u32(g.from);
+    w.u32(g.to);
+    w.f64(g.count);
+  }
+
+  w.f64(now_);
+  w.u64(tick_count_);
+  w.u64(ticks_per_minute_);
+  w.f64(acc_traffic_);
+  w.f64(acc_attack_traffic_);
+  w.f64(acc_good_issued_);
+  w.f64(acc_attack_issued_);
+  w.f64(acc_dropped_);
+  for (const double d : acc_dropped_class_) w.f64(d);
+  w.f64(acc_transport_lost_);
+  for (const double d : acc_fresh_good_by_hop_) w.f64(d);
+  w.f64(acc_util_);
+  w.f64(acc_delay_weight_);
+  w.f64(acc_delay_load_);
+  w.f64(overhead_accum_);
+
+  save_report(w, last_report_);
+  w.size(history_.size());
+  for (const MinuteReport& m : history_) save_report(w, m);
+  snapshot::save_rng(w, rng_);
+}
+
+void FlowNetwork::load(snapshot::Reader& r) {
+  constexpr std::size_t kMaxPeers = 1u << 24;
+  kinds_.resize(r.size(kMaxPeers));
+  for (PeerKind& k : kinds_) k = static_cast<PeerKind>(r.u8());
+  snapshot::load_f64_vector(r, issue_scale_, kMaxPeers);
+
+  const topology::EdgeIndex& index = graph_.edge_index();
+  edge_state_.clear();
+  edge_state_.sync();
+  const std::size_t entries = r.size(index.capacity());
+  for (std::size_t i = 0; i < entries; ++i) {
+    const std::uint32_t slot = r.u32();
+    if (!index.live(slot)) {
+      throw snapshot::SnapshotError("flow state references a dead edge slot");
+    }
+    EdgeState& es = edge_state_.touch(slot);
+    for (auto& cls : es.cur) {
+      for (double& v : cls) v = r.f64();
+    }
+    for (auto& cls : es.nxt) {
+      for (double& v : cls) v = r.f64();
+    }
+    es.minute_acc = r.f64();
+    es.minute_done = r.f64();
+  }
+
+  snapshot::load_f64_vector(r, profile_.new_nodes, kMaxTtl);
+  snapshot::load_f64_vector(r, profile_.messages, kMaxTtl);
+  for (double& d : forward_damping_) d = r.f64();
+  last_calibration_minute_ = r.f64();
+
+  ghost_minute_counts_.resize(r.size(1u << 26));
+  for (GhostCount& g : ghost_minute_counts_) {
+    g.from = r.u32();
+    g.to = r.u32();
+    g.count = r.f64();
+  }
+
+  now_ = r.f64();
+  tick_count_ = r.u64();
+  const std::uint64_t tpm = r.u64();
+  if (tpm != ticks_per_minute_) {
+    throw snapshot::SnapshotError("ticks-per-minute mismatch with config");
+  }
+  acc_traffic_ = r.f64();
+  acc_attack_traffic_ = r.f64();
+  acc_good_issued_ = r.f64();
+  acc_attack_issued_ = r.f64();
+  acc_dropped_ = r.f64();
+  for (double& d : acc_dropped_class_) d = r.f64();
+  acc_transport_lost_ = r.f64();
+  for (double& d : acc_fresh_good_by_hop_) d = r.f64();
+  acc_util_ = r.f64();
+  acc_delay_weight_ = r.f64();
+  acc_delay_load_ = r.f64();
+  overhead_accum_ = r.f64();
+
+  load_report(r, last_report_);
+  history_.resize(r.size(1u << 24));
+  for (MinuteReport& m : history_) load_report(r, m);
+  snapshot::load_rng(r, rng_);
 }
 
 }  // namespace ddp::flow

@@ -47,6 +47,11 @@
 #include "util/types.hpp"
 #include "workload/content.hpp"
 
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
+
 namespace ddp::flow {
 
 /// Traffic classes tracked separately so ground-truth metrics can tell
@@ -95,6 +100,11 @@ class FlowNetwork {
 
   /// Advance whole minutes (60/tick ticks each).
   void run_minutes(double m);
+
+  /// Advance to the *absolute* minute `m` (no-op when already there or
+  /// past). Equivalent to run_minutes(m) on a fresh engine, and correct
+  /// after a checkpoint restore, where the tick counter is mid-run.
+  void run_until_minute(double m);
 
   SimTime now() const noexcept { return now_; }
   double current_minute() const noexcept { return to_minutes(now_); }
@@ -152,6 +162,16 @@ class FlowNetwork {
   /// the hot step() loop stays trace-free.
   void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
   const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Serialize the complete flow state (roles, per-link flow, calibration,
+  /// minute accumulators, report history, rng) into the writer's open
+  /// section. The graph itself is saved separately by its owner.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save(). The graph must already be restored
+  /// (per-link state re-attaches to its live slots). Minute hooks are not
+  /// serialized — subscribers re-register on reconstruction.
+  void load(snapshot::Reader& r);
 
  private:
   struct EdgeState {

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "snapshot/state_io.hpp"
 #include "util/log.hpp"
 
 namespace ddp::obs {
@@ -195,6 +196,54 @@ bool MetricsRegistry::write_csv(const std::string& path) const {
 
 bool MetricsRegistry::write_json(const std::string& path) const {
   return write_text(path, to_json(), "metrics JSON");
+}
+
+void MetricsRegistry::save(snapshot::Writer& w) const {
+  w.size(entries_.size());
+  for (const Entry& e : entries_) {
+    w.str(e.name);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.f64(e.value);
+    w.boolean(e.hist != nullptr);
+    if (e.hist != nullptr) snapshot::save_histogram(w, *e.hist);
+  }
+  w.size(history_.size());
+  for (const Snapshot& s : history_) {
+    w.f64(s.minute);
+    snapshot::save_f64_vector(w, s.values);
+  }
+}
+
+void MetricsRegistry::load(snapshot::Reader& r) {
+  constexpr std::size_t kMaxMetrics = 1u << 16;
+  constexpr std::size_t kMaxRows = 1u << 26;
+  const std::size_t count = r.size(kMaxMetrics);
+  if (count != entries_.size()) {
+    throw snapshot::SnapshotError(
+        "metrics registry shape disagrees with snapshot (entry count)");
+  }
+  for (Entry& e : entries_) {
+    const std::string name = r.str();
+    const std::uint8_t kind = r.u8();
+    if (name != e.name || kind != static_cast<std::uint8_t>(e.kind)) {
+      throw snapshot::SnapshotError(
+          "metrics registry shape disagrees with snapshot (metric '" + name +
+          "')");
+    }
+    e.value = r.f64();
+    const bool has_hist = r.boolean();
+    if (has_hist != (e.hist != nullptr)) {
+      throw snapshot::SnapshotError(
+          "metrics registry shape disagrees with snapshot (histogram "
+          "presence for '" + name + "')");
+    }
+    if (has_hist) snapshot::load_histogram(r, *e.hist);
+  }
+  history_.resize(r.size(kMaxRows));
+  for (Snapshot& s : history_) {
+    s.minute = r.f64();
+    snapshot::load_f64_vector(r, s.values, kMaxMetrics);
+  }
 }
 
 }  // namespace ddp::obs

@@ -23,6 +23,11 @@
 
 #include "util/stats.hpp"
 
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
+
 namespace ddp::obs {
 
 /// Dense handle into a registry; stable for the registry's lifetime.
@@ -79,6 +84,17 @@ class MetricsRegistry {
 
   bool write_csv(const std::string& path) const;
   bool write_json(const std::string& path) const;
+
+  /// Serialize every metric (name, kind, value, histogram payload) and
+  /// the per-minute snapshot history into the writer's open section.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore values saved by save() into an already-registered registry:
+  /// the caller re-registers its metrics first (construction order), and
+  /// load() verifies each stored entry matches by name and kind — a
+  /// registry whose shape drifted from the snapshot is rejected rather
+  /// than silently misaligned.
+  void load(snapshot::Reader& r);
 
  private:
   struct Entry {

@@ -176,6 +176,16 @@ std::vector<TraceRecord> validate_trace(std::istream& in,
   bool saw_sim_event = false;
   while (std::getline(in, line)) {
     ++line_no;
+    // A final line without its trailing newline is the signature of a
+    // process that died mid-write: the record may parse, but the file is
+    // torn. JSONL sinks always terminate every event with '\n'.
+    if (in.eof() && !line.empty()) {
+      if (errors.size() < max_errors) {
+        errors.push_back(SchemaError{
+            line_no, "final line is truncated (no trailing newline; "
+                     "interrupted write?)"});
+      }
+    }
     if (line.empty()) continue;
     std::string why;
     auto rec = parse_trace_line(line, &why);

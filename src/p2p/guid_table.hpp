@@ -94,6 +94,41 @@ class GuidTable {
 
   std::size_t size() const noexcept { return size_; }
 
+  /// Raw slot array (snapshot support). The exact probe layout matters:
+  /// prune() re-inserts survivors in slot order, so future layouts — and
+  /// with them bit-identical replay — depend on the current one.
+  const std::vector<Entry>& raw_slots() const noexcept { return slots_; }
+
+  /// Adopt a slot array previously obtained from raw_slots(). Returns
+  /// false when the array is not a valid open-addressed table: capacity
+  /// not zero or a power of two, or a used entry unreachable from its
+  /// probe home (a corrupt snapshot would otherwise lose dedup entries
+  /// silently).
+  bool restore_raw(std::vector<Entry> slots) {
+    const std::size_t cap = slots.size();
+    if (cap != 0 && (cap & (cap - 1)) != 0) return false;
+    std::size_t used = 0;
+    for (const Entry& e : slots) {
+      if (e.used) ++used;
+    }
+    if (cap != 0 && used * 2 > cap) return false;  // load factor invariant
+    const std::size_t mask = cap == 0 ? 0 : cap - 1;
+    for (std::size_t at = 0; at < cap; ++at) {
+      if (!slots[at].used) continue;
+      // Linear-probe reachability: walking from the hash home must reach
+      // `at` without crossing an empty slot.
+      std::size_t i = net::GuidHash{}(slots[at].guid) & mask;
+      while (i != at) {
+        if (!slots[i].used) return false;
+        i = (i + 1) & mask;
+      }
+    }
+    slots_ = std::move(slots);
+    mask_ = mask;
+    size_ = used;
+    return true;
+  }
+
  private:
   static constexpr std::size_t kMinCapacity = 16;  // power of two
 

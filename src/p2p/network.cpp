@@ -2,9 +2,22 @@
 
 #include <algorithm>
 
+#include "snapshot/state_io.hpp"
 #include "util/log.hpp"
 
 namespace ddp::p2p {
+
+namespace {
+
+void save_guid(snapshot::Writer& w, const net::Guid& g) {
+  for (const std::uint8_t b : g.bytes) w.u8(b);
+}
+
+void load_guid(snapshot::Reader& r, net::Guid& g) {
+  for (std::uint8_t& b : g.bytes) b = r.u8();
+}
+
+}  // namespace
 
 double LinkMonitors::out_per_minute(PeerId from, PeerId to, SimTime now) {
   const auto slot = graph_->edge_slot(from, to);
@@ -24,6 +37,33 @@ void LinkMonitors::forget(PeerId a, PeerId b) {
   if (slot == topology::EdgeIndex::kInvalidSlot) return;
   windows_.erase(slot);
   windows_.erase(graph_->edge_index().reverse(slot));
+}
+
+void LinkMonitors::save(snapshot::Writer& w) const {
+  std::size_t entries = 0;
+  windows_.for_each([&entries](std::uint32_t, const util::RateWindow&) {
+    ++entries;
+  });
+  w.size(entries);
+  windows_.for_each([&w](std::uint32_t slot, const util::RateWindow& win) {
+    w.u32(slot);
+    snapshot::save_rate_window(w, win);
+  });
+}
+
+void LinkMonitors::load(snapshot::Reader& r) {
+  const auto& index = graph_->edge_index();
+  windows_.clear();
+  windows_.sync();
+  const std::size_t entries = r.size(index.capacity());
+  for (std::size_t i = 0; i < entries; ++i) {
+    const std::uint32_t slot = r.u32();
+    if (!index.live(slot)) {
+      throw snapshot::SnapshotError(
+          "link monitor window references a dead edge slot");
+    }
+    snapshot::load_rate_window(r, windows_.touch(slot));
+  }
 }
 
 PacketNetwork::PacketNetwork(topology::Graph& graph,
@@ -299,6 +339,136 @@ void PacketNetwork::prune_outcomes(SimTime now) {
   outcomes_.erase(outcomes_.begin(),
                   outcomes_.begin() + static_cast<std::ptrdiff_t>(n));
   outcome_base_ += n;
+}
+
+void PacketNetwork::save(snapshot::Writer& w) const {
+  for (const PeerState& ps : peers_) {
+    if (!ps.queue.empty() || ps.busy) {
+      throw snapshot::SnapshotError(
+          "packet network is not quiescent: descriptors are queued or being "
+          "serviced (checkpoint between run_until boundaries)");
+    }
+  }
+  w.size(peers_.size());
+  for (const PeerState& ps : peers_) {
+    w.f64(ps.capacity_per_minute);
+    const auto& slots = ps.seen.raw_slots();
+    w.size(slots.size());
+    for (const GuidTable::Entry& e : slots) {
+      save_guid(w, e.guid);
+      w.f64(e.when);
+      w.u32(e.from);
+      w.boolean(e.used);
+    }
+    w.u64(ps.processed);
+    w.u64(ps.dropped);
+    w.u64(ps.received);
+    w.f64(ps.last_prune);
+  }
+  w.size(kinds_.size());
+  for (const PeerKind k : kinds_) w.u8(static_cast<std::uint8_t>(k));
+  w.u64(totals_.queries_issued);
+  w.u64(totals_.attack_queries_issued);
+  w.u64(totals_.messages_sent);
+  w.u64(totals_.queries_processed);
+  w.u64(totals_.queries_dropped);
+  w.u64(totals_.duplicates_dropped);
+  w.u64(totals_.hits_generated);
+  w.u64(totals_.hits_delivered);
+  w.f64(totals_.overhead_messages);
+  w.u64(totals_.transport_dropped);
+  w.u64(totals_.transport_corrupted);
+  w.u64(totals_.transport_duplicated);
+  w.size(outcomes_.size());
+  for (const QueryOutcome& o : outcomes_) {
+    w.u64(o.id);
+    save_guid(w, o.guid);
+    w.u32(o.origin);
+    w.f64(o.issued_at);
+    w.boolean(o.responded);
+    w.f64(o.first_response_at);
+    w.boolean(o.attack);
+  }
+  w.u64(outcome_base_);
+  w.u64(next_query_);
+  monitors_.save(w);
+  snapshot::save_rng(w, rng_);
+}
+
+void PacketNetwork::load(snapshot::Reader& r) {
+  constexpr std::size_t kMaxPeers = 1u << 24;
+  constexpr std::size_t kMaxTableSlots = 1u << 26;
+  const std::size_t peer_count = r.size(kMaxPeers);
+  if (peer_count != graph_.node_count()) {
+    throw snapshot::SnapshotError("packet network peer count != node count");
+  }
+  peers_.resize(peer_count);
+  guid_entries_ = 0;
+  for (PeerState& ps : peers_) {
+    ps.capacity_per_minute = r.f64();
+    ps.queue.clear();
+    ps.busy = false;
+    std::vector<GuidTable::Entry> slots(r.size(kMaxTableSlots));
+    for (GuidTable::Entry& e : slots) {
+      load_guid(r, e.guid);
+      e.when = r.f64();
+      e.from = r.u32();
+      e.used = r.boolean();
+    }
+    if (!ps.seen.restore_raw(std::move(slots))) {
+      throw snapshot::SnapshotError(
+          "guid table slot layout is not a valid probe sequence");
+    }
+    guid_entries_ += ps.seen.size();
+    ps.processed = r.u64();
+    ps.dropped = r.u64();
+    ps.received = r.u64();
+    ps.last_prune = r.f64();
+  }
+  kinds_.resize(r.size(kMaxPeers));
+  if (kinds_.size() != peer_count) {
+    throw snapshot::SnapshotError("packet network kind count != peer count");
+  }
+  for (PeerKind& k : kinds_) {
+    const std::uint8_t v = r.u8();
+    if (v > static_cast<std::uint8_t>(PeerKind::kBad)) {
+      throw snapshot::SnapshotError("invalid peer kind value");
+    }
+    k = static_cast<PeerKind>(v);
+  }
+  totals_.queries_issued = r.u64();
+  totals_.attack_queries_issued = r.u64();
+  totals_.messages_sent = r.u64();
+  totals_.queries_processed = r.u64();
+  totals_.queries_dropped = r.u64();
+  totals_.duplicates_dropped = r.u64();
+  totals_.hits_generated = r.u64();
+  totals_.hits_delivered = r.u64();
+  totals_.overhead_messages = r.f64();
+  totals_.transport_dropped = r.u64();
+  totals_.transport_corrupted = r.u64();
+  totals_.transport_duplicated = r.u64();
+  outcomes_.resize(r.size(1u << 26));
+  for (QueryOutcome& o : outcomes_) {
+    o.id = r.u64();
+    load_guid(r, o.guid);
+    o.origin = r.u32();
+    o.issued_at = r.f64();
+    o.responded = r.boolean();
+    o.first_response_at = r.f64();
+    o.attack = r.boolean();
+  }
+  outcome_base_ = static_cast<std::size_t>(r.u64());
+  next_query_ = r.u64();
+  monitors_.load(r);
+  snapshot::load_rng(r, rng_);
+  outcome_index_.clear();
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+    outcome_index_.emplace(outcomes_[i].guid, outcome_base_ + i);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->set(guid_gauge_, static_cast<double>(guid_entries_));
+  }
 }
 
 void PacketNetwork::prune_seen(PeerState& ps, SimTime now) {

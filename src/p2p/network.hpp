@@ -29,6 +29,11 @@
 #include "util/types.hpp"
 #include "workload/content.hpp"
 
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
+
 namespace ddp::p2p {
 
 /// In-memory descriptor flowing through the engine. Wire encoding is
@@ -90,6 +95,14 @@ class LinkMonitors {
   /// Explicitly reset both directions of a live link (slot release already
   /// covers teardown; this is for resets that keep the edge up).
   void forget(PeerId a, PeerId b);
+
+  /// Serialize every live window into the writer's open section. The
+  /// graph (and so the slot index) is saved by its owner; load() must run
+  /// after the graph has been restored.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save().
+  void load(snapshot::Reader& r);
 
  private:
   const topology::Graph* graph_;
@@ -182,6 +195,18 @@ class PacketNetwork {
 
   /// Total live GUID-dedup entries across all peers (the gauge's value).
   std::uint64_t guid_table_size() const noexcept { return guid_entries_; }
+
+  /// Serialize peer protocol state (dedup tables, counters), link
+  /// monitors, totals and the query-outcome window into the writer's open
+  /// section. Only valid at a quiescent point — no queued descriptors, no
+  /// busy servers and no in-flight engine events; throws SnapshotError
+  /// otherwise. The graph and engine are saved by their owner.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save(). The graph must already be restored
+  /// (monitor windows re-attach to live edge slots); the outcome index is
+  /// rebuilt from the outcome records.
+  void load(snapshot::Reader& r);
 
  private:
   struct PeerState {

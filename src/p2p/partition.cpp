@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/state_io.hpp"
+
 namespace ddp::p2p {
 
 PartitionReport find_partitions(const topology::Graph& graph) {
@@ -115,6 +117,22 @@ std::size_t PartitionHealer::heal(double minute, const EligibleFilter& eligible,
     }
   }
   return repaired;
+}
+
+void PartitionHealer::save(snapshot::Writer& w) const {
+  snapshot::save_rng(w, rng_);
+  w.u64(sweeps_);
+  w.u64(partitions_seen_);
+  w.u64(peers_repaired_);
+  w.u64(edges_added_);
+}
+
+void PartitionHealer::load(snapshot::Reader& r) {
+  snapshot::load_rng(r, rng_);
+  sweeps_ = r.u64();
+  partitions_seen_ = r.u64();
+  peers_repaired_ = r.u64();
+  edges_added_ = r.u64();
 }
 
 }  // namespace ddp::p2p

@@ -27,6 +27,11 @@
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
+
 namespace ddp::p2p {
 
 /// Snapshot of the overlay's component structure. Peers that are inactive
@@ -75,6 +80,13 @@ class PartitionHealer {
   /// peer). Returns the number of peers that regained connectivity.
   std::size_t heal(double minute, const EligibleFilter& eligible,
                    const ConnectFn& connect);
+
+  /// Serialize the healer's rng stream and counters into the writer's
+  /// open section (the graph is saved by its owner).
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save().
+  void load(snapshot::Reader& r);
 
   /// Monotone counters for the soak invariants.
   std::uint64_t sweeps() const noexcept { return sweeps_; }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "snapshot/snapshot.hpp"
+
 namespace ddp::sim {
 
 std::uint32_t Engine::alloc_slot() {
@@ -23,6 +25,7 @@ void Engine::free_slot(std::uint32_t slot) {
   Record& r = records_[slot];
   r.fn = nullptr;
   r.period = -1.0;
+  r.tag = 0;
   r.live = false;
   // The generation bump is what retires every EventId minted for this
   // slot so far; wraparound after 2^32 reuses is acceptable (an id would
@@ -87,11 +90,12 @@ void Engine::heap_rearm_root(SimTime t) {
 }
 
 EventId Engine::schedule_at(SimTime t, Callback fn,
-                            obs::EventCategory category) {
+                            obs::EventCategory category, std::uint64_t tag) {
   const std::uint32_t slot = alloc_slot();
   Record& r = records_[slot];
   r.fn = std::move(fn);
   r.period = -1.0;
+  r.tag = tag;
   r.category = static_cast<std::uint8_t>(category);
   r.live = true;
   heap_push(std::max(t, now_), slot);
@@ -100,16 +104,17 @@ EventId Engine::schedule_at(SimTime t, Callback fn,
 }
 
 EventId Engine::schedule_in(SimTime delay, Callback fn,
-                            obs::EventCategory category) {
-  return schedule_at(now_ + std::max(0.0, delay), std::move(fn), category);
+                            obs::EventCategory category, std::uint64_t tag) {
+  return schedule_at(now_ + std::max(0.0, delay), std::move(fn), category, tag);
 }
 
 EventId Engine::schedule_every(SimTime period, Callback fn, SimTime phase,
-                               obs::EventCategory category) {
+                               obs::EventCategory category, std::uint64_t tag) {
   const std::uint32_t slot = alloc_slot();
   Record& r = records_[slot];
   r.fn = std::move(fn);
   r.period = period;
+  r.tag = tag;
   r.category = static_cast<std::uint8_t>(category);
   r.live = true;
   heap_push(now_ + (phase >= 0.0 ? phase : period), slot);
@@ -205,6 +210,117 @@ void Engine::run_until(SimTime horizon) {
 void Engine::run() {
   stopped_ = false;
   while (!stopped_ && step(std::numeric_limits<double>::infinity())) {
+  }
+}
+
+bool Engine::consistent(std::string* why) const {
+  const auto fail = [why](const char* m) {
+    if (why != nullptr) *why = m;
+    return false;
+  };
+  const std::size_t n = records_.size();
+  // Every slab slot must sit in exactly one place: the heap (live or
+  // lazily-draining cancelled entry) or the free list.
+  std::vector<std::uint8_t> where(n, 0);  // 0 unseen, 1 heap, 2 free
+  for (std::size_t pos = 0; pos < heap_.size(); ++pos) {
+    const HeapEntry& e = heap_[pos];
+    const std::uint32_t slot = e.slot();
+    if (slot >= n) return fail("heap entry slot out of slab range");
+    if ((e.seq_slot >> kSlotBits) >= seq_) {
+      return fail("heap entry sequence >= next sequence counter");
+    }
+    if (where[slot] != 0) return fail("slot referenced by two heap entries");
+    where[slot] = 1;
+    if (pos > 0 && earlier(e, heap_[(pos - 1) / 4])) {
+      return fail("heap order invariant violated (child earlier than parent)");
+    }
+  }
+  for (const std::uint32_t slot : free_) {
+    if (slot >= n) return fail("free-list slot out of slab range");
+    if (where[slot] != 0) {
+      return fail("slot on the free list and in the heap (or listed twice)");
+    }
+    where[slot] = 2;
+    if (records_[slot].live) return fail("free-list slot marked live");
+  }
+  std::size_t live_count = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (where[s] == 0) return fail("slot neither in the heap nor on the free list");
+    if (records_[s].live) ++live_count;
+  }
+  if (live_count != live_) return fail("live counter disagrees with live bits");
+  return true;
+}
+
+void Engine::save(snapshot::Writer& w) const {
+  w.f64(now_);
+  w.u64(seq_);
+  w.u64(executed_);
+  w.u64(live_);
+  w.size(records_.size());
+  for (const Record& r : records_) {
+    if (r.live && r.tag == 0) {
+      throw snapshot::SnapshotError(
+          "engine has a pending event scheduled without a restore tag");
+    }
+    w.f64(r.period);
+    w.u64(r.tag);
+    w.u32(r.generation);
+    w.u8(r.category);
+    w.boolean(r.live);
+  }
+  w.size(free_.size());
+  for (const std::uint32_t slot : free_) w.u32(slot);
+  w.size(heap_.size());
+  for (const HeapEntry& e : heap_) {
+    w.f64(e.t);
+    w.u64(e.seq_slot);
+  }
+}
+
+void Engine::load(snapshot::Reader& r, const CallbackBinder& bind) {
+  now_ = r.f64();
+  seq_ = r.u64();
+  executed_ = r.u64();
+  live_ = static_cast<std::size_t>(r.u64());
+  stopped_ = false;
+  const std::size_t slots = r.size(kSlotMask + 1);
+  records_.assign(slots, Record{});
+  for (Record& rec : records_) {
+    rec.period = r.f64();
+    rec.tag = r.u64();
+    rec.generation = r.u32();
+    rec.category = r.u8();
+    rec.live = r.boolean();
+  }
+  const std::size_t nfree = r.size(slots);
+  free_.resize(nfree);
+  for (std::uint32_t& slot : free_) slot = r.u32();
+  const std::size_t nheap = r.size(slots);
+  heap_.resize(nheap);
+  for (HeapEntry& e : heap_) {
+    e.t = r.f64();
+    e.seq_slot = r.u64();
+  }
+  // Rebind live callbacks; the heap entry carries the next fire time the
+  // binder may need (e.g. a stall-resume event's due time).
+  for (const HeapEntry& e : heap_) {
+    const std::uint32_t slot = e.slot();
+    if (slot >= records_.size()) {
+      throw snapshot::SnapshotError("heap entry slot out of slab range");
+    }
+    Record& rec = records_[slot];
+    if (!rec.live) continue;
+    rec.fn = bind(rec.tag, e.t, rec.period,
+                  static_cast<obs::EventCategory>(rec.category));
+    if (!rec.fn) {
+      throw snapshot::SnapshotError("no callback bound for event tag " +
+                                    std::to_string(rec.tag));
+    }
+  }
+  std::string why;
+  if (!consistent(&why)) {
+    throw snapshot::SnapshotError("restored engine inconsistent: " + why);
   }
 }
 

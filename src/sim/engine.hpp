@@ -29,10 +29,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "obs/profile.hpp"
 #include "util/types.hpp"
+
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
 
 namespace ddp::sim {
 
@@ -49,19 +55,27 @@ class Engine {
   /// Schedule `fn` at absolute time `t` (>= now, clamped up if in the
   /// past). Returns a handle usable with cancel(). `category` tags the
   /// event for the attached profiler (free when none is attached).
+  /// `tag` is an opaque caller token persisted by save(): a checkpointed
+  /// event is rebound to a fresh callback via the tag on load. Events
+  /// scheduled with the default tag of 0 are *not* restorable — save()
+  /// rejects a pending tagless event, so anything that can be in flight
+  /// across a checkpoint must carry a tag.
   EventId schedule_at(SimTime t, Callback fn,
-                      obs::EventCategory category = obs::EventCategory::kGeneric);
+                      obs::EventCategory category = obs::EventCategory::kGeneric,
+                      std::uint64_t tag = 0);
 
   /// Schedule `fn` `delay` seconds from now.
   EventId schedule_in(SimTime delay, Callback fn,
-                      obs::EventCategory category = obs::EventCategory::kGeneric);
+                      obs::EventCategory category = obs::EventCategory::kGeneric,
+                      std::uint64_t tag = 0);
 
   /// Schedule `fn` every `period` seconds starting at now + phase
   /// (phase defaults to one full period). The task reschedules itself
   /// until cancelled; the returned id stays valid across repetitions.
   /// Periodic dispatches are profiled under kPeriodic unless tagged.
   EventId schedule_every(SimTime period, Callback fn, SimTime phase = -1.0,
-                         obs::EventCategory category = obs::EventCategory::kPeriodic);
+                         obs::EventCategory category = obs::EventCategory::kPeriodic,
+                         std::uint64_t tag = 0);
 
   /// Cancel a pending (or periodic) event. Safe on already-fired, unknown
   /// or stale (generation-reused) ids; returns whether something was
@@ -92,6 +106,31 @@ class Engine {
   /// alone transiently overcounts.
   std::size_t pending() const noexcept { return live_; }
 
+  /// Structural self-check: heap order invariant, slab/free-list slot
+  /// partition, live counter vs live bits, heap-entry slot/seq bounds.
+  /// Returns false and (when `why` is non-null) a description of the first
+  /// violation found. O(slots + heap); intended for soak standing
+  /// invariants and post-restore validation, not the dispatch path.
+  bool consistent(std::string* why = nullptr) const;
+
+  /// Rebinds a checkpointed event's callback on load. Receives the tag the
+  /// event was scheduled with, its next fire time, its period (< 0 for a
+  /// one-shot) and its category; returns the replacement callback. Must
+  /// return a non-empty callback for every tag it is handed.
+  using CallbackBinder = std::function<Callback(
+      std::uint64_t tag, SimTime t, SimTime period, obs::EventCategory category)>;
+
+  /// Serialize the full engine state (clock, sequence counter, slab, free
+  /// list, heap) into the writer's open section. Throws SnapshotError if a
+  /// live event carries the non-restorable tag 0.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore engine state saved by save(), rebinding each live event's
+  /// callback through `bind`. Replaces all current state; throws
+  /// SnapshotError (leaving the engine unusable) on malformed input, a
+  /// binder failure, or a restored state that fails consistent().
+  void load(snapshot::Reader& r, const CallbackBinder& bind);
+
  private:
   /// Slab slot owning one event's callback. `period < 0` marks a one-shot.
   /// `generation` is baked into the EventId so slot reuse invalidates old
@@ -100,6 +139,7 @@ class Engine {
   struct Record {
     Callback fn;
     SimTime period = -1.0;
+    std::uint64_t tag = 0;  ///< caller token for checkpoint rebinding
     std::uint32_t generation = 0;
     std::uint8_t category = 0;
     bool live = false;

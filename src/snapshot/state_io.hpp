@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file state_io.hpp
+/// Shared serializers for the util value types that appear in many
+/// subsystems' checkpoint sections (Rng streams, rate windows, histograms,
+/// plain vectors). Header-only so util itself never depends on snapshot.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+#include "util/rate_window.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ddp::snapshot {
+
+inline void save_rng(Writer& w, const util::Rng& rng) {
+  const util::Rng::State s = rng.state();
+  w.u64(s.state);
+  w.u64(s.inc);
+  w.u64(s.seed_origin);
+  w.f64(s.spare_normal);
+  w.boolean(s.has_spare);
+}
+
+inline void load_rng(Reader& r, util::Rng& rng) {
+  util::Rng::State s;
+  s.state = r.u64();
+  s.inc = r.u64();
+  s.seed_origin = r.u64();
+  s.spare_normal = r.f64();
+  s.has_spare = r.boolean();
+  rng.restore(s);
+}
+
+inline void save_rate_window(Writer& w, const util::RateWindow& rw) {
+  const util::RateWindow::Raw raw = rw.raw();
+  w.f64(raw.window);
+  w.f64(raw.bucket_len);
+  w.size(raw.buckets.size());
+  for (const double b : raw.buckets) w.f64(b);
+  w.i64(raw.head_index);
+  w.f64(raw.sum);
+  w.boolean(raw.started);
+}
+
+inline void load_rate_window(Reader& r, util::RateWindow& rw) {
+  util::RateWindow::Raw raw;
+  raw.window = r.f64();
+  raw.bucket_len = r.f64();
+  raw.buckets.resize(r.size(1u << 16));
+  for (double& b : raw.buckets) b = r.f64();
+  raw.head_index = r.i64();
+  raw.sum = r.f64();
+  raw.started = r.boolean();
+  if (!rw.restore(std::move(raw))) {
+    throw SnapshotError("rate window restore rejected (invalid raw state)");
+  }
+}
+
+inline void save_histogram(Writer& w, const util::Histogram& h) {
+  w.f64(h.total_weight());
+  const std::vector<double>& counts = h.raw_counts();
+  w.size(counts.size());
+  for (const double c : counts) w.f64(c);
+}
+
+/// Restores into a histogram already constructed with the original bin
+/// layout; throws when the stored bin count disagrees.
+inline void load_histogram(Reader& r, util::Histogram& h) {
+  const double total = r.f64();
+  std::vector<double> counts(r.size(1u << 20));
+  for (double& c : counts) c = r.f64();
+  if (!h.restore_counts(std::move(counts), total)) {
+    throw SnapshotError("histogram bin layout mismatch");
+  }
+}
+
+inline void save_f64_vector(Writer& w, const std::vector<double>& v) {
+  w.size(v.size());
+  for (const double x : v) w.f64(x);
+}
+
+inline void load_f64_vector(Reader& r, std::vector<double>& v,
+                            std::size_t max = 1u << 26) {
+  v.resize(r.size(max));
+  for (double& x : v) x = r.f64();
+}
+
+inline void save_u32_vector(Writer& w, const std::vector<std::uint32_t>& v) {
+  w.size(v.size());
+  for (const std::uint32_t x : v) w.u32(x);
+}
+
+inline void load_u32_vector(Reader& r, std::vector<std::uint32_t>& v,
+                            std::size_t max = 1u << 26) {
+  v.resize(r.size(max));
+  for (std::uint32_t& x : v) x = r.u32();
+}
+
+}  // namespace ddp::snapshot

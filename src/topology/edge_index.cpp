@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/snapshot.hpp"
+
 namespace ddp::topology {
 
 EdgeIndex::Slot EdgeIndex::acquire_one(PeerId u, PeerId v) {
@@ -89,6 +91,39 @@ bool EdgeIndex::consistent(std::string* why) const {
     }
   }
   return true;
+}
+
+void EdgeIndex::save(snapshot::Writer& w) const {
+  w.size(slots_.size());
+  for (const SlotInfo& info : slots_) {
+    w.u32(info.from);
+    w.u32(info.to);
+    w.u32(info.rev);
+    w.u32(info.gen);
+  }
+  w.size(free_.size());
+  for (const Slot s : free_) w.u32(s);
+  w.u64(live_);
+}
+
+void EdgeIndex::load(snapshot::Reader& r) {
+  constexpr std::size_t kMaxSlots = 1u << 28;
+  const std::size_t n = r.size(kMaxSlots);
+  slots_.assign(n, SlotInfo{});
+  for (SlotInfo& info : slots_) {
+    info.from = r.u32();
+    info.to = r.u32();
+    info.rev = r.u32();
+    info.gen = r.u32();
+  }
+  const std::size_t nfree = r.size(n);
+  free_.resize(nfree);
+  for (Slot& s : free_) s = r.u32();
+  live_ = static_cast<std::size_t>(r.u64());
+  std::string why;
+  if (!consistent(&why)) {
+    throw snapshot::SnapshotError("restored edge index inconsistent: " + why);
+  }
 }
 
 }  // namespace ddp::topology

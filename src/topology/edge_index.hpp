@@ -28,6 +28,11 @@
 
 #include "util/types.hpp"
 
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
+
 namespace ddp::topology {
 
 class EdgeIndex {
@@ -66,6 +71,14 @@ class EdgeIndex {
   /// adds up, reverses are mutual, free-list entries are dead and unique.
   /// Writes the first violation into *why (if non-null) on failure.
   bool consistent(std::string* why = nullptr) const;
+
+  /// Serialize the complete slot table, free list and generations into the
+  /// writer's open section.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save(). Replaces all current state; throws
+  /// SnapshotError when the restored index fails consistent().
+  void load(snapshot::Reader& r);
 
  private:
   struct SlotInfo {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "snapshot/snapshot.hpp"
+
 namespace ddp::topology {
 
 Graph::Graph(std::size_t node_count)
@@ -189,6 +191,62 @@ double Graph::average_degree() const noexcept {
     if (active_[u]) sum += adj_[u].size();
   }
   return static_cast<double>(sum) / static_cast<double>(active_count_);
+}
+
+void Graph::save(snapshot::Writer& w) const {
+  w.size(adj_.size());
+  for (std::size_t u = 0; u < adj_.size(); ++u) {
+    w.size(adj_[u].size());
+    for (std::size_t i = 0; i < adj_[u].size(); ++i) {
+      w.u32(adj_[u][i]);
+      w.u32(out_slots_[u][i]);
+    }
+    w.boolean(active_[u] != 0);
+  }
+  w.u64(edge_count_);
+  w.u64(active_count_);
+  index_.save(w);
+}
+
+void Graph::load(snapshot::Reader& r) {
+  constexpr std::size_t kMaxNodes = 1u << 24;
+  const std::size_t n = r.size(kMaxNodes);
+  adj_.assign(n, {});
+  out_slots_.assign(n, {});
+  active_.assign(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::size_t deg = r.size(n);
+    adj_[u].resize(deg);
+    out_slots_[u].resize(deg);
+    for (std::size_t i = 0; i < deg; ++i) {
+      adj_[u][i] = r.u32();
+      out_slots_[u][i] = r.u32();
+    }
+    active_[u] = r.boolean() ? 1 : 0;
+  }
+  edge_count_ = static_cast<std::size_t>(r.u64());
+  active_count_ = static_cast<std::size_t>(r.u64());
+  index_.load(r);  // validates its own consistency
+  // Cross-check adjacency against the restored index: every directed slot
+  // must name the stored endpoints, and the counters must add up.
+  std::size_t active_scan = 0;
+  std::size_t degree_sum = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (active_[u]) ++active_scan;
+    degree_sum += adj_[u].size();
+    for (std::size_t i = 0; i < adj_[u].size(); ++i) {
+      const PeerId v = adj_[u][i];
+      const std::uint32_t s = out_slots_[u][i];
+      if (v >= n || !index_.live(s) || index_.from(s) != u || index_.to(s) != v) {
+        throw snapshot::SnapshotError(
+            "restored graph adjacency disagrees with the edge index");
+      }
+    }
+  }
+  if (active_scan != active_count_ || degree_sum != 2 * edge_count_ ||
+      index_.live_count() != 2 * edge_count_) {
+    throw snapshot::SnapshotError("restored graph counters do not add up");
+  }
 }
 
 std::vector<std::size_t> Graph::degree_histogram() const {

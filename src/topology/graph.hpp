@@ -17,6 +17,11 @@
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
+
 namespace ddp::topology {
 
 class Graph {
@@ -85,6 +90,14 @@ class Graph {
 
   /// Degree histogram (index = degree) over active nodes.
   std::vector<std::size_t> degree_histogram() const;
+
+  /// Serialize the full graph (adjacency, directed slot table, activity
+  /// flags, edge index) into the writer's open section.
+  void save(snapshot::Writer& w) const;
+
+  /// Restore state saved by save(). Replaces all current state; throws
+  /// SnapshotError when adjacency, slot table and edge index disagree.
+  void load(snapshot::Reader& r);
 
  private:
   std::vector<std::vector<PeerId>> adj_;

@@ -38,6 +38,31 @@ class RateWindow {
   /// Forget everything (used when a link is torn down and re-established).
   void reset() noexcept;
 
+  /// Complete window state, exposed verbatim for checkpointing.
+  struct Raw {
+    SimTime window = 60.0;
+    SimTime bucket_len = 1.0;
+    std::vector<double> buckets;
+    std::int64_t head_index = 0;
+    double sum = 0.0;
+    bool started = false;
+  };
+
+  Raw raw() const { return {window_, bucket_len_, buckets_, head_index_, sum_, started_}; }
+
+  /// Restore a checkpointed window. Returns false (leaving the window
+  /// untouched) when the raw state is structurally invalid.
+  bool restore(Raw r) {
+    if (r.buckets.empty() || !(r.window > 0.0) || !(r.bucket_len > 0.0)) return false;
+    window_ = r.window;
+    bucket_len_ = r.bucket_len;
+    buckets_ = std::move(r.buckets);
+    head_index_ = r.head_index;
+    sum_ = r.sum;
+    started_ = r.started;
+    return true;
+  }
+
  private:
   void advance(SimTime t) noexcept;
 

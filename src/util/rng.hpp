@@ -83,6 +83,29 @@ class Rng {
   /// Derive a child keyed by an integer (e.g. per-peer streams).
   [[nodiscard]] Rng fork(std::uint64_t key) const noexcept;
 
+  /// Complete generator state, exposed verbatim for checkpointing. A
+  /// restored Rng continues the exact draw sequence of the saved one,
+  /// including the cached Marsaglia spare normal.
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+    std::uint64_t seed_origin = 0;
+    double spare_normal = 0.0;
+    bool has_spare = false;
+  };
+
+  State state() const noexcept {
+    return {state_, inc_, seed_origin_, spare_normal_, has_spare_};
+  }
+
+  void restore(const State& s) noexcept {
+    state_ = s.state;
+    inc_ = s.inc;
+    seed_origin_ = s.seed_origin;
+    spare_normal_ = s.spare_normal;
+    has_spare_ = s.has_spare;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

@@ -57,6 +57,19 @@ class Histogram {
   /// containing bin. Returns lo/hi bounds for out-of-range mass.
   double quantile(double q) const noexcept;
 
+  /// Raw bin contents ([underflow, bins..., overflow]) for checkpointing.
+  const std::vector<double>& raw_counts() const noexcept { return counts_; }
+
+  /// Restore checkpointed contents into a histogram with the same bin
+  /// layout. Returns false (leaving the histogram untouched) on a bin-count
+  /// mismatch — i.e. the snapshot came from a different configuration.
+  bool restore_counts(std::vector<double> counts, double total) noexcept {
+    if (counts.size() != counts_.size()) return false;
+    counts_ = std::move(counts);
+    total_ = total;
+    return true;
+  }
+
  private:
   double lo_;
   double hi_;
