@@ -36,6 +36,14 @@
 //   profile[0]           print the wall-clock phase profile of the run
 //   metrics_csv[-]       write per-minute metric snapshots as CSV
 //   metrics_json[-]      write final metric values (incl. histograms) as JSON
+//   forensics[-]         fold the attack storyline live and write per-agent
+//                        forensics (flag/cut latency, pre-cut damage) as CSV
+//   forensics_json[-]    same record as JSON (either key enables the fold)
+//   series_window[0]     keep a ring of the last N minutes of per-peer and
+//                        per-edge send rates (snapshotted with checkpoint=)
+//   progress[0]          heartbeat each completed minute on stderr
+//                        (minute N/M, cuts, live quarantine count); stdout
+//                        is untouched, so piped CSV/tables stay identical
 //
 // Checkpoint/restore (crash-resume; see docs/robustness.md):
 //   checkpoint[-]        snapshot file; written when the run completes or is
@@ -182,6 +190,13 @@ int main(int argc, char** argv) {
   const std::string metrics_json = opts.get("metrics_json", std::string("-"));
   cfg.obs.metrics = metrics_csv != "-" || metrics_json != "-";
   cfg.obs.profile = opts.get("profile", false);
+  const std::string forensics_csv = opts.get("forensics", std::string("-"));
+  const std::string forensics_json =
+      opts.get("forensics_json", std::string("-"));
+  cfg.obs.forensics = forensics_csv != "-" || forensics_json != "-";
+  cfg.obs.series_window_minutes =
+      static_cast<std::size_t>(opts.get("series_window", std::int64_t{0}));
+  const bool progress = opts.get("progress", false);
 
   std::printf("ddpsim: %zu peers (%s), %zu agents, defense=%s, %s\n",
               cfg.topo.nodes, topo.c_str(), cfg.attack.agents, def.c_str(),
@@ -225,6 +240,16 @@ int main(int argc, char** argv) {
     while (m + 1e-9 < cfg.total_minutes && g_signal == 0) {
       m = std::min(m + 1.0, cfg.total_minutes);
       runtime->run_to_minute(m);
+      if (progress) {
+        const auto view = runtime->view();
+        const std::size_t cuts =
+            view.ddpolice != nullptr ? view.ddpolice->decisions().size() : 0;
+        const std::size_t quarantined =
+            view.ledger != nullptr ? view.ledger->blocked_count() : 0;
+        std::fprintf(stderr,
+                     "ddpsim: minute %.0f/%.0f, %zu cut, %zu quarantined\n", m,
+                     cfg.total_minutes, cuts, quarantined);
+      }
       if (ckpt_every > 0.0 && ckpt_path != "-" && m + 1e-9 >= next_ckpt) {
         try {
           // Flush first so the on-disk trace is consistent with the
@@ -360,6 +385,15 @@ int main(int argc, char** argv) {
     }
     if (metrics_json != "-" && r.metrics_registry->write_json(metrics_json)) {
       std::printf("wrote %s\n", metrics_json.c_str());
+    }
+  }
+  if (r.forensics != nullptr) {
+    std::printf("\n%s", r.forensics->summary().c_str());
+    if (forensics_csv != "-" && r.forensics->write_csv(forensics_csv)) {
+      std::printf("wrote %s\n", forensics_csv.c_str());
+    }
+    if (forensics_json != "-" && r.forensics->write_json(forensics_json)) {
+      std::printf("wrote %s\n", forensics_json.c_str());
     }
   }
   return 0;

@@ -10,17 +10,48 @@
 // Usage:
 //   trace_tool gen  out=trace.log [count=100000] [rate=151.3] [vocab=50000] [seed=1]
 //   trace_tool stats in=trace.log
+//   trace_tool flood out=flood.jsonl [peers=200] [queries=20] [ttl=7] [seed=1]
 //   trace_tool inspect  in=run.jsonl [peer=N] [type=suspect_cut] [tmin=S] [tmax=S] [limit=50]
 //   trace_tool summary  in=run.jsonl
 //   trace_tool validate in=run.jsonl
+//   trace_tool tree     in=run.jsonl query=ID [limit=200]
+//   trace_tool forensics in=run.jsonl [csv=out.csv] [json=out.json]
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#include "obs/forensics.hpp"
 #include "obs/trace_read.hpp"
+#include "p2p/network.hpp"
+#include "topology/generators.hpp"
 #include "util/config.hpp"
 #include "workload/trace.hpp"
+
+namespace {
+
+// Depth-first ASCII rendering of one flood-tree subtree; `budget` caps the
+// number of printed nodes so a 2,000-peer flood stays readable.
+void print_subtree(const ddp::obs::FloodTree& tree, std::size_t node,
+                   const std::string& prefix, bool last, std::size_t& budget) {
+  if (budget == 0) return;
+  --budget;
+  const auto& n = tree.nodes[node];
+  std::printf("%s%s%u", prefix.c_str(),
+              node == 0 ? "" : (last ? "`-- " : "|-- "), n.peer);
+  if (n.hit) std::printf(" [hit]");
+  if (n.expired) std::printf(" [ttl-expired]");
+  if (n.first_t >= 0.0) std::printf("  t=%.2f", n.first_t);
+  std::printf("\n");
+  const std::string child_prefix =
+      node == 0 ? prefix : prefix + (last ? "    " : "|   ");
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    print_subtree(tree, n.children[i], child_prefix,
+                  i + 1 == n.children.size(), budget);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ddp;
@@ -53,6 +84,44 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (mode == "flood") {
+    // A traced packet-engine run: flood a paper-shaped overlay with a few
+    // queries and write the packet-layer JSONL — the input `tree` expects.
+    const auto peers =
+        static_cast<std::size_t>(opts.get("peers", std::int64_t{200}));
+    const auto queries =
+        static_cast<std::size_t>(opts.get("queries", std::int64_t{20}));
+    const auto seed = static_cast<std::uint64_t>(opts.get("seed", std::int64_t{1}));
+    const std::string out = opts.get("out", std::string("flood.jsonl"));
+
+    util::Rng rng(seed);
+    topology::Graph graph = topology::paper_topology(peers, rng);
+    workload::ContentConfig cc;
+    const workload::ContentModel content(cc, peers);
+    sim::Engine engine;
+    p2p::P2pConfig cfg;
+    cfg.ttl = static_cast<std::uint8_t>(opts.get("ttl", std::int64_t{cfg.ttl}));
+    p2p::PacketNetwork net(graph, content, engine, cfg, util::Rng(seed));
+    obs::JsonlFileSink sink(out);
+    if (!sink.ok()) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    net.set_trace_sink(&sink);
+    for (std::size_t i = 0; i < queries; ++i) {
+      net.issue_random_query(static_cast<PeerId>(i % peers));
+    }
+    // Long enough for every flood to run to TTL exhaustion and every hit
+    // to route back (ttl hops out + ttl hops back, plus queueing slack).
+    engine.run_until(2.0 * cfg.ttl * cfg.hop_latency + 60.0);
+    sink.flush();
+    std::printf("wrote %llu events to %s (%zu peers, queries 1..%zu; "
+                "try: trace_tool tree in=%s query=1)\n",
+                static_cast<unsigned long long>(sink.lines()), out.c_str(),
+                peers, queries, out.c_str());
+    return 0;
+  }
+
   if (mode == "stats") {
     const std::string in = opts.get("in", std::string("trace.log"));
     std::ifstream f(in);
@@ -72,7 +141,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (mode == "inspect" || mode == "summary" || mode == "validate") {
+  if (mode == "inspect" || mode == "summary" || mode == "validate" ||
+      mode == "tree" || mode == "forensics") {
     const std::string in = opts.get("in", std::string("run.jsonl"));
     std::ifstream f(in);
     if (!f) {
@@ -106,11 +176,84 @@ int main(int argc, char** argv) {
 
     const auto records = obs::read_trace_records(f);
 
+    if (mode == "tree") {
+      // Query id: query= or a second positional (trace_tool tree run 7).
+      std::int64_t id = opts.get("query", std::int64_t{-1});
+      if (id < 0 && opts.positional().size() > 1) {
+        id = std::atoll(opts.positional()[1].c_str());
+      }
+      if (id < 0) {
+        std::fprintf(stderr, "tree: pass query=ID (from query_issued events)\n");
+        return 2;
+      }
+      const obs::FloodTree tree =
+          obs::build_flood_tree(records, static_cast<QueryId>(id));
+      if (!tree.found) {
+        std::printf("query %lld: no events in %s\n",
+                    static_cast<long long>(id), in.c_str());
+        return 1;
+      }
+      std::printf("query %lld: origin %u, issued t=%.2f, %s\n",
+                  static_cast<long long>(id), tree.origin, tree.issued_t,
+                  tree.attack ? "attack" : "good");
+      std::printf("  %zu peers reached, depth %u, %llu forwards, %llu "
+                  "duplicates, %llu queue drops\n",
+                  tree.nodes.size(), tree.depth,
+                  static_cast<unsigned long long>(tree.forwards),
+                  static_cast<unsigned long long>(tree.duplicates),
+                  static_cast<unsigned long long>(tree.drops));
+      std::printf("  %llu hits, %llu delivered",
+                  static_cast<unsigned long long>(tree.hits),
+                  static_cast<unsigned long long>(tree.delivered));
+      if (tree.first_delivery_latency >= 0.0) {
+        std::printf(", first delivery after %.2f s", tree.first_delivery_latency);
+      }
+      std::printf("\n");
+      if (!tree.nodes.empty()) {
+        std::size_t budget =
+            static_cast<std::size_t>(opts.get("limit", std::int64_t{200}));
+        const std::size_t total = tree.nodes.size();
+        print_subtree(tree, 0, "  ", true, budget);
+        if (budget == 0 && total > 0) {
+          std::printf("  ... (tree truncated; raise limit=)\n");
+        }
+      }
+      return 0;
+    }
+
+    if (mode == "forensics") {
+      obs::ForensicsAccumulator acc;
+      for (const auto& r : records) acc.add(r);
+      std::printf("%s", acc.summary().c_str());
+      const std::string csv = opts.get("csv", std::string("-"));
+      const std::string json = opts.get("json", std::string("-"));
+      if (csv != "-") {
+        if (!acc.write_csv(csv)) {
+          std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+          return 1;
+        }
+        std::printf("wrote %s\n", csv.c_str());
+      }
+      if (json != "-") {
+        if (!acc.write_json(json)) {
+          std::fprintf(stderr, "cannot write %s\n", json.c_str());
+          return 1;
+        }
+        std::printf("wrote %s\n", json.c_str());
+      }
+      return 0;
+    }
+
     if (mode == "summary") {
       const obs::TraceSummary s = obs::summarize_trace(records);
       std::printf("trace %s: %llu events, t %.1f..%.1f s\n", in.c_str(),
                   static_cast<unsigned long long>(s.records), s.first_t,
                   s.last_t);
+      if (s.wall_logs > 0) {
+        std::printf("  (+%llu wall-layer log lines, excluded from the time "
+                    "range)\n",
+                    static_cast<unsigned long long>(s.wall_logs));
+      }
       std::printf("  by type:\n");
       for (std::size_t i = 0; i < obs::kEventTypeCount; ++i) {
         if (s.by_type[i] == 0) continue;
@@ -180,7 +323,7 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr,
-               "usage: trace_tool gen|stats|inspect|summary|validate "
-               "[key=value ...]\n");
+               "usage: trace_tool gen|stats|flood|inspect|summary|validate|"
+               "tree|forensics [key=value ...]\n");
   return 2;
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env sh
+# Perf-trajectory gate: run the engine headline bench, compare against the
+# last recorded point, and append the new point on pass.
+#
+#   scripts/bench_trajectory.sh            # measure, gate, append
+#   scripts/bench_trajectory.sh --dry-run  # measure + gate, don't append
+#
+# The trajectory lives in results/BENCH_trajectory.jsonl — one JSON object
+# per accepted measurement, append-only, so the file *is* the performance
+# history across PRs. The gate fails (exit 1) when either headline metric
+# regresses by more than 15% against the previous entry:
+#
+#   events_per_sec        — raw event-core dispatch throughput
+#   flow_minutes_per_sec  — end-to-end flow-layer simulation rate
+#
+# 15% is deliberately loose: headline numbers on a shared builder wobble a
+# few percent run to run, and the gate must only catch real regressions
+# (an accidental O(n^2), a hot-path allocation), not scheduler noise.
+# An empty or missing trajectory bootstraps: first run records, no gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dry_run=0
+for arg in "$@"; do
+  case "$arg" in
+    --dry-run) dry_run=1 ;;
+    *) echo "unknown argument: $arg (expected --dry-run)" >&2; exit 2 ;;
+  esac
+done
+
+bench=./build/bench/bench_engine_perf
+if [ ! -x "$bench" ]; then
+  echo "bench_trajectory: $bench not built (run scripts/check.sh first)" >&2
+  exit 2
+fi
+
+trajectory=results/BENCH_trajectory.jsonl
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== engine headline bench =="
+"$bench" --headline-only --out-dir "$tmp" > /dev/null
+
+# BENCH_engine.json is pretty-printed one field per line, so a key lookup
+# is a single awk pass (no JSON parser in the image).
+json_field() {
+  awk -F': ' -v key="\"$1\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2 }' \
+      "$tmp/BENCH_engine.json"
+}
+
+events="$(json_field events_per_sec)"
+flow="$(json_field flow_minutes_per_sec)"
+ns_event="$(json_field ns_per_event)"
+wall="$(json_field wall_seconds)"
+if [ -z "$events" ] || [ -z "$flow" ]; then
+  echo "bench_trajectory: could not parse BENCH_engine.json" >&2
+  exit 2
+fi
+echo "measured: $events events/sec, $flow flow-minutes/sec"
+
+# Gate against the last accepted point, when one exists.
+prev=""
+if [ -s "$trajectory" ]; then
+  prev="$(tail -n 1 "$trajectory")"
+fi
+if [ -n "$prev" ]; then
+  prev_events="$(printf '%s\n' "$prev" | tr ',' '\n' | \
+      awk -F': *' '/"events_per_sec"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2 }')"
+  prev_flow="$(printf '%s\n' "$prev" | tr ',' '\n' | \
+      awk -F': *' '/"flow_minutes_per_sec"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2 }')"
+  echo "previous: $prev_events events/sec, $prev_flow flow-minutes/sec"
+  fail="$(awk -v e="$events" -v pe="$prev_events" \
+              -v f="$flow" -v pf="$prev_flow" 'BEGIN {
+    bad = 0
+    if (pe + 0 > 0 && e + 0 < 0.85 * pe) {
+      printf "events_per_sec regressed %.1f%% (%s -> %s)\n", \
+             100 * (1 - e / pe), pe, e
+      bad = 1
+    }
+    if (pf + 0 > 0 && f + 0 < 0.85 * pf) {
+      printf "flow_minutes_per_sec regressed %.1f%% (%s -> %s)\n", \
+             100 * (1 - f / pf), pf, f
+      bad = 1
+    }
+    exit bad ? 0 : 1
+  }' || true)"
+  if [ -n "$fail" ]; then
+    echo "FAIL: perf trajectory gate (>15% vs last recorded point):" >&2
+    printf '%s\n' "$fail" >&2
+    echo "(if the regression is intended, document it in the PR and" >&2
+    echo " append the new point by hand to $trajectory)" >&2
+    exit 1
+  fi
+  echo "perf trajectory: OK (within 15% of the last recorded point)"
+else
+  echo "perf trajectory: bootstrap (no previous point to gate against)"
+fi
+
+if [ "$dry_run" -eq 1 ]; then
+  echo "dry run: not appending to $trajectory"
+  exit 0
+fi
+
+mkdir -p results
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+printf '{"date":"%s","commit":"%s","events_per_sec":%s,"ns_per_event":%s,"flow_minutes_per_sec":%s,"wall_seconds":%s}\n' \
+    "$stamp" "$commit" "$events" "$ns_event" "$flow" "$wall" >> "$trajectory"
+echo "recorded: $trajectory ($stamp, $commit)"

@@ -11,6 +11,11 @@
 #                             # process, require byte-identical outputs;
 #                             # truncated snapshots must be rejected; plus
 #                             # a chaos-soak kill-and-resume drill
+#   scripts/check.sh --bench  # tier-1 plus the perf-trajectory gate:
+#                             # run the engine headline bench, fail on a
+#                             # >15% regression vs the last recorded point
+#                             # in results/BENCH_trajectory.jsonl, append
+#                             # the new point on pass
 #
 # Tier-1 is the contract every PR must keep green: the default-preset
 # build, the full ctest suite, and an end-to-end observability check —
@@ -26,13 +31,15 @@ run_asan=0
 run_soak=0
 run_tsan=0
 run_snapshot=0
+run_bench=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --soak) run_soak=1 ;;
     --tsan) run_tsan=1 ;;
     --snapshot) run_snapshot=1 ;;
-    *) echo "unknown argument: $arg (expected --asan, --soak, --tsan or --snapshot)" >&2; exit 2 ;;
+    --bench) run_bench=1 ;;
+    *) echo "unknown argument: $arg (expected --asan, --soak, --tsan, --snapshot or --bench)" >&2; exit 2 ;;
   esac
 done
 
@@ -58,6 +65,27 @@ if ! cmp -s "$tmp/a.jsonl" "$tmp/b.jsonl"; then
   exit 1
 fi
 echo "trace determinism: OK (same seed => byte-identical JSONL)"
+
+echo "== forensics: determinism + live-vs-offline fold identity =="
+# Two same-seed runs with the forensics accumulator attached must export
+# byte-identical CSVs, and trace_tool's offline fold of the JSONL trace
+# must reproduce the live accumulator's CSV exactly (same fold, two
+# paths — this is what makes post-hoc forensics trustworthy).
+./build/examples/ddpsim peers=120 agents=12 minutes=8 seed=7 \
+    trace="$tmp/fa.jsonl" forensics="$tmp/fa.csv" > /dev/null
+./build/examples/ddpsim peers=120 agents=12 minutes=8 seed=7 \
+    forensics="$tmp/fb.csv" > /dev/null
+if ! cmp -s "$tmp/fa.csv" "$tmp/fb.csv"; then
+  echo "FAIL: same-seed forensics CSVs differ (determinism regression)" >&2
+  exit 1
+fi
+./build/examples/trace_tool forensics in="$tmp/fa.jsonl" \
+    csv="$tmp/fa_offline.csv" > /dev/null
+if ! cmp -s "$tmp/fa.csv" "$tmp/fa_offline.csv"; then
+  echo "FAIL: offline forensics fold diverges from the live accumulator" >&2
+  exit 1
+fi
+echo "forensics determinism: OK (live == offline, byte-identical)"
 
 echo "== golden byte-identity gate (figure CSVs + short trace) =="
 # Laptop-scale runs of the figure benches plus a short traced ddpsim
@@ -147,9 +175,10 @@ if [ "$run_tsan" -eq 1 ]; then
   # Any data race aborts the process, so this gate fails loudly.
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" \
-      --target sweep_test snapshot_test bench_soak_chaos
+      --target sweep_test snapshot_test forensics_test bench_soak_chaos
   ./build-tsan/tests/sweep_test
   ./build-tsan/tests/snapshot_test
+  ./build-tsan/tests/forensics_test
   ./build-tsan/bench/bench_soak_chaos minutes=30 soaks=2 jobs=2 > /dev/null
   echo "tsan sweep harness: OK (no races reported)"
 fi
@@ -157,6 +186,11 @@ fi
 if [ "$run_asan" -eq 1 ]; then
   echo "== ASan + UBSan suite =="
   scripts/sanitize.sh
+fi
+
+if [ "$run_bench" -eq 1 ]; then
+  echo "== perf trajectory gate =="
+  scripts/bench_trajectory.sh
 fi
 
 echo "All checks passed."

@@ -61,6 +61,17 @@ void AttackScenario::start() {
                  " agents");
   DDP_TRACE(tracer_, obs::EventType::kAttackStarted, net_.now(), kInvalidPeer,
             kInvalidPeer, {{"agents", static_cast<double>(picked)}});
+  if (trace_agents_ && tracer_.on()) {
+    // Per-agent activation for the forensics plane, ascending id so the
+    // emission order is independent of the pick order.
+    std::vector<PeerId> sorted(agents_);
+    std::sort(sorted.begin(), sorted.end());
+    const double rate = net_.config().attack_target_per_minute;
+    for (const PeerId a : sorted) {
+      tracer_.emit(obs::EventType::kAgentActivated, net_.now(), a,
+                   kInvalidPeer, {{"rate", rate}});
+    }
+  }
 }
 
 void AttackScenario::on_minute(double minute) {

@@ -52,6 +52,11 @@ class AttackScenario {
   void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
   const obs::Tracer& tracer() const noexcept { return tracer_; }
 
+  /// Additionally emit one agent_activated event per picked agent at
+  /// campaign launch (ascending id). Off by default so the paper-default
+  /// trace stays byte-identical; the forensics plane turns it on.
+  void set_trace_agents(bool on) noexcept { trace_agents_ = on; }
+
   /// Serialize campaign state (agent set, rejoin schedule, rng) into the
   /// writer's open section.
   void save(snapshot::Writer& w) const;
@@ -70,6 +75,7 @@ class AttackScenario {
   std::vector<char> is_agent_;
   std::vector<double> rejoin_due_;  ///< per-agent pending rejoin minute (<0: none)
   bool started_ = false;
+  bool trace_agents_ = false;
   std::size_t rejoins_ = 0;
 };
 

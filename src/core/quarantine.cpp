@@ -36,6 +36,14 @@ bool QuarantineLedger::blocked(PeerId p) const noexcept {
   return s == Standing::kQuarantined || s == Standing::kBanned;
 }
 
+std::size_t QuarantineLedger::blocked_count() const noexcept {
+  std::size_t n = 0;
+  entries_.for_each([&n](PeerId, const Entry& e) {
+    if (e.state == Standing::kQuarantined || e.state == Standing::kBanned) ++n;
+  });
+  return n;
+}
+
 bool QuarantineLedger::restricted(PeerId p) const noexcept {
   return standing(p) != Standing::kClear;
 }

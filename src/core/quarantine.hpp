@@ -97,6 +97,10 @@ class QuarantineLedger {
   /// banned). Maintenance/repair must not re-link such peers.
   bool blocked(PeerId p) const noexcept;
 
+  /// Peers currently blocked — the live quarantine count a progress
+  /// heartbeat reports (stats() tracks cumulative totals, not occupancy).
+  std::size_t blocked_count() const noexcept;
+
   /// True when p is quarantined, on probation, or banned — i.e. the
   /// ladder currently restricts it in some way.
   bool restricted(PeerId p) const noexcept;

@@ -54,6 +54,8 @@ constexpr std::uint32_t kSecFault = snapshot::section_id("FALT");
 constexpr std::uint32_t kSecHeal = snapshot::section_id("HEAL");
 constexpr std::uint32_t kSecMaint = snapshot::section_id("MANT");
 constexpr std::uint32_t kSecMetrics = snapshot::section_id("METR");
+constexpr std::uint32_t kSecSeries = snapshot::section_id("SERS");
+constexpr std::uint32_t kSecForensics = snapshot::section_id("FRNS");
 
 ScenarioConfig validated(ScenarioConfig config) {
   if (const std::string err = validate_config(config); !err.empty()) {
@@ -325,18 +327,39 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
 
   // Observability plane. Tracing binds the caller's sink to every
   // instrumented subsystem; it only observes, so an untraced run is
-  // bit-identical. Profiling wraps each minute hook in a wall-clock scope;
-  // the metrics hook runs last so it snapshots the settled minute.
-  if (config_.obs.trace_sink != nullptr) {
-    net_->set_trace_sink(config_.obs.trace_sink);
-    churn_->set_trace_sink(config_.obs.trace_sink);
-    atk_->set_trace_sink(config_.obs.trace_sink);
+  // bit-identical. Forensics folds the same event stream live: the bound
+  // sink becomes the accumulator, or a fanout of {caller's sink,
+  // accumulator} when both are requested (caller first, so a JSONL trace
+  // and the fold see events in the same order). Profiling wraps each
+  // minute hook in a wall-clock scope; the metrics hook runs last so it
+  // snapshots the settled minute.
+  sink_ = config_.obs.trace_sink;
+  if (config_.obs.forensics) {
+    forensics_ = std::make_shared<obs::ForensicsAccumulator>();
+    if (sink_ != nullptr) {
+      obs_fanout_.add(sink_);
+      obs_fanout_.add(forensics_.get());
+      sink_ = &obs_fanout_;
+    } else {
+      sink_ = forensics_.get();
+    }
+    atk_->set_trace_agents(true);
+  }
+  if (sink_ != nullptr) {
+    net_->set_trace_sink(sink_);
+    churn_->set_trace_sink(sink_);
+    atk_->set_trace_sink(sink_);
     if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def_.get())) {
-      ddp->protocol().set_trace_sink(config_.obs.trace_sink);
+      ddp->protocol().set_trace_sink(sink_);
     }
     if (plane_ != nullptr) {
-      plane_->peers().set_trace_sink(config_.obs.trace_sink);
+      plane_->peers().set_trace_sink(sink_);
     }
+    obs_tracer_.bind(sink_);
+  }
+  if (config_.obs.series_window_minutes > 0) {
+    series_ = std::make_shared<obs::SeriesStore>(
+        graph_, config_.obs.series_window_minutes);
   }
   if (config_.obs.profile) {
     profiler_ = std::make_shared<obs::PhaseProfiler>();
@@ -350,6 +373,7 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
 
   register_hooks();
   register_metrics_hook();
+  register_obs_hooks();
 
   if (profiler_ != nullptr) {
     // "flow_ticks" is the engine stepping time *excluding* the hooks, so
@@ -404,8 +428,8 @@ void ScenarioRuntime::register_hooks() {
   if (config_.repair_partitions) {
     healer_ = std::make_unique<p2p::PartitionHealer>(
         net_->graph(), config_.repair, util::Rng(config_.seed).fork("repair"));
-    if (config_.obs.trace_sink != nullptr) {
-      healer_->set_trace_sink(config_.obs.trace_sink);
+    if (sink_ != nullptr) {
+      healer_->set_trace_sink(sink_);
     }
     net_->add_minute_hook([this](double m) {
       timed(ph_repair_, [&] {
@@ -517,6 +541,49 @@ void ScenarioRuntime::register_metrics_hook() {
   });
 }
 
+void ScenarioRuntime::register_obs_hooks() {
+  // Observation-only hooks, registered after metrics so they also see the
+  // settled minute; they read engine counters and never mutate, so the
+  // default (both off) run is bit-identical.
+  if (series_ != nullptr) {
+    flow::FlowNetwork* net = net_.get();
+    obs::SeriesStore* series = series_.get();
+    net_->add_minute_hook([net, series](double m) {
+      series->begin_minute(m);
+      const auto& g = net->graph();
+      for (PeerId p = 0; p < g.node_count(); ++p) {
+        for (const auto slot : g.out_slots(p)) {
+          series->set_edge(slot, net->sent_last_minute(slot));
+        }
+        series->set_peer(p, net->out_last_minute(p));
+      }
+    });
+  }
+  if (forensics_ != nullptr) {
+    // Per-agent minute feed: how much each agent pushed into the overlay
+    // this minute and the fraction of attack traffic the engine dropped.
+    // The accumulator integrates these into injected/delivered-before-cut.
+    flow::FlowNetwork* net = net_.get();
+    attack::AttackScenario* atk = atk_.get();
+    net_->add_minute_hook([this, net, atk](double /*m*/) {
+      if (!atk->started() || !obs_tracer_.on()) return;
+      const auto& r = net->last_minute_report();
+      const double drop_frac =
+          r.attack_messages > 0.0
+              ? std::clamp(r.dropped_attack / r.attack_messages, 0.0, 1.0)
+              : 0.0;
+      std::vector<PeerId> sorted(atk->agents());
+      std::sort(sorted.begin(), sorted.end());
+      for (const PeerId a : sorted) {
+        obs_tracer_.emit(obs::EventType::kAgentMinute, net->now(), a,
+                         kInvalidPeer,
+                         {{"out", net->out_last_minute(a)},
+                          {"drop_frac", drop_frac}});
+      }
+    });
+  }
+}
+
 void ScenarioRuntime::run_to_minute(double m) {
   if (profiler_ != nullptr) {
     const std::uint64_t hooks_before = profiler_->total_wall_nanos();
@@ -589,7 +656,9 @@ ScenarioResult ScenarioRuntime::result() const {
   }
   result.metrics_registry = registry_;
   result.profile = profiler_;
-  if (config_.obs.trace_sink != nullptr) config_.obs.trace_sink->flush();
+  result.forensics = forensics_;
+  result.series = series_;
+  if (sink_ != nullptr) sink_->flush();
   return result;
 }
 
@@ -600,6 +669,8 @@ std::vector<std::uint8_t> ScenarioRuntime::save() const {
   w.boolean(plane_ != nullptr);
   w.boolean(healer_ != nullptr);
   w.boolean(registry_ != nullptr);
+  w.boolean(series_ != nullptr);
+  w.boolean(forensics_ != nullptr);
   w.f64(net_->current_minute());
   w.end_section();
 
@@ -645,6 +716,16 @@ std::vector<std::uint8_t> ScenarioRuntime::save() const {
     registry_->save(w);
     w.end_section();
   }
+  if (series_ != nullptr) {
+    w.begin_section(kSecSeries);
+    series_->save(w);
+    w.end_section();
+  }
+  if (forensics_ != nullptr) {
+    w.begin_section(kSecForensics);
+    forensics_->save(w);
+    w.end_section();
+  }
   return w.finish(config_digest(config_));
 }
 
@@ -686,6 +767,8 @@ void ScenarioRuntime::load(snapshot::Reader& r) {
   const bool has_plane = r.boolean();
   const bool has_healer = r.boolean();
   const bool has_metrics = r.boolean();
+  const bool has_series = r.boolean();
+  const bool has_forensics = r.boolean();
   r.f64();  // minute, informational (FLOW carries the authoritative clock)
   r.end_section();
   if (has_plane != (plane_ != nullptr) || has_healer != (healer_ != nullptr)) {
@@ -697,6 +780,16 @@ void ScenarioRuntime::load(snapshot::Reader& r) {
     throw snapshot::SnapshotError(
         "snapshot metrics presence disagrees with this run: resume with the "
         "same metrics setting it was taken under");
+  }
+  if (has_series != (series_ != nullptr)) {
+    throw snapshot::SnapshotError(
+        "snapshot series presence disagrees with this run: resume with the "
+        "same series_window_minutes setting it was taken under");
+  }
+  if (has_forensics != (forensics_ != nullptr)) {
+    throw snapshot::SnapshotError(
+        "snapshot forensics presence disagrees with this run: resume with "
+        "the same forensics setting it was taken under");
   }
 
   r.begin_section(kSecGraph);
@@ -743,6 +836,16 @@ void ScenarioRuntime::load(snapshot::Reader& r) {
   if (registry_ != nullptr) {
     r.begin_section(kSecMetrics);
     registry_->load(r);
+    r.end_section();
+  }
+  if (series_ != nullptr) {
+    r.begin_section(kSecSeries);
+    series_->load(r);
+    r.end_section();
+  }
+  if (forensics_ != nullptr) {
+    r.begin_section(kSecForensics);
+    forensics_->load(r);
     r.end_section();
   }
 

@@ -29,6 +29,8 @@
 ///   HEAL — partition healer (rng + counters)
 ///   MANT — maintenance + liar rng streams
 ///   METR — metrics registry values + minute rows
+///   SERS — per-peer/per-edge rate series ring (obs.series_window_minutes)
+///   FRNS — forensics accumulator (obs.forensics)
 ///
 /// Sections for subsystems a configuration does not build are omitted;
 /// presence is derived from the (digest-checked) config, so reader and
@@ -113,6 +115,7 @@ class ScenarioRuntime {
 
   void register_hooks();
   void register_metrics_hook();
+  void register_obs_hooks();
 
   ScenarioConfig config_;
   topology::Graph graph_;
@@ -132,6 +135,16 @@ class ScenarioRuntime {
   bool has_liar_rng_ = false;
   util::Rng liar_rng_;
   std::shared_ptr<obs::MetricsRegistry> registry_;
+
+  // Forensics plane: when obs.forensics is on, every subsystem traces into
+  // sink_, which is either the accumulator directly or a fanout of
+  // {caller's trace_sink, accumulator}. obs_tracer_ is the runtime's own
+  // handle for the per-agent minute feed.
+  obs::FanoutSink obs_fanout_;
+  obs::TraceSink* sink_ = nullptr;
+  std::shared_ptr<obs::ForensicsAccumulator> forensics_;
+  std::shared_ptr<obs::SeriesStore> series_;
+  obs::Tracer obs_tracer_;
 };
 
 }  // namespace ddp::experiments

@@ -126,6 +126,9 @@ std::string validate_config(const ScenarioConfig& config) {
     }
     if (config.repair.links < 1) return "repair.links must be >= 1";
   }
+  if (config.obs.series_window_minutes > (1u << 20)) {
+    return "obs.series_window_minutes must be <= 2^20";
+  }
   return {};
 }
 

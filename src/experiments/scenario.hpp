@@ -25,8 +25,10 @@
 #include "metrics/damage.hpp"
 #include "metrics/errors.hpp"
 #include "metrics/summary.hpp"
+#include "obs/forensics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/series.hpp"
 #include "obs/trace.hpp"
 #include "p2p/partition.hpp"
 #include "topology/generators.hpp"
@@ -65,6 +67,14 @@ struct ObsConfig {
   bool metrics = false;
   /// Wall-clock profile the minute hooks into ScenarioResult::profile.
   bool profile = false;
+  /// Per-attacker forensics into ScenarioResult::forensics: activates the
+  /// per-agent causal events (agent_activated, agent_minute) and folds
+  /// them — plus the DD-POLICE flag/indicator/cut storyline — live. The
+  /// extra events also reach trace_sink when one is set.
+  bool forensics = false;
+  /// Ring window (minutes) of the per-peer/per-edge rate series collected
+  /// into ScenarioResult::series; 0 = no series store.
+  std::size_t series_window_minutes = 0;
 };
 
 struct ScenarioConfig {
@@ -153,6 +163,8 @@ struct ScenarioResult {
   // shared_ptr keeps ScenarioResult copyable for the bench harnesses).
   std::shared_ptr<obs::MetricsRegistry> metrics_registry;
   std::shared_ptr<obs::PhaseProfiler> profile;
+  std::shared_ptr<obs::ForensicsAccumulator> forensics;
+  std::shared_ptr<obs::SeriesStore> series;
 };
 
 /// Range-check every numeric knob of a scenario (engine rates, protocol

@@ -106,6 +106,19 @@ double FlowNetwork::sent_last_minute(
   return es == nullptr ? 0.0 : es->minute_done;
 }
 
+double FlowNetwork::out_last_minute(PeerId from) const noexcept {
+  double total = 0.0;
+  for (const auto slot : graph_.out_slots(from)) {
+    if (const EdgeState* es = edge_state_.find(slot)) total += es->minute_done;
+  }
+  // Links cut during this minute's hooks: their counters moved to the
+  // ghost list when the slot was released, never both places at once.
+  for (const GhostCount& g : ghost_minute_counts_) {
+    if (g.from == from) total += g.count;
+  }
+  return total;
+}
+
 void FlowNetwork::disconnect(PeerId a, PeerId b) {
   // Capture the completed-minute counters before remove_edge releases the
   // slot pair (which retires both directions' flow state).

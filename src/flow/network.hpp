@@ -119,6 +119,12 @@ class FlowNetwork {
   /// counters of links cut earlier this minute).
   double sent_last_minute(topology::EdgeIndex::Slot slot) const noexcept;
 
+  /// Total Out_query(from -> *) of the last completed minute: live
+  /// out-slots plus the ghost counters of links cut earlier this minute —
+  /// so a just-cut attacker's final minute of sourcing is still visible
+  /// from inside a minute hook (the forensics and series feeds read this).
+  double out_last_minute(PeerId from) const noexcept;
+
   /// Tear down a logical link (defense action or churn). In-flight flow on
   /// the link is discarded; monitors reset.
   void disconnect(PeerId a, PeerId b);

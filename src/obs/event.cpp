@@ -11,6 +11,7 @@ constexpr const char* kNames[kEventTypeCount] = {
     "query_duplicate",    // kQueryDuplicate
     "query_hit",          // kQueryHit
     "hit_delivered",      // kHitDelivered
+    "query_expired",      // kQueryExpired
     "minute_report",      // kMinuteReport
     "link_disconnected",  // kLinkDisconnected
     "edge_added",         // kEdgeAdded
@@ -19,6 +20,8 @@ constexpr const char* kNames[kEventTypeCount] = {
     "peer_left",          // kPeerLeft
     "attack_started",     // kAttackStarted
     "agent_rejoined",     // kAgentRejoined
+    "agent_activated",    // kAgentActivated
+    "agent_minute",       // kAgentMinute
     "neighbor_list",      // kNeighborListSent
     "list_violation",     // kListViolation
     "suspect_flagged",    // kSuspectFlagged

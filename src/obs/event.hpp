@@ -22,13 +22,17 @@ namespace ddp::obs {
 /// Everything the simulator can put on a trace. Grouped by the layer that
 /// emits it; docs/observability.md documents the payload of each.
 enum class EventType : std::uint8_t {
-  // Packet engine data plane (per descriptor).
+  // Packet engine data plane (per descriptor). `query` is the
+  // deterministic per-run query id (from kQueryIssued), `parent` the peer
+  // the descriptor arrived from (-1 at the origin): together they encode
+  // each query's flood tree losslessly (obs::build_flood_tree).
   kQueryIssued = 0,   ///< a=origin; kv: query, object, attack
-  kQueryForwarded,    ///< a=from, b=to; kv: ttl, hops
-  kQueryDropped,      ///< a=peer (queue overflow); kv: queue
-  kQueryDuplicate,    ///< a=peer dropped a seen GUID
-  kQueryHit,          ///< a=responder, b=origin; kv: object, hops
-  kHitDelivered,      ///< a=origin; kv: latency
+  kQueryForwarded,    ///< a=from, b=to; kv: ttl, hops, query, parent
+  kQueryDropped,      ///< a=peer, b=from (queue overflow); kv: queue, query
+  kQueryDuplicate,    ///< a=peer, b=from dropped a seen GUID; kv: query
+  kQueryHit,          ///< a=responder, b=origin; kv: object, hops, query, parent
+  kHitDelivered,      ///< a=origin; kv: latency, query
+  kQueryExpired,      ///< a=leaf, b=from (no forward); kv: query, ttl, hops
 
   // Flow engine (aggregate volumes; per completed minute / per action).
   kMinuteReport,      ///< kv: traffic, attack, dropped, success
@@ -41,6 +45,8 @@ enum class EventType : std::uint8_t {
   kPeerLeft,          ///< a = departing peer (churn)
   kAttackStarted,     ///< kv: agents
   kAgentRejoined,     ///< a = agent that walked back in; kv: links
+  kAgentActivated,    ///< a = picked agent (forensics); kv: rate
+  kAgentMinute,       ///< a = agent, per minute (forensics); kv: out, drop_frac
 
   // DD-POLICE control plane.
   kNeighborListSent,  ///< a=advertiser, b=receiver; kv: entries

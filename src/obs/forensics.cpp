@@ -1,0 +1,361 @@
+#include "obs/forensics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "snapshot/snapshot.hpp"
+
+namespace ddp::obs {
+
+namespace {
+
+/// Round-trip a value through the JSONL wire format (integral -> exact,
+/// otherwise %.10g like to_jsonl). The live fold canonicalizes every
+/// accumulated payload this way so it lands on exactly the doubles an
+/// offline fold of the written trace parses back — that is what makes
+/// ddpsim's live forensics byte-identical to trace_tool's offline fold.
+double canon(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v >= -9.007199254740992e15 && v <= 9.007199254740992e15) {
+    return v;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return std::strtod(buf, nullptr);
+}
+
+/// Deterministic number formatting for the exports: locale-independent,
+/// trailing-zero-free, enough digits for the values that occur (minutes,
+/// message counts). Same fold state => same bytes.
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+/// Seconds -> minutes for export; -1 stays -1 ("never").
+double mins(double t) { return t < 0.0 ? -1.0 : to_minutes(t); }
+
+/// Stage latency relative to activation, in minutes; -1 when either end
+/// is missing.
+double latency_min(double activated_t, double stage_t) {
+  if (activated_t < 0.0 || stage_t < 0.0) return -1.0;
+  return to_minutes(stage_t - activated_t);
+}
+
+}  // namespace
+
+void ForensicsAccumulator::fold(EventType type, double t, PeerId a,
+                                double v0, double v1) {
+  ++events_folded_;
+  switch (type) {
+    case EventType::kAttackStarted:
+      if (attack_start_t_ < 0.0) attack_start_t_ = t;
+      break;
+    case EventType::kAgentActivated: {
+      AgentForensics& ag = agents_[a];
+      ag.agent = a;
+      if (ag.activated_t < 0.0) ag.activated_t = t;
+      ag.rate = v0;
+      break;
+    }
+    case EventType::kAgentMinute: {
+      const auto it = agents_.find(a);
+      if (it == agents_.end()) break;  // unknown agent: trace was filtered
+      AgentForensics& ag = it->second;
+      // The cut lands during the same minute hook that reports the
+      // minute's volume, so t == first_cut_t still accrues: that traffic
+      // was in flight before the link came down.
+      if (ag.first_cut_t < 0.0 || t <= ag.first_cut_t) {
+        ag.injected_before_cut += v0;
+        ag.delivered_before_cut += v0 * (1.0 - v1);
+      }
+      break;
+    }
+    case EventType::kSuspectFlagged: {
+      const auto it = agents_.find(a);
+      if (it != agents_.end()) {
+        ++it->second.flags;
+        if (it->second.first_flag_t < 0.0) it->second.first_flag_t = t;
+      } else {
+        HonestForensics& h = honest_[a];
+        h.peer = a;
+        ++h.flags;
+        if (h.first_flag_t < 0.0) h.first_flag_t = t;
+      }
+      break;
+    }
+    case EventType::kIndicatorComputed: {
+      const auto it = agents_.find(a);
+      if (it != agents_.end()) {
+        ++it->second.indicators;
+        if (it->second.first_indicator_t < 0.0) {
+          it->second.first_indicator_t = t;
+        }
+      }
+      break;
+    }
+    case EventType::kSuspectCut: {
+      const auto it = agents_.find(a);
+      if (it != agents_.end()) {
+        ++it->second.cuts;
+        if (it->second.first_cut_t < 0.0) it->second.first_cut_t = t;
+      } else {
+        HonestForensics& h = honest_[a];
+        h.peer = a;
+        ++h.cuts;
+        if (h.first_cut_t < 0.0) h.first_cut_t = t;
+      }
+      break;
+    }
+    case EventType::kPeerQuarantined: {
+      const auto it = agents_.find(a);
+      if (it != agents_.end() && it->second.quarantined_t < 0.0) {
+        it->second.quarantined_t = t;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ForensicsAccumulator::on_event(const TraceEvent& e) {
+  double v0 = 0.0, v1 = 0.0;
+  switch (e.type) {
+    case EventType::kAgentActivated:
+      for (std::uint8_t i = 0; i < e.n_fields; ++i) {
+        if (std::string_view(e.fields[i].key) == "rate") v0 = e.fields[i].value;
+      }
+      break;
+    case EventType::kAgentMinute:
+      for (std::uint8_t i = 0; i < e.n_fields; ++i) {
+        const std::string_view key(e.fields[i].key);
+        if (key == "out") v0 = e.fields[i].value;
+        if (key == "drop_frac") v1 = e.fields[i].value;
+      }
+      break;
+    default:
+      break;
+  }
+  fold(e.type, canon(e.t), e.a, canon(v0), canon(v1));
+}
+
+void ForensicsAccumulator::add(const TraceRecord& r) {
+  if (!r.known) return;
+  double v0 = 0.0, v1 = 0.0;
+  switch (*r.known) {
+    case EventType::kAgentActivated:
+      v0 = r.field("rate").value_or(0.0);
+      break;
+    case EventType::kAgentMinute:
+      v0 = r.field("out").value_or(0.0);
+      v1 = r.field("drop_frac").value_or(0.0);
+      break;
+    default:
+      break;
+  }
+  fold(*r.known, r.t, r.a, v0, v1);
+}
+
+std::string ForensicsAccumulator::to_csv() const {
+  std::string out =
+      "agent,rate,activated_min,first_flag_min,first_indicator_min,"
+      "first_cut_min,quarantined_min,flag_latency_min,indicator_latency_min,"
+      "cut_latency_min,injected_before_cut,delivered_before_cut,flags,"
+      "indicators,cuts\n";
+  for (const auto& [id, ag] : agents_) {
+    out += num(id) + ',' + num(ag.rate) + ',' + num(mins(ag.activated_t)) +
+           ',' + num(mins(ag.first_flag_t)) + ',' +
+           num(mins(ag.first_indicator_t)) + ',' + num(mins(ag.first_cut_t)) +
+           ',' + num(mins(ag.quarantined_t)) + ',' +
+           num(latency_min(ag.activated_t, ag.first_flag_t)) + ',' +
+           num(latency_min(ag.activated_t, ag.first_indicator_t)) + ',' +
+           num(latency_min(ag.activated_t, ag.first_cut_t)) + ',' +
+           num(ag.injected_before_cut) + ',' + num(ag.delivered_before_cut) +
+           ',' + num(static_cast<double>(ag.flags)) + ',' +
+           num(static_cast<double>(ag.indicators)) + ',' +
+           num(static_cast<double>(ag.cuts)) + '\n';
+  }
+  return out;
+}
+
+std::string ForensicsAccumulator::to_json() const {
+  std::string out = "{\"attack_start_min\":" + num(mins(attack_start_t_));
+  out += ",\"agents\":[";
+  bool first = true;
+  std::uint64_t agents_cut = 0, honest_cut = 0;
+  double flag_lat_sum = 0.0, cut_lat_sum = 0.0;
+  std::size_t flag_lat_n = 0, cut_lat_n = 0;
+  double injected = 0.0, delivered = 0.0;
+  for (const auto& [id, ag] : agents_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"agent\":" + num(id) + ",\"rate\":" + num(ag.rate) +
+           ",\"activated_min\":" + num(mins(ag.activated_t)) +
+           ",\"first_flag_min\":" + num(mins(ag.first_flag_t)) +
+           ",\"first_indicator_min\":" + num(mins(ag.first_indicator_t)) +
+           ",\"first_cut_min\":" + num(mins(ag.first_cut_t)) +
+           ",\"quarantined_min\":" + num(mins(ag.quarantined_t)) +
+           ",\"injected_before_cut\":" + num(ag.injected_before_cut) +
+           ",\"delivered_before_cut\":" + num(ag.delivered_before_cut) +
+           ",\"flags\":" + num(static_cast<double>(ag.flags)) +
+           ",\"indicators\":" + num(static_cast<double>(ag.indicators)) +
+           ",\"cuts\":" + num(static_cast<double>(ag.cuts)) + '}';
+    if (ag.first_cut_t >= 0.0) ++agents_cut;
+    const double fl = latency_min(ag.activated_t, ag.first_flag_t);
+    if (fl >= 0.0) { flag_lat_sum += fl; ++flag_lat_n; }
+    const double cl = latency_min(ag.activated_t, ag.first_cut_t);
+    if (cl >= 0.0) { cut_lat_sum += cl; ++cut_lat_n; }
+    injected += ag.injected_before_cut;
+    delivered += ag.delivered_before_cut;
+  }
+  out += "],\"honest\":[";
+  first = true;
+  for (const auto& [id, h] : honest_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"peer\":" + num(id) +
+           ",\"first_flag_min\":" + num(mins(h.first_flag_t)) +
+           ",\"first_cut_min\":" + num(mins(h.first_cut_t)) +
+           ",\"flags\":" + num(static_cast<double>(h.flags)) +
+           ",\"cuts\":" + num(static_cast<double>(h.cuts)) + '}';
+    if (h.first_cut_t >= 0.0) ++honest_cut;
+  }
+  out += "],\"summary\":{\"agents\":" +
+         num(static_cast<double>(agents_.size())) +
+         ",\"agents_cut\":" + num(static_cast<double>(agents_cut)) +
+         ",\"mean_flag_latency_min\":" +
+         num(flag_lat_n > 0 ? flag_lat_sum / static_cast<double>(flag_lat_n)
+                            : -1.0) +
+         ",\"mean_cut_latency_min\":" +
+         num(cut_lat_n > 0 ? cut_lat_sum / static_cast<double>(cut_lat_n)
+                           : -1.0) +
+         ",\"injected_before_cut\":" + num(injected) +
+         ",\"delivered_before_cut\":" + num(delivered) +
+         ",\"honest_flagged\":" + num(static_cast<double>(honest_.size())) +
+         ",\"honest_cut\":" + num(static_cast<double>(honest_cut)) + "}}\n";
+  return out;
+}
+
+bool ForensicsAccumulator::write_csv(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+bool ForensicsAccumulator::write_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+std::string ForensicsAccumulator::summary() const {
+  std::uint64_t flagged = 0, cut = 0, honest_cut = 0;
+  double flag_lat_sum = 0.0, cut_lat_sum = 0.0;
+  std::size_t flag_lat_n = 0, cut_lat_n = 0;
+  double injected = 0.0, delivered = 0.0;
+  for (const auto& [id, ag] : agents_) {
+    if (ag.first_flag_t >= 0.0) ++flagged;
+    if (ag.first_cut_t >= 0.0) ++cut;
+    const double fl = latency_min(ag.activated_t, ag.first_flag_t);
+    if (fl >= 0.0) { flag_lat_sum += fl; ++flag_lat_n; }
+    const double cl = latency_min(ag.activated_t, ag.first_cut_t);
+    if (cl >= 0.0) { cut_lat_sum += cl; ++cut_lat_n; }
+    injected += ag.injected_before_cut;
+    delivered += ag.delivered_before_cut;
+  }
+  for (const auto& [id, h] : honest_) {
+    if (h.first_cut_t >= 0.0) ++honest_cut;
+  }
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "forensics: %zu agents (campaign at minute %s)\n",
+                agents_.size(), num(mins(attack_start_t_)).c_str());
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  flagged %llu/%zu (mean +%.2f min), cut %llu/%zu (mean +%.2f min)\n",
+      static_cast<unsigned long long>(flagged), agents_.size(),
+      flag_lat_n > 0 ? flag_lat_sum / static_cast<double>(flag_lat_n) : -1.0,
+      static_cast<unsigned long long>(cut), agents_.size(),
+      cut_lat_n > 0 ? cut_lat_sum / static_cast<double>(cut_lat_n) : -1.0);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  pre-cut damage: %s injected, %s delivered\n",
+                num(injected).c_str(), num(delivered).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  honest peers: %zu flagged, %llu cut\n", honest_.size(),
+                static_cast<unsigned long long>(honest_cut));
+  out += buf;
+  return out;
+}
+
+void ForensicsAccumulator::save(snapshot::Writer& w) const {
+  w.f64(attack_start_t_);
+  w.u64(events_folded_);
+  w.size(agents_.size());
+  for (const auto& [id, ag] : agents_) {
+    w.u32(id);
+    w.f64(ag.rate);
+    w.f64(ag.activated_t);
+    w.f64(ag.first_flag_t);
+    w.f64(ag.first_indicator_t);
+    w.f64(ag.first_cut_t);
+    w.f64(ag.quarantined_t);
+    w.u64(ag.flags);
+    w.u64(ag.indicators);
+    w.u64(ag.cuts);
+    w.f64(ag.injected_before_cut);
+    w.f64(ag.delivered_before_cut);
+  }
+  w.size(honest_.size());
+  for (const auto& [id, h] : honest_) {
+    w.u32(id);
+    w.f64(h.first_flag_t);
+    w.f64(h.first_cut_t);
+    w.u64(h.flags);
+    w.u64(h.cuts);
+  }
+}
+
+void ForensicsAccumulator::load(snapshot::Reader& r) {
+  agents_.clear();
+  honest_.clear();
+  attack_start_t_ = r.f64();
+  events_folded_ = r.u64();
+  const std::size_t n_agents = r.size(1u << 24);
+  for (std::size_t i = 0; i < n_agents; ++i) {
+    const PeerId id = r.u32();
+    AgentForensics& ag = agents_[id];
+    ag.agent = id;
+    ag.rate = r.f64();
+    ag.activated_t = r.f64();
+    ag.first_flag_t = r.f64();
+    ag.first_indicator_t = r.f64();
+    ag.first_cut_t = r.f64();
+    ag.quarantined_t = r.f64();
+    ag.flags = r.u64();
+    ag.indicators = r.u64();
+    ag.cuts = r.u64();
+    ag.injected_before_cut = r.f64();
+    ag.delivered_before_cut = r.f64();
+  }
+  const std::size_t n_honest = r.size(1u << 24);
+  for (std::size_t i = 0; i < n_honest; ++i) {
+    const PeerId id = r.u32();
+    HonestForensics& h = honest_[id];
+    h.peer = id;
+    h.first_flag_t = r.f64();
+    h.first_cut_t = r.f64();
+    h.flags = r.u64();
+    h.cuts = r.u64();
+  }
+}
+
+}  // namespace ddp::obs

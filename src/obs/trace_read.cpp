@@ -240,9 +240,15 @@ TraceSummary summarize_trace(const std::vector<TraceRecord>& records) {
   bool first_seen = false;
   for (const auto& r : records) {
     ++s.records;
-    if (!first_seen || r.t < s.first_t) s.first_t = r.t;
-    if (!first_seen || r.t > s.last_t) s.last_t = r.t;
-    first_seen = true;
+    if (r.t < 0.0) {
+      // Wall-layer record (log bridge): it has no sim clock, so it must
+      // not distort the sim-time range.
+      ++s.wall_logs;
+    } else {
+      if (!first_seen || r.t < s.first_t) s.first_t = r.t;
+      if (!first_seen || r.t > s.last_t) s.last_t = r.t;
+      first_seen = true;
+    }
     if (!r.known) {
       ++s.unknown_types;
       continue;
@@ -288,6 +294,106 @@ TraceSummary summarize_trace(const std::vector<TraceRecord>& records) {
         to_minutes(lag_sum / static_cast<double>(lag_n));
   }
   return s;
+}
+
+FloodTree build_flood_tree(const std::vector<TraceRecord>& records,
+                           QueryId query) {
+  FloodTree tree;
+  tree.query = query;
+  const double want = static_cast<double>(query);
+  std::map<PeerId, std::size_t> index;  ///< peer -> node position
+
+  // A peer enters the tree the first time it emits for this query; later
+  // events never re-parent it (the first arrival wins the duplicate race,
+  // exactly as the seen-table does in the engine).
+  const auto ensure = [&](PeerId peer, PeerId parent, std::uint32_t hops,
+                          double t) -> FloodTreeNode& {
+    const auto [it, fresh] = index.try_emplace(peer, tree.nodes.size());
+    if (fresh) {
+      FloodTreeNode node;
+      node.peer = peer;
+      node.parent = parent;
+      node.hops = hops;
+      node.first_t = t;
+      tree.nodes.push_back(node);
+      tree.depth = std::max(tree.depth, hops);
+    }
+    return tree.nodes[it->second];
+  };
+
+  for (const auto& r : records) {
+    if (!r.known) continue;
+    const auto qid = r.field("query");
+    if (!qid || *qid != want) continue;
+    tree.found = true;
+    switch (*r.known) {
+      case EventType::kQueryIssued: {
+        tree.origin = r.a;
+        tree.issued_t = r.t;
+        tree.object = r.field("object").value_or(-1.0);
+        tree.attack = r.field("attack").value_or(0.0) != 0.0;
+        ensure(r.a, kInvalidPeer, 0, r.t);
+        break;
+      }
+      case EventType::kQueryForwarded: {
+        ++tree.forwards;
+        const double parent = r.field("parent").value_or(-1.0);
+        const auto hops =
+            static_cast<std::uint32_t>(r.field("hops").value_or(0.0));
+        ensure(r.a,
+               parent < 0.0 ? kInvalidPeer : static_cast<PeerId>(parent),
+               hops, r.t);
+        break;
+      }
+      case EventType::kQueryHit: {
+        ++tree.hits;
+        const double parent = r.field("parent").value_or(-1.0);
+        // hit/expired payloads carry the *received* descriptor's hop
+        // count; the emitting peer sits one hop deeper (forwarded events
+        // carry the sender's own depth directly).
+        const auto hops =
+            static_cast<std::uint32_t>(r.field("hops").value_or(0.0)) + 1;
+        FloodTreeNode& node = ensure(
+            r.a, parent < 0.0 ? kInvalidPeer : static_cast<PeerId>(parent),
+            hops, r.t);
+        node.hit = true;
+        break;
+      }
+      case EventType::kQueryExpired: {
+        const auto hops =
+            static_cast<std::uint32_t>(r.field("hops").value_or(0.0)) + 1;
+        FloodTreeNode& node = ensure(r.a, r.b, hops, r.t);
+        node.expired = true;
+        break;
+      }
+      case EventType::kQueryDuplicate:
+        ++tree.duplicates;
+        break;
+      case EventType::kQueryDropped:
+        ++tree.drops;
+        break;
+      case EventType::kHitDelivered: {
+        ++tree.delivered;
+        const double latency = r.field("latency").value_or(-1.0);
+        if (tree.first_delivery_latency < 0.0 ||
+            (latency >= 0.0 && latency < tree.first_delivery_latency)) {
+          tree.first_delivery_latency = latency;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Wire up child lists (ascending peer id: index is an ordered map).
+  for (const auto& [peer, pos] : index) {
+    const PeerId parent = tree.nodes[pos].parent;
+    if (parent == kInvalidPeer) continue;
+    const auto it = index.find(parent);
+    if (it != index.end()) tree.nodes[it->second].children.push_back(pos);
+  }
+  return tree;
 }
 
 }  // namespace ddp::obs

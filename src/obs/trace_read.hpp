@@ -69,9 +69,10 @@ struct TraceFilter {
 struct TraceSummary {
   std::uint64_t records = 0;
   std::array<std::uint64_t, kEventTypeCount> by_type{};
-  double first_t = 0.0;
-  double last_t = 0.0;
+  double first_t = 0.0;   ///< sim-layer (t >= 0) events only
+  double last_t = 0.0;    ///< sim-layer (t >= 0) events only
   std::uint64_t unknown_types = 0;
+  std::uint64_t wall_logs = 0;  ///< wall-layer records (t < 0, e.g. kLog)
 
   // Defense storyline.
   std::uint64_t suspects_flagged = 0;   ///< distinct flagged peers
@@ -90,5 +91,45 @@ struct TraceSummary {
 };
 
 TraceSummary summarize_trace(const std::vector<TraceRecord>& records);
+
+/// One peer's role in a query's flood tree.
+struct FloodTreeNode {
+  PeerId peer = kInvalidPeer;
+  PeerId parent = kInvalidPeer;        ///< kInvalidPeer at the origin
+  std::uint32_t hops = 0;              ///< depth below the origin
+  double first_t = -1.0;               ///< first event this peer emitted
+  bool hit = false;                    ///< answered with a QueryHit
+  bool expired = false;                ///< terminal leaf (no forward)
+  std::vector<std::size_t> children;   ///< node indices, ascending peer id
+};
+
+/// A query's flood tree, reconstructed from the `query`/`parent` payload
+/// fields of the packet-engine events (trace_tool tree).
+struct FloodTree {
+  QueryId query = 0;
+  bool found = false;                  ///< any event carried this id
+  PeerId origin = kInvalidPeer;        ///< from kQueryIssued (if present)
+  double issued_t = -1.0;
+  double object = -1.0;
+  bool attack = false;
+  std::vector<FloodTreeNode> nodes;    ///< [0] = origin when found
+
+  // Aggregates over the query's whole event stream.
+  std::uint64_t forwards = 0;          ///< transmission attempts
+  std::uint64_t duplicates = 0;        ///< seen-GUID drops
+  std::uint64_t drops = 0;             ///< queue-overflow drops
+  std::uint64_t hits = 0;
+  std::uint64_t delivered = 0;         ///< hits that reached the origin
+  double first_delivery_latency = -1.0;
+  std::uint32_t depth = 0;             ///< max hops over all nodes
+};
+
+/// Rebuild one query's flood tree from parsed trace records. Every peer
+/// that emitted a forwarded/hit/expired event for the query becomes a
+/// node; parents come from the events' `parent` field; duplicate and
+/// overflow drops are tallied but do not create nodes (the descriptor
+/// died there).
+FloodTree build_flood_tree(const std::vector<TraceRecord>& records,
+                           QueryId query);
 
 }  // namespace ddp::obs

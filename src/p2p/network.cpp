@@ -172,7 +172,14 @@ void PacketNetwork::note_guid_entries(std::size_t before, std::size_t after) {
   }
 }
 
-void PacketNetwork::transmit(PeerId from, PeerId to, Descriptor d) {
+double PacketNetwork::trace_query_id(const net::Guid& guid) const noexcept {
+  const auto it = outcome_index_.find(guid);
+  if (it == outcome_index_.end()) return -1.0;  // settled past the horizon
+  return static_cast<double>(outcomes_[it->second - outcome_base_].id);
+}
+
+void PacketNetwork::transmit(PeerId from, PeerId to, Descriptor d,
+                             PeerId parent) {
   ++totals_.messages_sent;
   if (d.kind == Descriptor::Kind::kQuery) {
     monitors_.record(from, to, engine_.now());
@@ -180,7 +187,11 @@ void PacketNetwork::transmit(PeerId from, PeerId to, Descriptor d) {
     DDP_TRACE(tracer_, obs::EventType::kQueryForwarded, engine_.now(), from,
               to,
               {{"ttl", static_cast<double>(d.ttl)},
-               {"hops", static_cast<double>(d.hops)}});
+               {"hops", static_cast<double>(d.hops)},
+               {"query", trace_query_id(d.guid)},
+               {"parent", parent == kInvalidPeer
+                              ? -1.0
+                              : static_cast<double>(parent)}});
   }
   // Fault-injection fate roll — after the monitors, so DD-POLICE still
   // observes what the sender pushed (loss happens downstream of the
@@ -217,7 +228,9 @@ void PacketNetwork::arrive(PeerId at, PeerId from, Descriptor d) {
     ++ps.dropped;
     ++totals_.queries_dropped;
     DDP_TRACE(tracer_, obs::EventType::kQueryDropped, engine_.now(), at,
-              from, {{"queue", static_cast<double>(ps.queue.size())}});
+              from,
+              {{"queue", static_cast<double>(ps.queue.size())},
+               {"query", trace_query_id(d.guid)}});
     return;
   }
   // Stash the arrival link in the descriptor's bookkeeping so processing
@@ -275,7 +288,9 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
           out.first_response_at = now;
         }
         DDP_TRACE(tracer_, obs::EventType::kHitDelivered, now, at,
-                  d.hit_responder, {{"latency", now - out.issued_at}});
+                  d.hit_responder,
+                  {{"latency", now - out.issued_at},
+                   {"query", static_cast<double>(out.id)}});
       }
       return;
     }
@@ -287,7 +302,8 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
   prune_seen(ps, now);
   if (ps.seen.find(d.guid) != nullptr) {
     ++totals_.duplicates_dropped;
-    DDP_TRACE(tracer_, obs::EventType::kQueryDuplicate, now, at, from);
+    DDP_TRACE(tracer_, obs::EventType::kQueryDuplicate, now, at, from,
+              {{"query", trace_query_id(d.guid)}});
     return;
   }
   const std::size_t before = ps.seen.size();
@@ -307,22 +323,38 @@ void PacketNetwork::process(PeerId at, PeerId from, const Descriptor& d) {
     ++totals_.hits_generated;
     DDP_TRACE(tracer_, obs::EventType::kQueryHit, now, at, d.origin,
               {{"object", static_cast<double>(d.object)},
-               {"hops", static_cast<double>(d.hops)}});
+               {"hops", static_cast<double>(d.hops)},
+               {"query", trace_query_id(d.guid)},
+               {"parent", from == kInvalidPeer
+                              ? -1.0
+                              : static_cast<double>(from)}});
     if (from != kInvalidPeer && graph_.has_edge(at, from)) {
       transmit(at, from, hit);
     }
   }
 
   // Forward while TTL remains.
-  if (d.ttl <= 1) return;
-  Descriptor fwd = d;
-  fwd.ttl = static_cast<std::uint8_t>(d.ttl - 1);
-  fwd.hops = static_cast<std::uint8_t>(d.hops + 1);
-  const std::vector<PeerId> nbrs(graph_.neighbors(at).begin(),
-                                 graph_.neighbors(at).end());
-  for (PeerId n : nbrs) {
-    if (n == from) continue;
-    transmit(at, n, fwd);
+  std::size_t forwards = 0;
+  if (d.ttl > 1) {
+    Descriptor fwd = d;
+    fwd.ttl = static_cast<std::uint8_t>(d.ttl - 1);
+    fwd.hops = static_cast<std::uint8_t>(d.hops + 1);
+    const std::vector<PeerId> nbrs(graph_.neighbors(at).begin(),
+                                   graph_.neighbors(at).end());
+    for (PeerId n : nbrs) {
+      if (n == from) continue;
+      transmit(at, n, fwd, from);
+      ++forwards;
+    }
+  }
+  if (forwards == 0) {
+    // Flood-tree leaf: the query terminates here without fanning out (TTL
+    // exhausted, or no neighbour besides the sender). Emitting it keeps
+    // the trace lossless — every tree node appears as an emitter.
+    DDP_TRACE(tracer_, obs::EventType::kQueryExpired, now, at, from,
+              {{"query", trace_query_id(d.guid)},
+               {"ttl", static_cast<double>(d.ttl)},
+               {"hops", static_cast<double>(d.hops)}});
   }
 }
 

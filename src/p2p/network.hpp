@@ -182,8 +182,11 @@ class PacketNetwork {
   }
 
   /// Attach a trace sink (null detaches). Emits the per-descriptor data
-  /// plane vocabulary: query_issued/forwarded/dropped/duplicate, query_hit,
-  /// hit_delivered. Tracing observes only — no random draws, no state.
+  /// plane vocabulary: query_issued/forwarded/dropped/duplicate/expired,
+  /// query_hit, hit_delivered — each payload carries the deterministic
+  /// query id plus the parent hop, so the JSONL stream losslessly encodes
+  /// every query's flood tree (obs::build_flood_tree reconstructs it).
+  /// Tracing observes only — no random draws, no state.
   void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
   const obs::Tracer& tracer() const noexcept { return tracer_; }
 
@@ -220,12 +223,16 @@ class PacketNetwork {
     SimTime last_prune = 0.0;
   };
 
-  void transmit(PeerId from, PeerId to, Descriptor d);
+  void transmit(PeerId from, PeerId to, Descriptor d,
+                PeerId parent = kInvalidPeer);
   void arrive(PeerId at, PeerId from, Descriptor d);
   void service_next(PeerId at);
   void process(PeerId at, PeerId from, const Descriptor& d);
   void prune_seen(PeerState& ps, SimTime now);
   void prune_outcomes(SimTime now);
+  /// Deterministic query id for a GUID still inside the outcome horizon
+  /// (-1 once pruned). Trace payloads only — called under tracer_.on().
+  double trace_query_id(const net::Guid& guid) const noexcept;
   double service_time(const PeerState& ps) const noexcept;
   void note_guid_entries(std::size_t before, std::size_t after);
 

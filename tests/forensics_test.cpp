@@ -1,0 +1,402 @@
+// Causal tracing and forensics tests: flood-tree reconstruction from the
+// packet engine's query/parent payloads, deterministic query ids, the
+// ForensicsAccumulator's latency/damage arithmetic (live sink vs offline
+// JSONL fold), and the SeriesStore ring (wrap, bands, snapshot identity).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiments/runtime.hpp"
+#include "experiments/scenario.hpp"
+#include "obs/forensics.hpp"
+#include "obs/series.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_read.hpp"
+#include "p2p/network.hpp"
+#include "snapshot/snapshot.hpp"
+#include "topology/generators.hpp"
+
+namespace ddp {
+namespace {
+
+topology::Graph line(std::size_t n) {
+  topology::Graph g(n);
+  for (PeerId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+/// One traced packet-engine flood; returns the JSONL text it produced.
+struct TracedFlood {
+  topology::Graph graph;
+  workload::ContentConfig content_cfg;
+  std::unique_ptr<workload::ContentModel> content;
+  sim::Engine engine;
+  p2p::P2pConfig cfg;
+  std::ostringstream jsonl;
+  obs::JsonlSink sink{jsonl};
+  std::unique_ptr<p2p::PacketNetwork> net;
+
+  TracedFlood(topology::Graph g, double replicas, std::uint64_t seed)
+      : graph(std::move(g)) {
+    content_cfg.objects = 4;
+    content_cfg.mean_replicas = replicas;
+    content = std::make_unique<workload::ContentModel>(content_cfg,
+                                                       graph.node_count());
+    net = std::make_unique<p2p::PacketNetwork>(graph, *content, engine, cfg,
+                                               util::Rng(seed));
+    net->set_trace_sink(&sink);
+  }
+
+  std::vector<obs::TraceRecord> records() {
+    sink.flush();
+    std::istringstream in(jsonl.str());
+    return obs::read_trace_records(in);
+  }
+};
+
+TEST(FloodTree, LineTopologyReconstructsTheChain) {
+  TracedFlood f(line(5), /*replicas=*/0.0, 7);
+  const QueryId id = f.net->issue_query(0, 1);
+  f.engine.run_until(30.0);
+
+  const auto tree = obs::build_flood_tree(f.records(), id);
+  ASSERT_TRUE(tree.found);
+  EXPECT_EQ(tree.origin, 0u);
+  EXPECT_FALSE(tree.attack);
+  EXPECT_EQ(tree.object, 1.0);
+  // Every peer appears exactly once, parented to its upstream neighbour.
+  ASSERT_EQ(tree.nodes.size(), 5u);
+  EXPECT_EQ(tree.nodes[0].peer, 0u);
+  EXPECT_EQ(tree.nodes[0].parent, kInvalidPeer);
+  for (std::size_t i = 1; i < 5; ++i) {
+    const auto& n = tree.nodes[i];
+    EXPECT_EQ(n.peer, static_cast<PeerId>(i));
+    EXPECT_EQ(n.parent, static_cast<PeerId>(i - 1));
+    EXPECT_EQ(n.hops, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(tree.depth, 4u);
+  EXPECT_EQ(tree.forwards, 4u);   // one transmission per link
+  EXPECT_EQ(tree.duplicates, 0u);
+  EXPECT_EQ(tree.drops, 0u);
+  EXPECT_EQ(tree.hits, 0u);
+  // The far end terminated the flood without fanning out.
+  EXPECT_TRUE(tree.nodes[4].expired);
+  EXPECT_TRUE(tree.nodes[4].children.empty());
+  // Children mirror parents.
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    ASSERT_EQ(tree.nodes[i].children.size(), 1u);
+    EXPECT_EQ(tree.nodes[i].children[0], i + 1);
+  }
+}
+
+TEST(FloodTree, CycleTalliesDuplicatesAndStaysATree) {
+  topology::Graph g(4);
+  for (PeerId i = 0; i < 4; ++i) g.add_edge(i, (i + 1) % 4);
+  TracedFlood f(std::move(g), 0.0, 3);
+  const QueryId id = f.net->issue_query(0, 2);
+  f.engine.run_until(30.0);
+
+  const auto tree = obs::build_flood_tree(f.records(), id);
+  ASSERT_TRUE(tree.found);
+  // The two wavefronts meet: at least one duplicate, but the tree keeps
+  // exactly one parent per node (first arrival wins, like the seen-table).
+  EXPECT_GE(tree.duplicates, 1u);
+  EXPECT_EQ(tree.nodes.size(), 4u);
+  std::size_t roots = 0, reachable = 0;
+  for (const auto& n : tree.nodes) {
+    if (n.parent == kInvalidPeer) ++roots;
+    reachable += n.children.size();
+  }
+  EXPECT_EQ(roots, 1u);
+  EXPECT_EQ(reachable, tree.nodes.size() - 1);  // spanning: every non-root
+}
+
+TEST(FloodTree, HitsAndDeliveriesAreRecorded) {
+  // Full replication: the direct neighbour answers.
+  TracedFlood f(line(3), /*replicas=*/4.0, 11);
+  const QueryId id = f.net->issue_query(0, 2);
+  f.engine.run_until(30.0);
+
+  const auto tree = obs::build_flood_tree(f.records(), id);
+  ASSERT_TRUE(tree.found);
+  EXPECT_GE(tree.hits, 1u);
+  EXPECT_GE(tree.delivered, 1u);
+  EXPECT_GT(tree.first_delivery_latency, 0.0);
+  bool some_hit = false;
+  for (const auto& n : tree.nodes) {
+    if (!n.hit) continue;
+    some_hit = true;
+    EXPECT_NE(n.peer, tree.origin);
+    EXPECT_GE(n.hops, 1u);
+  }
+  EXPECT_TRUE(some_hit);
+}
+
+TEST(FloodTree, SameSeedRunsSerializeToIdenticalJsonl) {
+  util::Rng topo_rng_a(5), topo_rng_b(5);
+  TracedFlood a(topology::paper_topology(40, topo_rng_a), 2.0, 9);
+  TracedFlood b(topology::paper_topology(40, topo_rng_b), 2.0, 9);
+  for (PeerId p = 0; p < 6; ++p) {
+    a.net->issue_random_query(p);
+    b.net->issue_random_query(p);
+  }
+  a.engine.run_until(60.0);
+  b.engine.run_until(60.0);
+  a.sink.flush();
+  b.sink.flush();
+  ASSERT_FALSE(a.jsonl.str().empty());
+  EXPECT_EQ(a.jsonl.str(), b.jsonl.str());
+}
+
+TEST(FloodTree, QueryIdsAreSequentialRegardlessOfSeed) {
+  for (const std::uint64_t seed : {1ull, 42ull, 20070710ull}) {
+    TracedFlood f(line(4), 0.0, seed);
+    for (int i = 1; i <= 3; ++i) {
+      EXPECT_EQ(f.net->issue_query(0, 1), static_cast<QueryId>(i));
+    }
+    f.engine.run_until(30.0);
+    // The issued events carry the same ids.
+    int next = 1;
+    for (const auto& r : f.records()) {
+      if (r.known != obs::EventType::kQueryIssued) continue;
+      EXPECT_EQ(r.field("query").value_or(-1.0), static_cast<double>(next++));
+    }
+    EXPECT_EQ(next, 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ForensicsAccumulator
+
+obs::TraceEvent ev(obs::EventType type, double t, PeerId a,
+                   std::initializer_list<obs::TraceEvent::Field> fields) {
+  obs::TraceEvent e;
+  e.type = type;
+  e.t = t;
+  e.a = a;
+  for (const auto& f : fields) e.add_field(f.key, f.value);
+  return e;
+}
+
+TEST(Forensics, HandComputedMicroScenario) {
+  using obs::EventType;
+  obs::ForensicsAccumulator acc;
+  // Campaign at minute 2; agent 7 sources at 20k/min; flagged one minute
+  // later, cut two minutes later; peer 9 is an honest false positive.
+  acc.on_event(ev(EventType::kAttackStarted, 120.0, kInvalidPeer, {{"agents", 1.0}}));
+  acc.on_event(ev(EventType::kAgentActivated, 120.0, 7, {{"rate", 20000.0}}));
+  acc.on_event(ev(EventType::kAgentMinute, 180.0, 7,
+                  {{"out", 1000.0}, {"drop_frac", 0.25}}));
+  acc.on_event(ev(EventType::kSuspectFlagged, 180.0, 7, {}));
+  acc.on_event(ev(EventType::kSuspectFlagged, 185.0, 9, {}));
+  acc.on_event(ev(EventType::kAgentMinute, 240.0, 7,
+                  {{"out", 2000.0}, {"drop_frac", 0.5}}));
+  acc.on_event(ev(EventType::kSuspectCut, 240.0, 7, {}));
+  acc.on_event(ev(EventType::kSuspectCut, 245.0, 9, {}));
+  acc.on_event(ev(EventType::kPeerQuarantined, 240.0, 7, {}));
+  // Post-cut minute: must NOT accrue into pre-cut damage.
+  acc.on_event(ev(EventType::kAgentMinute, 300.0, 7,
+                  {{"out", 500.0}, {"drop_frac", 0.0}}));
+
+  EXPECT_EQ(acc.attack_start_t(), 120.0);
+  ASSERT_EQ(acc.agents().size(), 1u);
+  const auto& ag = acc.agents().at(7);
+  EXPECT_EQ(ag.rate, 20000.0);
+  EXPECT_EQ(ag.activated_t, 120.0);
+  EXPECT_EQ(ag.first_flag_t, 180.0);
+  EXPECT_EQ(ag.first_cut_t, 240.0);
+  EXPECT_EQ(ag.quarantined_t, 240.0);
+  // Minute totals up to and including the cut minute accrue; the cut-minute
+  // traffic was in flight before the link came down.
+  EXPECT_DOUBLE_EQ(ag.injected_before_cut, 3000.0);
+  EXPECT_DOUBLE_EQ(ag.delivered_before_cut, 1000.0 * 0.75 + 2000.0 * 0.5);
+  ASSERT_EQ(acc.honest().size(), 1u);
+  const auto& h = acc.honest().at(9);
+  EXPECT_EQ(h.first_flag_t, 185.0);
+  EXPECT_EQ(h.first_cut_t, 245.0);
+
+  // Exported latencies are minutes relative to activation.
+  const std::string csv = acc.to_csv();
+  EXPECT_NE(csv.find("\n7,20000,2,3,"), std::string::npos);  // agent,rate,act,flag
+  EXPECT_NE(csv.find(",1,"), std::string::npos);             // flag latency 1 min
+  const std::string json = acc.to_json();
+  EXPECT_NE(json.find("\"mean_flag_latency_min\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_cut_latency_min\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"honest_cut\":1"), std::string::npos);
+}
+
+experiments::ScenarioConfig tiny_config(std::uint64_t seed = 20070710) {
+  auto cfg = experiments::paper_scenario(120, 10, defense::Kind::kDdPolice, seed);
+  cfg.total_minutes = 8.0;
+  cfg.attack.start_minute = 2.0;
+  cfg.warmup_minutes = 3.0;
+  return cfg;
+}
+
+TEST(Forensics, OfflineFoldMatchesLiveSink) {
+  auto cfg = tiny_config();
+  cfg.obs.forensics = true;
+  std::ostringstream trace;
+  obs::JsonlSink sink(trace);
+  cfg.obs.trace_sink = &sink;
+  const auto result = experiments::run_scenario(cfg);
+  ASSERT_NE(result.forensics, nullptr);
+  ASSERT_FALSE(result.forensics->agents().empty());
+
+  std::istringstream in(trace.str());
+  obs::ForensicsAccumulator offline;
+  for (const auto& r : obs::read_trace_records(in)) offline.add(r);
+  EXPECT_EQ(offline.to_csv(), result.forensics->to_csv());
+  EXPECT_EQ(offline.to_json(), result.forensics->to_json());
+}
+
+TEST(Forensics, SameSeedRunsProduceByteIdenticalReports) {
+  auto cfg = tiny_config();
+  cfg.obs.forensics = true;
+  const auto a = experiments::run_scenario(cfg);
+  const auto b = experiments::run_scenario(cfg);
+  ASSERT_NE(a.forensics, nullptr);
+  ASSERT_NE(b.forensics, nullptr);
+  EXPECT_EQ(a.forensics->to_csv(), b.forensics->to_csv());
+  EXPECT_EQ(a.forensics->to_json(), b.forensics->to_json());
+  // Every agent's storyline is complete on this scenario: activated at the
+  // campaign minute and cut with a measurable latency.
+  EXPECT_EQ(a.forensics->agents().size(), 10u);
+  for (const auto& [id, ag] : a.forensics->agents()) {
+    EXPECT_GE(ag.activated_t, 0.0);
+    EXPECT_GE(ag.first_cut_t, ag.activated_t) << "agent " << id;
+    EXPECT_GT(ag.injected_before_cut, 0.0) << "agent " << id;
+  }
+}
+
+TEST(Forensics, SurvivesCheckpointResume) {
+  auto cfg = tiny_config();
+  cfg.obs.forensics = true;
+
+  experiments::ScenarioRuntime straight(cfg);
+  straight.run_all();
+  const std::string want = straight.result().forensics->to_csv();
+
+  experiments::ScenarioRuntime first(cfg);
+  first.run_to_minute(4.0);  // mid-campaign: agents active, cuts underway
+  const auto image = first.save();
+
+  experiments::ScenarioRuntime resumed(cfg);
+  resumed.load_bytes(image);
+  resumed.run_all();
+  EXPECT_EQ(resumed.result().forensics->to_csv(), want);
+  EXPECT_EQ(resumed.result().forensics->to_json(),
+            straight.result().forensics->to_json());
+}
+
+// ---------------------------------------------------------------------------
+// SeriesStore
+
+TEST(SeriesStore, RingWrapKeepsTheLastWindow) {
+  topology::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto s01 = g.edge_slot(0, 1);
+  obs::SeriesStore store(g, 3);
+  EXPECT_EQ(store.depth(), 0u);
+
+  for (int m = 1; m <= 5; ++m) {
+    store.begin_minute(static_cast<double>(m));
+    store.set_peer(0, 10.0 * m);
+    store.set_edge(s01, 100.0 * m);
+  }
+  EXPECT_EQ(store.minutes_recorded(), 5u);
+  EXPECT_EQ(store.depth(), 3u);  // only the last window() columns remain
+  EXPECT_EQ(store.minute_label(0), 5.0);
+  EXPECT_EQ(store.minute_label(2), 3.0);
+  EXPECT_EQ(store.peer_rate(0, 0), 50.0);
+  EXPECT_EQ(store.peer_rate(0, 2), 30.0);
+  EXPECT_EQ(store.peer_rate(0, 3), 0.0);  // beyond the retained window
+  EXPECT_EQ(store.edge_rate(s01, 1), 400.0);
+  // Peer 1 was never set: a silent minute is a real zero observation.
+  const auto band = store.peer_band(0);
+  EXPECT_EQ(band.samples, 3u);
+  EXPECT_EQ(band.min, 30.0);
+  EXPECT_EQ(band.max, 50.0);
+  EXPECT_DOUBLE_EQ(band.mean, (30.0 + 40.0 + 50.0) / 3.0);
+  EXPECT_EQ(store.peer_band(1).max, 0.0);
+}
+
+TEST(SeriesStore, SnapshotRoundTripIsByteIdentical) {
+  topology::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  obs::SeriesStore store(g, 4);
+  for (int m = 1; m <= 6; ++m) {
+    store.begin_minute(static_cast<double>(m));
+    for (PeerId p = 0; p < 4; ++p) store.set_peer(p, p + 0.5 * m);
+    store.set_edge(g.edge_slot(1, 2), 7.0 * m);
+  }
+
+  constexpr std::uint32_t kSec = snapshot::section_id("TEST");
+  snapshot::Writer w1;
+  w1.begin_section(kSec);
+  store.save(w1);
+  w1.end_section();
+  const auto bytes1 = w1.finish(0);
+
+  obs::SeriesStore loaded(g, 4);
+  snapshot::Reader r = snapshot::Reader::from_bytes(bytes1);
+  r.begin_section(kSec);
+  loaded.load(r);
+  r.end_section();
+  EXPECT_EQ(loaded.minutes_recorded(), store.minutes_recorded());
+  EXPECT_EQ(loaded.peer_rate(2, 1), store.peer_rate(2, 1));
+  EXPECT_EQ(loaded.edge_rate(g.edge_slot(1, 2), 3),
+            store.edge_rate(g.edge_slot(1, 2), 3));
+
+  snapshot::Writer w2;
+  w2.begin_section(kSec);
+  loaded.save(w2);
+  w2.end_section();
+  EXPECT_EQ(w2.finish(0), bytes1);  // save -> load -> save: same bytes
+}
+
+TEST(SeriesStore, ScenarioFeedAndRuntimeSnapshotIdentity) {
+  auto cfg = tiny_config();
+  cfg.obs.series_window_minutes = 4;
+  cfg.obs.forensics = true;
+
+  experiments::ScenarioRuntime rt(cfg);
+  rt.run_all();
+  const auto result = rt.result();
+  ASSERT_NE(result.series, nullptr);
+  EXPECT_EQ(result.series->window(), 4u);
+  EXPECT_EQ(result.series->depth(), 4u);
+  EXPECT_EQ(result.series->minutes_recorded(), 8u);
+  // Attack agents pushed real volume in the retained window.
+  double peak = 0.0;
+  for (PeerId p = 0; p < 120; ++p) {
+    peak = std::max(peak, result.series->peer_band(p).max);
+  }
+  EXPECT_GT(peak, 0.0);
+
+  // The full runtime image (incl. SERS + FRNS sections) round-trips to the
+  // same bytes through a fresh runtime.
+  const auto image = rt.save();
+  experiments::ScenarioRuntime reloaded(cfg);
+  reloaded.load_bytes(image);
+  EXPECT_EQ(reloaded.save(), image);
+}
+
+TEST(SeriesStore, PresenceMismatchIsRejectedOnLoad) {
+  auto cfg = tiny_config();
+  cfg.obs.series_window_minutes = 4;
+  experiments::ScenarioRuntime with_series(cfg);
+  with_series.run_to_minute(2.0);
+  const auto image = with_series.save();
+
+  auto plain = tiny_config();
+  experiments::ScenarioRuntime without(plain);
+  EXPECT_THROW(without.load_bytes(image), snapshot::SnapshotError);
+}
+
+}  // namespace
+}  // namespace ddp

@@ -231,6 +231,22 @@ TEST(TraceSummarize, DefenseStorylineAndFlagToCutLatency) {
   EXPECT_DOUBLE_EQ(s.last_t, 200.0);
 }
 
+TEST(TraceSummarize, WallLayerLogsStayOutOfTheTimeRange) {
+  // kLog events carry t=-1 (the wall layer has no sim clock); they must be
+  // counted separately and never drag first_t below the simulation window.
+  std::istringstream in(
+      "{\"t\":-1,\"type\":\"log\",\"note\":\"warn: boot\"}\n"
+      "{\"t\":30,\"type\":\"suspect_flagged\",\"a\":5,\"b\":1}\n"
+      "{\"t\":-1,\"type\":\"log\",\"note\":\"warn: mid-run\"}\n"
+      "{\"t\":90,\"type\":\"suspect_cut\",\"a\":5,\"b\":1}\n");
+  const auto records = read_trace_records(in);
+  const auto s = summarize_trace(records);
+  EXPECT_EQ(s.records, 4u);
+  EXPECT_EQ(s.wall_logs, 2u);
+  EXPECT_DOUBLE_EQ(s.first_t, 30.0);
+  EXPECT_DOUBLE_EQ(s.last_t, 90.0);
+}
+
 // ------------------------------------------------------------- metrics
 
 TEST(Metrics, RegistrationIsIdempotentAndTyped) {
