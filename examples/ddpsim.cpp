@@ -13,9 +13,19 @@
 //   defense[dd-police]   none | naive-cut | fair-share | dd-police
 //   topo[ba]             ba | waxman | er | two-tier
 //   ct[5] warning[500] exchange[2] event_driven[0] radius[1]
-//   cheat[honest]        honest | inflate | deflate | mute
+//   cheat[honest]        honest | inflate | deflate | mute | collude
 //   lists[honest]        honest | fabricate | withhold
 //   rejoin[0] churn[on] lifetime_min[60] attack_rate[20000]
+//   sourcing[constant]   constant | ramp | pulse | probe  (agent schedule)
+//   ramp_min[20] ramp_target[1] pulse_on[1] pulse_off[4] pulse_scale[1]
+//   probe_step[0.05] probe_backoff[0.5]
+//   adaptive[0]          learned per-link cut bands (docs/robustness.md)
+//   adaptive_window[10] adaptive_every[2] adaptive_min_samples[4]
+//   adaptive_k1[2] adaptive_k2[4] adaptive_floor[50] adaptive_budget[0.5]
+//   adaptive_exit[3] malicious_ct[2]
+//   flash[0]             correlated legitimate query surges (flash crowds)
+//   flash_start[15] flash_min[6] flash_factor[20] flash_frac[0.25]
+//   flash_repeat[0]      minutes between surge onsets (0 = one surge)
 //   cut_policy[permanent]  permanent | quarantine   (self-healing cuts)
 //   quarantine_min[10] quarantine_growth[2] probation_min[5]
 //   probation_budget[0.25] probation_links[2] max_strikes[3]
@@ -146,12 +156,58 @@ int main(int argc, char** argv) {
   cfg.repair_partitions = opts.get("repair", false);
 
   const std::string cheat = opts.get("cheat", std::string("honest"));
-  if (cheat == "inflate") cfg.attack.behavior.report = attack::ReportStrategy::kInflate;
-  else if (cheat == "deflate") cfg.attack.behavior.report = attack::ReportStrategy::kDeflate;
-  else if (cheat == "mute") cfg.attack.behavior.report = attack::ReportStrategy::kMute;
+  if (const auto rs = attack::report_strategy_from_name(cheat)) {
+    cfg.attack.behavior.report = *rs;
+  } else {
+    std::fprintf(stderr, "ddpsim: unknown cheat strategy '%s'\n", cheat.c_str());
+    return 2;
+  }
   const std::string lists = opts.get("lists", std::string("honest"));
-  if (lists == "fabricate") cfg.attack.behavior.list = attack::ListStrategy::kFabricate;
-  else if (lists == "withhold") cfg.attack.behavior.list = attack::ListStrategy::kWithhold;
+  if (const auto ls = attack::list_strategy_from_name(lists)) {
+    cfg.attack.behavior.list = *ls;
+  } else {
+    std::fprintf(stderr, "ddpsim: unknown list strategy '%s'\n", lists.c_str());
+    return 2;
+  }
+
+  // Agent sourcing schedule (constant = the paper's immediate full rate).
+  const std::string sourcing = opts.get("sourcing", std::string("constant"));
+  if (const auto ss = attack::sourcing_strategy_from_name(sourcing)) {
+    cfg.attack.sourcing = *ss;
+  } else {
+    std::fprintf(stderr, "ddpsim: unknown sourcing strategy '%s'\n",
+                 sourcing.c_str());
+    return 2;
+  }
+  cfg.attack.ramp_minutes = opts.get("ramp_min", 20.0);
+  cfg.attack.ramp_target_scale = opts.get("ramp_target", 1.0);
+  cfg.attack.pulse_on_minutes = opts.get("pulse_on", 1.0);
+  cfg.attack.pulse_off_minutes = opts.get("pulse_off", 4.0);
+  cfg.attack.pulse_scale = opts.get("pulse_scale", 1.0);
+  cfg.attack.probe_step_scale = opts.get("probe_step", 0.05);
+  cfg.attack.probe_backoff = opts.get("probe_backoff", 0.5);
+
+  // Adaptive cut bands (off by default: paper-exact static thresholds).
+  cfg.ddpolice.adaptive.enabled = opts.get("adaptive", false);
+  cfg.ddpolice.adaptive.window_minutes = static_cast<std::size_t>(
+      opts.get("adaptive_window", std::int64_t{10}));
+  cfg.ddpolice.adaptive.estimate_period_minutes = opts.get("adaptive_every", 2.0);
+  cfg.ddpolice.adaptive.min_samples = static_cast<std::size_t>(
+      opts.get("adaptive_min_samples", std::int64_t{4}));
+  cfg.ddpolice.adaptive.k1 = opts.get("adaptive_k1", 2.0);
+  cfg.ddpolice.adaptive.k2 = opts.get("adaptive_k2", 4.0);
+  cfg.ddpolice.adaptive.band_floor = opts.get("adaptive_floor", 50.0);
+  cfg.ddpolice.adaptive.suspicious_budget = opts.get("adaptive_budget", 0.5);
+  cfg.ddpolice.adaptive.suspicion_exit_minutes = opts.get("adaptive_exit", 3.0);
+  cfg.ddpolice.adaptive.malicious_ct = opts.get("malicious_ct", 2.0);
+
+  // Flash crowds (legitimate surge workload; the false-cut stressor).
+  cfg.flash.enabled = opts.get("flash", false);
+  cfg.flash.start_minute = opts.get("flash_start", 15.0);
+  cfg.flash.surge_minutes = opts.get("flash_min", 6.0);
+  cfg.flash.surge_factor = opts.get("flash_factor", 20.0);
+  cfg.flash.participation = opts.get("flash_frac", 0.25);
+  cfg.flash.repeat_every_minutes = opts.get("flash_repeat", 0.0);
 
   cfg.churn.enabled = opts.get("churn", std::string("on")) != "off";
   const double life = opts.get("lifetime_min", 60.0);
@@ -345,6 +401,16 @@ int main(int argc, char** argv) {
                 mean_reinstate,
                 static_cast<unsigned long long>(r.quarantine.bans),
                 static_cast<unsigned long long>(r.quarantine.re_isolations));
+  }
+  if (cfg.ddpolice.adaptive.enabled) {
+    std::printf("adaptive: %llu band re-estimates, %llu suspicion entries, "
+                "%llu exits\n",
+                static_cast<unsigned long long>(r.band_reestimates),
+                static_cast<unsigned long long>(r.suspicion_entries),
+                static_cast<unsigned long long>(r.suspicion_exits));
+  }
+  if (cfg.flash.enabled) {
+    std::printf("flash crowds: %zu surge(s)\n", r.flash_surges);
   }
   if (cfg.repair_partitions) {
     std::printf("repair: %llu sweeps, %llu found partitions, %llu peers "

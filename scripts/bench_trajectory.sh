@@ -16,7 +16,11 @@
 # 15% is deliberately loose: headline numbers on a shared builder wobble a
 # few percent run to run, and the gate must only catch real regressions
 # (an accidental O(n^2), a hot-path allocation), not scheduler noise.
-# An empty or missing trajectory bootstraps: first run records, no gate.
+# An empty, missing, or unparsable trajectory bootstraps: the run records
+# a fresh point and applies no gate.
+#
+# DDP_TRAJECTORY_FILE overrides the trajectory path (the check.sh --bench
+# bootstrap tests point it at a scratch file).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,7 +39,7 @@ if [ ! -x "$bench" ]; then
   exit 2
 fi
 
-trajectory=results/BENCH_trajectory.jsonl
+trajectory="${DDP_TRAJECTORY_FILE:-results/BENCH_trajectory.jsonl}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -69,6 +73,16 @@ if [ -n "$prev" ]; then
       awk -F': *' '/"events_per_sec"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2 }')"
   prev_flow="$(printf '%s\n' "$prev" | tr ',' '\n' | \
       awk -F': *' '/"flow_minutes_per_sec"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2 }')"
+  if [ -z "$prev_events" ] || [ -z "$prev_flow" ]; then
+    # A truncated write or hand edit left the last line unparsable. Don't
+    # gate against garbage and don't fail the build over history damage —
+    # re-bootstrap, appending a fresh well-formed point.
+    echo "perf trajectory: last line of $trajectory is unparsable;" \
+         "re-bootstrapping (no gate this run)"
+    prev=""
+  fi
+fi
+if [ -n "$prev" ]; then
   echo "previous: $prev_events events/sec, $prev_flow flow-minutes/sec"
   fail="$(awk -v e="$events" -v pe="$prev_events" \
               -v f="$flow" -v pf="$prev_flow" 'BEGIN {
@@ -102,7 +116,7 @@ if [ "$dry_run" -eq 1 ]; then
   exit 0
 fi
 
-mkdir -p results
+mkdir -p "$(dirname "$trajectory")"
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 printf '{"date":"%s","commit":"%s","events_per_sec":%s,"ns_per_event":%s,"flow_minutes_per_sec":%s,"wall_seconds":%s}\n' \

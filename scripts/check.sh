@@ -15,7 +15,14 @@
 #                             # run the engine headline bench, fail on a
 #                             # >15% regression vs the last recorded point
 #                             # in results/BENCH_trajectory.jsonl, append
-#                             # the new point on pass
+#                             # the new point on pass; also shell-tests the
+#                             # gate's bootstrap paths (missing / empty /
+#                             # corrupt trajectory) against a scratch file
+#   scripts/check.sh --adaptive  # tier-1 plus the adaptive-CT gate:
+#                             # invalid adaptive configs must exit 2, the
+#                             # laptop-scale ablation must be run-to-run
+#                             # byte-identical, and adaptive=0 must leave
+#                             # ddpsim output byte-identical to the default
 #
 # Tier-1 is the contract every PR must keep green: the default-preset
 # build, the full ctest suite, and an end-to-end observability check —
@@ -32,6 +39,7 @@ run_soak=0
 run_tsan=0
 run_snapshot=0
 run_bench=0
+run_adaptive=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -39,7 +47,8 @@ for arg in "$@"; do
     --tsan) run_tsan=1 ;;
     --snapshot) run_snapshot=1 ;;
     --bench) run_bench=1 ;;
-    *) echo "unknown argument: $arg (expected --asan, --soak, --tsan, --snapshot or --bench)" >&2; exit 2 ;;
+    --adaptive) run_adaptive=1 ;;
+    *) echo "unknown argument: $arg (expected --asan, --soak, --tsan, --snapshot, --bench or --adaptive)" >&2; exit 2 ;;
   esac
 done
 
@@ -175,12 +184,62 @@ if [ "$run_tsan" -eq 1 ]; then
   # Any data race aborts the process, so this gate fails loudly.
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs" \
-      --target sweep_test snapshot_test forensics_test bench_soak_chaos
+      --target sweep_test snapshot_test forensics_test adaptive_test \
+               attack_test bench_soak_chaos
   ./build-tsan/tests/sweep_test
   ./build-tsan/tests/snapshot_test
   ./build-tsan/tests/forensics_test
+  ./build-tsan/tests/adaptive_test
+  ./build-tsan/tests/attack_test
   ./build-tsan/bench/bench_soak_chaos minutes=30 soaks=2 jobs=2 > /dev/null
   echo "tsan sweep harness: OK (no races reported)"
+fi
+
+if [ "$run_adaptive" -eq 1 ]; then
+  echo "== adaptive-CT gate =="
+  # 1. Inconsistent adaptive parameters must die with exit 2 and a message
+  #    naming the offending knob, not a throw from inside the runner.
+  for bad in "adaptive_k1=4 adaptive_k2=2" "adaptive_window=0" \
+             "adaptive=1 defense=none"; do
+    # shellcheck disable=SC2086
+    if ./build/examples/ddpsim peers=100 agents=5 minutes=5 adaptive=1 \
+        $bad > /dev/null 2>&1; then
+      echo "FAIL: invalid adaptive config ($bad) was accepted" >&2
+      exit 1
+    else
+      rc=$?
+      if [ "$rc" -ne 2 ]; then
+        echo "FAIL: invalid adaptive config ($bad) exited $rc, expected 2" >&2
+        exit 1
+      fi
+    fi
+  done
+  echo "adaptive validation: OK (inconsistent params exit 2)"
+
+  # 2. The static-vs-adaptive ablation must be run-to-run byte-identical.
+  mkdir -p "$tmp/adp1" "$tmp/adp2"
+  env -u DDP_FULL -u DDP_SEED DDP_TRIALS=1 ./build/bench/bench_adaptive_ct \
+      --out-dir "$tmp/adp1" > /dev/null
+  env -u DDP_FULL -u DDP_SEED DDP_TRIALS=1 ./build/bench/bench_adaptive_ct \
+      --out-dir "$tmp/adp2" > /dev/null
+  if ! cmp -s "$tmp/adp1/fig_adaptive_ct.csv" "$tmp/adp2/fig_adaptive_ct.csv"; then
+    echo "FAIL: adaptive-CT ablation is not run-to-run deterministic" >&2
+    exit 1
+  fi
+  echo "adaptive ablation determinism: OK (byte-identical CSV)"
+
+  # 3. adaptive=0 (the default) must leave the simulation byte-identical:
+  #    the flag parses, constructs nothing, and the paper-default series
+  #    matches a run that never mentions it.
+  ./build/examples/ddpsim peers=120 agents=12 minutes=8 seed=7 \
+      csv="$tmp/adp_off.csv" adaptive=0 > /dev/null
+  ./build/examples/ddpsim peers=120 agents=12 minutes=8 seed=7 \
+      csv="$tmp/adp_default.csv" > /dev/null
+  if ! cmp -s "$tmp/adp_off.csv" "$tmp/adp_default.csv"; then
+    echo "FAIL: adaptive=0 changes the paper-default series" >&2
+    exit 1
+  fi
+  echo "adaptive off-switch: OK (byte-identical to the default run)"
 fi
 
 if [ "$run_asan" -eq 1 ]; then
@@ -189,6 +248,37 @@ if [ "$run_asan" -eq 1 ]; then
 fi
 
 if [ "$run_bench" -eq 1 ]; then
+  echo "== perf trajectory gate: bootstrap paths =="
+  # The gate must bootstrap cleanly — record a point, apply no gate — when
+  # the trajectory file is missing, empty, or ends in an unparsable line.
+  # DDP_TRAJECTORY_FILE points each case at a scratch file so the real
+  # history in results/ is never touched.
+  for case_name in missing empty corrupt; do
+    traj="$tmp/traj_$case_name.jsonl"
+    case "$case_name" in
+      empty) : > "$traj" ;;
+      corrupt) echo '{"events_per_sec": tru' > "$traj" ;;
+    esac
+    if ! DDP_TRAJECTORY_FILE="$traj" scripts/bench_trajectory.sh > "$tmp/traj_out" 2>&1; then
+      echo "FAIL: bench_trajectory.sh did not bootstrap on $case_name trajectory" >&2
+      cat "$tmp/traj_out" >&2
+      exit 1
+    fi
+    if ! grep -q "bootstrap" "$tmp/traj_out"; then
+      echo "FAIL: $case_name trajectory did not take the bootstrap path" >&2
+      cat "$tmp/traj_out" >&2
+      exit 1
+    fi
+    lines="$(wc -l < "$traj")"
+    expected=1
+    [ "$case_name" = corrupt ] && expected=2
+    if [ "$lines" -ne "$expected" ]; then
+      echo "FAIL: $case_name bootstrap left $lines lines in $traj (expected $expected)" >&2
+      exit 1
+    fi
+  done
+  echo "trajectory bootstrap: OK (missing / empty / corrupt all record cleanly)"
+
   echo "== perf trajectory gate =="
   scripts/bench_trajectory.sh
 fi

@@ -1,6 +1,7 @@
 #include "attack/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "snapshot/state_io.hpp"
 #include "util/log.hpp"
@@ -17,8 +18,19 @@ std::string_view report_strategy_name(ReportStrategy s) noexcept {
     case ReportStrategy::kInflate: return sv("inflate");
     case ReportStrategy::kDeflate: return sv("deflate");
     case ReportStrategy::kMute: return sv("mute");
+    case ReportStrategy::kCollude: return sv("collude");
   }
   return sv("?");
+}
+
+std::optional<ReportStrategy> report_strategy_from_name(
+    std::string_view name) noexcept {
+  for (const auto s : {ReportStrategy::kHonest, ReportStrategy::kInflate,
+                       ReportStrategy::kDeflate, ReportStrategy::kMute,
+                       ReportStrategy::kCollude}) {
+    if (name == report_strategy_name(s)) return s;
+  }
+  return std::nullopt;
 }
 
 std::string_view list_strategy_name(ListStrategy s) noexcept {
@@ -28,6 +40,56 @@ std::string_view list_strategy_name(ListStrategy s) noexcept {
     case ListStrategy::kWithhold: return sv("withhold");
   }
   return sv("?");
+}
+
+std::optional<ListStrategy> list_strategy_from_name(
+    std::string_view name) noexcept {
+  for (const auto s : {ListStrategy::kHonest, ListStrategy::kFabricate,
+                       ListStrategy::kWithhold}) {
+    if (name == list_strategy_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::string_view sourcing_strategy_name(SourcingStrategy s) noexcept {
+  switch (s) {
+    case SourcingStrategy::kConstant: return sv("constant");
+    case SourcingStrategy::kRamp: return sv("ramp");
+    case SourcingStrategy::kPulse: return sv("pulse");
+    case SourcingStrategy::kProbe: return sv("probe");
+  }
+  return sv("?");
+}
+
+std::optional<SourcingStrategy> sourcing_strategy_from_name(
+    std::string_view name) noexcept {
+  for (const auto s : {SourcingStrategy::kConstant, SourcingStrategy::kRamp,
+                       SourcingStrategy::kPulse, SourcingStrategy::kProbe}) {
+    if (name == sourcing_strategy_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+double schedule_scale(const AttackConfig& config, double minutes_since_start) {
+  const double t = std::max(0.0, minutes_since_start);
+  switch (config.sourcing) {
+    case SourcingStrategy::kConstant:
+      return 1.0;
+    case SourcingStrategy::kRamp: {
+      if (config.ramp_minutes <= 0.0) return config.ramp_target_scale;
+      return std::min(config.ramp_target_scale,
+                      config.ramp_target_scale * t / config.ramp_minutes);
+    }
+    case SourcingStrategy::kPulse: {
+      const double period = config.pulse_on_minutes + config.pulse_off_minutes;
+      if (period <= 0.0) return config.pulse_scale;
+      const double phase = std::fmod(t, period);
+      return phase < config.pulse_on_minutes ? config.pulse_scale : 0.0;
+    }
+    case SourcingStrategy::kProbe:
+      return config.probe_step_scale;  // initial rung of the climb
+  }
+  return 1.0;
 }
 
 AttackScenario::AttackScenario(flow::FlowNetwork& net, const AttackConfig& config,
@@ -40,8 +102,9 @@ bool AttackScenario::is_agent(PeerId p) const noexcept {
   return p < is_agent_.size() && is_agent_[p] != 0;
 }
 
-void AttackScenario::start() {
+void AttackScenario::start(double minute) {
   started_ = true;
+  started_minute_ = minute;
   const auto& g = net_.graph();
   std::size_t picked = 0;
   // Bounded attempts: when the requested campaign size approaches the
@@ -76,9 +139,13 @@ void AttackScenario::start() {
 
 void AttackScenario::on_minute(double minute) {
   if (!started_) {
-    if (minute >= config_.start_minute) start();
+    if (minute >= config_.start_minute) {
+      start(minute);
+      drive_sourcing(minute);
+    }
     return;
   }
+  drive_sourcing(minute);
   auto& g = net_.mutable_graph();
   for (PeerId a : agents_) {
     if (rejoin_due_[a] >= 0.0) {
@@ -115,6 +182,42 @@ void AttackScenario::on_minute(double minute) {
   }
 }
 
+void AttackScenario::drive_sourcing(double minute) {
+  // The paper's constant-rate agent never touches issue scales, keeping
+  // every pre-existing scenario byte-identical.
+  if (config_.sourcing == SourcingStrategy::kConstant) return;
+  const auto& g = net_.graph();
+  if (config_.sourcing == SourcingStrategy::kProbe) {
+    if (probe_scale_.empty()) {
+      // Lazily initialized at activation: every agent starts on the
+      // lowest rung with its current degree as the baseline.
+      probe_scale_.assign(agents_.size(), config_.probe_step_scale);
+      prev_degree_.resize(agents_.size());
+      for (std::size_t i = 0; i < agents_.size(); ++i) {
+        prev_degree_[i] = static_cast<std::uint32_t>(g.degree(agents_[i]));
+      }
+    }
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      const PeerId a = agents_[i];
+      const auto deg = static_cast<std::uint32_t>(g.degree(a));
+      if (deg < prev_degree_[i]) {
+        // Lost a link since last minute: the defense noticed. Back off
+        // (but stay on the ladder — the climb resumes next minute).
+        probe_scale_[i] = std::max(config_.probe_step_scale,
+                                   probe_scale_[i] * config_.probe_backoff);
+      } else {
+        probe_scale_[i] =
+            std::min(1.0, probe_scale_[i] + config_.probe_step_scale);
+      }
+      prev_degree_[i] = deg;
+      net_.set_issue_scale(a, probe_scale_[i]);
+    }
+    return;
+  }
+  const double scale = schedule_scale(config_, minute - started_minute_);
+  for (const PeerId a : agents_) net_.set_issue_scale(a, scale);
+}
+
 void AttackScenario::save(snapshot::Writer& w) const {
   w.size(agents_.size());
   for (const PeerId p : agents_) w.u32(p);
@@ -123,6 +226,10 @@ void AttackScenario::save(snapshot::Writer& w) const {
   snapshot::save_f64_vector(w, rejoin_due_);
   w.boolean(started_);
   w.u64(rejoins_);
+  w.f64(started_minute_);
+  snapshot::save_f64_vector(w, probe_scale_);
+  w.size(prev_degree_.size());
+  for (const std::uint32_t d : prev_degree_) w.u32(d);
   snapshot::save_rng(w, rng_);
 }
 
@@ -135,6 +242,10 @@ void AttackScenario::load(snapshot::Reader& r) {
   snapshot::load_f64_vector(r, rejoin_due_, kMaxPeers);
   started_ = r.boolean();
   rejoins_ = static_cast<std::size_t>(r.u64());
+  started_minute_ = r.f64();
+  snapshot::load_f64_vector(r, probe_scale_, kMaxPeers);
+  prev_degree_.resize(r.size(kMaxPeers));
+  for (std::uint32_t& d : prev_degree_) d = r.u32();
   snapshot::load_rng(r, rng_);
   if (rejoin_due_.size() != net_.graph().node_count()) {
     throw snapshot::SnapshotError("attack rejoin schedule size != node count");

@@ -29,7 +29,29 @@ struct AttackConfig {
   /// in), so the default is off; the persistence ablation turns it on.
   bool rejoin = false;
   AgentBehavior behavior{};
+
+  // ---- Sourcing schedule (adaptive attackers) -----------------------------
+  // kConstant reproduces the paper's agent bit-for-bit (no issue-scale
+  // writes at all); the other strategies drive set_issue_scale each minute.
+  SourcingStrategy sourcing = SourcingStrategy::kConstant;
+  /// kRamp: minutes from activation to reach ramp_target_scale.
+  double ramp_minutes = 20.0;
+  /// kRamp: final fraction of the configured attack rate.
+  double ramp_target_scale = 1.0;
+  /// kPulse: burst length / quiet gap, minutes, and the burst's scale.
+  double pulse_on_minutes = 1.0;
+  double pulse_off_minutes = 4.0;
+  double pulse_scale = 1.0;
+  /// kProbe: additive climb per quiet minute and the multiplicative
+  /// backoff applied when the agent notices it lost links.
+  double probe_step_scale = 0.05;
+  double probe_backoff = 0.5;
 };
+
+/// The sourcing schedule as a pure function of time since activation
+/// (kProbe is stateful and handled by the scenario itself; this returns
+/// its initial scale). Exposed for tests: schedules must be deterministic.
+double schedule_scale(const AttackConfig& config, double minutes_since_start);
 
 class AttackScenario {
  public:
@@ -65,18 +87,25 @@ class AttackScenario {
   void load(snapshot::Reader& r);
 
  private:
-  void start();
+  void start(double minute);
 
   flow::FlowNetwork& net_;
   AttackConfig config_;
   util::Rng rng_;
   obs::Tracer tracer_;
+  void drive_sourcing(double minute);
+
   std::vector<PeerId> agents_;
   std::vector<char> is_agent_;
   std::vector<double> rejoin_due_;  ///< per-agent pending rejoin minute (<0: none)
   bool started_ = false;
   bool trace_agents_ = false;
   std::size_t rejoins_ = 0;
+  double started_minute_ = 0.0;     ///< activation minute (schedule origin)
+  /// kProbe per-agent state: current scale and the degree observed last
+  /// minute (a drop means the defense cut us — back off).
+  std::vector<double> probe_scale_;
+  std::vector<std::uint32_t> prev_degree_;
 };
 
 }  // namespace ddp::attack

@@ -13,6 +13,7 @@
 ///    (Sec. 3.1's consistency discussion).
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 namespace ddp::attack {
@@ -23,9 +24,13 @@ enum class ReportStrategy : std::uint8_t {
   kInflate,  ///< Case 1: report more than it really sent
   kDeflate,  ///< Case 2: report (much) less than it really sent
   kMute,     ///< third choice: never answer; peers then assume zero
+  kCollude,  ///< coordinated: inflate input credit for fellow agents
+             ///< (cover the flood), deflate it for honest suspects (frame)
 };
 
 std::string_view report_strategy_name(ReportStrategy s) noexcept;
+std::optional<ReportStrategy> report_strategy_from_name(
+    std::string_view name) noexcept;
 
 /// Whether the agent advertises fabricated neighbour lists.
 enum class ListStrategy : std::uint8_t {
@@ -35,6 +40,24 @@ enum class ListStrategy : std::uint8_t {
 };
 
 std::string_view list_strategy_name(ListStrategy s) noexcept;
+std::optional<ListStrategy> list_strategy_from_name(
+    std::string_view name) noexcept;
+
+/// How an agent shapes its query flood over time. The paper's agent is
+/// kConstant ("as many queries as it is capable of", Sec. 3.5); the other
+/// schedules are the adaptive attackers the learned-band defense exists
+/// for — each keeps the per-link rate under the static 500 q/min warning
+/// threshold so the paper's DD-POLICE never even flags it.
+enum class SourcingStrategy : std::uint8_t {
+  kConstant,  ///< full configured rate from activation (the paper)
+  kRamp,      ///< low-and-slow: rate grows linearly to a sub-warning target
+  kPulse,     ///< on-off bursts below the warning threshold
+  kProbe,     ///< climbs until it loses links, then backs off (CT probing)
+};
+
+std::string_view sourcing_strategy_name(SourcingStrategy s) noexcept;
+std::optional<SourcingStrategy> sourcing_strategy_from_name(
+    std::string_view name) noexcept;
 
 struct AgentBehavior {
   ReportStrategy report = ReportStrategy::kHonest;

@@ -77,6 +77,39 @@ std::string validate(const DdPoliceConfig& cfg) {
   if (cfg.max_strikes < 1) {
     return "ddpolice.max_strikes must be >= 1";
   }
+  if (cfg.adaptive.enabled) {
+    const AdaptiveConfig& a = cfg.adaptive;
+    if (a.window_minutes == 0) {
+      return "ddpolice.adaptive.window_minutes must be >= 1";
+    }
+    if (a.min_samples == 0 || a.min_samples > a.window_minutes) {
+      return "ddpolice.adaptive.min_samples must be in [1, window_minutes]";
+    }
+    if (!finite_positive(a.estimate_period_minutes)) {
+      return "ddpolice.adaptive.estimate_period_minutes must be a finite "
+             "value > 0";
+    }
+    if (!finite_positive(a.k1)) {
+      return "ddpolice.adaptive.k1 must be a finite value > 0";
+    }
+    if (!std::isfinite(a.k2) || a.k1 >= a.k2) {
+      return "ddpolice.adaptive.k1 must be < k2 (the suspicion rail must "
+             "sit below the cut rail)";
+    }
+    if (!std::isfinite(a.band_floor) || a.band_floor < 0.0) {
+      return "ddpolice.adaptive.band_floor must be finite and >= 0";
+    }
+    if (!fraction(a.suspicious_budget)) {
+      return "ddpolice.adaptive.suspicious_budget must be within [0, 1]";
+    }
+    if (!finite_positive(a.suspicion_exit_minutes)) {
+      return "ddpolice.adaptive.suspicion_exit_minutes must be a finite "
+             "value > 0";
+    }
+    if (!finite_positive(a.malicious_ct)) {
+      return "ddpolice.adaptive.malicious_ct must be a finite value > 0";
+    }
+  }
   return {};
 }
 

@@ -25,6 +25,56 @@ enum class CutPolicy : std::uint8_t {
   kQuarantine,  ///< quarantine -> probation -> reinstate/ban state machine
 };
 
+/// Adaptive cut bands (the "learned CT" extension). Instead of one global
+/// warning threshold and one global CT, each monitor learns a per-link
+/// {min, lambda, max} band of normal per-minute rates from its own history
+/// window and derives two rails from it:
+///
+///   r1 = max(k1 * band.max, band_floor)   — suspicion rail
+///   r2 = (k2 / k1) * r1                   — malicious rail
+///
+/// A neighbour above r1 enters local suspicion (its query budget is cut to
+/// suspicious_budget until it stays inside the band again); a neighbour
+/// above r2 additionally faces a tightened cut threshold (malicious_ct) in
+/// the very buddy round the static defense would have run at CT. The
+/// default (enabled = false) leaves DD-POLICE byte-identical to the paper.
+struct AdaptiveConfig {
+  /// Master switch. Off = paper-exact static thresholds.
+  bool enabled = false;
+
+  /// History window (minutes of per-link samples) a band is estimated from.
+  std::size_t window_minutes = 10;
+
+  /// How often bands are re-estimated, minutes.
+  double estimate_period_minutes = 2.0;
+
+  /// A band is only trusted ("mature") once it has at least this many
+  /// samples; immature links fall back to the static thresholds.
+  std::size_t min_samples = 4;
+
+  /// Suspicion rail multiplier: rates above k1 * band.max are suspicious.
+  double k1 = 2.0;
+
+  /// Cut rail multiplier: rates above (k2/k1) * r1 are treated as
+  /// malicious (CT tightened to malicious_ct). Must be > k1.
+  double k2 = 4.0;
+
+  /// Lower clamp on the suspicion rail, queries/minute, so quiet links
+  /// don't turn a handful of queries into an alarm.
+  double band_floor = 50.0;
+
+  /// Query-budget fraction applied to a locally suspicious peer.
+  double suspicious_budget = 0.5;
+
+  /// In-band minutes required before a suspicious peer's budget is
+  /// restored.
+  double suspicion_exit_minutes = 3.0;
+
+  /// The tightened CT used in buddy rounds against a neighbour whose rate
+  /// exceeded the malicious rail. Clamped to the static CT (never looser).
+  double malicious_ct = 2.0;
+};
+
 struct DdPoliceConfig {
   /// CT — disconnect when g(j,t) or s(j,t,i) exceeds this (Sec. 3.7.2;
   /// the paper settles on 5 after the Figure 12-14 study).
@@ -116,6 +166,11 @@ struct DdPoliceConfig {
 
   /// Strikes (cut decisions) after which the peer is banned outright.
   int max_strikes = 3;
+
+  // ---- Adaptive cut bands (learned per-link thresholds) -------------------
+  // Only consulted when adaptive.enabled; the default keeps the static
+  // paper thresholds bit-for-bit.
+  AdaptiveConfig adaptive{};
 };
 
 /// Range-checks a DdPoliceConfig. Returns an empty string when every field

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "core/adaptive.hpp"
 #include "net/message.hpp"
 #include "snapshot/state_io.hpp"
 #include "util/log.hpp"
@@ -32,6 +33,11 @@ DdPolice::DdPolice(OverlayPort& port, const DdPoliceConfig& config, util::Rng rn
     // are bit-identical whether or not the ledger exists).
     ledger_.emplace(port_, config_, rng_.fork("quarantine"));
   }
+  if (config_.adaptive.enabled) {
+    adaptive_ = std::make_unique<AdaptiveThresholds>(port_, config_);
+    if (ledger_) adaptive_->set_ledger(&*ledger_);
+    policy_ = adaptive_.get();
+  }
   const std::size_t n = port_.graph().node_count();
   next_exchange_minute_.resize(n);
   last_advertised_.resize(n);
@@ -41,6 +47,14 @@ DdPolice::DdPolice(OverlayPort& port, const DdPoliceConfig& config, util::Rng rn
     next_exchange_minute_[p] =
         rng_.uniform() * std::max(config_.exchange_period_minutes, 1e-6);
   }
+}
+
+DdPolice::~DdPolice() = default;
+
+void DdPolice::set_trace_sink(obs::TraceSink* sink) noexcept {
+  tracer_.bind(sink);
+  if (ledger_) ledger_->set_trace_sink(sink);
+  if (adaptive_) adaptive_->set_trace_sink(sink);
 }
 
 const fault::ControlCounters& DdPolice::control_stats() const noexcept {
@@ -79,6 +93,9 @@ void DdPolice::on_minute(double minute) {
   // the post-churn topology before this minute's exchanges and rounds,
   // so a probationer's fresh edges are advertised in the same minute.
   if (ledger_) ledger_->on_minute(minute);
+  // Adaptive bands feed on the completed minute's counters before the
+  // detection phase consults the rails derived from them.
+  if (adaptive_) adaptive_->on_minute(minute);
   exchange_phase(minute);
   detection_phase(minute);
 }
@@ -274,7 +291,10 @@ void DdPolice::detection_phase(double minute) {
     if (!g.is_active(i)) continue;
     for (PeerId j : g.neighbors(i)) {
       const double out = port_.sent_last_minute(j, i);
-      if (out > config_.warning_threshold) {
+      const double warn = policy_ != nullptr
+                              ? policy_->warning_threshold(i, j)
+                              : config_.warning_threshold;
+      if (out > warn) {
         ++suspicions_;
         auto& judges = judges_scratch_[j];
         if (judges.empty()) flagged_.push_back(j);
@@ -534,14 +554,17 @@ void DdPolice::run_round(PeerId suspect, const std::vector<PeerId>& judges,
                     {"k", static_cast<double>(reports.size())},
                     {"responders", responders}});
     }
-    if (is_bad(gval, sval, config_.cut_threshold)) {
+    const double ct = policy_ != nullptr
+                          ? policy_->cut_threshold(judge, suspect)
+                          : config_.cut_threshold;
+    if (is_bad(gval, sval, ct)) {
       Decision d;
       d.minute = minute;
       d.judge = judge;
       d.suspect = suspect;
       d.g = gval;
       d.s = sval;
-      d.via_single = !(gval > config_.cut_threshold);
+      d.via_single = !(gval > ct);
       d.believed_k = static_cast<std::uint32_t>(reports.size());
       for (const auto& r : reports) {
         if (r.responded) ++d.responders;

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -61,6 +62,25 @@ using ReportPolicy = std::function<std::optional<TrafficTruth>(
 using ListPolicy =
     std::function<std::vector<PeerId>(PeerId owner, std::vector<PeerId> truth)>;
 
+/// Per-decision threshold source. DD-POLICE consults the installed policy
+/// for both the per-link warning threshold (what makes a neighbour
+/// suspicious at the monitor) and the per-pair cut threshold CT (what a
+/// buddy round judges the indicators against). A null policy reproduces
+/// the paper's static constants bit-for-bit; AdaptiveThresholds
+/// (core/adaptive.hpp) learns both from per-link history bands.
+class ThresholdPolicy {
+ public:
+  virtual ~ThresholdPolicy() = default;
+
+  /// Queries/minute above which `judge` flags its neighbour `suspect`.
+  virtual double warning_threshold(PeerId judge, PeerId suspect) const = 0;
+
+  /// The CT `judge` applies to the indicators of `suspect` this round.
+  virtual double cut_threshold(PeerId judge, PeerId suspect) const = 0;
+};
+
+class AdaptiveThresholds;
+
 /// One disconnect decision, for the metrics pipeline.
 struct Decision {
   double minute = 0.0;
@@ -82,10 +102,23 @@ void load_decision(snapshot::Reader& r, Decision& d);
 class DdPolice {
  public:
   DdPolice(OverlayPort& port, const DdPoliceConfig& config, util::Rng rng);
+  ~DdPolice();  // out-of-line: AdaptiveThresholds is incomplete here
 
   /// Install cheating behaviours (defaults are honest).
   void set_report_policy(ReportPolicy policy) { report_policy_ = std::move(policy); }
   void set_list_policy(ListPolicy policy) { list_policy_ = std::move(policy); }
+
+  /// Override the threshold source (null restores the static constants).
+  /// Constructing with config.adaptive.enabled installs the built-in
+  /// AdaptiveThresholds automatically; this seam exists for tests and
+  /// future policies.
+  void set_threshold_policy(ThresholdPolicy* policy) noexcept {
+    policy_ = policy;
+  }
+
+  /// The built-in adaptive policy, or null when adaptive.enabled is off.
+  AdaptiveThresholds* adaptive() noexcept { return adaptive_.get(); }
+  const AdaptiveThresholds* adaptive() const noexcept { return adaptive_.get(); }
 
   /// Attach a fault plane: control messages then traverse its
   /// UnreliableChannel as real encoded wire bytes (lost, delayed,
@@ -104,11 +137,9 @@ class DdPolice {
   /// vocabulary: neighbor_list / list_violation on exchanges,
   /// suspect_flagged / indicator / suspect_cut during detection, and
   /// traffic_request/reply/retry/timeout plus corrupt_reject / late_reply
-  /// for each Neighbor_Traffic collection.
-  void set_trace_sink(obs::TraceSink* sink) noexcept {
-    tracer_.bind(sink);
-    if (ledger_) ledger_->set_trace_sink(sink);
-  }
+  /// for each Neighbor_Traffic collection. Out-of-line because the sink is
+  /// also forwarded to the (incomplete-here) adaptive policy.
+  void set_trace_sink(obs::TraceSink* sink) noexcept;
   const obs::Tracer& tracer() const noexcept { return tracer_; }
 
   /// The quarantine ledger, or null under CutPolicy::kPermanent.
@@ -186,6 +217,8 @@ class DdPolice {
   ReportPolicy report_policy_;
   ListPolicy list_policy_;
   fault::FaultPlane* fault_ = nullptr;
+  std::unique_ptr<AdaptiveThresholds> adaptive_;  ///< when adaptive.enabled
+  ThresholdPolicy* policy_ = nullptr;  ///< null => static paper thresholds
 
   topology::PeerMap<std::vector<Snapshot>> snapshots_;  ///< by holder
   std::size_t snapshot_count_ = 0;  ///< total held snapshots (ping costing)

@@ -472,6 +472,162 @@ std::vector<RateRow> run_attack_rate_sweep(const Scale& scale,
   return rows;
 }
 
+// ================================================== adaptive-CT ablation
+
+std::vector<AdaptiveRow> run_adaptive_ct_ablation(const Scale& scale,
+                                                  std::size_t agents,
+                                                  std::uint64_t seed) {
+  struct Strat {
+    std::string label;
+    std::size_t agents;
+    std::function<void(ScenarioConfig&)> apply;
+  };
+  // The sub-warning strategies run at a sourcing scale whose per-link rate
+  // sits well under the 500 q/min static warning threshold (scale 0.06 of
+  // Q_d = 20,000 spread over ~6 links ≈ 200 q/min/link) but far above any
+  // honest peer's learned band.
+  const std::vector<Strat> strats{
+      {"full-rate", agents, [](ScenarioConfig&) {}},
+      {"low-slow", agents,
+       [](ScenarioConfig& c) {
+         c.attack.sourcing = attack::SourcingStrategy::kRamp;
+         c.attack.ramp_minutes = 8.0;
+         c.attack.ramp_target_scale = 0.06;
+       }},
+      {"pulse", agents,
+       [](ScenarioConfig& c) {
+         c.attack.sourcing = attack::SourcingStrategy::kPulse;
+         c.attack.pulse_scale = 0.06;
+         c.attack.pulse_on_minutes = 1.0;
+         c.attack.pulse_off_minutes = 3.0;
+       }},
+      {"probe", agents,
+       [](ScenarioConfig& c) {
+         c.attack.sourcing = attack::SourcingStrategy::kProbe;
+         c.attack.probe_step_scale = 0.05;
+         c.attack.probe_backoff = 0.5;
+       }},
+      {"collude", agents,
+       [](ScenarioConfig& c) {
+         c.attack.behavior.report = attack::ReportStrategy::kCollude;
+       }},
+      {"flash-crowd", 0,
+       [](ScenarioConfig& c) {
+         c.flash.enabled = true;
+         c.flash.start_minute = c.attack.start_minute + 4.0;
+         c.flash.surge_minutes = 5.0;
+         c.flash.surge_factor = 20.0;
+         c.flash.participation = 0.25;
+       }},
+  };
+  struct Policy {
+    std::string label;
+    bool adaptive;
+  };
+  const std::vector<Policy> policies{{"static", false}, {"adaptive", true}};
+
+  struct Cell {
+    double detected_pct, detection_minutes;  ///< detection < 0: never
+    double injected, delivered, honest_cuts, honest_suspected, success_pct;
+  };
+  SweepRunner runner(scale.jobs);
+  const std::size_t per_strat = policies.size() * scale.trials;
+  const auto cells =
+      runner.map(strats.size() * per_strat, [&](std::size_t idx) {
+        const Strat& st = strats[idx / per_strat];
+        const Policy& pol = policies[(idx % per_strat) / scale.trials];
+        const auto t = static_cast<std::uint32_t>(idx % scale.trials);
+        const std::uint64_t s = seed + 1000003ULL * t;
+        ScenarioConfig cfg =
+            scaled(scale, st.agents, defense::Kind::kDdPolice, s);
+        cfg.obs.forensics = true;
+        st.apply(cfg);
+        cfg.ddpolice.adaptive.enabled = pol.adaptive;
+        const auto r = run_scenario(cfg);
+        Cell c{0.0, -1.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+        c.success_pct = r.summary.avg_success_rate * 100.0;
+        c.honest_cuts = static_cast<double>(r.errors.false_negative);
+        if (r.forensics != nullptr) {
+          c.honest_suspected = static_cast<double>(r.forensics->honest().size());
+          std::size_t detected = 0, n = 0;
+          double lat_sum = 0.0;
+          for (const auto& [id, a] : r.forensics->agents()) {
+            ++n;
+            c.injected += a.injected_before_cut;
+            c.delivered += a.delivered_before_cut;
+            if (a.first_cut_t >= 0.0 && a.activated_t >= 0.0) {
+              ++detected;
+              lat_sum += (a.first_cut_t - a.activated_t) / 60.0;
+            }
+          }
+          if (n > 0) {
+            c.detected_pct =
+                static_cast<double>(detected) / static_cast<double>(n) * 100.0;
+            c.injected /= static_cast<double>(n);
+            c.delivered /= static_cast<double>(n);
+          }
+          if (detected > 0) {
+            c.detection_minutes = lat_sum / static_cast<double>(detected);
+          }
+        }
+        return c;
+      });
+
+  std::vector<AdaptiveRow> rows;
+  for (std::size_t si = 0; si < strats.size(); ++si) {
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      AdaptiveRow row;
+      row.strategy = strats[si].label;
+      row.policy = policies[pi].label;
+      double det_sum = 0.0;
+      std::uint32_t det_n = 0;
+      for (std::uint32_t t = 0; t < scale.trials; ++t) {
+        const Cell& c = cells[si * per_strat + pi * scale.trials + t];
+        row.detected_pct += c.detected_pct;
+        row.injected_before_cut += c.injected;
+        row.delivered_before_cut += c.delivered;
+        row.honest_false_cuts += c.honest_cuts;
+        row.honest_suspected += c.honest_suspected;
+        row.success_pct += c.success_pct;
+        if (c.detection_minutes >= 0.0) {
+          det_sum += c.detection_minutes;
+          ++det_n;
+        }
+      }
+      const double d = static_cast<double>(scale.trials);
+      row.detected_pct /= d;
+      row.injected_before_cut /= d;
+      row.delivered_before_cut /= d;
+      row.honest_false_cuts /= d;
+      row.honest_suspected /= d;
+      row.success_pct /= d;
+      row.detection_minutes = det_n > 0 ? det_sum / det_n : -1.0;
+      rows.push_back(row);
+    }
+    util::log_info("adaptive-CT ablation: " + strats[si].label + " done");
+  }
+  return rows;
+}
+
+util::Table adaptive_ct_table(const std::vector<AdaptiveRow>& rows) {
+  util::Table t({"strategy", "policy", "detected(%)", "detection(min)",
+                 "injected_before_cut", "delivered_before_cut",
+                 "honest_wrongly_cut", "honest_suspected", "success(%)"});
+  for (const auto& r : rows) {
+    t.row()
+        .cell(r.strategy)
+        .cell(r.policy)
+        .cell(r.detected_pct, 1)
+        .cell(r.detection_minutes, 2)
+        .cell(r.injected_before_cut, 0)
+        .cell(r.delivered_before_cut, 0)
+        .cell(r.honest_false_cuts, 1)
+        .cell(r.honest_suspected, 1)
+        .cell(r.success_pct, 1);
+  }
+  return t;
+}
+
 util::Table attack_rate_table(const std::vector<RateRow>& rows) {
   util::Table t({"Qd(queries/min/link)", "bad_identified(%)", "detection(min)",
                  "damage_undefended(%)", "damage_dd_police(%)"});

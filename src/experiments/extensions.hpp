@@ -151,4 +151,30 @@ std::vector<RateRow> run_attack_rate_sweep(const Scale& scale,
 
 util::Table attack_rate_table(const std::vector<RateRow>& rows);
 
+// -------------------------------------------- adaptive-CT ablation
+
+struct AdaptiveRow {
+  std::string strategy;  ///< attacker / workload variant
+  std::string policy;    ///< "static" or "adaptive"
+  double detected_pct = 0.0;         ///< agents ever cut
+  double detection_minutes = 0.0;    ///< activation -> first cut; -1 = never
+  double injected_before_cut = 0.0;  ///< mean per agent (whole run if uncut)
+  double delivered_before_cut = 0.0;
+  double honest_false_cuts = 0.0;    ///< good peers wrongly cut
+  double honest_suspected = 0.0;     ///< honest peers the defense flagged
+  double success_pct = 0.0;
+};
+
+/// Static-vs-adaptive cut bands against the attackers the paper's global
+/// constants cannot see: a low-and-slow ramp and an on-off pulse that stay
+/// under the 500 q/min warning threshold, a threshold-probing agent, a
+/// colluding buddy group covering its own — plus a flash crowd (agents = 0)
+/// as the false-cut stressor. Every run has forensics on; detection latency
+/// and damage-before-cut come from the per-agent storylines.
+std::vector<AdaptiveRow> run_adaptive_ct_ablation(const Scale& scale,
+                                                  std::size_t agents,
+                                                  std::uint64_t seed);
+
+util::Table adaptive_ct_table(const std::vector<AdaptiveRow>& rows);
+
 }  // namespace ddp::experiments

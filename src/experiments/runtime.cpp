@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/adaptive.hpp"
 #include "core/flow_port.hpp"
 #include "snapshot/state_io.hpp"
 #include "topology/bandwidth.hpp"
@@ -56,6 +57,8 @@ constexpr std::uint32_t kSecMaint = snapshot::section_id("MANT");
 constexpr std::uint32_t kSecMetrics = snapshot::section_id("METR");
 constexpr std::uint32_t kSecSeries = snapshot::section_id("SERS");
 constexpr std::uint32_t kSecForensics = snapshot::section_id("FRNS");
+constexpr std::uint32_t kSecFlash = snapshot::section_id("FLSH");
+constexpr std::uint32_t kSecAdaptive = snapshot::section_id("ADPT");
 
 ScenarioConfig validated(ScenarioConfig config) {
   if (const std::string err = validate_config(config); !err.empty()) {
@@ -127,6 +130,20 @@ std::uint64_t ScenarioRuntime::config_digest(const ScenarioConfig& c) {
   d.u(static_cast<std::uint64_t>(c.attack.behavior.list));
   d.f(c.attack.behavior.inflate_factor);
   d.f(c.attack.behavior.deflate_factor);
+  d.u(static_cast<std::uint64_t>(c.attack.sourcing));
+  d.f(c.attack.ramp_minutes);
+  d.f(c.attack.ramp_target_scale);
+  d.f(c.attack.pulse_on_minutes);
+  d.f(c.attack.pulse_off_minutes);
+  d.f(c.attack.pulse_scale);
+  d.f(c.attack.probe_step_scale);
+  d.f(c.attack.probe_backoff);
+  d.b(c.flash.enabled);
+  d.f(c.flash.start_minute);
+  d.f(c.flash.surge_minutes);
+  d.f(c.flash.repeat_every_minutes);
+  d.f(c.flash.surge_factor);
+  d.f(c.flash.participation);
   d.u(static_cast<std::uint64_t>(c.defense));
   d.f(c.ddpolice.cut_threshold);
   d.f(c.ddpolice.warning_threshold);
@@ -149,6 +166,16 @@ std::uint64_t ScenarioRuntime::config_digest(const ScenarioConfig& c) {
   d.f(c.ddpolice.probation_budget);
   d.u(static_cast<std::uint64_t>(c.ddpolice.probation_links));
   d.u(static_cast<std::uint64_t>(c.ddpolice.max_strikes));
+  d.b(c.ddpolice.adaptive.enabled);
+  d.u(c.ddpolice.adaptive.window_minutes);
+  d.f(c.ddpolice.adaptive.estimate_period_minutes);
+  d.u(c.ddpolice.adaptive.min_samples);
+  d.f(c.ddpolice.adaptive.k1);
+  d.f(c.ddpolice.adaptive.k2);
+  d.f(c.ddpolice.adaptive.band_floor);
+  d.f(c.ddpolice.adaptive.suspicious_budget);
+  d.f(c.ddpolice.adaptive.suspicion_exit_minutes);
+  d.f(c.ddpolice.adaptive.malicious_ct);
   d.f(c.naive_cut_threshold);
   d.u(c.flow.ttl);
   d.u(static_cast<std::uint64_t>(c.flow.discipline));
@@ -254,7 +281,7 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
       attack::AttackScenario* atk = atk_.get();
       const attack::AgentBehavior behavior = config_.attack.behavior;
       ddp->protocol().set_report_policy(
-          [atk, behavior](PeerId reporter, PeerId /*suspect*/,
+          [atk, behavior](PeerId reporter, PeerId suspect,
                           const core::TrafficTruth& truth)
               -> std::optional<core::TrafficTruth> {
             if (!atk->is_agent(reporter)) return truth;
@@ -273,6 +300,21 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
               }
               case attack::ReportStrategy::kMute:
                 return std::nullopt;
+              case attack::ReportStrategy::kCollude: {
+                // Coordinated lying. Input into the suspect *subtracts*
+                // in the indicators, so a colluder covers a fellow agent
+                // by inflating Q_{m,j} (manufacturing forwardable input
+                // that explains the flood) and frames an honest suspect
+                // by deflating it (its real forwarding then looks like
+                // issuing).
+                core::TrafficTruth t = truth;
+                if (atk->is_agent(suspect)) {
+                  t.out_to_suspect *= behavior.inflate_factor;
+                } else {
+                  t.out_to_suspect *= behavior.deflate_factor;
+                }
+                return t;
+              }
             }
             return truth;
           });
@@ -325,6 +367,30 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
     }
   }
 
+  // Flash crowds: correlated legitimate surges, built only when enabled so
+  // the default run constructs nothing. Eligibility keeps the shared
+  // issue-scale channel conflict-free: agents (the attack schedule owns
+  // their scale), ladder-restricted peers (probation budget) and
+  // adaptive-suspicious peers (suspicion budget) are never recruited, so a
+  // surge restore can never overwrite a defense-imposed budget.
+  if (config_.flash.enabled) {
+    flow::FlowNetwork* net = net_.get();
+    attack::AttackScenario* atk = atk_.get();
+    const core::QuarantineLedger* ledger = ledger_;
+    const core::AdaptiveThresholds* adaptive = nullptr;
+    if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def_.get())) {
+      adaptive = ddp->protocol().adaptive();
+    }
+    flash_ = std::make_unique<workload::FlashCrowdDriver>(
+        config_.flash, graph_.node_count(), master.fork("flash"),
+        [net](PeerId p, double scale) { net->set_issue_scale(p, scale); },
+        [net, atk, ledger, adaptive](PeerId p) {
+          return net->graph().is_active(p) && !atk->is_agent(p) &&
+                 (ledger == nullptr || !ledger->restricted(p)) &&
+                 (adaptive == nullptr || !adaptive->suspicious(p));
+        });
+  }
+
   // Observability plane. Tracing binds the caller's sink to every
   // instrumented subsystem; it only observes, so an untraced run is
   // bit-identical. Forensics folds the same event stream live: the bound
@@ -355,6 +421,9 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
     if (plane_ != nullptr) {
       plane_->peers().set_trace_sink(sink_);
     }
+    if (flash_ != nullptr) {
+      flash_->set_trace_sink(sink_);
+    }
     obs_tracer_.bind(sink_);
   }
   if (config_.obs.series_window_minutes > 0) {
@@ -365,6 +434,7 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
     profiler_ = std::make_shared<obs::PhaseProfiler>();
     ph_churn_ = profiler_->phase("churn");
     ph_attack_ = profiler_->phase("attack");
+    if (config_.flash.enabled) ph_flash_ = profiler_->phase("flash");
     ph_fault_ = profiler_->phase("fault");
     ph_defense_ = profiler_->phase("defense");
     ph_maintenance_ = profiler_->phase("maintenance");
@@ -393,6 +463,13 @@ void ScenarioRuntime::register_hooks() {
       [this](double m) { timed(ph_churn_, [&] { churn_->on_minute(m); }); });
   net_->add_minute_hook(
       [this](double m) { timed(ph_attack_, [&] { atk_->on_minute(m); }); });
+  if (flash_ != nullptr) {
+    // After the attack hook (membership + agent scales settled), before
+    // faults and the defense — a surge this minute is visible to the same
+    // minute's fault draws and to next minute's monitor samples.
+    net_->add_minute_hook(
+        [this](double m) { timed(ph_flash_, [&] { flash_->on_minute(m); }); });
+  }
   if (plane_ != nullptr) {
     net_->add_minute_hook([this](double m) {
       timed(ph_fault_, [&] {
@@ -485,6 +562,10 @@ void ScenarioRuntime::register_metrics_hook() {
   const obs::MetricId m_reinstated = reg->gauge("defense.reinstatements");
   const obs::MetricId m_bans = reg->gauge("defense.bans");
   const obs::MetricId m_repaired = reg->gauge("repair.peers_repaired");
+  const obs::MetricId m_adaptive_susp =
+      reg->gauge("defense.adaptive_suspicious");
+  const obs::MetricId m_band_reest = reg->gauge("defense.band_reestimates");
+  const obs::MetricId m_flash_part = reg->gauge("workload.flash_participants");
   const obs::MetricId m_edge_slots = reg->gauge("topology.edge_slots");
   const obs::MetricId m_edge_live = reg->gauge("topology.edge_live");
   const obs::MetricId m_success_hist =
@@ -493,6 +574,7 @@ void ScenarioRuntime::register_metrics_hook() {
   auto* ddp_raw = dynamic_cast<defense::DdPoliceDefense*>(def_.get());
   const core::QuarantineLedger* ledger_raw = ledger_;
   p2p::PartitionHealer* healer_obs = healer_.get();
+  workload::FlashCrowdDriver* flash_raw = flash_.get();
   flow::FlowNetwork* net = net_.get();
   flow::ChurnDriver* churn = churn_.get();
   net_->add_minute_hook([=](double m) {
@@ -530,6 +612,17 @@ void ScenarioRuntime::register_metrics_hook() {
     }
     if (healer_obs != nullptr) {
       reg->set(m_repaired, static_cast<double>(healer_obs->peers_repaired()));
+    }
+    if (ddp_raw != nullptr) {
+      if (const core::AdaptiveThresholds* ad = ddp_raw->protocol().adaptive()) {
+        reg->set(m_adaptive_susp,
+                 static_cast<double>(ad->currently_suspicious()));
+        reg->set(m_band_reest, static_cast<double>(ad->band_reestimates()));
+      }
+    }
+    if (flash_raw != nullptr) {
+      reg->set(m_flash_part,
+               static_cast<double>(flash_raw->participants().size()));
     }
     // Slot-slab occupancy: capacity tracks the high-water mark of live
     // directed edges (free-list reuse keeps it from growing with churn).
@@ -636,6 +729,14 @@ ScenarioResult ScenarioRuntime::result() const {
       result.reinstatements = lg->reinstatements();
       result.quarantine = lg->stats();
     }
+    if (const core::AdaptiveThresholds* ad = ddp->protocol().adaptive()) {
+      result.band_reestimates = ad->band_reestimates();
+      result.suspicion_entries = ad->suspicion_entries();
+      result.suspicion_exits = ad->suspicion_exits();
+    }
+  }
+  if (flash_ != nullptr) {
+    result.flash_surges = flash_->surges_started();
   }
   if (healer_ != nullptr) {
     result.partition_sweeps = healer_->sweeps();
@@ -671,6 +772,7 @@ std::vector<std::uint8_t> ScenarioRuntime::save() const {
   w.boolean(registry_ != nullptr);
   w.boolean(series_ != nullptr);
   w.boolean(forensics_ != nullptr);
+  w.boolean(flash_ != nullptr);
   w.f64(net_->current_minute());
   w.end_section();
 
@@ -690,9 +792,26 @@ std::vector<std::uint8_t> ScenarioRuntime::save() const {
   atk_->save(w);
   w.end_section();
 
+  if (flash_ != nullptr) {
+    w.begin_section(kSecFlash);
+    flash_->save(w);
+    w.end_section();
+  }
+
   w.begin_section(kSecDefense);
   def_->save(w);
   w.end_section();
+
+  // Adaptive bands ride after DEFN: they reference the same edge slots the
+  // defense state does, and the section only exists when the flag built
+  // the subsystem (presence is digest-derived, like every other section).
+  if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def_.get())) {
+    if (const core::AdaptiveThresholds* ad = ddp->protocol().adaptive()) {
+      w.begin_section(kSecAdaptive);
+      ad->save(w);
+      w.end_section();
+    }
+  }
 
   if (plane_ != nullptr) {
     w.begin_section(kSecFault);
@@ -769,6 +888,7 @@ void ScenarioRuntime::load(snapshot::Reader& r) {
   const bool has_metrics = r.boolean();
   const bool has_series = r.boolean();
   const bool has_forensics = r.boolean();
+  const bool has_flash = r.boolean();
   r.f64();  // minute, informational (FLOW carries the authoritative clock)
   r.end_section();
   if (has_plane != (plane_ != nullptr) || has_healer != (healer_ != nullptr)) {
@@ -791,6 +911,10 @@ void ScenarioRuntime::load(snapshot::Reader& r) {
         "snapshot forensics presence disagrees with this run: resume with "
         "the same forensics setting it was taken under");
   }
+  if (has_flash != (flash_ != nullptr)) {
+    throw snapshot::SnapshotError(
+        "snapshot flash-crowd presence disagrees with config");
+  }
 
   r.begin_section(kSecGraph);
   graph_.load(r);
@@ -808,9 +932,23 @@ void ScenarioRuntime::load(snapshot::Reader& r) {
   atk_->load(r);
   r.end_section();
 
+  if (flash_ != nullptr) {
+    r.begin_section(kSecFlash);
+    flash_->load(r);
+    r.end_section();
+  }
+
   r.begin_section(kSecDefense);
   def_->load(r);
   r.end_section();
+
+  if (auto* ddp = dynamic_cast<defense::DdPoliceDefense*>(def_.get())) {
+    if (core::AdaptiveThresholds* ad = ddp->protocol().adaptive()) {
+      r.begin_section(kSecAdaptive);
+      ad->load(r);
+      r.end_section();
+    }
+  }
 
   if (plane_ != nullptr) {
     r.begin_section(kSecFault);

@@ -125,12 +125,14 @@ class ScenarioRuntime {
   std::unique_ptr<fault::FaultPlane> plane_;
   std::unique_ptr<flow::ChurnDriver> churn_;
   std::unique_ptr<attack::AttackScenario> atk_;
+  std::unique_ptr<workload::FlashCrowdDriver> flash_;  ///< when flash.enabled
   std::unique_ptr<defense::Defense> def_;
   core::QuarantineLedger* ledger_ = nullptr;  ///< borrowed from def_
   std::unique_ptr<p2p::PartitionHealer> healer_;
   std::shared_ptr<obs::PhaseProfiler> profiler_;
-  std::size_t ph_churn_ = 0, ph_attack_ = 0, ph_fault_ = 0, ph_defense_ = 0,
-              ph_maintenance_ = 0, ph_repair_ = 0, ph_run_ = 0;
+  std::size_t ph_churn_ = 0, ph_attack_ = 0, ph_flash_ = 0, ph_fault_ = 0,
+              ph_defense_ = 0, ph_maintenance_ = 0, ph_repair_ = 0,
+              ph_run_ = 0;
   util::Rng maint_rng_;
   bool has_liar_rng_ = false;
   util::Rng liar_rng_;

@@ -53,6 +53,39 @@ std::string validate_config(const ScenarioConfig& config) {
   if (const std::string err = core::validate(config.ddpolice); !err.empty()) {
     return err;
   }
+  if (config.ddpolice.adaptive.enabled &&
+      config.defense != defense::Kind::kDdPolice) {
+    return "ddpolice.adaptive.enabled requires defense=ddpolice (the bands "
+           "are learned from DD-POLICE's own monitors)";
+  }
+  if (const std::string err = workload::validate(config.flash); !err.empty()) {
+    return err;
+  }
+  {
+    const auto& a = config.attack;
+    if (!nonneg(a.ramp_minutes)) {
+      return "attack.ramp_minutes must be finite and >= 0";
+    }
+    if (!nonneg(a.ramp_target_scale)) {
+      return "attack.ramp_target_scale must be finite and >= 0";
+    }
+    if (!nonneg(a.pulse_on_minutes) || !nonneg(a.pulse_off_minutes)) {
+      return "attack.pulse_on/off_minutes must be finite and >= 0";
+    }
+    if (a.sourcing == attack::SourcingStrategy::kPulse &&
+        a.pulse_on_minutes + a.pulse_off_minutes <= 0.0) {
+      return "attack.pulse_on_minutes + pulse_off_minutes must be > 0";
+    }
+    if (!nonneg(a.pulse_scale)) {
+      return "attack.pulse_scale must be finite and >= 0";
+    }
+    if (!pos(a.probe_step_scale) || a.probe_step_scale > 1.0) {
+      return "attack.probe_step_scale must be within (0, 1]";
+    }
+    if (!prob(a.probe_backoff)) {
+      return "attack.probe_backoff must be within [0, 1]";
+    }
+  }
   if (!pos(config.naive_cut_threshold)) {
     return "naive_cut_threshold must be a finite value > 0";
   }
@@ -145,6 +178,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 ScenarioResult run_baseline(ScenarioConfig config) {
   config.attack.agents = 0;
   config.defense = defense::Kind::kNone;
+  // No defense means no monitors for adaptive bands to learn from; the
+  // flag would only trip validation. Flash crowds stay: they are
+  // legitimate workload and belong in the baseline.
+  config.ddpolice.adaptive.enabled = false;
   // The reference curve runs unobserved: a shared trace sink would
   // otherwise interleave baseline events into the scenario's trace.
   config.obs = ObsConfig{};

@@ -34,6 +34,7 @@
 #include "topology/generators.hpp"
 #include "workload/churn.hpp"
 #include "workload/content.hpp"
+#include "workload/flash_crowd.hpp"
 
 namespace ddp::flow {
 class ChurnDriver;
@@ -91,6 +92,10 @@ struct ScenarioConfig {
 
   // Attack campaign (agents = 0 -> no attack).
   attack::AttackConfig attack{};
+
+  // Flash crowds: correlated legitimate query surges (disabled by default;
+  // the false-cut stressor for threshold defenses).
+  workload::FlashCrowdConfig flash{};
 
   // Defense.
   defense::Kind defense = defense::Kind::kNone;
@@ -152,6 +157,13 @@ struct ScenarioResult {
   std::uint64_t partition_sweeps = 0;   ///< healer invocations
   std::uint64_t partitions_seen = 0;    ///< sweeps that found > 1 component
   std::uint64_t peers_repaired = 0;     ///< stranded peers re-bootstrapped
+
+  // Adaptive-band outcomes (all zero unless ddpolice.adaptive.enabled).
+  std::uint64_t band_reestimates = 0;
+  std::uint64_t suspicion_entries = 0;
+  std::uint64_t suspicion_exits = 0;
+  // Flash-crowd outcomes (zero unless flash.enabled).
+  std::size_t flash_surges = 0;
 
   // Fault-injection outcomes (all zero on a fault-free run).
   fault::ControlCounters fault_control{};   ///< DD-POLICE timeout/retry tallies

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <memory>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "core/ddpolice.hpp"
 #include "experiments/runtime.hpp"
@@ -47,11 +50,17 @@ struct Checker {
   double warmup = 10.0;
   double min_connectivity = 0.85;
   double in_flight_factor = 1.0;
+  double max_false_cut = 1.0;
+  double false_cut_window = 60.0;
+  double false_cut_warmup = 0.0;
   std::size_t max_recorded = 32;
 
   // State.
   double next_check = 0.0;
   CounterSnapshot prev{};
+  std::size_t decisions_scanned = 0;      ///< invariant 5 scan cursor
+  /// Honest-cut events (minute, peer) still inside the rolling window.
+  std::deque<std::pair<double, PeerId>> honest_cut_events;
   std::uint64_t checks = 0;
   std::uint64_t violation_count = 0;
   std::vector<SoakViolation> violations;
@@ -184,6 +193,46 @@ struct Checker {
            view.fault->peers().stall_count());
     }
 
+    // Invariant 5: false-cut *rate* bounded. Every decision names one
+    // suspect; the distinct honest suspects cut within the rolling window
+    // must stay under the configured fraction of the honest population —
+    // a flash crowd may make peers *suspicious* (budget reduction), but
+    // the indicator math must keep acquitting them in the buddy rounds it
+    // triggers. Enforcement waits out false_cut_warmup (band maturation).
+    if (view.ddpolice != nullptr && view.attack != nullptr &&
+        max_false_cut < 1.0) {
+      const auto& decs = view.ddpolice->decisions();
+      for (; decisions_scanned < decs.size(); ++decisions_scanned) {
+        const auto& d = decs[decisions_scanned];
+        if (!view.attack->is_agent(d.suspect)) {
+          honest_cut_events.emplace_back(d.minute, d.suspect);
+        }
+      }
+      while (!honest_cut_events.empty() &&
+             honest_cut_events.front().first + false_cut_window < minute) {
+        honest_cut_events.pop_front();
+      }
+      if (minute >= false_cut_warmup) {
+        std::set<PeerId> windowed;
+        for (const auto& [when, peer] : honest_cut_events) {
+          windowed.insert(peer);
+        }
+        const std::size_t agents = view.attack->agents().size();
+        const std::size_t honest_pop =
+            g.node_count() > agents ? g.node_count() - agents : 1;
+        const double frac = static_cast<double>(windowed.size()) /
+                            static_cast<double>(honest_pop);
+        if (frac > max_false_cut) {
+          std::ostringstream os;
+          os << "honest false-cut fraction " << frac << " above bound "
+             << max_false_cut << " (" << windowed.size() << "/" << honest_pop
+             << " distinct honest peers cut in the last " << false_cut_window
+             << " min)";
+          fail(minute, os.str());
+        }
+      }
+    }
+
     // Invariant 4: engine state bounded and per-minute report sane.
     const double in_flight = view.net->total_in_flight();
     const double cap = view.net->config().capacity_per_minute;
@@ -232,10 +281,27 @@ SoakConfig chaos_soak_config(std::size_t peers, std::size_t agents,
   s.total_minutes = minutes;
   s.warmup_minutes = std::min(6.0, minutes / 4.0);
 
-  // Hostile workload: agents rejoin after every cut, churn stays on.
+  // Hostile workload: agents rejoin after every cut, churn stays on, and
+  // the agents pulse on/off instead of flooding flat-out — the schedule
+  // the static thresholds are weakest against.
   s.attack.rejoin = true;
+  s.attack.sourcing = attack::SourcingStrategy::kPulse;
+  s.attack.pulse_scale = 0.5;
+  s.attack.pulse_on_minutes = 2.0;
+  s.attack.pulse_off_minutes = 3.0;
 
-  // Full self-healing stack.
+  // Flash-crowd regime: a repeating legitimate surge, so every soak
+  // exercises the false-cut stressor alongside the attack.
+  s.flash.enabled = true;
+  s.flash.start_minute = 8.0;
+  s.flash.surge_minutes = 4.0;
+  s.flash.repeat_every_minutes = 10.0;
+  s.flash.surge_factor = 15.0;
+  s.flash.participation = 0.2;
+
+  // Full self-healing stack, with the adaptive cut bands learning on top
+  // of it (the pulsing agents above are invisible to the static rails).
+  s.ddpolice.adaptive.enabled = true;
   s.ddpolice.cut_policy = core::CutPolicy::kQuarantine;
   s.ddpolice.quarantine_minutes = 8.0;
   s.ddpolice.quarantine_growth = 2.0;
@@ -255,6 +321,18 @@ SoakConfig chaos_soak_config(std::size_t peers, std::size_t agents,
   s.fault.peer.slow_peer_fraction = 0.1;
 
   cfg.check_warmup_minutes = std::max(10.0, s.warmup_minutes);
+  // Invariant 5: even through the surges, the defense may never amputate
+  // more than this fraction of the honest overlay per rolling hour. The
+  // chaos regime (lossy control plane, count-as-zero timeouts, pulsing
+  // agents) misjudges ~4-11% of a 150-peer soak's honest population per
+  // hour once the learned bands mature; the bound sits above that
+  // operating point but far below anything resembling amputation. The
+  // first two hours are excluded: immature bands judge flash-surge
+  // forwarders against the static fallbacks while reports are being
+  // dropped, and that startup burst peaks near 0.39 before settling.
+  cfg.max_false_cut_fraction = 0.15;
+  cfg.false_cut_window_minutes = 60.0;
+  cfg.false_cut_warmup_minutes = 120.0;
   return cfg;
 }
 
@@ -264,6 +342,9 @@ SoakReport run_soak(const SoakConfig& config) {
   checker->warmup = config.check_warmup_minutes;
   checker->min_connectivity = config.min_honest_connectivity;
   checker->in_flight_factor = config.max_in_flight_capacity_factor;
+  checker->max_false_cut = config.max_false_cut_fraction;
+  checker->false_cut_window = config.false_cut_window_minutes;
+  checker->false_cut_warmup = config.false_cut_warmup_minutes;
   checker->max_recorded = config.max_recorded_violations;
 
   ScenarioConfig sc = config.scenario;

@@ -21,6 +21,14 @@
 ///   4. Bounded engine state — in-flight volume stays finite and below a
 ///      capacity-derived ceiling; per-minute report fields stay in range
 ///      and the per-class drop split sums to the total.
+///   5. Bounded false-cut rate — within any rolling window, the distinct
+///      honest peers the defense cut stay below a configured fraction of
+///      the honest population, even through flash-crowd surges (the
+///      adaptive rails must reduce budgets, not amputate the overlay).
+///      Windowed, not cumulative: over an 8-hour soak the set of peers
+///      *ever* misjudged grows without bound even when the steady-state
+///      rate is tiny, so a cumulative bound measures soak length, not
+///      defense quality.
 
 #include <cstdint>
 #include <string>
@@ -49,6 +57,20 @@ struct SoakConfig {
   /// active_peers * capacity_per_minute (generous — per-tick in-flight is
   /// far below a full minute of fleet-wide capacity unless state leaks).
   double max_in_flight_capacity_factor = 1.0;
+
+  /// Invariant 5: maximum fraction of the honest population the defense
+  /// may cut within any rolling false_cut_window_minutes window (distinct
+  /// peers per window). 1.0 disables the bound.
+  double max_false_cut_fraction = 1.0;
+  /// Invariant 5: width of the rolling window the fraction is measured
+  /// over.
+  double false_cut_window_minutes = 60.0;
+  /// Invariant 5: enforcement starts at this minute (cut events before it
+  /// still enter the window). Learned cut bands need a maturation period;
+  /// until then the defense judges flash-surge forwarders against the
+  /// static fallbacks under a lossy control plane, and the startup burst
+  /// of misjudgements says nothing about steady-state behaviour.
+  double false_cut_warmup_minutes = 0.0;
 
   /// Violations recorded verbatim (all are *counted* regardless).
   std::size_t max_recorded_violations = 32;

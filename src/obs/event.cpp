@@ -42,6 +42,11 @@ constexpr const char* kNames[kEventTypeCount] = {
     "peer_banned",        // kPeerBanned
     "partition_detected", // kPartitionDetected
     "peer_rebootstrapped",// kPeerRebootstrapped
+    "band_reestimated",   // kBandReestimated
+    "suspicion_entered",  // kSuspicionEntered
+    "suspicion_exited",   // kSuspicionExited
+    "flash_crowd_started",// kFlashCrowdStarted
+    "flash_crowd_ended",  // kFlashCrowdEnded
     "log",                // kLog
 };
 

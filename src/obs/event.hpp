@@ -74,6 +74,13 @@ enum class EventType : std::uint8_t {
   kPartitionDetected, ///< kv: components, stranded, largest
   kPeerRebootstrapped,///< a = repaired peer; kv: links, attempts
 
+  // Adaptive cut bands (core/adaptive.hpp) and flash-crowd workload.
+  kBandReestimated,   ///< kv: links (bands updated), mature (total mature)
+  kSuspicionEntered,  ///< a = peer over its suspicion rail; kv: ratio
+  kSuspicionExited,   ///< a = peer back in band; kv: minutes
+  kFlashCrowdStarted, ///< kv: participants, factor
+  kFlashCrowdEnded,   ///< kv: participants
+
   // util::log bridge (t < 0: wall-layer, no sim clock available).
   kLog,               ///< kv: level; note = message (truncated)
 

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file flash_crowd.hpp
+/// Correlated legitimate query surges ("flash crowds"). A real overlay
+/// sees them whenever content suddenly becomes hot: a crowd of honest
+/// peers multiplies its query rate at once, which is exactly the traffic
+/// shape a threshold-based DDoS defense risks mistaking for an attack
+/// (the Gupta et al. discrimination problem, PAPERS.md). The driver
+/// periodically picks a random fraction of eligible peers and scales
+/// their query-issue rate by surge_factor for surge_minutes, then
+/// restores them — all through caller-supplied callbacks, so the
+/// workload layer stays independent of any particular engine.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ddp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ddp::snapshot
+
+namespace ddp::workload {
+
+struct FlashCrowdConfig {
+  bool enabled = false;
+  /// First surge onset, minutes into the run.
+  double start_minute = 15.0;
+  /// Surge length, minutes.
+  double surge_minutes = 6.0;
+  /// Gap between surge onsets, minutes (<= 0: one surge only).
+  double repeat_every_minutes = 0.0;
+  /// Query-rate multiplier applied to each participant during the surge.
+  double surge_factor = 20.0;
+  /// Fraction of eligible peers that join each surge.
+  double participation = 0.25;
+};
+
+/// Range-checks a FlashCrowdConfig (only when enabled). Returns an empty
+/// string when usable, else the first problem.
+std::string validate(const FlashCrowdConfig& cfg);
+
+class FlashCrowdDriver {
+ public:
+  /// Write a peer's issue-rate multiplier (1.0 = normal).
+  using ScaleFn = std::function<void(PeerId, double)>;
+  /// Whether a peer may be recruited (active, honest, unrestricted).
+  using EligibleFn = std::function<bool(PeerId)>;
+
+  FlashCrowdDriver(const FlashCrowdConfig& config, std::size_t node_count,
+                   util::Rng rng, ScaleFn set_scale, EligibleFn eligible);
+
+  void set_trace_sink(obs::TraceSink* sink) noexcept { tracer_.bind(sink); }
+
+  /// Minute hook: start a due surge, end an expired one.
+  void on_minute(double minute);
+
+  bool surging() const noexcept { return !participants_.empty(); }
+  const std::vector<PeerId>& participants() const noexcept {
+    return participants_;
+  }
+  std::size_t surges_started() const noexcept { return surges_; }
+
+  /// Serialize surge schedule + participant set into the writer's open
+  /// section / restore it. Scales themselves live with the engine.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
+
+ private:
+  void begin_surge(double minute);
+  void end_surge(double minute);
+
+  FlashCrowdConfig config_;
+  std::size_t node_count_;
+  util::Rng rng_;
+  ScaleFn set_scale_;
+  EligibleFn eligible_;
+  obs::Tracer tracer_;
+
+  double next_surge_minute_ = 0.0;
+  double surge_end_minute_ = -1.0;      ///< < 0: not surging
+  std::vector<PeerId> participants_;   ///< ascending ids while surging
+  std::size_t surges_ = 0;
+};
+
+}  // namespace ddp::workload

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "attack/scenario.hpp"
+#include "experiments/scenario.hpp"
 #include "topology/generators.hpp"
 
 namespace ddp::attack {
@@ -103,9 +104,123 @@ TEST(AttackScenario, StrategyNames) {
   EXPECT_EQ(report_strategy_name(ReportStrategy::kDeflate), "deflate");
   EXPECT_EQ(report_strategy_name(ReportStrategy::kInflate), "inflate");
   EXPECT_EQ(report_strategy_name(ReportStrategy::kMute), "mute");
+  EXPECT_EQ(report_strategy_name(ReportStrategy::kCollude), "collude");
   EXPECT_EQ(list_strategy_name(ListStrategy::kFabricate), "fabricate");
   EXPECT_EQ(list_strategy_name(ListStrategy::kWithhold), "withhold");
   EXPECT_EQ(list_strategy_name(ListStrategy::kHonest), "honest");
+  EXPECT_EQ(sourcing_strategy_name(SourcingStrategy::kConstant), "constant");
+  EXPECT_EQ(sourcing_strategy_name(SourcingStrategy::kRamp), "ramp");
+  EXPECT_EQ(sourcing_strategy_name(SourcingStrategy::kPulse), "pulse");
+  EXPECT_EQ(sourcing_strategy_name(SourcingStrategy::kProbe), "probe");
+}
+
+TEST(AttackScenario, StrategyNamesRoundTrip) {
+  // Every enumerator survives name -> from_name (the ddpsim CLI and the
+  // bench harnesses address strategies by these strings).
+  for (const auto s :
+       {ReportStrategy::kHonest, ReportStrategy::kInflate,
+        ReportStrategy::kDeflate, ReportStrategy::kMute,
+        ReportStrategy::kCollude}) {
+    EXPECT_EQ(report_strategy_from_name(report_strategy_name(s)), s);
+  }
+  for (const auto s : {ListStrategy::kHonest, ListStrategy::kFabricate,
+                       ListStrategy::kWithhold}) {
+    EXPECT_EQ(list_strategy_from_name(list_strategy_name(s)), s);
+  }
+  for (const auto s :
+       {SourcingStrategy::kConstant, SourcingStrategy::kRamp,
+        SourcingStrategy::kPulse, SourcingStrategy::kProbe}) {
+    EXPECT_EQ(sourcing_strategy_from_name(sourcing_strategy_name(s)), s);
+  }
+  EXPECT_FALSE(report_strategy_from_name("bogus").has_value());
+  EXPECT_FALSE(list_strategy_from_name("").has_value());
+  EXPECT_FALSE(sourcing_strategy_from_name("Constant").has_value());
+}
+
+TEST(Sourcing, ConstantScheduleIsThePaperAgent) {
+  AttackConfig c;
+  c.sourcing = SourcingStrategy::kConstant;
+  for (const double t : {0.0, 0.5, 7.0, 1e6}) {
+    EXPECT_DOUBLE_EQ(schedule_scale(c, t), 1.0);
+  }
+}
+
+TEST(Sourcing, RampScheduleIsLinearAndSaturates) {
+  AttackConfig c;
+  c.sourcing = SourcingStrategy::kRamp;
+  c.ramp_minutes = 8.0;
+  c.ramp_target_scale = 0.06;
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 4.0), 0.03);
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 8.0), 0.06);
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 100.0), 0.06);
+  EXPECT_DOUBLE_EQ(schedule_scale(c, -5.0), 0.0);  // pre-activation clamps
+  c.ramp_minutes = 0.0;  // degenerate ramp: jump straight to the target
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 0.0), 0.06);
+}
+
+TEST(Sourcing, PulseScheduleHasTheConfiguredDutyCycle) {
+  AttackConfig c;
+  c.sourcing = SourcingStrategy::kPulse;
+  c.pulse_on_minutes = 1.0;
+  c.pulse_off_minutes = 3.0;
+  c.pulse_scale = 0.5;
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 0.99), 0.5);
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 3.99), 0.0);
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 4.0), 0.5);  // period wraps
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 41.5), 0.0);
+  c.pulse_on_minutes = 0.0;  // degenerate period: always-on at pulse_scale
+  c.pulse_off_minutes = 0.0;
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 2.0), 0.5);
+}
+
+TEST(Sourcing, ProbeScheduleStartsAtTheFirstRung) {
+  // kProbe is stateful (climb until links drop, then back off); the pure
+  // schedule only pins its deterministic starting point.
+  AttackConfig c;
+  c.sourcing = SourcingStrategy::kProbe;
+  c.probe_step_scale = 0.05;
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 0.0), 0.05);
+  EXPECT_DOUBLE_EQ(schedule_scale(c, 30.0), 0.05);
+}
+
+TEST(AttackScenario, ColludersFrameHonestForwardersUnderChurn) {
+  // Input into the suspect subtracts in the indicators. A colluding
+  // member covers a fellow agent by inflating the input credit (the
+  // capacity-credit cap defeats that at full flood rate, so agents still
+  // get cut) and frames an honest suspect by deflating it — the flood an
+  // honest peer dutifully forwards then looks like issuing. With the
+  // paper's churn running, collusion must raise the honest-framing count
+  // without ever protecting the agents from the capacity-credit check.
+  experiments::ScenarioConfig cfg =
+      experiments::paper_scenario(150, 12, defense::Kind::kDdPolice, 99);
+  cfg.total_minutes = 16.0;
+  cfg.attack.start_minute = 2.0;
+
+  experiments::ScenarioConfig collude = cfg;
+  collude.attack.behavior.report = ReportStrategy::kCollude;
+
+  const auto honest_run = experiments::run_scenario(cfg);
+  const auto collude_run = experiments::run_scenario(collude);
+
+  const auto cut_count = [](const experiments::ScenarioResult& r, bool bad) {
+    std::set<PeerId> cut;
+    for (const auto& d : r.decisions) {
+      if (d.suspect < r.is_bad.size() && (r.is_bad[d.suspect] != 0) == bad) {
+        cut.insert(d.suspect);
+      }
+    }
+    return cut.size();
+  };
+
+  EXPECT_GT(cut_count(honest_run, true), 0u);
+  EXPECT_GT(cut_count(collude_run, true), 0u);
+  // Framing: deflated reports get honest forwarders wrongly cut...
+  EXPECT_GT(cut_count(collude_run, false), cut_count(honest_run, false));
+  // ...but never a majority of the 138 honest peers.
+  EXPECT_LT(cut_count(collude_run, false), 138u / 2);
 }
 
 TEST(AttackScenario, MoreAgentsThanPeersClamped) {

@@ -226,9 +226,10 @@ TEST(GuidTableSnapshot, RejectsInvalidLayouts) {
 // ---------------------------------------------------------------------------
 // Scenario runtime: fidelity, determinism, rejection
 
-// Small but hostile configuration: flooding agents with rejoin, churn,
-// control/peer faults, quarantine cuts, priority shedding and partition
-// repair — every snapshot section is exercised.
+// Small but hostile configuration: pulsing flooding agents with rejoin,
+// churn, control/peer faults, quarantine cuts, adaptive bands, a flash
+// crowd, priority shedding and partition repair — every snapshot section
+// is exercised.
 ScenarioConfig hostile_config(std::uint64_t seed) {
   ScenarioConfig cfg =
       experiments::paper_scenario(150, 15, defense::Kind::kDdPolice, seed);
@@ -236,6 +237,15 @@ ScenarioConfig hostile_config(std::uint64_t seed) {
   cfg.warmup_minutes = 4.0;
   cfg.attack.start_minute = 3.0;
   cfg.attack.rejoin = true;
+  cfg.attack.sourcing = attack::SourcingStrategy::kPulse;
+  cfg.attack.pulse_on_minutes = 2.0;
+  cfg.attack.pulse_off_minutes = 3.0;
+  cfg.ddpolice.adaptive.enabled = true;
+  cfg.flash.enabled = true;
+  cfg.flash.start_minute = 6.0;
+  cfg.flash.surge_minutes = 3.0;
+  cfg.flash.surge_factor = 10.0;
+  cfg.flash.participation = 0.2;
   cfg.ddpolice.cut_policy = core::CutPolicy::kQuarantine;
   cfg.ddpolice.quarantine_minutes = 4.0;
   cfg.ddpolice.probation_minutes = 2.0;
