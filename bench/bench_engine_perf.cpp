@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/ddpolice.hpp"
+#include "core/flow_port.hpp"
 #include "core/indicators.hpp"
 #include "flow/network.hpp"
 #include "net/message.hpp"
@@ -247,10 +250,12 @@ double headline_queries_per_sec(double min_seconds) {
   return static_cast<double>(queries) / elapsed;
 }
 
-/// Flow-engine throughput: simulated minutes per second of wall time on a
-/// paper-scale (2,000-peer) overlay under a 5% compromised-peer load —
-/// the figure benches' dominant inner loop.
-double headline_flow_minutes_per_sec(std::size_t peers, double min_seconds) {
+/// Flow-engine throughput: simulated minutes per second of wall time on an
+/// overlay of `peers` under a 5% compromised-peer load — the figure
+/// benches' dominant inner loop. `worker_jobs` > 1 runs the sharded
+/// parallel tick sweeps (output is byte-identical; only wall time moves).
+double headline_flow_minutes_per_sec(std::size_t peers, double min_seconds,
+                                     unsigned worker_jobs = 1) {
   using clock = std::chrono::steady_clock;
   util::Rng rng(5);
   topology::Graph g = topology::paper_topology(peers, rng);
@@ -259,6 +264,7 @@ double headline_flow_minutes_per_sec(std::size_t peers, double min_seconds) {
   workload::ContentConfig cc;
   const workload::ContentModel content(cc, peers);
   flow::FlowConfig cfg;
+  cfg.jobs = worker_jobs;
   flow::FlowNetwork net(g, bw, content, cfg, rng.fork("flow"));
   for (PeerId a = 0; a < peers / 20; ++a) net.set_kind(a, PeerKind::kBad);
   std::uint64_t minutes = 0;
@@ -273,10 +279,85 @@ double headline_flow_minutes_per_sec(std::size_t peers, double min_seconds) {
   return static_cast<double>(minutes) / elapsed;
 }
 
+/// One point of the shard-count scaling curve.
+struct ShardPoint {
+  unsigned jobs = 1;
+  double flow_minutes_per_sec = 0.0;
+};
+
+/// The shard scaling curve: flow-minutes/sec at `peers` for 1/2/4/8
+/// workers. On a single-core builder the curve is flat (the merge is
+/// deterministic, not magic); on a real multi-core host it is the
+/// headline speedup figure of the sharded engine.
+std::vector<ShardPoint> shard_scaling_curve(std::size_t peers,
+                                            double min_seconds) {
+  std::vector<ShardPoint> curve;
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    curve.push_back(
+        {jobs, headline_flow_minutes_per_sec(peers, min_seconds, jobs)});
+    std::printf("  shard curve: %u jobs -> %.2f flow min/s @%zu peers\n",
+                jobs, curve.back().flow_minutes_per_sec, peers);
+  }
+  return curve;
+}
+
+/// Million-peer soak: build a `peers`-node overlay, attach DD-POLICE over
+/// the flow port, and run `sim_minutes` simulated minutes. Reports wall
+/// time per simulated minute and peak RSS — the scale acceptance run for
+/// the sharded engine (`--mega`, optionally `--mega=PEERS`). Numbers go to
+/// stdout only; docs/perf.md records the canonical measurement.
+int run_mega(std::size_t peers, unsigned worker_jobs, double sim_minutes) {
+  using clock = std::chrono::steady_clock;
+  std::printf("mega: building %zu-peer overlay (jobs=%u)...\n", peers,
+              worker_jobs);
+  const auto t0 = clock::now();
+  util::Rng rng(5);
+  topology::Graph g = topology::paper_topology(peers, rng);
+  util::Rng bw_rng = rng.fork("bw");
+  const topology::BandwidthMap bw(peers, bw_rng);
+  workload::ContentConfig cc;
+  const workload::ContentModel content(cc, peers);
+  flow::FlowConfig cfg;
+  cfg.jobs = worker_jobs;
+  flow::FlowNetwork net(g, bw, content, cfg, rng.fork("flow"));
+  for (PeerId a = 0; a < peers / 20; ++a) net.set_kind(a, PeerKind::kBad);
+  ddp::core::FlowPort port(net);
+  ddp::core::DdPoliceConfig dcfg;
+  ddp::core::DdPolice ddp(port, dcfg, rng.fork("ddp"));
+  ddp.set_sweep_pool(net.worker_pool());
+  const double build_s =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  std::printf("mega: build %.1fs, %.0f MiB RSS after construction\n",
+              build_s,
+              static_cast<double>(ddp::bench::peak_rss_bytes()) / (1 << 20));
+  const auto t1 = clock::now();
+  double minute = 0.0;
+  while (minute < sim_minutes) {
+    net.run_minutes(1.0);
+    minute += 1.0;
+    ddp.on_minute(minute);
+    const double so_far =
+        std::chrono::duration<double>(clock::now() - t1).count();
+    std::printf("mega: minute %.0f done, %.1fs wall (%.1fs/min), "
+                "%llu suspicions, %zu cuts\n",
+                minute, so_far, so_far / minute,
+                static_cast<unsigned long long>(ddp.suspicions()),
+                ddp.decisions().size());
+  }
+  const double sweep_s =
+      std::chrono::duration<double>(clock::now() - t1).count();
+  std::printf("mega: %zu peers, jobs=%u: %.1fs build, %.2fs/sim-minute, "
+              "peak RSS %.0f MiB\n",
+              peers, worker_jobs, build_s, sweep_s / sim_minutes,
+              static_cast<double>(ddp::bench::peak_rss_bytes()) / (1 << 20));
+  return 0;
+}
+
 void write_headline(const std::string& out_dir, double events_per_sec,
                     double queries_per_sec, double flow_minutes_per_sec,
                     std::size_t flow_peers, double wall_seconds,
-                    unsigned jobs) {
+                    unsigned jobs, std::size_t shard_peers,
+                    const std::vector<ShardPoint>& curve) {
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) {
@@ -289,6 +370,12 @@ void write_headline(const std::string& out_dir, double events_per_sec,
   const std::string json_path =
       (std::filesystem::path(out_dir) / "BENCH_engine.json").string();
   const std::uint64_t rss = ddp::bench::peak_rss_bytes();
+  // The sharded headline is the curve's best point: on one core that is
+  // jobs=1 (the curve is flat), on a multi-core host the widest fan-out.
+  double sharded_best = 0.0;
+  for (const auto& p : curve) {
+    sharded_best = std::max(sharded_best, p.flow_minutes_per_sec);
+  }
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f,
                  "{\n"
@@ -298,12 +385,22 @@ void write_headline(const std::string& out_dir, double events_per_sec,
                  "  \"queries_per_sec\": %.1f,\n"
                  "  \"flow_minutes_per_sec\": %.2f,\n"
                  "  \"flow_peers\": %zu,\n"
+                 "  \"sharded_flow_minutes_per_sec\": %.2f,\n"
+                 "  \"sharded_flow_peers\": %zu,\n",
+                 events_per_sec, ns_per_event, queries_per_sec,
+                 flow_minutes_per_sec, flow_peers, sharded_best, shard_peers);
+    std::fprintf(f, "  \"shard_curve\": [");
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      std::fprintf(f, "%s{\"jobs\": %u, \"flow_minutes_per_sec\": %.2f}",
+                   i == 0 ? "" : ", ", curve[i].jobs,
+                   curve[i].flow_minutes_per_sec);
+    }
+    std::fprintf(f,
+                 "],\n"
                  "  \"peak_rss_bytes\": %llu,\n"
                  "  \"wall_seconds\": %.3f,\n"
                  "  \"jobs\": %u\n"
                  "}\n",
-                 events_per_sec, ns_per_event, queries_per_sec,
-                 flow_minutes_per_sec, flow_peers,
                  static_cast<unsigned long long>(rss), wall_seconds, jobs);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
@@ -313,10 +410,12 @@ void write_headline(const std::string& out_dir, double events_per_sec,
   if (std::FILE* f = std::fopen(csv_path.c_str(), "w")) {
     std::fprintf(f,
                  "events_per_sec,ns_per_event,queries_per_sec,"
-                 "flow_minutes_per_sec,flow_peers,peak_rss_bytes,"
-                 "wall_seconds,jobs\n%.1f,%.2f,%.1f,%.2f,%zu,%llu,%.3f,%u\n",
+                 "flow_minutes_per_sec,flow_peers,"
+                 "sharded_flow_minutes_per_sec,sharded_flow_peers,"
+                 "peak_rss_bytes,wall_seconds,jobs\n"
+                 "%.1f,%.2f,%.1f,%.2f,%zu,%.2f,%zu,%llu,%.3f,%u\n",
                  events_per_sec, ns_per_event, queries_per_sec,
-                 flow_minutes_per_sec, flow_peers,
+                 flow_minutes_per_sec, flow_peers, sharded_best, shard_peers,
                  static_cast<unsigned long long>(rss), wall_seconds, jobs);
     std::fclose(f);
     std::printf("wrote %s\n", csv_path.c_str());
@@ -334,6 +433,7 @@ int main(int argc, char** argv) {
   std::string out_dir = "results";
   unsigned jobs = 1;
   bool headline_only = false;
+  std::size_t mega_peers = 0;  // 0 = mega mode off
   std::vector<char*> pass{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -341,6 +441,10 @@ int main(int argc, char** argv) {
       out_dir = arg.substr(10);
     } else if (arg == "--out-dir" && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (arg == "--mega") {
+      mega_peers = 1000000;
+    } else if (arg.rfind("--mega=", 0) == 0) {
+      mega_peers = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       jobs = static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
     } else if (arg == "--jobs" && i + 1 < argc) {
@@ -350,6 +454,9 @@ int main(int argc, char** argv) {
     } else {
       pass.push_back(argv[i]);
     }
+  }
+  if (mega_peers > 0) {
+    return run_mega(mega_peers, jobs == 0 ? 1 : jobs, 3.0);
   }
   int pass_argc = static_cast<int>(pass.size());
   benchmark::Initialize(&pass_argc, pass.data());
@@ -367,6 +474,8 @@ int main(int argc, char** argv) {
   const std::size_t flow_peers = 2000;
   const double flow_minutes_per_sec =
       headline_flow_minutes_per_sec(flow_peers, 2.0);
+  const std::size_t shard_peers = 20000;
+  const auto curve = shard_scaling_curve(shard_peers, 1.0);
   const double wall =
       std::chrono::duration<double>(clock::now() - t0).count();
   std::printf("headline: %.2fM events/s (%.1f ns/event), %.0f queries/s, "
@@ -374,6 +483,7 @@ int main(int argc, char** argv) {
               events_per_sec / 1e6, 1e9 / events_per_sec, queries_per_sec,
               flow_minutes_per_sec, flow_peers, wall);
   write_headline(out_dir, events_per_sec, queries_per_sec,
-                 flow_minutes_per_sec, flow_peers, wall, jobs);
+                 flow_minutes_per_sec, flow_peers, wall, jobs, shard_peers,
+                 curve);
   return 0;
 }

@@ -11,7 +11,8 @@
 // Keys (defaults in brackets):
 //   peers[600] agents[50] minutes[26] attack_start[5] seed[20070710]
 //   defense[dd-police]   none | naive-cut | fair-share | dd-police
-//   topo[ba]             ba | waxman | er | two-tier
+//   topo[ba]             ba | waxman | er | two-tier | hard-cutoff
+//   cutoff_exp[2]        hard-cutoff degree ceiling k_c ~ n^(1/exp)
 //   ct[5] warning[500] exchange[2] event_driven[0] radius[1]
 //   cheat[honest]        honest | inflate | deflate | mute | collude
 //   lists[honest]        honest | fabricate | withhold
@@ -39,6 +40,11 @@
 //   csv[-]               write the series to this file
 //   jobs[1]              >1 runs the baseline and scenario legs on
 //                        separate threads (identical output, less wall)
+//   flow_jobs[1]         worker threads inside the flow engine's sharded
+//                        tick sweeps (0 = one per hardware thread); output
+//                        is byte-identical at any value
+//   flow_shards[0]       peer-span shards for the tick sweeps (0 = one per
+//                        worker); output-invariant like flow_jobs
 //
 // Observability:
 //   trace[-]             write a JSONL event trace of the scenario run
@@ -116,7 +122,9 @@ int main(int argc, char** argv) {
   if (topo == "waxman") cfg.topo.model = topology::Model::kWaxman;
   else if (topo == "er") cfg.topo.model = topology::Model::kErdosRenyi;
   else if (topo == "two-tier") cfg.topo.model = topology::Model::kTwoTier;
+  else if (topo == "hard-cutoff") cfg.topo.model = topology::Model::kHardCutoff;
   else cfg.topo.model = topology::Model::kBarabasiAlbert;
+  cfg.topo.hc_cutoff_exponent = opts.get("cutoff_exp", 2.0);
 
   const std::string def = opts.get("defense", std::string("dd-police"));
   if (def == "none") cfg.defense = defense::Kind::kNone;
@@ -153,6 +161,10 @@ int main(int argc, char** argv) {
   cfg.flow.admission = admission == "priority" ? flow::AdmissionPolicy::kPriority
                                                : flow::AdmissionPolicy::kClassBlind;
   cfg.flow.control_reserve_fraction = opts.get("control_reserve", 0.05);
+  cfg.flow.jobs =
+      static_cast<unsigned>(opts.get("flow_jobs", std::int64_t{1}));
+  cfg.flow.shards =
+      static_cast<std::size_t>(opts.get("flow_shards", std::int64_t{0}));
   cfg.repair_partitions = opts.get("repair", false);
 
   const std::string cheat = opts.get("cheat", std::string("honest"));

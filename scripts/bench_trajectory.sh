@@ -10,8 +10,12 @@
 # history across PRs. The gate fails (exit 1) when either headline metric
 # regresses by more than 15% against the previous entry:
 #
-#   events_per_sec        — raw event-core dispatch throughput
-#   flow_minutes_per_sec  — end-to-end flow-layer simulation rate
+#   events_per_sec                — raw event-core dispatch throughput
+#   flow_minutes_per_sec          — end-to-end flow-layer simulation rate
+#   sharded_flow_minutes_per_sec  — best point of the 20k-peer shard
+#                                   scaling curve (parallel tick sweeps);
+#                                   gated only once a previous point
+#                                   recorded it, so old history still parses
 #
 # 15% is deliberately loose: headline numbers on a shared builder wobble a
 # few percent run to run, and the gate must only catch real regressions
@@ -49,19 +53,25 @@ echo "== engine headline bench =="
 # BENCH_engine.json is pretty-printed one field per line, so a key lookup
 # is a single awk pass (no JSON parser in the image).
 json_field() {
-  awk -F': ' -v key="\"$1\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2 }' \
+  # Exact key match (strip indentation): "flow_minutes_per_sec" must not
+  # also pick up "sharded_flow_minutes_per_sec".
+  awk -F': ' -v key="\"$1\"" \
+      '{ k = $1; gsub(/^[ \t]+/, "", k);
+         if (k == key) { gsub(/[ ,]/, "", $2); print $2 } }' \
       "$tmp/BENCH_engine.json"
 }
 
 events="$(json_field events_per_sec)"
 flow="$(json_field flow_minutes_per_sec)"
+sharded="$(json_field sharded_flow_minutes_per_sec)"
 ns_event="$(json_field ns_per_event)"
 wall="$(json_field wall_seconds)"
-if [ -z "$events" ] || [ -z "$flow" ]; then
+if [ -z "$events" ] || [ -z "$flow" ] || [ -z "$sharded" ]; then
   echo "bench_trajectory: could not parse BENCH_engine.json" >&2
   exit 2
 fi
-echo "measured: $events events/sec, $flow flow-minutes/sec"
+echo "measured: $events events/sec, $flow flow-minutes/sec," \
+     "$sharded sharded flow-minutes/sec @20k"
 
 # Gate against the last accepted point, when one exists.
 prev=""
@@ -72,7 +82,9 @@ if [ -n "$prev" ]; then
   prev_events="$(printf '%s\n' "$prev" | tr ',' '\n' | \
       awk -F': *' '/"events_per_sec"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2 }')"
   prev_flow="$(printf '%s\n' "$prev" | tr ',' '\n' | \
-      awk -F': *' '/"flow_minutes_per_sec"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2 }')"
+      awk -F': *' '/"flow_minutes_per_sec"/ && !/sharded/ { gsub(/[^0-9.eE+-]/, "", $2); print $2 }')"
+  prev_sharded="$(printf '%s\n' "$prev" | tr ',' '\n' | \
+      awk -F': *' '/"sharded_flow_minutes_per_sec"/ { gsub(/[^0-9.eE+-]/, "", $2); print $2 }')"
   if [ -z "$prev_events" ] || [ -z "$prev_flow" ]; then
     # A truncated write or hand edit left the last line unparsable. Don't
     # gate against garbage and don't fail the build over history damage —
@@ -83,9 +95,11 @@ if [ -n "$prev" ]; then
   fi
 fi
 if [ -n "$prev" ]; then
-  echo "previous: $prev_events events/sec, $prev_flow flow-minutes/sec"
+  echo "previous: $prev_events events/sec, $prev_flow flow-minutes/sec," \
+       "${prev_sharded:-n/a} sharded"
   fail="$(awk -v e="$events" -v pe="$prev_events" \
-              -v f="$flow" -v pf="$prev_flow" 'BEGIN {
+              -v f="$flow" -v pf="$prev_flow" \
+              -v s="$sharded" -v ps="${prev_sharded:-0}" 'BEGIN {
     bad = 0
     if (pe + 0 > 0 && e + 0 < 0.85 * pe) {
       printf "events_per_sec regressed %.1f%% (%s -> %s)\n", \
@@ -95,6 +109,11 @@ if [ -n "$prev" ]; then
     if (pf + 0 > 0 && f + 0 < 0.85 * pf) {
       printf "flow_minutes_per_sec regressed %.1f%% (%s -> %s)\n", \
              100 * (1 - f / pf), pf, f
+      bad = 1
+    }
+    if (ps + 0 > 0 && s + 0 < 0.85 * ps) {
+      printf "sharded_flow_minutes_per_sec regressed %.1f%% (%s -> %s)\n", \
+             100 * (1 - s / ps), ps, s
       bad = 1
     }
     exit bad ? 0 : 1
@@ -119,6 +138,6 @@ fi
 mkdir -p "$(dirname "$trajectory")"
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-printf '{"date":"%s","commit":"%s","events_per_sec":%s,"ns_per_event":%s,"flow_minutes_per_sec":%s,"wall_seconds":%s}\n' \
-    "$stamp" "$commit" "$events" "$ns_event" "$flow" "$wall" >> "$trajectory"
+printf '{"date":"%s","commit":"%s","events_per_sec":%s,"ns_per_event":%s,"flow_minutes_per_sec":%s,"sharded_flow_minutes_per_sec":%s,"wall_seconds":%s}\n' \
+    "$stamp" "$commit" "$events" "$ns_event" "$flow" "$sharded" "$wall" >> "$trajectory"
 echo "recorded: $trajectory ($stamp, $commit)"

@@ -23,6 +23,12 @@
 #                             # laptop-scale ablation must be run-to-run
 #                             # byte-identical, and adaptive=0 must leave
 #                             # ddpsim output byte-identical to the default
+#   scripts/check.sh --shard  # tier-1 plus the sharded-engine gate:
+#                             # ddpsim trace/CSV byte-identity across
+#                             # flow_jobs/flow_shards combinations, then a
+#                             # sharded mini-soak (churn + faults +
+#                             # quarantine) and the shard determinism tests
+#                             # under the ThreadSanitizer preset
 #
 # Tier-1 is the contract every PR must keep green: the default-preset
 # build, the full ctest suite, and an end-to-end observability check —
@@ -40,6 +46,7 @@ run_tsan=0
 run_snapshot=0
 run_bench=0
 run_adaptive=0
+run_shard=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -48,7 +55,8 @@ for arg in "$@"; do
     --snapshot) run_snapshot=1 ;;
     --bench) run_bench=1 ;;
     --adaptive) run_adaptive=1 ;;
-    *) echo "unknown argument: $arg (expected --asan, --soak, --tsan, --snapshot, --bench or --adaptive)" >&2; exit 2 ;;
+    --shard) run_shard=1 ;;
+    *) echo "unknown argument: $arg (expected --asan, --soak, --tsan, --snapshot, --bench, --adaptive or --shard)" >&2; exit 2 ;;
   esac
 done
 
@@ -240,6 +248,50 @@ if [ "$run_adaptive" -eq 1 ]; then
     exit 1
   fi
   echo "adaptive off-switch: OK (byte-identical to the default run)"
+fi
+
+if [ "$run_shard" -eq 1 ]; then
+  echo "== sharded engine: jobs/shard invariance (release build) =="
+  # The whole point of the deterministic boundary merge: every worker and
+  # shard count must produce byte-identical traces and figure CSVs. The
+  # reference leg is the serial engine (flow_jobs=1, no pool constructed).
+  mkdir -p "$tmp/shard"
+  ./build/examples/ddpsim peers=300 agents=20 minutes=8 seed=7 \
+      trace="$tmp/shard/ref.jsonl" csv="$tmp/shard/ref.csv" > /dev/null
+  for combo in "2 3" "4 0" "8 5"; do
+    j="${combo% *}"
+    s="${combo#* }"
+    ./build/examples/ddpsim peers=300 agents=20 minutes=8 seed=7 \
+        flow_jobs="$j" flow_shards="$s" \
+        trace="$tmp/shard/par.jsonl" csv="$tmp/shard/par.csv" > /dev/null
+    if ! cmp -s "$tmp/shard/ref.jsonl" "$tmp/shard/par.jsonl" || \
+       ! cmp -s "$tmp/shard/ref.csv" "$tmp/shard/par.csv"; then
+      echo "FAIL: flow_jobs=$j flow_shards=$s output differs from serial" >&2
+      exit 1
+    fi
+  done
+  echo "shard invariance: OK (jobs 2/4/8 x shards byte-identical to serial)"
+
+  echo "== sharded engine: TSan mini-soak + shard determinism tests =="
+  # Build the concurrency surface under ThreadSanitizer and run (a) the
+  # shard determinism suite (span merge, SoA containers, jobs-invariance
+  # up through full scenario runs with the sharded DD-POLICE flag scan)
+  # and (b) a sharded mini-soak: churn + control faults + quarantine with
+  # the worker pool engaged, byte-compared against its own serial leg.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" --target shard_test ddpsim
+  ./build-tsan/tests/shard_test
+  ./build-tsan/examples/ddpsim peers=300 agents=25 minutes=12 seed=11 \
+      cut_policy=quarantine loss=0.05 crash=0.002 stall=0.004 \
+      csv="$tmp/shard/soak1.csv" > /dev/null
+  ./build-tsan/examples/ddpsim peers=300 agents=25 minutes=12 seed=11 \
+      cut_policy=quarantine loss=0.05 crash=0.002 stall=0.004 \
+      flow_jobs=4 flow_shards=3 csv="$tmp/shard/soak4.csv" > /dev/null
+  if ! cmp -s "$tmp/shard/soak1.csv" "$tmp/shard/soak4.csv"; then
+    echo "FAIL: sharded TSan mini-soak diverges from its serial leg" >&2
+    exit 1
+  fi
+  echo "tsan shard gate: OK (no races, soak byte-identical)"
 fi
 
 if [ "$run_asan" -eq 1 ]; then

@@ -9,6 +9,7 @@
 #include "net/message.hpp"
 #include "snapshot/state_io.hpp"
 #include "util/log.hpp"
+#include "util/spans.hpp"
 
 namespace ddp::core {
 
@@ -287,20 +288,58 @@ void DdPolice::detection_phase(double minute) {
   // Scratch buffers persist across minutes: the per-suspect judge vectors
   // keep their capacity, so steady-state detection allocates nothing.
   flagged_.clear();
-  for (PeerId i = 0; i < g.node_count(); ++i) {
-    if (!g.is_active(i)) continue;
-    for (PeerId j : g.neighbors(i)) {
-      const double out = port_.sent_last_minute(j, i);
-      const double warn = policy_ != nullptr
-                              ? policy_->warning_threshold(i, j)
-                              : config_.warning_threshold;
-      if (out > warn) {
+  const std::size_t n = g.node_count();
+  if (sweep_pool_ != nullptr && sweep_pool_->size() > 1 && n >= 256) {
+    // Sharded sweep: each worker scans a contiguous judge span and logs
+    // every over-threshold observation; the replay below walks the logs
+    // in span order, which is judge PeerId order — exactly the inline
+    // loop's sequence, so counters, first-flag round order and trace
+    // emission are bit-identical at any worker count. The scan only does
+    // const reads (counters, thresholds, topology); see set_sweep_pool.
+    const auto spans = util::make_spans(n, sweep_pool_->size());
+    if (flag_scratch_.size() < spans.size()) flag_scratch_.resize(spans.size());
+    for (std::size_t k = 0; k < spans.size(); ++k) {
+      sweep_pool_->submit([this, &g, span = spans[k], &log = flag_scratch_[k]] {
+        log.clear();
+        for (PeerId i = span.begin; i < span.end; ++i) {
+          if (!g.is_active(i)) continue;
+          for (PeerId j : g.neighbors(i)) {
+            const double out = port_.sent_last_minute(j, i);
+            const double warn = policy_ != nullptr
+                                    ? policy_->warning_threshold(i, j)
+                                    : config_.warning_threshold;
+            if (out > warn) log.push_back({i, j, out});
+          }
+        }
+      });
+    }
+    sweep_pool_->wait_idle();
+    for (std::size_t k = 0; k < spans.size(); ++k) {
+      for (const FlagHit& hit : flag_scratch_[k]) {
         ++suspicions_;
-        auto& judges = judges_scratch_[j];
-        if (judges.empty()) flagged_.push_back(j);
-        judges.push_back(i);
+        auto& judges = judges_scratch_[hit.suspect];
+        if (judges.empty()) flagged_.push_back(hit.suspect);
+        judges.push_back(hit.judge);
         DDP_TRACE(tracer_, obs::EventType::kSuspectFlagged, minute * kMinute,
-                  j, i, {{"out", out}});
+                  hit.suspect, hit.judge, {{"out", hit.out}});
+      }
+    }
+  } else {
+    for (PeerId i = 0; i < n; ++i) {
+      if (!g.is_active(i)) continue;
+      for (PeerId j : g.neighbors(i)) {
+        const double out = port_.sent_last_minute(j, i);
+        const double warn = policy_ != nullptr
+                                ? policy_->warning_threshold(i, j)
+                                : config_.warning_threshold;
+        if (out > warn) {
+          ++suspicions_;
+          auto& judges = judges_scratch_[j];
+          if (judges.empty()) flagged_.push_back(j);
+          judges.push_back(i);
+          DDP_TRACE(tracer_, obs::EventType::kSuspectFlagged, minute * kMinute,
+                    j, i, {{"out", out}});
+        }
       }
     }
   }

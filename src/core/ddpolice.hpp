@@ -37,6 +37,7 @@
 #include "obs/trace.hpp"
 #include "topology/edge_index.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/types.hpp"
 
 namespace ddp::snapshot {
@@ -132,6 +133,16 @@ class DdPolice {
 
   /// Timeout/retry/corrupt-reject counters (zeros without a fault plane).
   const fault::ControlCounters& control_stats() const noexcept;
+
+  /// Shard the per-minute flag scan (phase 2's monitor sweep) across the
+  /// pool's workers. Requires the port's sent_last_minute() to be safe for
+  /// concurrent const reads — true of the flow engine's cold counter array,
+  /// NOT of the packet engine's advance-on-read sliding windows, so only
+  /// flow-backed runs should attach a pool. The merge replays per-span hits
+  /// in span (= PeerId) order, so flags, traces, counters and round order
+  /// are bit-identical at any worker count. Null (the default) keeps the
+  /// inline serial scan.
+  void set_sweep_pool(util::ThreadPool* pool) noexcept { sweep_pool_ = pool; }
 
   /// Attach a trace sink (null detaches). Emits the control-plane
   /// vocabulary: neighbor_list / list_violation on exchanges,
@@ -230,6 +241,16 @@ class DdPolice {
   /// order — the canonical round order.
   topology::PeerMap<std::vector<PeerId>> judges_scratch_;
   std::vector<PeerId> flagged_;
+  /// One over-threshold observation from the sharded flag scan. Workers
+  /// record hits in judge-scan order within their span; the serial replay
+  /// walks spans in order, reproducing the inline loop's exact sequence.
+  struct FlagHit {
+    PeerId judge = kInvalidPeer;
+    PeerId suspect = kInvalidPeer;
+    double out = 0.0;
+  };
+  util::ThreadPool* sweep_pool_ = nullptr;
+  std::vector<std::vector<FlagHit>> flag_scratch_;  ///< per-span hit logs
 
   std::vector<Decision> decisions_;
   std::uint64_t exchange_messages_ = 0;

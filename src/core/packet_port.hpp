@@ -22,9 +22,10 @@ class PacketPort final : public OverlayPort {
   const topology::Graph& graph() const override { return net_->graph(); }
 
   double sent_last_minute(PeerId from, PeerId to) const override {
-    // The monitors advance their windows on read; the engine object is
-    // logically mutable behind this observation-only interface.
-    return net_->monitors().out_per_minute(from, to, net_->engine().now());
+    // Pure const read (no window advance): bit-identical to the mutable
+    // read at the same timestamp, and safe for the concurrent sweeps of
+    // DdPolice::set_sweep_pool. Windows advance on record() instead.
+    return net_->monitors().out_per_minute_at(from, to, net_->engine().now());
   }
 
   void disconnect(PeerId a, PeerId b) override { net_->disconnect(a, b); }

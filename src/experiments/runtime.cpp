@@ -109,6 +109,7 @@ std::uint64_t ScenarioRuntime::config_digest(const ScenarioConfig& c) {
   d.f(c.topo.waxman_beta);
   d.f(c.topo.waxman_target_degree);
   d.f(c.topo.er_target_degree);
+  d.f(c.topo.hc_cutoff_exponent);
   d.u(c.content.objects);
   d.f(c.content.popularity_theta);
   d.f(c.content.mean_replicas);
@@ -339,6 +340,12 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
               return truth;
             });
       }
+      // The flow engine's counters live in a plain cold array once the
+      // minute rotates, so the flag scan's reads are const-safe; share the
+      // engine's worker pool (null when flow.jobs <= 1 keeps the serial
+      // scan). The packet-port harnesses never attach a pool: their
+      // sliding-window monitors advance on read.
+      ddp->protocol().set_sweep_pool(net_->worker_pool());
       def_ = std::move(ddp);
       break;
     }

@@ -19,6 +19,12 @@ std::string validate_config(const ScenarioConfig& config) {
   if (config.topo.ba_links_per_node < 1) {
     return "topo.ba_links_per_node must be >= 1";
   }
+  if (!std::isfinite(config.topo.hc_cutoff_exponent) ||
+      config.topo.hc_cutoff_exponent < 1.0 ||
+      config.topo.hc_cutoff_exponent > 16.0) {
+    return "topo.hc_cutoff_exponent must be within [1, 16] (degree cutoff "
+           "k_c ~ n^(1/exponent); 1 reduces to plain BA)";
+  }
   if (config.content.objects == 0) return "content.objects must be > 0";
   if (!pos(config.content.mean_replicas)) {
     return "content.mean_replicas must be a finite value > 0";
@@ -123,6 +129,12 @@ std::string validate_config(const ScenarioConfig& config) {
   if (!prob(config.flow.control_reserve_fraction) ||
       config.flow.control_reserve_fraction >= 1.0) {
     return "flow.control_reserve_fraction must be within [0, 1)";
+  }
+  if (config.flow.jobs > 256) {
+    return "flow.jobs must be within [0, 256] (0 = one per hardware thread)";
+  }
+  if (config.flow.shards > 4096) {
+    return "flow.shards must be within [0, 4096] (0 = one per worker)";
   }
   const auto& ch = config.fault.channel;
   if (!prob(ch.drop_probability) || !prob(ch.duplicate_probability) ||

@@ -20,6 +20,8 @@ FlowNetwork::FlowNetwork(topology::Graph& graph,
   ticks_per_minute_ =
       static_cast<std::uint64_t>(std::llround(kMinute / config_.tick_seconds));
   if (ticks_per_minute_ == 0) ticks_per_minute_ = 1;
+  const unsigned jobs = util::resolve_jobs(config_.jobs);
+  if (jobs > 1) pool_ = std::make_unique<util::ThreadPool>(jobs);
   recalibrate();
 }
 
@@ -83,15 +85,13 @@ void FlowNetwork::recalibrate() {
   last_calibration_minute_ = current_minute();
 }
 
-const FlowNetwork::EdgeState* FlowNetwork::find_edge(PeerId from,
-                                                     PeerId to) const noexcept {
-  const auto slot = graph_.edge_slot(from, to);
-  return slot == topology::EdgeIndex::kInvalidSlot ? nullptr
-                                                   : edge_state_.find(slot);
-}
-
 double FlowNetwork::sent_last_minute(PeerId from, PeerId to) const noexcept {
-  if (const EdgeState* es = find_edge(from, to)) return es->minute_done;
+  const auto slot = graph_.edge_slot(from, to);
+  if (slot != topology::EdgeIndex::kInvalidSlot) {
+    if (const EdgeMinute* em = edge_state_.find_cold(slot)) {
+      return em->minute_done;
+    }
+  }
   // Link gone, but the endpoint monitors still hold the last minute. The
   // ghost list only ever holds this minute's cuts, so a scan is cheap.
   for (const GhostCount& g : ghost_minute_counts_) {
@@ -102,14 +102,16 @@ double FlowNetwork::sent_last_minute(PeerId from, PeerId to) const noexcept {
 
 double FlowNetwork::sent_last_minute(
     topology::EdgeIndex::Slot slot) const noexcept {
-  const EdgeState* es = edge_state_.find(slot);
-  return es == nullptr ? 0.0 : es->minute_done;
+  const EdgeMinute* em = edge_state_.find_cold(slot);
+  return em == nullptr ? 0.0 : em->minute_done;
 }
 
 double FlowNetwork::out_last_minute(PeerId from) const noexcept {
   double total = 0.0;
   for (const auto slot : graph_.out_slots(from)) {
-    if (const EdgeState* es = edge_state_.find(slot)) total += es->minute_done;
+    if (const EdgeMinute* em = edge_state_.find_cold(slot)) {
+      total += em->minute_done;
+    }
   }
   // Links cut during this minute's hooks: their counters moved to the
   // ghost list when the slot was released, never both places at once.
@@ -124,17 +126,18 @@ void FlowNetwork::disconnect(PeerId a, PeerId b) {
   // slot pair (which retires both directions' flow state).
   const auto slot = graph_.edge_slot(a, b);
   if (slot != topology::EdgeIndex::kInvalidSlot) {
-    if (const EdgeState* es = edge_state_.find(slot);
-        es != nullptr && es->minute_done > 0.0) {
-      ghost_minute_counts_.push_back({a, b, es->minute_done});
+    if (const EdgeMinute* em = edge_state_.find_cold(slot);
+        em != nullptr && em->minute_done > 0.0) {
+      ghost_minute_counts_.push_back({a, b, em->minute_done});
     }
     const auto rev = graph_.edge_index().reverse(slot);
-    if (const EdgeState* es = edge_state_.find(rev);
-        es != nullptr && es->minute_done > 0.0) {
-      ghost_minute_counts_.push_back({b, a, es->minute_done});
+    if (const EdgeMinute* em = edge_state_.find_cold(rev);
+        em != nullptr && em->minute_done > 0.0) {
+      ghost_minute_counts_.push_back({b, a, em->minute_done});
     }
   }
   if (graph_.remove_edge(a, b)) {
+    shard_plan_dirty_ = true;
     DDP_TRACE(tracer_, obs::EventType::kLinkDisconnected, now_, a, b);
   }
 }
@@ -142,7 +145,8 @@ void FlowNetwork::disconnect(PeerId a, PeerId b) {
 void FlowNetwork::on_edge_added(PeerId a, PeerId b) {
   // Flow state is created lazily on first transmission, and any state a
   // previous incarnation of this link held died with its slot generation —
-  // nothing to clean up.
+  // nothing to clean up beyond invalidating the shard plan.
+  shard_plan_dirty_ = true;
   DDP_TRACE(tracer_, obs::EventType::kEdgeAdded, now_, a, b);
 }
 
@@ -150,6 +154,7 @@ void FlowNetwork::on_peer_offline(PeerId p) {
   const std::vector<PeerId> nbrs(graph_.neighbors(p).begin(),
                                  graph_.neighbors(p).end());
   for (PeerId n : nbrs) disconnect(p, n);
+  shard_plan_dirty_ = true;
   DDP_TRACE(tracer_, obs::EventType::kPeerOffline, now_, p);
 }
 
@@ -159,260 +164,348 @@ double FlowNetwork::link_capacity_per_tick(PeerId from, PeerId to) const noexcep
          static_cast<double>(ticks_per_minute_);
 }
 
-void FlowNetwork::step() {
-  const std::size_t n = graph_.node_count();
-  const std::size_t ttl = std::min(config_.ttl, kMaxTtl);
-  const double cap_tick =
-      config_.capacity_per_minute / static_cast<double>(ticks_per_minute_);
-  const double service_time = kMinute / config_.capacity_per_minute;
-  const topology::EdgeIndex& index = graph_.edge_index();
-  edge_state_.sync();
+namespace {
 
-  // ---- Phase 1: gather arrivals per peer. -------------------------------
-  // Each link delivers the link_reliability fraction of its in-flight
-  // volume (fault injection; 1.0 is an exact multiplicative identity).
-  // Canonical sweep order — destinations in PeerId order, in-links in
-  // adjacency order — so the floating-point accumulation order is a
-  // property of the topology, not of any container's internal layout.
-  const double rel = config_.link_reliability;
-  arrivals_.assign(n, {});
-  for (PeerId to = 0; to < n; ++to) {
-    auto& a = arrivals_[to];
-    for (const std::uint32_t out : graph_.out_slots(to)) {
-      // reverse(to -> from) is the in-link from -> to.
-      const EdgeState* es = edge_state_.find(index.reverse(out));
-      if (es == nullptr) continue;
+/// Serial-path sink: contributions land straight on the engine's running
+/// accumulators, in the same order the pre-shard engine added them — this
+/// path's arithmetic is byte-for-byte the original.
+struct DirectSink {
+  double& transport_lost;
+  double& dropped;
+  std::array<double, kClasses>& dropped_class;
+  double& good_issued;
+  double& attack_issued;
+  std::array<double, kMaxTtl>& fresh_by_hop;
+  double& tick_util;
+  std::size_t& util_nodes;
+  double& delay_weight;
+  double& delay_load;
+  double& traffic;
+  double& attack_traffic;
+
+  void add_transport_lost(double v) { transport_lost += v; }
+  void add_drop(double total, double good, double attack) {
+    dropped += total;
+    dropped_class[static_cast<std::size_t>(TrafficClass::kGood)] += good;
+    dropped_class[static_cast<std::size_t>(TrafficClass::kAttack)] += attack;
+  }
+  void add_good_issued(double v) { good_issued += v; }
+  void add_attack_issued(double v) { attack_issued += v; }
+  void add_fresh(std::size_t hop_idx, double v) { fresh_by_hop[hop_idx] += v; }
+  void add_peer_load(double rho, double dw, double dl) {
+    tick_util += rho;
+    ++util_nodes;
+    delay_weight += dw;
+    delay_load += dl;
+  }
+  // Phase-3 contributions hit the same accumulators on the serial path;
+  // the buffered sink keeps them in separate logs because the serial fold
+  // adds all phase-2 contributions before any phase-3 ones.
+  void add_p3_drop(double total, double good, double attack) {
+    add_drop(total, good, attack);
+  }
+  void add_p3_traffic(double total, double attack) {
+    traffic += total;
+    attack_traffic += attack;
+  }
+};
+
+}  // namespace
+
+/// Sharded-path sink: contributions are recorded, not summed — the
+/// coordinator replays the logs in span order after the barrier, which
+/// reproduces the serial accumulation sequence exactly.
+struct FlowNetwork::SpanLogSink {
+  SpanLog& log;
+
+  void add_transport_lost(double v) { log.transport_lost.push_back(v); }
+  void add_drop(double total, double good, double attack) {
+    log.p2_drops.push_back({total, good, attack});
+  }
+  void add_good_issued(double v) { log.good_issued.push_back(v); }
+  void add_attack_issued(double v) { log.attack_issued.push_back(v); }
+  void add_fresh(std::size_t hop_idx, double v) {
+    log.fresh.emplace_back(static_cast<std::uint8_t>(hop_idx), v);
+  }
+  void add_peer_load(double rho, double dw, double dl) {
+    log.peer_load.push_back({rho, dw, dl});
+  }
+  void add_p3_drop(double total, double good, double attack) {
+    log.p3_drops.push_back({total, good, attack});
+  }
+  void add_p3_traffic(double total, double attack) {
+    log.p3_traffic.push_back({total, attack});
+  }
+};
+
+void FlowNetwork::SpanLog::clear() noexcept {
+  transport_lost.clear();
+  p2_drops.clear();
+  good_issued.clear();
+  attack_issued.clear();
+  fresh.clear();
+  peer_load.clear();
+  p3_drops.clear();
+  p3_traffic.clear();
+}
+
+// ---- Phase 1: gather arrivals per peer. -----------------------------------
+// Each link delivers the link_reliability fraction of its in-flight volume
+// (fault injection; 1.0 is an exact multiplicative identity). Canonical
+// sweep order — destinations in PeerId order, in-links in adjacency order —
+// so the floating-point accumulation order is a property of the topology,
+// not of any container's internal layout. Writes arrivals_[to] exclusively;
+// reads only other links' cur vectors, which no phase-1 sweep writes.
+template <typename Sink>
+void FlowNetwork::phase1_peer(PeerId to, std::size_t ttl, double rel,
+                              Sink& sink) {
+  auto& a = arrivals_[to];
+  a = {};
+  for (const std::uint32_t in : graph_.in_slots(to)) {
+    const EdgeFlow* ef = edge_state_.find(in);
+    if (ef == nullptr) continue;
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      for (std::size_t k = 0; k < ttl; ++k) a[c][k] += ef->cur[c][k] * rel;
+    }
+    if (rel < 1.0) {
+      double in_flight = 0.0;
       for (std::size_t c = 0; c < kClasses; ++c) {
-        for (std::size_t k = 0; k < ttl; ++k) a[c][k] += es->cur[c][k] * rel;
+        for (std::size_t k = 0; k < ttl; ++k) in_flight += ef->cur[c][k];
       }
-      if (rel < 1.0) {
-        double in_flight = 0.0;
-        for (std::size_t c = 0; c < kClasses; ++c) {
-          for (std::size_t k = 0; k < ttl; ++k) in_flight += es->cur[c][k];
-        }
-        acc_transport_lost_ += in_flight * (1.0 - rel);
-      }
+      sink.add_transport_lost(in_flight * (1.0 - rel));
     }
   }
+}
 
-  // ---- Phase 2: per-peer processing, issuance and forwarding. -----------
-  // Drops happen at the receiver, as the paper's testbed measured (peer B
-  // reads the socket and discards what it cannot service, Sec. 2.3): the
-  // per-link monitors therefore see what senders actually pushed, which is
-  // the observable a deployed DD-POLICE works from.
-  std::vector<EdgeState*> out_edges;  // per-node scratch
-  std::array<std::array<double, kMaxTtl>, kClasses> fair_arrivals{};
-  std::vector<double> edge_totals;  // fair-share scratch
-  std::vector<std::array<double, kClasses>> edge_class_totals;
-  double tick_util = 0.0;
-  std::size_t util_nodes = 0;
-  for (PeerId v = 0; v < n; ++v) {
-    if (!graph_.is_active(v)) continue;
-    const auto nbrs = graph_.neighbors(v);
-    const auto deg = static_cast<double>(nbrs.size());
+// ---- Phase 2a: service discipline and drop accounting. --------------------
+// Drops happen at the receiver, as the paper's testbed measured (peer B
+// reads the socket and discards what it cannot service, Sec. 2.3): the
+// per-link monitors therefore see what senders actually pushed, which is
+// the observable a deployed DD-POLICE works from. Reads arrivals_[v] (own)
+// and, under fair share, in-link cur vectors (cross-shard but read-only in
+// this barrier); writes only arrivals_[v].
+template <typename Sink>
+std::array<double, kClasses> FlowNetwork::phase2_service(
+    PeerId v, std::size_t ttl, double cap_tick, double service_time,
+    double rel, TickScratch& ts, Sink& sink) {
+  const auto nbrs = graph_.neighbors(v);
 
-    double in_total = 0.0;
-    for (std::size_t c = 0; c < kClasses; ++c) {
-      for (std::size_t k = 0; k < ttl; ++k) in_total += arrivals_[v][c][k];
-    }
-    // Per-class arrival totals, summed separately so in_total keeps its
-    // original accumulation order (side accounting must not perturb it).
-    std::array<double, kClasses> in_class{};
-    for (std::size_t c = 0; c < kClasses; ++c) {
-      for (std::size_t k = 0; k < ttl; ++k) in_class[c] += arrivals_[v][c][k];
-    }
+  double in_total = 0.0;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    for (std::size_t k = 0; k < ttl; ++k) in_total += arrivals_[v][c][k];
+  }
+  // Per-class arrival totals, summed separately so in_total keeps its
+  // original accumulation order (side accounting must not perturb it).
+  std::array<double, kClasses> in_class{};
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    for (std::size_t k = 0; k < ttl; ++k) in_class[c] += arrivals_[v][c][k];
+  }
 
-    double survive = in_total > cap_tick ? cap_tick / in_total : 1.0;
-    // Per-class admission factors; under class-blind shedding both entries
-    // hold the same double as `survive`, so the arithmetic downstream is
-    // bit-identical to the scalar path.
-    std::array<double, kClasses> survive_c{};
-    survive_c.fill(survive);
-    if (config_.discipline == ServiceDiscipline::kFairShare &&
-        in_total > cap_tick) {
-      // Max-min fair allocation of the service budget across in-links
-      // (the load-balancing baseline [21]): lightly-loaded links are fully
-      // served; heavy links are capped at the waterfill share.
-      const auto vslots = graph_.out_slots(v);
-      edge_totals.assign(nbrs.size(), 0.0);
-      edge_class_totals.assign(nbrs.size(), {});
-      for (std::size_t e = 0; e < nbrs.size(); ++e) {
-        if (const EdgeState* es = edge_state_.find(index.reverse(vslots[e]))) {
-          for (std::size_t c = 0; c < kClasses; ++c) {
-            for (std::size_t k = 0; k < ttl; ++k) {
-              const double vol = es->cur[c][k] * rel;
-              edge_totals[e] += vol;
-              edge_class_totals[e][c] += vol;
-            }
-          }
-        }
-      }
-      double budget = cap_tick;
-      std::vector<char> done(nbrs.size(), 0);
-      std::size_t active = nbrs.size();
-      double share = 0.0;
-      for (int iter = 0; iter < 8 && active > 0; ++iter) {
-        share = budget / static_cast<double>(active);
-        bool changed = false;
-        for (std::size_t e = 0; e < nbrs.size(); ++e) {
-          if (done[e] || edge_totals[e] > share) continue;
-          budget -= edge_totals[e];
-          done[e] = 1;
-          --active;
-          changed = true;
-        }
-        if (!changed) break;
-      }
-      for (auto& cls : fair_arrivals) cls.fill(0.0);
-      for (std::size_t e = 0; e < nbrs.size(); ++e) {
-        const EdgeState* es = edge_state_.find(index.reverse(vslots[e]));
-        if (es == nullptr || edge_totals[e] <= 0.0) continue;
-        const double sc = done[e] ? 1.0 : share / edge_totals[e];
-        acc_dropped_ += edge_totals[e] * (1.0 - sc);
-        for (std::size_t c = 0; c < kClasses; ++c) {
-          acc_dropped_class_[c] += edge_class_totals[e][c] * (1.0 - sc);
-        }
+  double survive = in_total > cap_tick ? cap_tick / in_total : 1.0;
+  // Per-class admission factors; under class-blind shedding both entries
+  // hold the same double as `survive`, so the arithmetic downstream is
+  // bit-identical to the scalar path.
+  std::array<double, kClasses> survive_c{};
+  survive_c.fill(survive);
+  if (config_.discipline == ServiceDiscipline::kFairShare &&
+      in_total > cap_tick) {
+    // Max-min fair allocation of the service budget across in-links
+    // (the load-balancing baseline [21]): lightly-loaded links are fully
+    // served; heavy links are capped at the waterfill share.
+    const auto vin = graph_.in_slots(v);
+    ts.edge_totals.assign(nbrs.size(), 0.0);
+    ts.edge_class_totals.assign(nbrs.size(), {});
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      if (const EdgeFlow* ef = edge_state_.find(vin[e])) {
         for (std::size_t c = 0; c < kClasses; ++c) {
           for (std::size_t k = 0; k < ttl; ++k) {
-            fair_arrivals[c][k] += es->cur[c][k] * rel * sc;
+            const double vol = ef->cur[c][k] * rel;
+            ts.edge_totals[e] += vol;
+            ts.edge_class_totals[e][c] += vol;
           }
         }
       }
-      arrivals_[v] = fair_arrivals;
-      survive = 1.0;  // per-edge scaling already applied
-      survive_c.fill(1.0);
-    } else if (config_.admission == AdmissionPolicy::kPriority &&
-               in_total > cap_tick) {
-      // Priority shedding: hold back the control-plane reserve (defense
-      // messages travel out-of-band here, but the reserve models the
-      // capacity a real servent would pin for them), admit good-class
-      // traffic first from the remaining budget, shed attack-class first.
-      const double reserve =
-          std::clamp(config_.control_reserve_fraction, 0.0, 0.5);
-      const double budget = cap_tick * (1.0 - reserve);
-      const auto good = static_cast<std::size_t>(TrafficClass::kGood);
-      const auto bad = static_cast<std::size_t>(TrafficClass::kAttack);
-      const double sg =
-          in_class[good] > 0.0 ? std::min(1.0, budget / in_class[good]) : 1.0;
-      const double left = std::max(0.0, budget - in_class[good] * sg);
-      const double sa =
-          in_class[bad] > 0.0 ? std::min(1.0, left / in_class[bad]) : 1.0;
-      survive_c[good] = sg;
-      survive_c[bad] = sa;
-      const double d_good = in_class[good] * (1.0 - sg);
-      const double d_bad = in_class[bad] * (1.0 - sa);
-      acc_dropped_ += d_good + d_bad;
-      acc_dropped_class_[good] += d_good;
-      acc_dropped_class_[bad] += d_bad;
-    } else {
-      acc_dropped_ += in_total * (1.0 - survive);
-      for (std::size_t c = 0; c < kClasses; ++c) {
-        acc_dropped_class_[c] += in_class[c] * (1.0 - survive);
-      }
     }
-    const auto& a = arrivals_[v];
-
-    ++util_nodes;
-    const double rho = std::min(1.0, in_total / cap_tick);
-    tick_util += rho;
-    // M/M/1-flavoured queueing delay with a finite ceiling, load-weighted
-    // so hot peers dominate the response-time model.
-    double delay = rho < 0.999 ? service_time * rho / (1.0 - rho)
-                               : config_.max_queue_delay;
-    delay = std::min(delay, config_.max_queue_delay);
-    acc_delay_weight_ += delay * in_total;
-    acc_delay_load_ += in_total;
-
-    if (nbrs.empty()) continue;
-
-    out_edges.clear();
-    for (const std::uint32_t out : graph_.out_slots(v)) {
-      out_edges.push_back(&edge_state_.touch(out));
-    }
-
-    // Issuance. Good peers flood one copy of each fresh query per link;
-    // compromised peers send *distinct* queries per link (Sec. 2.1), at
-    // Q_d = min(20,000, link capacity) each (Sec. 3.5); the bandwidth and
-    // back-pressure clamps of phase 3 enforce the min().
-    const PeerKind kind = kinds_[v];
-    if (kind == PeerKind::kGood) {
-      const double issue = config_.good_issue_per_minute /
-                           static_cast<double>(ticks_per_minute_) *
-                           issue_scale_[v];
-      if (issue > 0.0) {
-        acc_good_issued_ += issue;
-        for (EdgeState* es : out_edges) {
-          es->nxt[static_cast<std::size_t>(TrafficClass::kGood)][ttl - 1] += issue;
-        }
+    double budget = cap_tick;
+    ts.done.assign(nbrs.size(), 0);
+    std::size_t active = nbrs.size();
+    double share = 0.0;
+    for (int iter = 0; iter < 8 && active > 0; ++iter) {
+      share = budget / static_cast<double>(active);
+      bool changed = false;
+      for (std::size_t e = 0; e < nbrs.size(); ++e) {
+        if (ts.done[e] || ts.edge_totals[e] > share) continue;
+        budget -= ts.edge_totals[e];
+        ts.done[e] = 1;
+        --active;
+        changed = true;
       }
-    } else {
-      const double target = config_.attack_target_per_minute /
-                            static_cast<double>(ticks_per_minute_) *
-                            issue_scale_[v];
-      if (target > 0.0) {
-        double attempted = 0.0;
-        for (std::size_t i = 0; i < out_edges.size(); ++i) {
-          const double clamp = link_capacity_per_tick(v, nbrs[i]);
-          const double vol = std::min(target, clamp);
-          out_edges[i]->nxt[static_cast<std::size_t>(TrafficClass::kAttack)]
-                           [ttl - 1] += vol;
-          attempted += vol;
-        }
-        acc_attack_issued_ += attempted;
-      }
+      if (!changed) break;
     }
-
-    // Forwarding of serviced arrivals: only the fresh fraction spreads.
-    if (deg >= 2.0) {
-      const double fan = (deg - 1.0) / deg;
+    for (auto& cls : ts.fair_arrivals) cls.fill(0.0);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      const EdgeFlow* ef = edge_state_.find(vin[e]);
+      if (ef == nullptr || ts.edge_totals[e] <= 0.0) continue;
+      const double sc = ts.done[e] ? 1.0 : share / ts.edge_totals[e];
+      sink.add_drop(
+          ts.edge_totals[e] * (1.0 - sc),
+          ts.edge_class_totals[e][static_cast<std::size_t>(TrafficClass::kGood)] *
+              (1.0 - sc),
+          ts.edge_class_totals[e]
+                             [static_cast<std::size_t>(TrafficClass::kAttack)] *
+              (1.0 - sc));
       for (std::size_t c = 0; c < kClasses; ++c) {
         for (std::size_t k = 0; k < ttl; ++k) {
-          const double vol = a[c][k] * survive_c[c];
-          if (vol <= 0.0) continue;
-          const std::size_t hop = ttl - k;  // arrival hop of this flow
-          if (c == static_cast<std::size_t>(TrafficClass::kGood)) {
-            // Reach accounting: the exact fresh-node ratio of this hop.
-            acc_fresh_good_by_hop_[hop - 1] += vol * profile_.fresh_fraction(hop);
-          }
-          if (k == 0) continue;  // remaining ttl 1 -> no forwarding
-          // Forwarding: the closed-loop-calibrated damping (see
-          // recalibrate()) keeps aggregate message growth faithful.
-          const double per_link = vol * forward_damping_[hop - 1] * fan;
-          if (per_link <= 0.0) continue;
-          for (EdgeState* es : out_edges) es->nxt[c][k - 1] += per_link;
+          ts.fair_arrivals[c][k] += ef->cur[c][k] * rel * sc;
         }
       }
-    } else {
-      // Degree-1 peer: arrivals terminate here, but fresh mass still counts
-      // toward reach.
-      for (std::size_t k = 0; k < ttl; ++k) {
-        const double vol =
-            a[static_cast<std::size_t>(TrafficClass::kGood)][k] *
-            survive_c[static_cast<std::size_t>(TrafficClass::kGood)];
-        if (vol <= 0.0) continue;
-        const std::size_t hop = ttl - k;
-        acc_fresh_good_by_hop_[hop - 1] += vol * profile_.fresh_fraction(hop);
+    }
+    arrivals_[v] = ts.fair_arrivals;
+    survive = 1.0;  // per-edge scaling already applied
+    survive_c.fill(1.0);
+  } else if (config_.admission == AdmissionPolicy::kPriority &&
+             in_total > cap_tick) {
+    // Priority shedding: hold back the control-plane reserve (defense
+    // messages travel out-of-band here, but the reserve models the
+    // capacity a real servent would pin for them), admit good-class
+    // traffic first from the remaining budget, shed attack-class first.
+    const double reserve =
+        std::clamp(config_.control_reserve_fraction, 0.0, 0.5);
+    const double budget = cap_tick * (1.0 - reserve);
+    const auto good = static_cast<std::size_t>(TrafficClass::kGood);
+    const auto bad = static_cast<std::size_t>(TrafficClass::kAttack);
+    const double sg =
+        in_class[good] > 0.0 ? std::min(1.0, budget / in_class[good]) : 1.0;
+    const double left = std::max(0.0, budget - in_class[good] * sg);
+    const double sa =
+        in_class[bad] > 0.0 ? std::min(1.0, left / in_class[bad]) : 1.0;
+    survive_c[good] = sg;
+    survive_c[bad] = sa;
+    const double d_good = in_class[good] * (1.0 - sg);
+    const double d_bad = in_class[bad] * (1.0 - sa);
+    sink.add_drop(d_good + d_bad, d_good, d_bad);
+  } else {
+    sink.add_drop(
+        in_total * (1.0 - survive),
+        in_class[static_cast<std::size_t>(TrafficClass::kGood)] *
+            (1.0 - survive),
+        in_class[static_cast<std::size_t>(TrafficClass::kAttack)] *
+            (1.0 - survive));
+  }
+
+  const double rho = std::min(1.0, in_total / cap_tick);
+  // M/M/1-flavoured queueing delay with a finite ceiling, load-weighted
+  // so hot peers dominate the response-time model.
+  double delay = rho < 0.999 ? service_time * rho / (1.0 - rho)
+                             : config_.max_queue_delay;
+  delay = std::min(delay, config_.max_queue_delay);
+  sink.add_peer_load(rho, delay * in_total, in_total);
+  return survive_c;
+}
+
+// ---- Phase 2b: issuance and forwarding. -----------------------------------
+// Writes only this peer's out-link nxt vectors (touch may also reset a
+// recycled slot — still own out-links), so peers are freely parallel once
+// the cross-shard cur reads of phase 2a are behind a barrier.
+template <typename Sink>
+void FlowNetwork::phase2_emit(PeerId v, std::size_t ttl,
+                              const std::array<double, kClasses>& survive_c,
+                              TickScratch& ts, Sink& sink) {
+  const auto nbrs = graph_.neighbors(v);
+  if (nbrs.empty()) return;
+  const auto deg = static_cast<double>(nbrs.size());
+  const auto& a = arrivals_[v];
+
+  ts.out_edges.clear();
+  for (const std::uint32_t out : graph_.out_slots(v)) {
+    ts.out_edges.push_back(&edge_state_.touch(out));
+  }
+
+  // Issuance. Good peers flood one copy of each fresh query per link;
+  // compromised peers send *distinct* queries per link (Sec. 2.1), at
+  // Q_d = min(20,000, link capacity) each (Sec. 3.5); the bandwidth and
+  // back-pressure clamps of phase 3 enforce the min().
+  const PeerKind kind = kinds_[v];
+  if (kind == PeerKind::kGood) {
+    const double issue = config_.good_issue_per_minute /
+                         static_cast<double>(ticks_per_minute_) *
+                         issue_scale_[v];
+    if (issue > 0.0) {
+      sink.add_good_issued(issue);
+      for (EdgeFlow* ef : ts.out_edges) {
+        ef->nxt[static_cast<std::size_t>(TrafficClass::kGood)][ttl - 1] += issue;
       }
+    }
+  } else {
+    const double target = config_.attack_target_per_minute /
+                          static_cast<double>(ticks_per_minute_) *
+                          issue_scale_[v];
+    if (target > 0.0) {
+      double attempted = 0.0;
+      for (std::size_t i = 0; i < ts.out_edges.size(); ++i) {
+        const double clamp = link_capacity_per_tick(v, nbrs[i]);
+        const double vol = std::min(target, clamp);
+        ts.out_edges[i]->nxt[static_cast<std::size_t>(TrafficClass::kAttack)]
+                            [ttl - 1] += vol;
+        attempted += vol;
+      }
+      sink.add_attack_issued(attempted);
     }
   }
 
-  // ---- Phase 3: bandwidth clamp at the sender, count, rotate. ------------
-  // Canonical order again (senders in PeerId order, out-links in adjacency
-  // order) so the global drop/traffic accumulators sum deterministically.
-  for (PeerId from = 0; from < n; ++from) {
-    const auto nbrs = graph_.neighbors(from);
-    const auto slots = graph_.out_slots(from);
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-    EdgeState* esp = edge_state_.find(slots[i]);
-    if (esp == nullptr) continue;
-    auto& es = *esp;
+  // Forwarding of serviced arrivals: only the fresh fraction spreads.
+  if (deg >= 2.0) {
+    const double fan = (deg - 1.0) / deg;
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      for (std::size_t k = 0; k < ttl; ++k) {
+        const double vol = a[c][k] * survive_c[c];
+        if (vol <= 0.0) continue;
+        const std::size_t hop = ttl - k;  // arrival hop of this flow
+        if (c == static_cast<std::size_t>(TrafficClass::kGood)) {
+          // Reach accounting: the exact fresh-node ratio of this hop.
+          sink.add_fresh(hop - 1, vol * profile_.fresh_fraction(hop));
+        }
+        if (k == 0) continue;  // remaining ttl 1 -> no forwarding
+        // Forwarding: the closed-loop-calibrated damping (see
+        // recalibrate()) keeps aggregate message growth faithful.
+        const double per_link = vol * forward_damping_[hop - 1] * fan;
+        if (per_link <= 0.0) continue;
+        for (EdgeFlow* ef : ts.out_edges) ef->nxt[c][k - 1] += per_link;
+      }
+    }
+  } else {
+    // Degree-1 peer: arrivals terminate here, but fresh mass still counts
+    // toward reach.
+    for (std::size_t k = 0; k < ttl; ++k) {
+      const double vol =
+          a[static_cast<std::size_t>(TrafficClass::kGood)][k] *
+          survive_c[static_cast<std::size_t>(TrafficClass::kGood)];
+      if (vol <= 0.0) continue;
+      const std::size_t hop = ttl - k;
+      sink.add_fresh(hop - 1, vol * profile_.fresh_fraction(hop));
+    }
+  }
+}
+
+// ---- Phase 3: bandwidth clamp at the sender, count, rotate. ---------------
+// Canonical order again (senders in PeerId order, out-links in adjacency
+// order) so the global drop/traffic accumulators sum deterministically.
+// Touches only this sender's out-link state.
+template <typename Sink>
+void FlowNetwork::phase3_peer(PeerId from, std::size_t ttl, Sink& sink) {
+  const auto nbrs = graph_.neighbors(from);
+  const auto slots = graph_.out_slots(from);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EdgeFlow* efp = edge_state_.find(slots[i]);
+    if (efp == nullptr) continue;
+    auto& ef = *efp;
     const PeerId to = nbrs[i];
     double total = 0.0;
     std::array<double, kClasses> cls_tot{};
     for (std::size_t c = 0; c < kClasses; ++c) {
       for (std::size_t k = 0; k < ttl; ++k) {
-        total += es.nxt[c][k];
-        cls_tot[c] += es.nxt[c][k];
+        total += ef.nxt[c][k];
+        cls_tot[c] += ef.nxt[c][k];
       }
     }
     if (total > 0.0) {
@@ -420,31 +513,222 @@ void FlowNetwork::step() {
       double scale = 1.0;
       if (total > clamp) {
         scale = clamp / total;
-        acc_dropped_ += total - clamp;
-        for (std::size_t c = 0; c < kClasses; ++c) {
-          acc_dropped_class_[c] += cls_tot[c] * (1.0 - scale);
-        }
+        sink.add_p3_drop(
+            total - clamp,
+            cls_tot[static_cast<std::size_t>(TrafficClass::kGood)] *
+                (1.0 - scale),
+            cls_tot[static_cast<std::size_t>(TrafficClass::kAttack)] *
+                (1.0 - scale));
         total = clamp;
       }
       double attack_part = 0.0;
       for (std::size_t c = 0; c < kClasses; ++c) {
         for (std::size_t k = 0; k < ttl; ++k) {
-          es.nxt[c][k] *= scale;
+          ef.nxt[c][k] *= scale;
           if (c == static_cast<std::size_t>(TrafficClass::kAttack)) {
-            attack_part += es.nxt[c][k];
+            attack_part += ef.nxt[c][k];
           }
         }
       }
-      acc_traffic_ += total;
-      acc_attack_traffic_ += attack_part;
-      es.minute_acc += total;
+      sink.add_p3_traffic(total, attack_part);
+      edge_state_.cold(slots[i]).minute_acc += total;
     }
-    es.cur = es.nxt;
-    for (auto& cls : es.nxt) cls.fill(0.0);
-    }
+    ef.cur = ef.nxt;
+    for (auto& cls : ef.nxt) cls.fill(0.0);
+  }
+}
+
+void FlowNetwork::step_serial(std::size_t n, std::size_t ttl, double cap_tick,
+                              double service_time, double rel) {
+  double tick_util = 0.0;
+  std::size_t util_nodes = 0;
+  DirectSink sink{acc_transport_lost_, acc_dropped_,     acc_dropped_class_,
+                  acc_good_issued_,    acc_attack_issued_, acc_fresh_good_by_hop_,
+                  tick_util,           util_nodes,        acc_delay_weight_,
+                  acc_delay_load_,     acc_traffic_,      acc_attack_traffic_};
+
+  for (PeerId to = 0; to < n; ++to) phase1_peer(to, ttl, rel, sink);
+
+  if (span_scratch_.empty()) span_scratch_.resize(1);
+  TickScratch& ts = span_scratch_.front();
+  for (PeerId v = 0; v < n; ++v) {
+    if (!graph_.is_active(v)) continue;
+    const auto survive_c =
+        phase2_service(v, ttl, cap_tick, service_time, rel, ts, sink);
+    phase2_emit(v, ttl, survive_c, ts, sink);
   }
 
-  acc_util_ += util_nodes > 0 ? tick_util / static_cast<double>(util_nodes) : 0.0;
+  for (PeerId from = 0; from < n; ++from) phase3_peer(from, ttl, sink);
+
+  acc_util_ +=
+      util_nodes > 0 ? tick_util / static_cast<double>(util_nodes) : 0.0;
+}
+
+const std::vector<util::IndexSpan>& FlowNetwork::shard_spans() {
+  refresh_shard_plan();
+  return shard_spans_;
+}
+
+void FlowNetwork::refresh_shard_plan() {
+  const std::size_t n = graph_.node_count();
+  if (!shard_plan_dirty_ && shard_plan_nodes_ == n) return;
+  const std::size_t workers = pool_ ? pool_->size() : 1;
+  const std::size_t parts = config_.shards > 0 ? config_.shards : workers;
+  // Weight each peer by 1 + degree: a span's cost is dominated by the
+  // per-link work of its peers, and the +1 keeps isolated peers from
+  // collapsing a span to zero weight.
+  shard_weights_.resize(n);
+  for (PeerId v = 0; v < n; ++v) {
+    shard_weights_[v] = 1 + static_cast<std::uint64_t>(graph_.degree(v));
+  }
+  shard_spans_ = util::make_weighted_spans(shard_weights_, parts);
+  shard_plan_dirty_ = false;
+  shard_plan_nodes_ = n;
+}
+
+void FlowNetwork::step_sharded(std::size_t n, std::size_t ttl, double cap_tick,
+                               double service_time, double rel) {
+  refresh_shard_plan();
+  const std::size_t spans = shard_spans_.size();
+  if (spans <= 1) {
+    step_serial(n, ttl, cap_tick, service_time, rel);
+    return;
+  }
+  span_logs_.resize(spans);
+  for (SpanLog& log : span_logs_) log.clear();
+  if (span_scratch_.size() < spans) span_scratch_.resize(spans);
+
+  // Barrier 1: arrivals. Cross-shard reads of cur, exclusive writes of
+  // arrivals_[span] — must fully precede any nxt/cur mutation.
+  for (std::size_t s = 0; s < spans; ++s) {
+    pool_->submit([this, s, ttl, rel] {
+      SpanLogSink sink{span_logs_[s]};
+      const util::IndexSpan span = shard_spans_[s];
+      for (std::size_t to = span.begin; to < span.end; ++to) {
+        phase1_peer(static_cast<PeerId>(to), ttl, rel, sink);
+      }
+    });
+  }
+  pool_->wait_idle();
+
+  if (config_.discipline == ServiceDiscipline::kFairShare) {
+    // Fair share re-reads in-link cur vectors during service (cross-shard),
+    // so the cur-mutating emit/rotate work needs its own barrier.
+    survive_scratch_.resize(n);
+    for (std::size_t s = 0; s < spans; ++s) {
+      pool_->submit([this, s, ttl, cap_tick, service_time, rel] {
+        SpanLogSink sink{span_logs_[s]};
+        const util::IndexSpan span = shard_spans_[s];
+        for (std::size_t v = span.begin; v < span.end; ++v) {
+          if (!graph_.is_active(static_cast<PeerId>(v))) continue;
+          survive_scratch_[v] =
+              phase2_service(static_cast<PeerId>(v), ttl, cap_tick,
+                             service_time, rel, span_scratch_[s], sink);
+        }
+      });
+    }
+    pool_->wait_idle();
+    for (std::size_t s = 0; s < spans; ++s) {
+      pool_->submit([this, s, ttl] {
+        SpanLogSink sink{span_logs_[s]};
+        const util::IndexSpan span = shard_spans_[s];
+        for (std::size_t v = span.begin; v < span.end; ++v) {
+          if (!graph_.is_active(static_cast<PeerId>(v))) continue;
+          phase2_emit(static_cast<PeerId>(v), ttl, survive_scratch_[v],
+                      span_scratch_[s], sink);
+        }
+        for (std::size_t from = span.begin; from < span.end; ++from) {
+          phase3_peer(static_cast<PeerId>(from), ttl, sink);
+        }
+      });
+    }
+    pool_->wait_idle();
+  } else {
+    // Barrier 2 (fused phases 2+3): each peer writes only its own
+    // out-link nxt/cur state and reads only its own arrivals, so service,
+    // emission, clamping and rotation pipeline within one pass per span.
+    for (std::size_t s = 0; s < spans; ++s) {
+      pool_->submit([this, s, ttl, cap_tick, service_time, rel] {
+        SpanLogSink sink{span_logs_[s]};
+        const util::IndexSpan span = shard_spans_[s];
+        for (std::size_t v = span.begin; v < span.end; ++v) {
+          if (!graph_.is_active(static_cast<PeerId>(v))) continue;
+          const auto survive_c =
+              phase2_service(static_cast<PeerId>(v), ttl, cap_tick,
+                             service_time, rel, span_scratch_[s], sink);
+          phase2_emit(static_cast<PeerId>(v), ttl, survive_c,
+                      span_scratch_[s], sink);
+        }
+        for (std::size_t from = span.begin; from < span.end; ++from) {
+          phase3_peer(static_cast<PeerId>(from), ttl, sink);
+        }
+      });
+    }
+    pool_->wait_idle();
+  }
+
+  // Canonical fold: replay every span's log in span (= peer) order, one
+  // accumulator at a time, phase 2 before phase 3 — the exact sequence of
+  // += operations the serial engine performs, hence bit-identical sums.
+  for (std::size_t s = 0; s < spans; ++s) {
+    for (const double v : span_logs_[s].transport_lost) {
+      acc_transport_lost_ += v;
+    }
+  }
+  double tick_util = 0.0;
+  std::size_t util_nodes = 0;
+  for (std::size_t s = 0; s < spans; ++s) {
+    const SpanLog& log = span_logs_[s];
+    for (const auto& d : log.p2_drops) {
+      acc_dropped_ += d[0];
+      acc_dropped_class_[static_cast<std::size_t>(TrafficClass::kGood)] += d[1];
+      acc_dropped_class_[static_cast<std::size_t>(TrafficClass::kAttack)] +=
+          d[2];
+    }
+    for (const double v : log.good_issued) acc_good_issued_ += v;
+    for (const double v : log.attack_issued) acc_attack_issued_ += v;
+    for (const auto& [hop_idx, v] : log.fresh) {
+      acc_fresh_good_by_hop_[hop_idx] += v;
+    }
+    for (const auto& pl : log.peer_load) {
+      tick_util += pl[0];
+      ++util_nodes;
+      acc_delay_weight_ += pl[1];
+      acc_delay_load_ += pl[2];
+    }
+  }
+  for (std::size_t s = 0; s < spans; ++s) {
+    const SpanLog& log = span_logs_[s];
+    for (const auto& d : log.p3_drops) {
+      acc_dropped_ += d[0];
+      acc_dropped_class_[static_cast<std::size_t>(TrafficClass::kGood)] += d[1];
+      acc_dropped_class_[static_cast<std::size_t>(TrafficClass::kAttack)] +=
+          d[2];
+    }
+    for (const auto& t : log.p3_traffic) {
+      acc_traffic_ += t[0];
+      acc_attack_traffic_ += t[1];
+    }
+  }
+  acc_util_ +=
+      util_nodes > 0 ? tick_util / static_cast<double>(util_nodes) : 0.0;
+}
+
+void FlowNetwork::step() {
+  const std::size_t n = graph_.node_count();
+  const std::size_t ttl = std::min(config_.ttl, kMaxTtl);
+  const double cap_tick =
+      config_.capacity_per_minute / static_cast<double>(ticks_per_minute_);
+  const double service_time = kMinute / config_.capacity_per_minute;
+  const double rel = config_.link_reliability;
+  edge_state_.sync();
+  arrivals_.resize(n);
+
+  if (pool_) {
+    step_sharded(n, ttl, cap_tick, service_time, rel);
+  } else {
+    step_serial(n, ttl, cap_tick, service_time, rel);
+  }
 
   now_ += config_.tick_seconds;
   ++tick_count_;
@@ -453,12 +737,12 @@ void FlowNetwork::step() {
 
 void FlowNetwork::rotate_minute() {
   // Complete the per-link minute counters — one linear sweep over the
-  // slot space; ghosts of torn-down links only cover the minute in which
-  // they were cut.
+  // *cold* array only (the hot flow vectors stay untouched); ghosts of
+  // torn-down links only cover the minute in which they were cut.
   ghost_minute_counts_.clear();
-  edge_state_.for_each([](std::uint32_t, EdgeState& es) {
-    es.minute_done = es.minute_acc;
-    es.minute_acc = 0.0;
+  edge_state_.for_each_cold([](std::uint32_t, EdgeMinute& em) {
+    em.minute_done = em.minute_acc;
+    em.minute_acc = 0.0;
   });
 
   MinuteReport r;
@@ -530,16 +814,19 @@ void FlowNetwork::rotate_minute() {
   }
 
   for (const auto& hook : minute_hooks_) hook(r.minute);
+  // Hooks cut links and drive churn; re-balance the spans for the minute
+  // ahead (cheap: one weighted prefix scan, and only when anything moved).
+  shard_plan_dirty_ = true;
 }
 
 double FlowNetwork::total_in_flight() const noexcept {
   double total = 0.0;
   const std::size_t n = graph_.node_count();
   for (PeerId from = 0; from < n; ++from) {
-    for (PeerId to : graph_.neighbors(from)) {
-      const EdgeState* es = find_edge(from, to);
-      if (es == nullptr) continue;
-      for (const auto& cls : es->cur) {
+    for (const auto slot : graph_.out_slots(from)) {
+      const EdgeFlow* ef = edge_state_.find(slot);
+      if (ef == nullptr) continue;
+      for (const auto& cls : ef->cur) {
         for (double v : cls) total += v;
       }
     }
@@ -602,20 +889,28 @@ void FlowNetwork::save(snapshot::Writer& w) const {
   for (const PeerKind k : kinds_) w.u8(static_cast<std::uint8_t>(k));
   snapshot::save_f64_vector(w, issue_scale_);
 
+  // Per-entry layout matches the pre-split engine (cur, nxt, minute_acc,
+  // minute_done interleaved per slot) so snapshots are exchangeable across
+  // the hot/cold storage change — and across any jobs/shards setting,
+  // which never influences this state.
   std::size_t entries = 0;
-  edge_state_.for_each([&entries](std::uint32_t, const EdgeState&) { ++entries; });
+  edge_state_.for_each(
+      [&entries](std::uint32_t, const EdgeFlow&, const EdgeMinute&) {
+        ++entries;
+      });
   w.size(entries);
-  edge_state_.for_each([&w](std::uint32_t slot, const EdgeState& es) {
-    w.u32(slot);
-    for (const auto& cls : es.cur) {
-      for (const double v : cls) w.f64(v);
-    }
-    for (const auto& cls : es.nxt) {
-      for (const double v : cls) w.f64(v);
-    }
-    w.f64(es.minute_acc);
-    w.f64(es.minute_done);
-  });
+  edge_state_.for_each(
+      [&w](std::uint32_t slot, const EdgeFlow& ef, const EdgeMinute& em) {
+        w.u32(slot);
+        for (const auto& cls : ef.cur) {
+          for (const double v : cls) w.f64(v);
+        }
+        for (const auto& cls : ef.nxt) {
+          for (const double v : cls) w.f64(v);
+        }
+        w.f64(em.minute_acc);
+        w.f64(em.minute_done);
+      });
 
   snapshot::save_f64_vector(w, profile_.new_nodes);
   snapshot::save_f64_vector(w, profile_.messages);
@@ -666,15 +961,16 @@ void FlowNetwork::load(snapshot::Reader& r) {
     if (!index.live(slot)) {
       throw snapshot::SnapshotError("flow state references a dead edge slot");
     }
-    EdgeState& es = edge_state_.touch(slot);
-    for (auto& cls : es.cur) {
+    EdgeFlow& ef = edge_state_.touch(slot);
+    for (auto& cls : ef.cur) {
       for (double& v : cls) v = r.f64();
     }
-    for (auto& cls : es.nxt) {
+    for (auto& cls : ef.nxt) {
       for (double& v : cls) v = r.f64();
     }
-    es.minute_acc = r.f64();
-    es.minute_done = r.f64();
+    EdgeMinute& em = edge_state_.cold(slot);
+    em.minute_acc = r.f64();
+    em.minute_done = r.f64();
   }
 
   snapshot::load_f64_vector(r, profile_.new_nodes, kMaxTtl);
@@ -712,6 +1008,7 @@ void FlowNetwork::load(snapshot::Reader& r) {
   history_.resize(r.size(1u << 24));
   for (MinuteReport& m : history_) load_report(r, m);
   snapshot::load_rng(r, rng_);
+  shard_plan_dirty_ = true;
 }
 
 }  // namespace ddp::flow

@@ -35,6 +35,8 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "flow/config.hpp"
@@ -44,6 +46,8 @@
 #include "topology/edge_index.hpp"
 #include "topology/graph.hpp"
 #include "util/rng.hpp"
+#include "util/spans.hpp"
+#include "util/thread_pool.hpp"
 #include "util/types.hpp"
 #include "workload/content.hpp"
 
@@ -179,16 +183,88 @@ class FlowNetwork {
   /// serialized — subscribers re-register on reconstruction.
   void load(snapshot::Reader& r);
 
+  /// The worker pool driving the sharded tick sweeps, or null when the
+  /// engine runs serially (jobs <= 1). Other per-minute sweeps (DD-POLICE
+  /// detection, monitor scans) borrow it so one scenario never stacks two
+  /// pools; they only ever use it between ticks, so there is no contention
+  /// with the flow phases.
+  util::ThreadPool* worker_pool() noexcept { return pool_.get(); }
+
+  /// The current shard plan: contiguous PeerId spans, degree-weighted so
+  /// hub-heavy spans shrink. Recomputed lazily after topology changes.
+  /// Exposed for the defense sweeps that reuse the flow partitioning.
+  const std::vector<util::IndexSpan>& shard_spans();
+
  private:
-  struct EdgeState {
+  /// Hot per-link state: the in-flight flow vectors every tick phase
+  /// streams (256 B). Split from the minute counters so phase sweeps and
+  /// monitor sweeps each touch only the arrays they need.
+  struct EdgeFlow {
     /// Flow in transit on the directed link, arriving next tick.
     std::array<std::array<double, kMaxTtl>, kClasses> cur{};
     std::array<std::array<double, kMaxTtl>, kClasses> nxt{};
+  };
+  /// Cold per-link state: the per-minute Out_query counters DD-POLICE
+  /// reads (16 B). The minute rotation and every defense counter sweep
+  /// walk only this array.
+  struct EdgeMinute {
     double minute_acc = 0.0;   ///< volume sent this (running) minute
     double minute_done = 0.0;  ///< volume sent in the last completed minute
   };
 
-  const EdgeState* find_edge(PeerId from, PeerId to) const noexcept;
+  /// Per-span contribution log for the parallel tick path. Workers sweep
+  /// their contiguous peer span in canonical order and *record* every
+  /// value the serial engine would have added to a global accumulator;
+  /// the coordinator then replays the logs span-by-span. Because spans
+  /// partition the peer range in order, the concatenated replay is the
+  /// exact serial fold — same values, same order, bit-identical sums.
+  struct SpanLog {
+    std::vector<double> transport_lost;               ///< phase 1, per lossy in-link
+    std::vector<std::array<double, 3>> p2_drops;      ///< {total, good, attack}
+    std::vector<double> good_issued;
+    std::vector<double> attack_issued;
+    std::vector<std::pair<std::uint8_t, double>> fresh;  ///< {hop-1, reach mass}
+    std::vector<std::array<double, 3>> peer_load;     ///< {rho, delay*load, load}
+    std::vector<std::array<double, 3>> p3_drops;      ///< {total, good, attack}
+    std::vector<std::array<double, 2>> p3_traffic;    ///< {total, attack part}
+    void clear() noexcept;
+  };
+  struct SpanLogSink;
+
+  /// Per-worker scratch for phase 2 (fair-share waterfill buffers, the
+  /// out-edge pointer batch) — reused across ticks, one per shard span so
+  /// concurrent sweeps never share.
+  struct TickScratch {
+    std::vector<EdgeFlow*> out_edges;
+    std::vector<double> edge_totals;
+    std::vector<std::array<double, kClasses>> edge_class_totals;
+    std::vector<char> done;
+    std::array<std::array<double, kMaxTtl>, kClasses> fair_arrivals{};
+  };
+
+  // The tick is three phases; each body processes one peer and reports
+  // accumulator contributions through a Sink (direct member accumulation
+  // on the serial path, SpanLog recording on the sharded path — the
+  // serial path's arithmetic is untouched by the sharding machinery).
+  template <typename Sink>
+  void phase1_peer(PeerId to, std::size_t ttl, double rel, Sink& sink);
+  template <typename Sink>
+  std::array<double, kClasses> phase2_service(PeerId v, std::size_t ttl,
+                                              double cap_tick,
+                                              double service_time, double rel,
+                                              TickScratch& ts, Sink& sink);
+  template <typename Sink>
+  void phase2_emit(PeerId v, std::size_t ttl,
+                   const std::array<double, kClasses>& survive_c,
+                   TickScratch& ts, Sink& sink);
+  template <typename Sink>
+  void phase3_peer(PeerId from, std::size_t ttl, Sink& sink);
+
+  void step_serial(std::size_t n, std::size_t ttl, double cap_tick,
+                   double service_time, double rel);
+  void step_sharded(std::size_t n, std::size_t ttl, double cap_tick,
+                    double service_time, double rel);
+  void refresh_shard_plan();
 
   void rotate_minute();
   double link_capacity_per_tick(PeerId from, PeerId to) const noexcept;
@@ -202,11 +278,24 @@ class FlowNetwork {
 
   std::vector<PeerKind> kinds_;
   std::vector<double> issue_scale_;
-  /// Per-directed-link flow state, slot-indexed via the graph's EdgeIndex.
-  /// Entries are created lazily (first transmission touches the slot) and
-  /// retire automatically when the slot's generation moves on — edge
-  /// teardown needs no flow-side erase.
-  topology::EdgeMap<EdgeState> edge_state_;
+  /// Per-directed-link flow state, slot-indexed via the graph's EdgeIndex,
+  /// hot/cold split (flow vectors vs minute counters). Entries are created
+  /// lazily (first transmission touches the slot) and retire automatically
+  /// when the slot's generation moves on — edge teardown needs no
+  /// flow-side erase.
+  topology::SplitEdgeMap<EdgeFlow, EdgeMinute> edge_state_;
+
+  /// Sharded-sweep machinery (absent on the serial path): the worker
+  /// pool, the degree-weighted contiguous peer spans, per-span logs and
+  /// scratch, and the fair-share survive carry between barriers.
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<util::IndexSpan> shard_spans_;
+  std::vector<std::uint64_t> shard_weights_;
+  std::vector<SpanLog> span_logs_;
+  std::vector<TickScratch> span_scratch_;
+  std::vector<std::array<double, kClasses>> survive_scratch_;
+  bool shard_plan_dirty_ = true;
+  std::size_t shard_plan_nodes_ = 0;
 
   topology::CoverageProfile profile_;  ///< exact reach ratios (per-hop)
   /// Per-hop forwarding damping, calibrated closed-loop: a unit impulse

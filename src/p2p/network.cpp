@@ -26,6 +26,14 @@ double LinkMonitors::out_per_minute(PeerId from, PeerId to, SimTime now) {
   return w == nullptr ? 0.0 : w->per_minute(now);
 }
 
+double LinkMonitors::out_per_minute_at(PeerId from, PeerId to,
+                                       SimTime now) const {
+  const auto slot = graph_->edge_slot(from, to);
+  if (slot == topology::EdgeIndex::kInvalidSlot) return 0.0;
+  const util::RateWindow* w = windows_.find(slot);
+  return w == nullptr ? 0.0 : w->per_minute_at(now);
+}
+
 void LinkMonitors::record(PeerId from, PeerId to, SimTime now) {
   const auto slot = graph_->edge_slot(from, to);
   if (slot == topology::EdgeIndex::kInvalidSlot) return;

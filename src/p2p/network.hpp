@@ -91,6 +91,11 @@ class LinkMonitors {
       : graph_(&graph), windows_(graph.edge_index()) {}
 
   double out_per_minute(PeerId from, PeerId to, SimTime now);
+  /// out_per_minute without advancing the window — a pure const read
+  /// (RateWindow::per_minute_at), safe for concurrent sweeps. This is the
+  /// read DD-POLICE's sharded flag scan uses via PacketPort: workers sweep
+  /// disjoint judge spans, each reading its span's in-link windows.
+  double out_per_minute_at(PeerId from, PeerId to, SimTime now) const;
   void record(PeerId from, PeerId to, SimTime now);
   /// Explicitly reset both directions of a live link (slot release already
   /// covers teardown; this is for resets that keep the edge up).
@@ -160,6 +165,7 @@ class PacketNetwork {
   /// Settled outcome records dropped so far (memory-bound accounting).
   std::uint64_t outcomes_pruned() const noexcept { return outcome_base_; }
   LinkMonitors& monitors() noexcept { return monitors_; }
+  const LinkMonitors& monitors() const noexcept { return monitors_; }
   sim::Engine& engine() noexcept { return engine_; }
   const topology::Graph& graph() const noexcept { return graph_; }
 

@@ -12,12 +12,14 @@ EdgeIndex::Slot EdgeIndex::acquire_one(PeerId u, PeerId v) {
     s = free_.back();
     free_.pop_back();
   } else {
-    s = static_cast<Slot>(slots_.size());
-    slots_.emplace_back();
+    s = static_cast<Slot>(from_.size());
+    from_.push_back(kInvalidPeer);
+    to_.push_back(kInvalidPeer);
+    rev_.push_back(kInvalidSlot);
+    gen_.push_back(0);
   }
-  SlotInfo& info = slots_[s];
-  info.from = u;
-  info.to = v;
+  from_[s] = u;
+  to_[s] = v;
   ++live_;
   return s;
 }
@@ -26,21 +28,20 @@ std::pair<EdgeIndex::Slot, EdgeIndex::Slot> EdgeIndex::acquire_pair(PeerId u,
                                                                    PeerId v) {
   const Slot uv = acquire_one(u, v);
   const Slot vu = acquire_one(v, u);
-  slots_[uv].rev = vu;
-  slots_[vu].rev = uv;
+  rev_[uv] = vu;
+  rev_[vu] = uv;
   return {uv, vu};
 }
 
 void EdgeIndex::release(Slot slot) {
-  const Slot rev = slots_[slot].rev;
+  const Slot rev = rev_[slot];
   for (const Slot s : {slot, rev}) {
-    SlotInfo& info = slots_[s];
-    info.from = kInvalidPeer;
-    info.to = kInvalidPeer;
-    info.rev = kInvalidSlot;
+    from_[s] = kInvalidPeer;
+    to_[s] = kInvalidPeer;
+    rev_[s] = kInvalidSlot;
     // Generation bump is what retires every EdgeMap entry keyed to this
     // incarnation; skip the never-written sentinel on wraparound.
-    if (++info.gen == kNeverGeneration) info.gen = 0;
+    if (++gen_[s] == kNeverGeneration) gen_[s] = 0;
     --live_;
   }
   // LIFO reuse keeps the hot end of the slot space cache-resident and the
@@ -54,19 +55,22 @@ bool EdgeIndex::consistent(std::string* why) const {
     if (why != nullptr) *why = std::move(msg);
     return false;
   };
+  if (to_.size() != from_.size() || rev_.size() != from_.size() ||
+      gen_.size() != from_.size()) {
+    return fail("parallel slot arrays disagree on capacity");
+  }
   std::size_t live = 0;
-  for (Slot s = 0; s < slots_.size(); ++s) {
-    const SlotInfo& info = slots_[s];
-    if (info.from == kInvalidPeer) continue;
+  for (Slot s = 0; s < from_.size(); ++s) {
+    if (from_[s] == kInvalidPeer) continue;
     ++live;
-    if (info.to == kInvalidPeer || info.from == info.to) {
+    if (to_[s] == kInvalidPeer || from_[s] == to_[s]) {
       return fail("slot " + std::to_string(s) + " has invalid endpoints");
     }
-    if (info.rev >= slots_.size()) {
+    if (rev_[s] >= from_.size()) {
       return fail("slot " + std::to_string(s) + " has out-of-range reverse");
     }
-    const SlotInfo& rev = slots_[info.rev];
-    if (rev.rev != s || rev.from != info.to || rev.to != info.from) {
+    const Slot r = rev_[s];
+    if (rev_[r] != s || from_[r] != to_[s] || to_[r] != from_[s]) {
       return fail("slot " + std::to_string(s) + " reverse is not mutual");
     }
   }
@@ -74,7 +78,7 @@ bool EdgeIndex::consistent(std::string* why) const {
     return fail("live count " + std::to_string(live_) + " != scanned " +
                 std::to_string(live));
   }
-  if (live + free_.size() != slots_.size()) {
+  if (live + free_.size() != from_.size()) {
     return fail("free list size " + std::to_string(free_.size()) +
                 " does not complement live set");
   }
@@ -82,7 +86,7 @@ bool EdgeIndex::consistent(std::string* why) const {
   std::sort(free_sorted.begin(), free_sorted.end());
   for (std::size_t i = 0; i < free_sorted.size(); ++i) {
     const Slot s = free_sorted[i];
-    if (s >= slots_.size() || slots_[s].from != kInvalidPeer) {
+    if (s >= from_.size() || from_[s] != kInvalidPeer) {
       return fail("free list holds live or out-of-range slot " +
                   std::to_string(s));
     }
@@ -94,12 +98,14 @@ bool EdgeIndex::consistent(std::string* why) const {
 }
 
 void EdgeIndex::save(snapshot::Writer& w) const {
-  w.size(slots_.size());
-  for (const SlotInfo& info : slots_) {
-    w.u32(info.from);
-    w.u32(info.to);
-    w.u32(info.rev);
-    w.u32(info.gen);
+  // Field order matches the pre-SoA array-of-structs record, so images
+  // written by either layout round-trip through the other.
+  w.size(from_.size());
+  for (Slot s = 0; s < from_.size(); ++s) {
+    w.u32(from_[s]);
+    w.u32(to_[s]);
+    w.u32(rev_[s]);
+    w.u32(gen_[s]);
   }
   w.size(free_.size());
   for (const Slot s : free_) w.u32(s);
@@ -109,12 +115,15 @@ void EdgeIndex::save(snapshot::Writer& w) const {
 void EdgeIndex::load(snapshot::Reader& r) {
   constexpr std::size_t kMaxSlots = 1u << 28;
   const std::size_t n = r.size(kMaxSlots);
-  slots_.assign(n, SlotInfo{});
-  for (SlotInfo& info : slots_) {
-    info.from = r.u32();
-    info.to = r.u32();
-    info.rev = r.u32();
-    info.gen = r.u32();
+  from_.assign(n, kInvalidPeer);
+  to_.assign(n, kInvalidPeer);
+  rev_.assign(n, kInvalidSlot);
+  gen_.assign(n, 0);
+  for (Slot s = 0; s < n; ++s) {
+    from_[s] = r.u32();
+    to_[s] = r.u32();
+    rev_[s] = r.u32();
+    gen_[s] = r.u32();
   }
   const std::size_t nfree = r.size(n);
   free_.resize(nfree);

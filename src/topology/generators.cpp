@@ -97,6 +97,76 @@ Graph generate_barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
   return g;
 }
 
+/// Barabási–Albert growth under a hard degree ceiling (the hub-suppressed
+/// scale-free family studied for flood resilience): a node at the cutoff
+/// stops attracting links, so its endpoint-list entries are skipped and the
+/// joining node's preference redistributes to unsaturated peers.
+Graph generate_hard_cutoff(const GeneratorConfig& cfg, util::Rng& rng) {
+  const std::size_t n = cfg.nodes;
+  const std::size_t m = cfg.ba_links_per_node;
+  if (m == 0 || n <= m) {
+    throw std::invalid_argument(
+        "hard-cutoff generator: need nodes > links_per_node >= 1");
+  }
+  const double kc_raw =
+      std::ceil(std::pow(static_cast<double>(n), 1.0 / cfg.hc_cutoff_exponent));
+  // The seed clique already gives every member degree m; a cutoff below
+  // m + 1 could never grow past the clique.
+  const std::size_t kc = std::max<std::size_t>(
+      m + 1, kc_raw < static_cast<double>(n) ? static_cast<std::size_t>(kc_raw)
+                                             : n);
+  Graph g(n);
+  for (PeerId u = 0; u <= m; ++u) {
+    for (PeerId v = u + 1; v <= m; ++v) g.add_edge(u, v);
+  }
+  std::vector<PeerId> endpoints;
+  endpoints.reserve(2 * n * m);
+  for (PeerId u = 0; u <= m; ++u) {
+    for (std::size_t k = 0; k < g.neighbors(u).size(); ++k) endpoints.push_back(u);
+  }
+  const auto saturated = [&](PeerId v) { return g.neighbors(v).size() >= kc; };
+  std::vector<PeerId> chosen;
+  for (PeerId u = static_cast<PeerId>(m + 1); u < n; ++u) {
+    chosen.clear();
+    std::size_t added = 0;
+    // Preferential draws, rejecting saturated endpoints. The try budget
+    // bounds the draw loop when most of the list points at full hubs.
+    for (std::size_t tries = 0; tries < 64 * m && added < m; ++tries) {
+      const PeerId target = endpoints[rng.below(
+          static_cast<std::uint32_t>(endpoints.size()))];
+      if (target == u || saturated(target) ||
+          std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
+        continue;
+      }
+      g.add_edge(u, target);
+      chosen.push_back(target);
+      ++added;
+    }
+    // Fallback sweep keeps the overlay connected when the draw budget ran
+    // out: link to the earliest unsaturated non-neighbour.
+    for (PeerId t = 0; t < u && added < m; ++t) {
+      if (t == u || saturated(t) ||
+          std::find(chosen.begin(), chosen.end(), t) != chosen.end()) {
+        continue;
+      }
+      g.add_edge(u, t);
+      chosen.push_back(t);
+      ++added;
+    }
+    if (added == 0) {
+      // Every earlier node is at the ceiling; connectivity trumps the
+      // cutoff for this one link.
+      g.add_edge(u, static_cast<PeerId>(u - 1));
+      chosen.push_back(static_cast<PeerId>(u - 1));
+    }
+    for (PeerId t : chosen) {
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
 Graph generate_waxman(const GeneratorConfig& cfg, util::Rng& rng) {
   const std::size_t n = cfg.nodes;
   Graph g(n);
@@ -165,6 +235,8 @@ Graph generate(const GeneratorConfig& config, util::Rng& rng) {
       return generate_waxman(config, rng);
     case Model::kErdosRenyi:
       return generate_erdos_renyi(config, rng);
+    case Model::kHardCutoff:
+      return generate_hard_cutoff(config, rng);
     case Model::kTwoTier: {
       TwoTierConfig tt = config.two_tier;
       tt.nodes = config.nodes;

@@ -20,6 +20,7 @@ enum class Model : std::uint8_t {
   kWaxman,          ///< BRITE's Waxman flat random model
   kErdosRenyi,      ///< G(n, p) null model
   kTwoTier,         ///< Gnutella 0.6 ultrapeer/leaf structure
+  kHardCutoff,      ///< preferential attachment with a hard degree cutoff
 };
 
 /// A Gnutella-0.6-style two-tier overlay (the paper's introduction: the
@@ -54,6 +55,16 @@ struct GeneratorConfig {
 
   /// Erdős–Rényi target average degree (p = target / (n-1)).
   double er_target_degree = 6.0;
+
+  /// Hard-cutoff scale-free (model == kHardCutoff): Barabási–Albert growth
+  /// with `ba_links_per_node` links per joining node, but no node may
+  /// exceed k_c = max(m + 1, ceil(n^(1 / hc_cutoff_exponent))) neighbours —
+  /// saturated nodes stop attracting links and the tail mass redistributes
+  /// to mid-degree peers. Exponent 2 (k_c ~ sqrt(n)) is the classic
+  /// hub-suppressed overlay; larger exponents cut harder. Valid range is
+  /// [1, 16] (validated by the experiment config; 1 means k_c = n, i.e.
+  /// plain BA).
+  double hc_cutoff_exponent = 2.0;
 };
 
 /// Generate a connected overlay per `config`. Generators retry/patch until

@@ -8,12 +8,13 @@
 namespace ddp::topology {
 
 Graph::Graph(std::size_t node_count)
-    : adj_(node_count), out_slots_(node_count), active_(node_count, 1),
-      active_count_(node_count) {}
+    : adj_(node_count), out_slots_(node_count), in_slots_(node_count),
+      active_(node_count, 1), active_count_(node_count) {}
 
 PeerId Graph::add_node() {
   adj_.emplace_back();
   out_slots_.emplace_back();
+  in_slots_.emplace_back();
   active_.push_back(1);
   ++active_count_;
   return static_cast<PeerId>(adj_.size() - 1);
@@ -40,8 +41,10 @@ bool Graph::add_edge(PeerId u, PeerId v) {
   const auto [suv, svu] = index_.acquire_pair(u, v);
   adj_[u].push_back(v);
   out_slots_[u].push_back(suv);
+  in_slots_[u].push_back(svu);
   adj_[v].push_back(u);
   out_slots_[v].push_back(svu);
+  in_slots_[v].push_back(suv);
   ++edge_count_;
   return true;
 }
@@ -60,6 +63,8 @@ bool Graph::remove_edge(PeerId u, PeerId v) {
   au.pop_back();
   out_slots_[u][pu] = out_slots_[u].back();
   out_slots_[u].pop_back();
+  in_slots_[u][pu] = in_slots_[u].back();
+  in_slots_[u].pop_back();
   auto& av = adj_[v];
   const auto iv = std::find(av.begin(), av.end(), u);
   const auto pv = static_cast<std::size_t>(iv - av.begin());
@@ -67,6 +72,8 @@ bool Graph::remove_edge(PeerId u, PeerId v) {
   av.pop_back();
   out_slots_[v][pv] = out_slots_[v].back();
   out_slots_[v].pop_back();
+  in_slots_[v][pv] = in_slots_[v].back();
+  in_slots_[v].pop_back();
   --edge_count_;
   return true;
 }
@@ -213,6 +220,7 @@ void Graph::load(snapshot::Reader& r) {
   const std::size_t n = r.size(kMaxNodes);
   adj_.assign(n, {});
   out_slots_.assign(n, {});
+  in_slots_.assign(n, {});
   active_.assign(n, 0);
   for (std::size_t u = 0; u < n; ++u) {
     const std::size_t deg = r.size(n);
@@ -246,6 +254,15 @@ void Graph::load(snapshot::Reader& r) {
   if (active_scan != active_count_ || degree_sum != 2 * edge_count_ ||
       index_.live_count() != 2 * edge_count_) {
     throw snapshot::SnapshotError("restored graph counters do not add up");
+  }
+  // Rebuild the materialized in-link lists from the validated out-slots
+  // (the snapshot format carries only the out direction; the reverse of a
+  // consistent index reconstructs the rest exactly).
+  for (std::size_t u = 0; u < n; ++u) {
+    in_slots_[u].resize(out_slots_[u].size());
+    for (std::size_t i = 0; i < out_slots_[u].size(); ++i) {
+      in_slots_[u][i] = index_.reverse(out_slots_[u][i]);
+    }
   }
 }
 

@@ -63,6 +63,15 @@ class Graph {
     return {out_slots_[u].data(), out_slots_[u].size()};
   }
 
+  /// In-link slots parallel to neighbors(u): in_slots(u)[i] is the slot of
+  /// the edge neighbors(u)[i] -> u, i.e. reverse(out_slots(u)[i]) held
+  /// materialized so the per-tick arrival gather reads its in-links
+  /// straight from one contiguous list instead of chasing the reverse
+  /// indirection through the slot table.
+  std::span<const std::uint32_t> in_slots(PeerId u) const noexcept {
+    return {in_slots_[u].data(), in_slots_[u].size()};
+  }
+
   /// Slot of the directed edge u -> v, or EdgeIndex::kInvalidSlot if the
   /// edge does not exist. Linear in min-degree, like has_edge.
   std::uint32_t edge_slot(PeerId u, PeerId v) const noexcept;
@@ -103,6 +112,8 @@ class Graph {
   std::vector<std::vector<PeerId>> adj_;
   /// Parallel to adj_: out_slots_[u][i] is the slot of u -> adj_[u][i].
   std::vector<std::vector<std::uint32_t>> out_slots_;
+  /// Parallel to adj_: in_slots_[u][i] is the slot of adj_[u][i] -> u.
+  std::vector<std::vector<std::uint32_t>> in_slots_;
   EdgeIndex index_;
   std::vector<char> active_;
   std::size_t edge_count_ = 0;

@@ -56,6 +56,25 @@ double RateWindow::per_minute(SimTime t) noexcept {
   return total(t) * (kMinute / window_);
 }
 
+double RateWindow::total_at(SimTime t) const noexcept {
+  if (!started_) return 0.0;
+  const auto target = static_cast<std::int64_t>(std::floor(t / bucket_len_));
+  if (target <= head_index_) return sum_;
+  const auto n = static_cast<std::int64_t>(buckets_.size());
+  if (target - head_index_ >= n) return 0.0;
+  // Mirror advance()'s arithmetic exactly: subtract each expiring bucket
+  // in ring order, then apply the same FP-hygiene clamp.
+  double s = sum_;
+  for (std::int64_t idx = head_index_ + 1; idx <= target; ++idx) {
+    s -= buckets_[static_cast<std::size_t>(idx % n)];
+  }
+  return s < 0.0 ? 0.0 : s;
+}
+
+double RateWindow::per_minute_at(SimTime t) const noexcept {
+  return total_at(t) * (kMinute / window_);
+}
+
 void RateWindow::reset() noexcept {
   for (double& b : buckets_) b = 0.0;
   sum_ = 0.0;

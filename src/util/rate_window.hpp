@@ -33,6 +33,16 @@ class RateWindow {
   /// Events per minute over the window, i.e. total * (60 / window).
   double per_minute(SimTime t) noexcept;
 
+  /// total(t) without advancing: expired buckets are subtracted from the
+  /// cached sum in the same order advance() would zero them, so the value
+  /// matches the mutable read bit-for-bit. Safe for concurrent reads —
+  /// this is what lets DD-POLICE's sharded flag scan run over the packet
+  /// engine's monitors (windows then advance only on add()).
+  double total_at(SimTime t) const noexcept;
+
+  /// per_minute(t) without advancing; see total_at().
+  double per_minute_at(SimTime t) const noexcept;
+
   SimTime window() const noexcept { return window_; }
 
   /// Forget everything (used when a link is torn down and re-established).

@@ -1,0 +1,68 @@
+#include "util/spans.hpp"
+
+#include <algorithm>
+
+namespace ddp::util {
+
+std::vector<IndexSpan> make_spans(std::size_t n, std::size_t parts) {
+  std::vector<IndexSpan> spans;
+  if (n == 0) return spans;
+  parts = std::max<std::size_t>(1, std::min(parts, n));
+  spans.reserve(parts);
+  std::size_t begin = 0;
+  for (std::size_t k = 0; k < parts; ++k) {
+    // Cut points n*(k+1)/parts are monotone and hit n exactly at the end.
+    const std::size_t end = (n * (k + 1)) / parts;
+    if (end > begin) {
+      spans.push_back({begin, end});
+      begin = end;
+    }
+  }
+  return spans;
+}
+
+std::vector<IndexSpan> make_weighted_spans(std::span<const std::uint64_t> weights,
+                                           std::size_t parts) {
+  const std::size_t n = weights.size();
+  std::vector<IndexSpan> spans;
+  if (n == 0) return spans;
+  parts = std::max<std::size_t>(1, std::min(parts, n));
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : weights) total += w;
+  if (total == 0) return make_spans(n, parts);
+
+  spans.reserve(parts);
+  std::size_t begin = 0;
+  std::uint64_t prefix = 0;
+  std::size_t i = 0;
+  for (std::size_t k = 0; k + 1 < parts && begin < n; ++k) {
+    // Target running weight for the end of span k. Computed in long
+    // double to dodge uint64 overflow on total * (k+1); the comparison is
+    // still deterministic (same inputs, same arithmetic).
+    const auto target = static_cast<long double>(total) *
+                        static_cast<long double>(k + 1) /
+                        static_cast<long double>(parts);
+    while (i < n && (static_cast<long double>(prefix) < target ||
+                     i < begin + 1)) {
+      prefix += weights[i];
+      ++i;
+    }
+    // Leave at least one index per remaining span.
+    const std::size_t max_end = n - (parts - 1 - k);
+    const std::size_t end = std::min(i, max_end);
+    if (end > begin) {
+      spans.push_back({begin, end});
+      begin = end;
+    }
+    if (i < end) {
+      // max_end clamp moved the cut left of the scan; resync the prefix.
+      i = end;
+      prefix = 0;
+      for (std::size_t j = 0; j < end; ++j) prefix += weights[j];
+    }
+  }
+  if (begin < n) spans.push_back({begin, n});
+  return spans;
+}
+
+}  // namespace ddp::util
