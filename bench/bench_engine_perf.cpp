@@ -22,7 +22,7 @@
 
 #include "bench_common.hpp"
 #include "core/ddpolice.hpp"
-#include "core/flow_port.hpp"
+#include "flow/flow_port.hpp"
 #include "core/indicators.hpp"
 #include "flow/network.hpp"
 #include "net/message.hpp"
@@ -321,7 +321,7 @@ int run_mega(std::size_t peers, unsigned worker_jobs, double sim_minutes) {
   cfg.jobs = worker_jobs;
   flow::FlowNetwork net(g, bw, content, cfg, rng.fork("flow"));
   for (PeerId a = 0; a < peers / 20; ++a) net.set_kind(a, PeerKind::kBad);
-  ddp::core::FlowPort port(net);
+  ddp::flow::FlowPort port(net);
   ddp::core::DdPoliceConfig dcfg;
   ddp::core::DdPolice ddp(port, dcfg, rng.fork("ddp"));
   ddp.set_sweep_pool(net.worker_pool());

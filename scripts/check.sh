@@ -23,6 +23,12 @@
 #                             # laptop-scale ablation must be run-to-run
 #                             # byte-identical, and adaptive=0 must leave
 #                             # ddpsim output byte-identical to the default
+#   scripts/check.sh --net    # tier-1 plus the socket-engine gate:
+#                             # build ddpnode/ddptestbed, run the loopback
+#                             # engine suite (plain and under ASan+UBSan),
+#                             # then a 10-process localhost mini-testbed
+#                             # that must cut the attacker and no honest
+#                             # peer from real TCP traffic
 #   scripts/check.sh --shard  # tier-1 plus the sharded-engine gate:
 #                             # ddpsim trace/CSV byte-identity across
 #                             # flow_jobs/flow_shards combinations, then a
@@ -47,6 +53,7 @@ run_snapshot=0
 run_bench=0
 run_adaptive=0
 run_shard=0
+run_net=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
@@ -56,7 +63,8 @@ for arg in "$@"; do
     --bench) run_bench=1 ;;
     --adaptive) run_adaptive=1 ;;
     --shard) run_shard=1 ;;
-    *) echo "unknown argument: $arg (expected --asan, --soak, --tsan, --snapshot, --bench, --adaptive or --shard)" >&2; exit 2 ;;
+    --net) run_net=1 ;;
+    *) echo "unknown argument: $arg (expected --asan, --soak, --tsan, --snapshot, --bench, --adaptive, --shard or --net)" >&2; exit 2 ;;
   esac
 done
 
@@ -292,6 +300,29 @@ if [ "$run_shard" -eq 1 ]; then
     exit 1
   fi
   echo "tsan shard gate: OK (no races, soak byte-identical)"
+fi
+
+if [ "$run_net" -eq 1 ]; then
+  echo "== socket engine: loopback suite (release build) =="
+  # ddpnode/ddptestbed are part of the default build above; the loopback
+  # suite drives the real epoll engine over 127.0.0.1 sockets — framing
+  # across torn reads, backpressure disconnect, half-open timeout, clean
+  # SIGTERM shutdown with no leaked fds, and the echo-corrected credit.
+  ./build/tests/netengine_test
+
+  echo "== socket engine: loopback suite under ASan + UBSan =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$jobs" --target netengine_test
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+      ./build-asan/tests/netengine_test
+
+  echo "== socket engine: 10-process localhost mini-testbed =="
+  # One attacker among ten real ddpnode processes; STRICT aggregation
+  # fails the gate unless the attacker is cut and no honest peer is.
+  BUILD_DIR="$repo/build" OUT_DIR="$tmp/net_testbed" STRICT=1 \
+      scripts/testbed.sh 10 1
+  echo "socket engine gate: OK (loopback suite x2 + mini-testbed STRICT)"
 fi
 
 if [ "$run_asan" -eq 1 ]; then

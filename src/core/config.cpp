@@ -55,6 +55,9 @@ std::string validate(const DdPoliceConfig& cfg) {
   if (cfg.max_report_retries < 0 || cfg.max_exchange_retries < 0) {
     return "ddpolice retry counts must be >= 0";
   }
+  if (cfg.cut_confirmations < 1) {
+    return "ddpolice.cut_confirmations must be >= 1";
+  }
   if (!std::isfinite(cfg.retry_backoff_base_seconds) ||
       cfg.retry_backoff_base_seconds < 0.0) {
     return "ddpolice.retry_backoff_base_seconds must be finite and >= 0";

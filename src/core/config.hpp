@@ -121,6 +121,18 @@ struct DdPoliceConfig {
   /// Periodic keep-alive pings among BG members (overhead accounting).
   double ping_period_minutes = 1.0;
 
+  /// Consecutive tripping rounds (Definition 2.3 over CT) required before
+  /// a cut verdict fires. 1 is the paper's behaviour: the first bad round
+  /// cuts. Deployment nodes (LocalPolice) use 2: on a real host a judge
+  /// that was descheduled for seconds drains its socket backlog into one
+  /// rolling-window bucket, which inflates every neighbour's apparent
+  /// output for exactly one round — a persistence requirement absorbs the
+  /// spike while a flooder, which trips every round, merely waits one
+  /// more round for its verdict. Trips older than two protocol minutes,
+  /// or closer together than half a minute (a starved judge's catch-up
+  /// rounds), don't chain. The simulation judge ignores this field.
+  int cut_confirmations = 1;
+
   // ---- Control-plane robustness under unreliable transport (src/fault) ----
   // These only matter when a fault::FaultPlane with non-zero probabilities
   // is attached; on a perfect transport the hardened request loop is

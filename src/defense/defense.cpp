@@ -14,23 +14,20 @@ std::string_view kind_name(Kind k) noexcept {
   return "?";
 }
 
-NaiveCutDefense::NaiveCutDefense(flow::FlowNetwork& net,
+NaiveCutDefense::NaiveCutDefense(core::OverlayPort& port,
                                  double threshold_per_minute)
-    : net_(net), threshold_(threshold_per_minute) {}
+    : port_(port), threshold_(threshold_per_minute) {}
 
 void NaiveCutDefense::on_minute(double minute) {
-  const auto& g = net_.graph();
-  const auto& index = g.edge_index();
-  // Collect first: disconnecting mutates adjacency. The in-link counter
-  // j -> i is the reverse slot of each of i's out-slots — O(1) per link.
+  const auto& g = port_.graph();
+  // Collect first: disconnecting mutates adjacency. The in-link counter is
+  // the port's sent_last_minute(neighbour -> i) read.
   std::vector<std::pair<PeerId, PeerId>> cuts;
   for (PeerId i = 0; i < g.node_count(); ++i) {
     if (!g.is_active(i)) continue;
-    const auto nbrs = g.neighbors(i);
-    const auto slots = g.out_slots(i);
-    for (std::size_t k = 0; k < nbrs.size(); ++k) {
-      if (net_.sent_last_minute(index.reverse(slots[k])) > threshold_) {
-        cuts.emplace_back(i, nbrs[k]);
+    for (const PeerId j : g.neighbors(i)) {
+      if (port_.sent_last_minute(j, i) > threshold_) {
+        cuts.emplace_back(i, j);
       }
     }
   }
@@ -39,9 +36,9 @@ void NaiveCutDefense::on_minute(double minute) {
     d.minute = minute;
     d.judge = i;
     d.suspect = j;
-    d.g = net_.sent_last_minute(j, i) / 100.0;
+    d.g = port_.sent_last_minute(j, i) / 100.0;
     decisions_.push_back(d);
-    net_.disconnect(i, j);
+    port_.disconnect(i, j);
   }
 }
 
@@ -55,9 +52,9 @@ void NaiveCutDefense::load(snapshot::Reader& r) {
   for (core::Decision& d : decisions_) core::load_decision(r, d);
 }
 
-DdPoliceDefense::DdPoliceDefense(flow::FlowNetwork& net,
+DdPoliceDefense::DdPoliceDefense(core::OverlayPort& port,
                                  const core::DdPoliceConfig& config,
                                  util::Rng rng)
-    : port_(net), protocol_(port_, config, rng) {}
+    : protocol_(port, config, rng) {}
 
 }  // namespace ddp::defense

@@ -20,8 +20,7 @@
 #include <vector>
 
 #include "core/ddpolice.hpp"
-#include "core/flow_port.hpp"
-#include "flow/network.hpp"
+#include "core/overlay_port.hpp"
 
 namespace ddp::defense {
 
@@ -57,9 +56,11 @@ class NoDefense final : public Defense {
 };
 
 /// The Sec. 2.1 strawman: per-link rate threshold, immediate disconnect.
+/// Engine-agnostic: reads rates and cuts links through the same
+/// core::OverlayPort seam DD-POLICE uses, so it runs behind any engine.
 class NaiveCutDefense final : public Defense {
  public:
-  NaiveCutDefense(flow::FlowNetwork& net, double threshold_per_minute);
+  NaiveCutDefense(core::OverlayPort& port, double threshold_per_minute);
 
   std::string_view name() const override { return "naive-cut"; }
   void on_minute(double minute) override;
@@ -70,15 +71,17 @@ class NaiveCutDefense final : public Defense {
   void load(snapshot::Reader& r) override;
 
  private:
-  flow::FlowNetwork& net_;
+  core::OverlayPort& port_;
   double threshold_;
   std::vector<core::Decision> decisions_;
 };
 
-/// DD-POLICE wrapped behind the Defense interface.
+/// DD-POLICE wrapped behind the Defense interface. The port is borrowed
+/// (caller-owned, must outlive the defense): which engine sits behind it —
+/// flow, packet, or the real-socket netengine — is the caller's choice.
 class DdPoliceDefense final : public Defense {
  public:
-  DdPoliceDefense(flow::FlowNetwork& net, const core::DdPoliceConfig& config,
+  DdPoliceDefense(core::OverlayPort& port, const core::DdPoliceConfig& config,
                   util::Rng rng);
 
   std::string_view name() const override { return "dd-police"; }
@@ -92,7 +95,6 @@ class DdPoliceDefense final : public Defense {
   core::DdPolice& protocol() noexcept { return protocol_; }
 
  private:
-  core::FlowPort port_;
   core::DdPolice protocol_;
 };
 

@@ -1,6 +1,7 @@
 #include "experiments/extensions.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "experiments/sweep.hpp"
 #include "util/log.hpp"
@@ -265,6 +266,113 @@ util::Table topology_table(const std::vector<TopologyRow>& rows) {
         .cell(r.defended_success_pct, 1)
         .cell(r.detection_minutes, 2)
         .cell(r.false_negative, 1);
+  }
+  return t;
+}
+
+// ================================================= cutoff-exponent ablation
+
+std::vector<CutoffRow> run_cutoff_ablation(
+    const Scale& scale, std::size_t agents, std::uint64_t seed,
+    const std::vector<double>& exponents) {
+  struct Cell {
+    double detected_pct, detection_minutes;  ///< detection < 0: never
+    double injected, delivered, honest_cuts, success_pct;
+  };
+  SweepRunner runner(scale.jobs);
+  const auto cells =
+      runner.map(exponents.size() * scale.trials, [&](std::size_t idx) {
+        const double exponent = exponents[idx / scale.trials];
+        const auto t = static_cast<std::uint32_t>(idx % scale.trials);
+        const std::uint64_t s = seed + 1000003ULL * t;
+        ScenarioConfig cfg =
+            scaled(scale, agents, defense::Kind::kDdPolice, s);
+        cfg.topo.model = topology::Model::kHardCutoff;
+        cfg.topo.hc_cutoff_exponent = exponent;
+        cfg.obs.forensics = true;
+        const auto r = run_scenario(cfg);
+        Cell c{0.0, -1.0, 0.0, 0.0, 0.0, 0.0};
+        c.success_pct = r.summary.avg_success_rate * 100.0;
+        c.honest_cuts = static_cast<double>(r.errors.false_negative);
+        if (r.forensics != nullptr) {
+          std::size_t detected = 0, n = 0;
+          double lat_sum = 0.0;
+          for (const auto& [id, a] : r.forensics->agents()) {
+            ++n;
+            c.injected += a.injected_before_cut;
+            c.delivered += a.delivered_before_cut;
+            if (a.first_cut_t >= 0.0 && a.activated_t >= 0.0) {
+              ++detected;
+              lat_sum += (a.first_cut_t - a.activated_t) / 60.0;
+            }
+          }
+          if (n > 0) {
+            c.detected_pct =
+                static_cast<double>(detected) / static_cast<double>(n) * 100.0;
+            c.injected /= static_cast<double>(n);
+            c.delivered /= static_cast<double>(n);
+          }
+          if (detected > 0) {
+            c.detection_minutes = lat_sum / static_cast<double>(detected);
+          }
+        }
+        return c;
+      });
+
+  std::vector<CutoffRow> rows;
+  for (std::size_t ei = 0; ei < exponents.size(); ++ei) {
+    CutoffRow row;
+    row.cutoff_exponent = exponents[ei];
+    // Mirror the generator's cap arithmetic so the table shows the degree
+    // ceiling each exponent actually produced at this peer count.
+    const double kc_raw = std::ceil(
+        std::pow(static_cast<double>(scale.peers), 1.0 / exponents[ei]));
+    const double m = 3.0;  // topo.ba_links_per_node default
+    row.cutoff_degree =
+        std::max(m + 1.0,
+                 std::min(kc_raw, static_cast<double>(scale.peers)));
+    double det_sum = 0.0;
+    std::uint32_t det_n = 0;
+    for (std::uint32_t t = 0; t < scale.trials; ++t) {
+      const Cell& c = cells[ei * scale.trials + t];
+      row.detected_pct += c.detected_pct;
+      row.injected_before_cut += c.injected;
+      row.delivered_before_cut += c.delivered;
+      row.honest_false_cuts += c.honest_cuts;
+      row.success_pct += c.success_pct;
+      if (c.detection_minutes >= 0.0) {
+        det_sum += c.detection_minutes;
+        ++det_n;
+      }
+    }
+    const double d = static_cast<double>(scale.trials);
+    row.detected_pct /= d;
+    row.injected_before_cut /= d;
+    row.delivered_before_cut /= d;
+    row.honest_false_cuts /= d;
+    row.success_pct /= d;
+    row.detection_minutes = det_n > 0 ? det_sum / det_n : -1.0;
+    rows.push_back(row);
+    util::log_info("cutoff ablation: exponent=" +
+                   util::format_double(exponents[ei], 1) + " done");
+  }
+  return rows;
+}
+
+util::Table cutoff_table(const std::vector<CutoffRow>& rows) {
+  util::Table t({"cutoff_exp", "degree_cap", "detected(%)", "detection(min)",
+                 "injected_before_cut", "delivered_before_cut",
+                 "honest_wrongly_cut", "success(%)"});
+  for (const auto& r : rows) {
+    t.row()
+        .cell(r.cutoff_exponent, 1)
+        .cell(r.cutoff_degree, 0)
+        .cell(r.detected_pct, 1)
+        .cell(r.detection_minutes, 2)
+        .cell(r.injected_before_cut, 0)
+        .cell(r.delivered_before_cut, 0)
+        .cell(r.honest_false_cuts, 1)
+        .cell(r.success_pct, 1);
   }
   return t;
 }

@@ -94,6 +94,34 @@ std::vector<TopologyRow> run_topology_ablation(const Scale& scale,
 
 util::Table topology_table(const std::vector<TopologyRow>& rows);
 
+// ---------------------------------------- cutoff-exponent ablation
+
+struct CutoffRow {
+  double cutoff_exponent = 0.0;  ///< hc_cutoff_exponent swept
+  double cutoff_degree = 0.0;    ///< resulting hard cap k_c on node degree
+  double detected_pct = 0.0;     ///< agents ever cut
+  double detection_minutes = 0.0;  ///< activation -> first cut; -1 = never
+  double injected_before_cut = 0.0;   ///< residual attack traffic per agent
+  double delivered_before_cut = 0.0;  ///< ...of which reached the overlay
+  double honest_false_cuts = 0.0;     ///< good peers wrongly cut
+  double success_pct = 0.0;
+};
+
+/// DD-POLICE on the hub-suppressed scale-free family: sweeps the
+/// hard-cutoff generator's exponent (k_c = n^(1/exponent), exponent 1 =
+/// plain Barabási–Albert, larger = harder hub cap) and records detection
+/// latency, false cuts and the attack traffic each agent lands before its
+/// verdict. The interesting axis: capping hubs removes the high-degree
+/// peers whose buddy groups are largest (k big -> strong relay bound), so
+/// the study shows whether the defense leans on hubs or works as well
+/// when the flood has to spread through mid-degree peers.
+std::vector<CutoffRow> run_cutoff_ablation(const Scale& scale,
+                                           std::size_t agents,
+                                           std::uint64_t seed,
+                                           const std::vector<double>& exponents);
+
+util::Table cutoff_table(const std::vector<CutoffRow>& rows);
+
 // ----------------------------------------------------- churn ablation
 
 struct ChurnRow {

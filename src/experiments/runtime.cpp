@@ -8,7 +8,7 @@
 #include <utility>
 
 #include "core/adaptive.hpp"
-#include "core/flow_port.hpp"
+#include "flow/flow_port.hpp"
 #include "snapshot/state_io.hpp"
 #include "topology/bandwidth.hpp"
 
@@ -212,6 +212,8 @@ std::uint64_t ScenarioRuntime::config_digest(const ScenarioConfig& c) {
   return d.value();
 }
 
+ScenarioRuntime::~ScenarioRuntime() = default;
+
 ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
     : config_(validated(config)),
       graph_(make_graph(config_)),
@@ -264,6 +266,9 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
   atk_ = std::make_unique<attack::AttackScenario>(*net_, config_.attack,
                                                   master.fork("attack"));
 
+  // The defenses see the engine only through the port seam; the runtime
+  // owns the adapter so the core/defense layers never name flow types.
+  port_ = std::make_unique<flow::FlowPort>(*net_);
   switch (config_.defense) {
     case defense::Kind::kNone:
       def_ = std::make_unique<defense::NoDefense>();
@@ -273,11 +278,11 @@ ScenarioRuntime::ScenarioRuntime(const ScenarioConfig& config)
       break;
     case defense::Kind::kNaiveCut:
       def_ = std::make_unique<defense::NaiveCutDefense>(
-          *net_, config_.naive_cut_threshold);
+          *port_, config_.naive_cut_threshold);
       break;
     case defense::Kind::kDdPolice: {
       auto ddp = std::make_unique<defense::DdPoliceDefense>(
-          *net_, config_.ddpolice, master.fork("ddpolice"));
+          *port_, config_.ddpolice, master.fork("ddpolice"));
       // Compromised peers cheat per the configured behaviour (Sec. 3.4).
       attack::AttackScenario* atk = atk_.get();
       const attack::AgentBehavior behavior = config_.attack.behavior;

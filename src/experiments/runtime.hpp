@@ -50,6 +50,10 @@ class Writer;
 class Reader;
 }  // namespace ddp::snapshot
 
+namespace ddp::flow {
+class FlowPort;
+}  // namespace ddp::flow
+
 namespace ddp::experiments {
 
 class ScenarioRuntime {
@@ -61,6 +65,9 @@ class ScenarioRuntime {
 
   ScenarioRuntime(const ScenarioRuntime&) = delete;
   ScenarioRuntime& operator=(const ScenarioRuntime&) = delete;
+
+  /// Out-of-line: flow::FlowPort is incomplete here.
+  ~ScenarioRuntime();
 
   /// Advance to the absolute minute `m` (no-op when already there).
   void run_to_minute(double m);
@@ -126,6 +133,7 @@ class ScenarioRuntime {
   std::unique_ptr<flow::ChurnDriver> churn_;
   std::unique_ptr<attack::AttackScenario> atk_;
   std::unique_ptr<workload::FlashCrowdDriver> flash_;  ///< when flash.enabled
+  std::unique_ptr<flow::FlowPort> port_;  ///< engine seam handed to def_
   std::unique_ptr<defense::Defense> def_;
   core::QuarantineLedger* ledger_ = nullptr;  ///< borrowed from def_
   std::unique_ptr<p2p::PartitionHealer> healer_;

@@ -1,16 +1,19 @@
 #pragma once
 
 /// \file flow_port.hpp
-/// OverlayPort adapter over the flow-level engine.
+/// core::OverlayPort adapter over the flow-level engine. Lives with the
+/// engine (not in core/) so the DD-POLICE core stays engine-agnostic: core
+/// and defense see only the port interface, and each engine — flow, packet,
+/// or the real-socket netengine — ships its own adapter.
 
 #include "core/overlay_port.hpp"
 #include "flow/network.hpp"
 
-namespace ddp::core {
+namespace ddp::flow {
 
-class FlowPort final : public OverlayPort {
+class FlowPort final : public core::OverlayPort {
  public:
-  explicit FlowPort(flow::FlowNetwork& net) : net_(net) {}
+  explicit FlowPort(FlowNetwork& net) : net_(net) {}
 
   const topology::Graph& graph() const override { return net_.graph(); }
 
@@ -35,7 +38,7 @@ class FlowPort final : public OverlayPort {
   }
 
  private:
-  flow::FlowNetwork& net_;
+  FlowNetwork& net_;
 };
 
-}  // namespace ddp::core
+}  // namespace ddp::flow

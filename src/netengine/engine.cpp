@@ -1,0 +1,314 @@
+#include "netengine/engine.hpp"
+
+#include <sys/signalfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+
+namespace ddp::netengine {
+
+namespace {
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string_view close_reason_name(CloseReason r) noexcept {
+  switch (r) {
+    case CloseReason::kLocal: return "local";
+    case CloseReason::kPeerClosed: return "peer-closed";
+    case CloseReason::kError: return "error";
+    case CloseReason::kBadFrame: return "bad-frame";
+    case CloseReason::kSlowPeer: return "slow-peer";
+    case CloseReason::kHandshakeTimeout: return "handshake-timeout";
+  }
+  return "?";
+}
+
+Engine::Engine(const EngineConfig& config)
+    : config_(config),
+      timers_(config.tick_ms),
+      start_ms_(steady_ms()) {
+  if (config_.handshake_timeout_ms > 0) {
+    timers_.schedule_every(config_.sweep_period_ms,
+                           [this] { sweep_half_open(); });
+  }
+}
+
+Engine::~Engine() = default;
+
+std::uint64_t Engine::now_ms() const { return steady_ms() - start_ms_; }
+
+bool Engine::listen() {
+  listener_ = make_listener(config_.listen_port);
+  if (!listener_) return false;
+  listen_port_ = bound_port(listener_);
+  return poller_.add(listener_.get(), /*want_read=*/true, /*want_write=*/false);
+}
+
+bool Engine::install_signal_handlers() {
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  if (sigprocmask(SIG_BLOCK, &mask, nullptr) != 0) return false;
+  signal_fd_ = Fd(::signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC));
+  if (!signal_fd_) return false;
+  return poller_.add(signal_fd_.get(), /*want_read=*/true,
+                     /*want_write=*/false);
+}
+
+ConnId Engine::connect(const std::string& host, std::uint16_t port) {
+  Fd fd = connect_nonblocking(host, port);
+  if (!fd) return kInvalidConn;
+  const ConnId id = next_id_++;
+  Conn conn;
+  conn.id = id;
+  conn.connecting = true;
+  conn.opened_ms = now_ms();
+  const int raw = fd.get();
+  conn.fd = std::move(fd);
+  if (!poller_.add(raw, /*want_read=*/false, /*want_write=*/true)) {
+    return kInvalidConn;
+  }
+  by_fd_[raw] = id;
+  conns_.emplace(id, std::move(conn));
+  return id;
+}
+
+Engine::Conn* Engine::conn_by_fd(int fd) {
+  const auto it = by_fd_.find(fd);
+  if (it == by_fd_.end()) return nullptr;
+  const auto cit = conns_.find(it->second);
+  return cit == conns_.end() ? nullptr : &cit->second;
+}
+
+std::size_t Engine::write_queue_bytes(ConnId id) const {
+  const auto it = conns_.find(id);
+  return it == conns_.end() ? 0 : it->second.queued_bytes;
+}
+
+void Engine::close_conn(ConnId id, CloseReason reason) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  poller_.remove(it->second.fd.get());
+  by_fd_.erase(it->second.fd.get());
+  conns_.erase(it);  // Fd destructor closes the socket
+  if (handler_.on_close) handler_.on_close(id, reason);
+}
+
+void Engine::update_interest(Conn& conn) {
+  poller_.modify(conn.fd.get(), /*want_read=*/true,
+                 /*want_write=*/!conn.write_queue.empty());
+}
+
+bool Engine::send(ConnId id, const net::Message& msg) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return false;
+  Conn& conn = it->second;
+  std::vector<std::uint8_t> wire = net::encode(msg);
+  conn.queued_bytes += wire.size();
+  conn.write_queue.push_back(std::move(wire));
+  ++messages_out_;
+  if (conn.queued_bytes > config_.max_write_queue) {
+    // Backpressure by eviction: the peer is not draining its socket and
+    // the flood must not pile up in our memory instead of its.
+    close_conn(id, CloseReason::kSlowPeer);
+    return false;
+  }
+  if (!conn.connecting) {
+    if (!flush_writes(conn)) return false;  // connection died writing
+    const auto again = conns_.find(id);
+    if (again == conns_.end()) return false;
+    update_interest(again->second);
+  }
+  return true;
+}
+
+/// Returns false when the connection was closed by a write error.
+bool Engine::flush_writes(Conn& conn) {
+  while (!conn.write_queue.empty()) {
+    const std::vector<std::uint8_t>& front = conn.write_queue.front();
+    const std::size_t len = front.size() - conn.write_off;
+    const ssize_t n =
+        ::send(conn.fd.get(), front.data() + conn.write_off, len,
+               MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      close_conn(conn.id, CloseReason::kError);
+      return false;
+    }
+    bytes_out_ += static_cast<std::uint64_t>(n);
+    conn.write_off += static_cast<std::size_t>(n);
+    conn.queued_bytes -= static_cast<std::size_t>(n);
+    if (conn.write_off == front.size()) {
+      conn.write_queue.pop_front();
+      conn.write_off = 0;
+    } else {
+      return true;  // kernel buffer full mid-chunk
+    }
+  }
+  return true;
+}
+
+void Engine::handle_accept() {
+  for (;;) {
+    bool fatal = false;
+    std::optional<Fd> fd = accept_connection(listener_, &fatal);
+    if (!fd) {
+      if (fatal) {
+        poller_.remove(listener_.get());
+        listener_.reset();
+      }
+      return;
+    }
+    set_nodelay(*fd);
+    const ConnId id = next_id_++;
+    Conn conn;
+    conn.id = id;
+    conn.opened_ms = now_ms();
+    const int raw = fd->get();
+    conn.fd = std::move(*fd);
+    if (!poller_.add(raw, /*want_read=*/true, /*want_write=*/false)) continue;
+    by_fd_[raw] = id;
+    conns_.emplace(id, std::move(conn));
+    ++accepted_;
+    if (handler_.on_accept) handler_.on_accept(id);
+  }
+}
+
+void Engine::resolve_connect(Conn& conn) {
+  const ConnId id = conn.id;
+  const int err = connect_result(conn.fd);
+  if (err != 0) {
+    poller_.remove(conn.fd.get());
+    by_fd_.erase(conn.fd.get());
+    conns_.erase(id);
+    if (handler_.on_connect) handler_.on_connect(id, false);
+    return;
+  }
+  conn.connecting = false;
+  set_nodelay(conn.fd);
+  update_interest(conn);
+  if (handler_.on_connect) handler_.on_connect(id, true);
+}
+
+void Engine::handle_readable(Conn& first) {
+  const ConnId id = first.id;
+  for (;;) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;  // a callback closed us mid-drain
+    Conn& conn = it->second;
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+    if (n == 0) {
+      close_conn(id, CloseReason::kPeerClosed);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(id, CloseReason::kError);
+      return;
+    }
+    bytes_in_ += static_cast<std::uint64_t>(n);
+    conn.decoder.feed(
+        std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+    for (;;) {
+      auto again = conns_.find(id);
+      if (again == conns_.end()) return;
+      net::StreamResult r = again->second.decoder.next();
+      if (r.status == net::StreamStatus::kNeedMore) break;
+      if (r.status == net::StreamStatus::kError) {
+        close_conn(id, CloseReason::kBadFrame);
+        return;
+      }
+      again->second.saw_message = true;
+      ++messages_in_;
+      if (handler_.on_message) handler_.on_message(id, *r.message);
+    }
+  }
+}
+
+void Engine::handle_writable(Conn& conn) {
+  const ConnId id = conn.id;
+  if (!flush_writes(conn)) return;
+  const auto it = conns_.find(id);
+  if (it != conns_.end()) update_interest(it->second);
+}
+
+void Engine::sweep_half_open() {
+  const std::uint64_t now = now_ms();
+  std::vector<ConnId> overdue;
+  for (const auto& [id, conn] : conns_) {
+    if (!conn.saw_message &&
+        now - conn.opened_ms > config_.handshake_timeout_ms) {
+      overdue.push_back(id);
+    }
+  }
+  for (const ConnId id : overdue) {
+    close_conn(id, CloseReason::kHandshakeTimeout);
+  }
+}
+
+bool Engine::poll_once(int timeout_ms) {
+  if (stopped_) return false;
+  int timeout = timeout_ms;
+  const int timer_delay = timers_.next_delay_ms();
+  if (timer_delay >= 0 && (timeout < 0 || timer_delay < timeout)) {
+    timeout = timer_delay;
+  }
+  if (!poller_.wait(timeout, events_)) {
+    stopped_ = true;
+    return false;
+  }
+  for (const PollEvent& ev : events_) {
+    if (listener_.valid() && ev.fd == listener_.get()) {
+      handle_accept();
+      continue;
+    }
+    if (signal_fd_.valid() && ev.fd == signal_fd_.get()) {
+      signalfd_siginfo info;
+      while (::read(signal_fd_.get(), &info, sizeof(info)) ==
+             static_cast<ssize_t>(sizeof(info))) {
+      }
+      stopped_ = true;
+      continue;
+    }
+    Conn* conn = conn_by_fd(ev.fd);
+    if (conn == nullptr) continue;  // closed earlier in this batch
+    if (conn->connecting) {
+      if (ev.writable || ev.error) resolve_connect(*conn);
+      continue;
+    }
+    if (ev.error) {
+      close_conn(conn->id, CloseReason::kError);
+      continue;
+    }
+    if (ev.readable) {
+      const ConnId id = conn->id;
+      handle_readable(*conn);
+      conn = conn_by_fd(ev.fd);
+      if (conn == nullptr || conn->id != id) continue;
+    }
+    if (ev.writable) handle_writable(*conn);
+  }
+  timers_.advance(now_ms());
+  return !stopped_;
+}
+
+void Engine::run() {
+  while (poll_once(50)) {
+  }
+}
+
+}  // namespace ddp::netengine

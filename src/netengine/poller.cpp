@@ -1,0 +1,60 @@
+#include "netengine/poller.hpp"
+
+#include <sys/epoll.h>
+
+#include <array>
+#include <cerrno>
+
+namespace ddp::netengine {
+
+namespace {
+
+std::uint32_t interest_mask(bool want_read, bool want_write) {
+  std::uint32_t events = 0;
+  if (want_read) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  return events;
+}
+
+}  // namespace
+
+Poller::Poller() : epoll_(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+bool Poller::add(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = interest_mask(want_read, want_write);
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool Poller::modify(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = interest_mask(want_read, want_write);
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void Poller::remove(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+bool Poller::wait(int timeout_ms, std::vector<PollEvent>& out) {
+  out.clear();
+  std::array<epoll_event, 256> events;
+  const int n = ::epoll_wait(epoll_.get(), events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+  if (n < 0) return errno == EINTR;  // interrupted = empty batch, not broken
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    PollEvent pe;
+    pe.fd = events[static_cast<std::size_t>(i)].data.fd;
+    const std::uint32_t e = events[static_cast<std::size_t>(i)].events;
+    pe.readable = (e & EPOLLIN) != 0;
+    pe.writable = (e & EPOLLOUT) != 0;
+    pe.error = (e & (EPOLLERR | EPOLLHUP)) != 0;
+    out.push_back(pe);
+  }
+  return true;
+}
+
+}  // namespace ddp::netengine

@@ -1,0 +1,105 @@
+#include "netengine/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ddp::netengine {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd make_listener(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd) return {};
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return {};
+  }
+  if (::listen(fd.get(), backlog) != 0) return {};
+  return fd;
+}
+
+std::uint16_t bound_port(const Fd& listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+std::optional<Fd> accept_connection(const Fd& listener, bool* fatal) {
+  if (fatal != nullptr) *fatal = false;
+  const int fd = ::accept4(listener.get(), nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd >= 0) return Fd(fd);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+      errno == ECONNABORTED) {
+    return std::nullopt;  // drained (or the peer gave up mid-handshake)
+  }
+  if (fatal != nullptr) *fatal = true;
+  return std::nullopt;
+}
+
+Fd connect_nonblocking(const std::string& host, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd) return {};
+  if (!set_nonblocking(fd.get())) return {};
+  sockaddr_in addr = loopback(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return {};
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    return {};
+  }
+  return fd;
+}
+
+int connect_result(const Fd& fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return errno != 0 ? errno : EBADF;
+  }
+  return err;
+}
+
+void set_nodelay(const Fd& fd) {
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace ddp::netengine

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file socket.hpp
+/// RAII file descriptors and the small set of nonblocking TCP operations
+/// the socket engine needs. Everything is localhost IPv4: the testbed runs
+/// hundreds of peer processes on 127.0.0.1, one listen port each, and the
+/// overlay addresses riding inside Gnutella bodies are the synthetic
+/// 10.x.y.z block (net/address.hpp) — never the transport address.
+///
+/// All sockets are nonblocking from birth; callers see would-block as a
+/// normal return, not an error. Errors are returned, not thrown: the
+/// engine treats every failed peer operation the same way (close the
+/// connection), so exceptions would only add an unwind path.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ddp::netengine {
+
+/// Move-only owner of a file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  /// Close now (idempotent).
+  void reset() noexcept;
+
+  /// Give up ownership without closing.
+  int release() noexcept { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Nonblocking listener bound to 127.0.0.1:`port` (SO_REUSEADDR set).
+/// `port` 0 lets the kernel pick; bound_port() reads the result back.
+/// Invalid Fd on failure (errno describes why).
+Fd make_listener(std::uint16_t port, int backlog = 128);
+
+/// The local port a bound socket ended up on (0 on error).
+std::uint16_t bound_port(const Fd& listener);
+
+/// Accept one pending connection, nonblocking. Empty when the queue is
+/// drained (EAGAIN) or on error; `fatal` (if non-null) is set when the
+/// listener itself is broken rather than merely drained.
+std::optional<Fd> accept_connection(const Fd& listener, bool* fatal = nullptr);
+
+/// Begin a nonblocking connect to 127.0.0.1:`port` (any IPv4 dotted-quad
+/// `host` works, but the testbed never leaves loopback). The connection is
+/// usually still in progress on return — the poller reports writability
+/// when it resolves; connect_result() then reads the outcome.
+Fd connect_nonblocking(const std::string& host, std::uint16_t port);
+
+/// Resolve a finished nonblocking connect: 0 on success, else the errno.
+int connect_result(const Fd& fd);
+
+/// Disable Nagle; the control plane sends small messages it wants now.
+void set_nodelay(const Fd& fd);
+
+}  // namespace ddp::netengine

@@ -1,0 +1,124 @@
+#include "netengine/timer_wheel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ddp::netengine {
+
+TimerWheel::TimerWheel(std::uint64_t tick_ms, std::size_t slot_count)
+    : tick_ms_(tick_ms == 0 ? 1 : tick_ms),
+      slots_(slot_count == 0 ? 1 : slot_count) {}
+
+void TimerWheel::insert(Timer timer) {
+  slots_[slot_of(timer.due_tick)].push_back(std::move(timer));
+}
+
+TimerWheel::TimerId TimerWheel::schedule(std::uint64_t delay_ms,
+                                         std::function<void()> fn) {
+  Timer t;
+  t.id = next_id_++;
+  const std::uint64_t ticks = (delay_ms + tick_ms_ - 1) / tick_ms_;
+  t.due_tick = cursor_tick_ + std::max<std::uint64_t>(1, ticks);
+  t.fn = std::move(fn);
+  const TimerId id = t.id;
+  insert(std::move(t));
+  ++pending_;
+  return id;
+}
+
+TimerWheel::TimerId TimerWheel::schedule_every(std::uint64_t period_ms,
+                                               std::function<void()> fn) {
+  Timer t;
+  t.id = next_id_++;
+  const std::uint64_t ticks = (period_ms + tick_ms_ - 1) / tick_ms_;
+  t.due_tick = cursor_tick_ + std::max<std::uint64_t>(1, ticks);
+  t.period_ms = std::max<std::uint64_t>(period_ms, tick_ms_);
+  t.fn = std::move(fn);
+  const TimerId id = t.id;
+  insert(std::move(t));
+  ++pending_;
+  return id;
+}
+
+void TimerWheel::cancel(TimerId id) {
+  if (id == kInvalidTimer) return;
+  for (auto& slot : slots_) {
+    for (Timer& t : slot) {
+      if (t.id == id) {
+        if (!t.cancelled) {
+          t.cancelled = true;
+          --pending_;
+        }
+        return;
+      }
+    }
+  }
+  // Not in any slot: either long gone, or extracted by the advance() that
+  // is calling us — record so the periodic re-arm drops it.
+  if (advancing_) cancelled_inflight_.push_back(id);
+}
+
+void TimerWheel::advance(std::uint64_t now_ms) {
+  if (!anchored_) {
+    anchored_ = true;
+    origin_ms_ = now_ms;
+  }
+  const std::uint64_t target_tick = (now_ms - origin_ms_) / tick_ms_;
+  advancing_ = true;
+  std::vector<Timer> due;
+  while (cursor_tick_ < target_tick) {
+    ++cursor_tick_;
+    auto& slot = slots_[slot_of(cursor_tick_)];
+    due.clear();
+    for (std::size_t i = 0; i < slot.size();) {
+      if (slot[i].due_tick <= cursor_tick_) {
+        due.push_back(std::move(slot[i]));
+        slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;  // later rotation of the wheel
+      }
+    }
+    for (Timer& t : due) {
+      if (t.cancelled) continue;
+      t.fn();
+      const auto inflight = std::find(cancelled_inflight_.begin(),
+                                      cancelled_inflight_.end(), t.id);
+      if (inflight != cancelled_inflight_.end()) {
+        cancelled_inflight_.erase(inflight);
+        --pending_;
+        continue;
+      }
+      if (t.period_ms == 0) {
+        --pending_;
+        continue;
+      }
+      // Re-arm anchored to the scheduled (not actual) due time so the
+      // cadence does not drift; a long stall skips missed firings rather
+      // than bursting to catch up.
+      const std::uint64_t period_ticks =
+          std::max<std::uint64_t>(1, t.period_ms / tick_ms_);
+      t.due_tick += period_ticks;
+      if (t.due_tick <= cursor_tick_) t.due_tick = cursor_tick_ + period_ticks;
+      insert(std::move(t));
+    }
+  }
+  advancing_ = false;
+  cancelled_inflight_.clear();
+}
+
+int TimerWheel::next_delay_ms() const {
+  if (pending_ == 0) return -1;
+  std::uint64_t min_due = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& slot : slots_) {
+    for (const Timer& t : slot) {
+      if (!t.cancelled) min_due = std::min(min_due, t.due_tick);
+    }
+  }
+  if (min_due == std::numeric_limits<std::uint64_t>::max()) return -1;
+  const std::uint64_t delta_ticks =
+      min_due > cursor_tick_ ? min_due - cursor_tick_ : 1;
+  const std::uint64_t ms = delta_ticks * tick_ms_;
+  return static_cast<int>(std::min<std::uint64_t>(ms, 60'000));
+}
+
+}  // namespace ddp::netengine

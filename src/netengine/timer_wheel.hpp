@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file timer_wheel.hpp
+/// Hashed timer wheel for the engine's time-driven work: the minute
+/// cadence the monitor/judge protocol runs at, the sub-minute police tick,
+/// per-connection half-open timeouts, and query-issue pacing.
+///
+/// A classic single-level wheel: `slot_count` buckets of `tick_ms` each;
+/// a timer due in d ticks lands in slot (cursor + d) % slots with
+/// `rotations` = d / slots left to sit out. advance(now) walks the wheel
+/// cursor forward tick by tick and fires what is due — O(1) amortized per
+/// timer per rotation, no heap, no allocation per tick. Periodic timers
+/// re-arm themselves by period, anchored to their *scheduled* due time so
+/// cadence does not drift with processing delay.
+///
+/// The wheel is driven by the engine loop with whatever wall-clock it
+/// uses; nothing here reads a clock, which keeps it unit-testable with a
+/// synthetic time.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ddp::netengine {
+
+class TimerWheel {
+ public:
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  /// \param tick_ms   wheel resolution; timers fire on tick boundaries
+  /// \param slot_count number of buckets (power of two recommended)
+  explicit TimerWheel(std::uint64_t tick_ms = 10, std::size_t slot_count = 256);
+
+  /// One-shot timer `delay_ms` from now. Delays round up to a whole tick
+  /// (a zero delay fires on the next advance).
+  TimerId schedule(std::uint64_t delay_ms, std::function<void()> fn);
+
+  /// Periodic timer: first fires `period_ms` from now, then every period.
+  TimerId schedule_every(std::uint64_t period_ms, std::function<void()> fn);
+
+  /// Cancel a pending timer. Safe on already-fired/cancelled ids. Safe
+  /// from inside a timer callback.
+  void cancel(TimerId id);
+
+  /// Fire everything due at or before `now_ms` (monotonic, caller-defined
+  /// origin; first call anchors the wheel). Callbacks may schedule and
+  /// cancel freely; a timer scheduled by a callback for the current tick
+  /// fires on the next advance, not recursively.
+  void advance(std::uint64_t now_ms);
+
+  /// Milliseconds until the earliest pending timer fires (relative to the
+  /// last advance), or -1 when the wheel is empty — made for feeding the
+  /// poller's wait timeout.
+  int next_delay_ms() const;
+
+  std::size_t pending() const noexcept { return pending_; }
+
+ private:
+  struct Timer {
+    TimerId id = kInvalidTimer;
+    std::uint64_t due_tick = 0;
+    std::uint64_t period_ms = 0;  ///< 0 = one-shot
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+
+  std::size_t slot_of(std::uint64_t tick) const noexcept {
+    return static_cast<std::size_t>(tick % slots_.size());
+  }
+  void insert(Timer timer);
+
+  std::uint64_t tick_ms_;
+  std::vector<std::vector<Timer>> slots_;
+  std::uint64_t cursor_tick_ = 0;   ///< last fully processed tick
+  std::uint64_t origin_ms_ = 0;
+  bool anchored_ = false;
+  TimerId next_id_ = 1;
+  std::size_t pending_ = 0;
+  /// Ids cancelled while advance() is mid-flight (their Timer may already
+  /// be pulled out of its slot).
+  std::vector<TimerId> cancelled_inflight_;
+  bool advancing_ = false;
+};
+
+}  // namespace ddp::netengine

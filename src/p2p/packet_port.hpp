@@ -1,10 +1,12 @@
 #pragma once
 
 /// \file packet_port.hpp
-/// OverlayPort adapter over the packet-level engine: DD-POLICE running
+/// core::OverlayPort adapter over the packet-level engine: DD-POLICE running
 /// against individually simulated Gnutella descriptors. The per-minute
 /// counters come from the engine's sliding-window link monitors — exactly
 /// the Out_query/In_query windows a real servent would keep (Sec. 3.2).
+/// Lives with the engine (not in core/) so the DD-POLICE core stays
+/// engine-agnostic.
 ///
 /// Use run_ddpolice_minutes() (or schedule the protocol step yourself at
 /// minute cadence) — the packet engine is event-driven, so the protocol
@@ -13,11 +15,11 @@
 #include "core/overlay_port.hpp"
 #include "p2p/network.hpp"
 
-namespace ddp::core {
+namespace ddp::p2p {
 
-class PacketPort final : public OverlayPort {
+class PacketPort final : public core::OverlayPort {
  public:
-  explicit PacketPort(p2p::PacketNetwork& net) : net_(&net) {}
+  explicit PacketPort(PacketNetwork& net) : net_(&net) {}
 
   const topology::Graph& graph() const override { return net_->graph(); }
 
@@ -39,7 +41,7 @@ class PacketPort final : public OverlayPort {
   }
 
  private:
-  p2p::PacketNetwork* net_;
+  PacketNetwork* net_;
 };
 
-}  // namespace ddp::core
+}  // namespace ddp::p2p

@@ -47,6 +47,16 @@ void RateWindow::add(SimTime t, double count) noexcept {
   sum_ += count;
 }
 
+void RateWindow::add_at(SimTime now, SimTime when, double count) noexcept {
+  advance(now);
+  const auto n = static_cast<std::int64_t>(buckets_.size());
+  auto target = static_cast<std::int64_t>(std::floor(when / bucket_len_));
+  if (target > head_index_) target = head_index_;  // clock skew: clamp to now
+  if (target < 0 || head_index_ - target >= n) return;  // already expired
+  buckets_[static_cast<std::size_t>(target % n)] += count;
+  sum_ += count;
+}
+
 double RateWindow::total(SimTime t) noexcept {
   advance(t);
   return sum_;

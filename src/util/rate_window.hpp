@@ -27,6 +27,15 @@ class RateWindow {
   /// non-decreasing across calls (simulation time always is).
   void add(SimTime t, double count = 1.0) noexcept;
 
+  /// Record `count` into the bucket holding the PAST time `when`, after
+  /// advancing the window to `now`. Dropped silently when `when` has
+  /// already expired from the window. This is how a correction that is
+  /// discovered late (e.g. a forwarded query proven to be a duplicate
+  /// only when it comes back) stays aligned with the event it amends:
+  /// both then expire from the window together, instead of the
+  /// correction outliving the event and biasing the total.
+  void add_at(SimTime now, SimTime when, double count = 1.0) noexcept;
+
   /// Total events inside [t - window, t]. Also advances the window.
   double total(SimTime t) noexcept;
 

@@ -8,7 +8,7 @@
 #include <memory>
 
 #include "core/ddpolice.hpp"
-#include "core/flow_port.hpp"
+#include "flow/flow_port.hpp"
 #include "core/indicators.hpp"
 #include "flow/network.hpp"
 #include "topology/generators.hpp"
@@ -112,7 +112,7 @@ struct ProtocolWorld {
   std::unique_ptr<topology::BandwidthMap> bandwidth;
   std::unique_ptr<workload::ContentModel> content;
   std::unique_ptr<flow::FlowNetwork> net;
-  std::unique_ptr<FlowPort> port;
+  std::unique_ptr<flow::FlowPort> port;
   std::unique_ptr<DdPolice> police;
 
   ProtocolWorld(topology::Graph g, const DdPoliceConfig& cfg,
@@ -130,7 +130,7 @@ struct ProtocolWorld {
     fc.bandwidth_limits = false;
     net = std::make_unique<flow::FlowNetwork>(graph, *bandwidth, *content, fc,
                                               rng.fork("flow"));
-    port = std::make_unique<FlowPort>(*net);
+    port = std::make_unique<flow::FlowPort>(*net);
     police = std::make_unique<DdPolice>(*port, cfg, rng.fork("ddp"));
     net->add_minute_hook([this](double m) { police->on_minute(m); });
   }
@@ -399,7 +399,7 @@ TEST(DdPolice, OverheadAccounting) {
 // ------------------------------------------------- packet-engine adapter
 
 #include "attack/packet_agent.hpp"
-#include "core/packet_port.hpp"
+#include "p2p/packet_port.hpp"
 
 namespace ddp::core {
 namespace {
@@ -417,7 +417,7 @@ TEST(PacketPortDdPolice, DetectsAgentAtMessageGranularity) {
   p2p::P2pConfig pc;
   p2p::PacketNetwork net(g, content, engine, pc, rng.fork("p2p"));
 
-  PacketPort port(net);
+  p2p::PacketPort port(net);
   DdPoliceConfig cfg;
   DdPolice police(port, cfg, rng.fork("ddp"));
   engine.schedule_every(kMinute, [&]() {
@@ -448,7 +448,7 @@ TEST(PacketPortDdPolice, QuietOverlayUndisturbed) {
   sim::Engine engine;
   p2p::P2pConfig pc;
   p2p::PacketNetwork net(g, content, engine, pc, rng.fork("p2p"));
-  PacketPort port(net);
+  p2p::PacketPort port(net);
   DdPoliceConfig cfg;
   DdPolice police(port, cfg, rng.fork("ddp"));
   engine.schedule_every(kMinute, [&]() {

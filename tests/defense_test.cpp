@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "defense/defense.hpp"
+#include "flow/flow_port.hpp"
 #include "experiments/scenario.hpp"
 #include "topology/generators.hpp"
 
@@ -50,7 +51,8 @@ TEST(NoDefense, DoesNothing) {
 TEST(NaiveCut, CutsTheAttackerButAlsoForwarders) {
   World w(120);
   w.net->set_kind(3, PeerKind::kBad);
-  NaiveCutDefense naive(*w.net, 500.0);
+  flow::FlowPort port(*w.net);
+  NaiveCutDefense naive(port, 500.0);
   w.net->add_minute_hook([&](double m) { naive.on_minute(m); });
   w.net->run_minutes(4.0);
   bool agent_cut = false;
@@ -67,7 +69,8 @@ TEST(NaiveCut, CutsTheAttackerButAlsoForwarders) {
 
 TEST(NaiveCut, QuietNetworkUntouched) {
   World w(80);
-  NaiveCutDefense naive(*w.net, 500.0);
+  flow::FlowPort port(*w.net);
+  NaiveCutDefense naive(port, 500.0);
   w.net->add_minute_hook([&](double m) { naive.on_minute(m); });
   w.net->run_minutes(3.0);
   EXPECT_TRUE(naive.decisions().empty());
@@ -77,7 +80,8 @@ TEST(DdPoliceDefense, WrapsProtocol) {
   World w(100);
   w.net->set_kind(7, PeerKind::kBad);
   core::DdPoliceConfig cfg;
-  DdPoliceDefense ddp(*w.net, cfg, util::Rng(5));
+  flow::FlowPort port(*w.net);
+  DdPoliceDefense ddp(port, cfg, util::Rng(5));
   w.net->add_minute_hook([&](double m) { ddp.on_minute(m); });
   w.net->run_minutes(4.0);
   EXPECT_EQ(ddp.name(), "dd-police");

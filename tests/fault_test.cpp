@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/ddpolice.hpp"
-#include "core/flow_port.hpp"
+#include "flow/flow_port.hpp"
 #include "fault/plane.hpp"
 #include "flow/network.hpp"
 #include "topology/generators.hpp"
@@ -137,7 +137,7 @@ struct World {
   std::unique_ptr<topology::BandwidthMap> bandwidth;
   std::unique_ptr<workload::ContentModel> content;
   std::unique_ptr<flow::FlowNetwork> net;
-  std::unique_ptr<core::FlowPort> port;
+  std::unique_ptr<flow::FlowPort> port;
   std::unique_ptr<core::DdPolice> police;
 
   explicit World(std::uint64_t seed) {
@@ -155,7 +155,7 @@ struct World {
     fc.bandwidth_limits = false;
     net = std::make_unique<flow::FlowNetwork>(graph, *bandwidth, *content, fc,
                                               rng.fork("flow"));
-    port = std::make_unique<core::FlowPort>(*net);
+    port = std::make_unique<flow::FlowPort>(*net);
     police = std::make_unique<core::DdPolice>(*port, core::DdPoliceConfig{},
                                               rng.fork("ddp"));
     net->add_minute_hook([this](double m) { police->on_minute(m); });

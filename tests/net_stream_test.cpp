@@ -1,0 +1,273 @@
+// StreamDecoder tests: incremental framing over arbitrary TCP read
+// boundaries must be byte-for-byte equivalent to whole-buffer decoding.
+// The core property is exhaustive: every sample message is decoded with
+// the stream split at every possible byte boundary, and a concatenated
+// multi-message stream is fed one byte at a time.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/guid.hpp"
+#include "net/message.hpp"
+#include "net/stream.hpp"
+
+namespace ddp::net {
+namespace {
+
+Guid guid_from(std::uint8_t seed) {
+  Guid g;
+  for (std::size_t i = 0; i < g.bytes.size(); ++i) {
+    g.bytes[i] = static_cast<std::uint8_t>(seed + i);
+  }
+  return g;
+}
+
+// One sample message per payload type, with non-trivial bodies.
+std::vector<Message> sample_messages() {
+  std::vector<Message> out;
+
+  Message ping;
+  ping.header.guid = guid_from(1);
+  ping.header.ttl = 7;
+  ping.payload = Ping{};
+  out.push_back(ping);
+
+  Message pong;
+  pong.header.guid = guid_from(2);
+  pong.payload = Pong{.port = 6347, .ip = 0x0a000001,
+                      .files_shared = 12, .kilobytes_shared = 3400};
+  out.push_back(pong);
+
+  Message query;
+  query.header.guid = guid_from(3);
+  query.header.ttl = 5;
+  query.header.hops = 2;
+  query.payload = Query{.min_speed = 64, .search = "ubuntu iso"};
+  out.push_back(query);
+
+  Message hit;
+  hit.header.guid = guid_from(4);
+  QueryHit qh;
+  qh.port = 6346;
+  qh.ip = 0x0a000002;
+  qh.speed = 128;
+  qh.records.push_back({.file_index = 9, .file_size = 4096,
+                        .file_name = "ubuntu.iso"});
+  qh.records.push_back({.file_index = 10, .file_size = 8192,
+                        .file_name = "notes.txt"});
+  qh.servent_id = guid_from(40);
+  hit.payload = std::move(qh);
+  out.push_back(std::move(hit));
+
+  Message traffic;
+  traffic.header.guid = guid_from(5);
+  traffic.payload = NeighborTraffic{.source_ip = 0x0a000003,
+                                    .suspect_ip = 0x0a000004,
+                                    .timestamp = 600,
+                                    .outgoing_queries = 2100,
+                                    .incoming_queries = 3};
+  out.push_back(traffic);
+
+  Message list;
+  list.header.guid = guid_from(6);
+  NeighborList nl;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    nl.entries.push_back({.ip = 0x0a000010 + i,
+                          .port = static_cast<std::uint16_t>(7000 + i)});
+  }
+  list.payload = std::move(nl);
+  out.push_back(std::move(list));
+
+  return out;
+}
+
+bool same_message(const Message& a, const Message& b) {
+  return encode(a) == encode(b);
+}
+
+// Drain everything currently decodable; append to `got`. Returns the
+// final non-kMessage status.
+StreamStatus drain(StreamDecoder& dec, std::vector<Message>& got) {
+  for (;;) {
+    StreamResult r = dec.next();
+    if (r.status != StreamStatus::kMessage) return r.status;
+    got.push_back(std::move(*r.message));
+  }
+}
+
+// ------------------------------------------------- split equivalence
+
+TEST(StreamDecoder, WholeBufferMatchesDecodeEx) {
+  for (const Message& m : sample_messages()) {
+    const auto wire = encode(m);
+    StreamDecoder dec;
+    dec.feed(wire);
+    StreamResult r = dec.next();
+    ASSERT_EQ(r.status, StreamStatus::kMessage)
+        << payload_type_name(m.type());
+    EXPECT_TRUE(same_message(*r.message, m));
+    EXPECT_EQ(dec.next().status, StreamStatus::kNeedMore);
+    EXPECT_EQ(dec.buffered(), 0u);
+  }
+}
+
+TEST(StreamDecoder, EveryByteBoundarySplitMatchesWholeBuffer) {
+  for (const Message& m : sample_messages()) {
+    const auto wire = encode(m);
+    for (std::size_t split = 0; split <= wire.size(); ++split) {
+      StreamDecoder dec;
+      std::vector<Message> got;
+      dec.feed(std::span<const std::uint8_t>(wire.data(), split));
+      StreamStatus st = drain(dec, got);
+      if (split < wire.size()) {
+        ASSERT_EQ(st, StreamStatus::kNeedMore)
+            << payload_type_name(m.type()) << " split=" << split;
+        ASSERT_TRUE(got.empty());
+      }
+      dec.feed(std::span<const std::uint8_t>(wire.data() + split,
+                                             wire.size() - split));
+      st = drain(dec, got);
+      ASSERT_EQ(st, StreamStatus::kNeedMore);
+      ASSERT_EQ(got.size(), 1u)
+          << payload_type_name(m.type()) << " split=" << split;
+      EXPECT_TRUE(same_message(got[0], m));
+      EXPECT_EQ(dec.buffered(), 0u);
+    }
+  }
+}
+
+TEST(StreamDecoder, ByteAtATimeOverConcatenatedStream) {
+  const auto msgs = sample_messages();
+  std::vector<std::uint8_t> wire;
+  for (const Message& m : msgs) {
+    const auto one = encode(m);
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  StreamDecoder dec;
+  std::vector<Message> got;
+  for (const std::uint8_t b : wire) {
+    dec.feed(std::span<const std::uint8_t>(&b, 1));
+    drain(dec, got);
+  }
+  ASSERT_EQ(got.size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_TRUE(same_message(got[i], msgs[i])) << "message " << i;
+  }
+  EXPECT_EQ(dec.buffered(), 0u);
+  EXPECT_EQ(dec.messages_decoded(), msgs.size());
+}
+
+TEST(StreamDecoder, MultipleMessagesInOneFeed) {
+  const auto msgs = sample_messages();
+  std::vector<std::uint8_t> wire;
+  for (const Message& m : msgs) {
+    const auto one = encode(m);
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  // Leave a dangling partial header to prove the tail stays buffered.
+  Message extra;
+  extra.header.guid = guid_from(9);
+  extra.payload = Ping{};
+  const auto extra_wire = encode(extra);
+  wire.insert(wire.end(), extra_wire.begin(), extra_wire.end() - 3);
+
+  StreamDecoder dec;
+  dec.feed(wire);
+  std::vector<Message> got;
+  EXPECT_EQ(drain(dec, got), StreamStatus::kNeedMore);
+  ASSERT_EQ(got.size(), msgs.size());
+  EXPECT_EQ(dec.buffered(), extra_wire.size() - 3);
+
+  dec.feed(std::span<const std::uint8_t>(extra_wire.data() +
+                                             extra_wire.size() - 3, 3));
+  EXPECT_EQ(drain(dec, got), StreamStatus::kNeedMore);
+  ASSERT_EQ(got.size(), msgs.size() + 1);
+  EXPECT_TRUE(same_message(got.back(), extra));
+}
+
+// ------------------------------------------------------- fast failure
+
+TEST(StreamDecoder, UnknownTypeFailsAtHeaderNotPayload) {
+  // 23 header bytes with a bogus type and a huge-but-legal length: the
+  // decoder must reject on the header alone instead of waiting for the
+  // declared payload.
+  std::vector<std::uint8_t> wire(kHeaderSize, 0);
+  wire[16] = 0x42;  // not a known payload type
+  wire[19] = 0x10;  // payload_length = 16 (LE), never arrives
+  StreamDecoder dec;
+  dec.feed(wire);
+  StreamResult r = dec.next();
+  EXPECT_EQ(r.status, StreamStatus::kError);
+  EXPECT_EQ(r.error, DecodeStatus::kUnknownType);
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(StreamDecoder, OversizedDeclaredLengthFailsImmediately) {
+  std::vector<std::uint8_t> wire(kHeaderSize, 0);
+  wire[16] = 0x00;  // Ping
+  // payload_length = kMaxPayloadLength + 1, little-endian.
+  const std::uint32_t len = static_cast<std::uint32_t>(kMaxPayloadLength) + 1;
+  wire[19] = static_cast<std::uint8_t>(len);
+  wire[20] = static_cast<std::uint8_t>(len >> 8);
+  wire[21] = static_cast<std::uint8_t>(len >> 16);
+  wire[22] = static_cast<std::uint8_t>(len >> 24);
+  StreamDecoder dec;
+  dec.feed(wire);
+  StreamResult r = dec.next();
+  EXPECT_EQ(r.status, StreamStatus::kError);
+  EXPECT_EQ(r.error, DecodeStatus::kOversizedPayload);
+}
+
+TEST(StreamDecoder, MalformedBodyLatchesError) {
+  // A Ping whose header claims a 4-byte body: kMalformedBody once the
+  // bytes arrive, and the failure is sticky even if good bytes follow.
+  std::vector<std::uint8_t> wire(kHeaderSize + 4, 0);
+  wire[16] = 0x00;  // Ping
+  wire[19] = 0x04;  // payload_length = 4
+  StreamDecoder dec;
+  dec.feed(std::span<const std::uint8_t>(wire.data(), kHeaderSize));
+  EXPECT_EQ(dec.next().status, StreamStatus::kNeedMore);
+  dec.feed(std::span<const std::uint8_t>(wire.data() + kHeaderSize, 4));
+  StreamResult r = dec.next();
+  EXPECT_EQ(r.status, StreamStatus::kError);
+  EXPECT_EQ(r.error, DecodeStatus::kMalformedBody);
+
+  Message good;
+  good.header.guid = guid_from(7);
+  good.payload = Ping{};
+  dec.feed(encode(good));
+  r = dec.next();
+  EXPECT_EQ(r.status, StreamStatus::kError);
+  EXPECT_EQ(r.error, DecodeStatus::kMalformedBody);
+  EXPECT_TRUE(dec.failed());
+  EXPECT_EQ(dec.messages_decoded(), 0u);
+}
+
+TEST(StreamDecoder, BufferCapWedgeIsAnError) {
+  // A decoder capped below a frame's size can never complete that frame;
+  // it must report an error instead of asking for more forever.
+  Message query;
+  query.header.guid = guid_from(8);
+  query.payload = Query{.min_speed = 0, .search = "a long enough search"};
+  const auto wire = encode(query);
+  StreamDecoder dec(kHeaderSize + 2);  // cap below the frame size
+  dec.feed(std::span<const std::uint8_t>(wire.data(), wire.size() - 1));
+  StreamResult r = dec.next();
+  EXPECT_EQ(r.status, StreamStatus::kError);
+  EXPECT_EQ(r.error, DecodeStatus::kOversizedPayload);
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(StreamDecoder, EmptyFeedIsANoOp) {
+  StreamDecoder dec;
+  dec.feed({});
+  EXPECT_EQ(dec.next().status, StreamStatus::kNeedMore);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace ddp::net

@@ -1,0 +1,452 @@
+// Socket-engine tests, all single-threaded: two engines (or nodes) on
+// loopback are stepped by alternating poll_once() calls, so every test is
+// deterministic — no background threads, no sleeps longer than the
+// timeouts under test.
+//
+// Covered here, per the deployment-mode requirements:
+//   - two-node handshake + query -> hit round trip over real TCP;
+//   - slow-reader backpressure: the writer disconnects the peer rather
+//     than buffer without bound;
+//   - half-open peer timeout: a TCP connection that never completes the
+//     app handshake is dropped;
+//   - SIGTERM clean shutdown with no leaked file descriptors.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netengine/engine.hpp"
+#include "netengine/node.hpp"
+#include "netengine/timer_wheel.hpp"
+
+namespace ddp::netengine {
+namespace {
+
+/// Open fds of this process (the leak detector for the shutdown test).
+std::size_t open_fd_count() {
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return 0;
+  std::size_t n = 0;
+  while (::readdir(d) != nullptr) ++n;
+  ::closedir(d);
+  return n >= 3 ? n - 3 : 0;  // ".", "..", and the dirfd itself
+}
+
+/// Step a set of engines until `done` or `rounds` poll rounds pass.
+template <typename Pred>
+bool pump_until(std::vector<Engine*> engines, Pred done, int rounds = 400) {
+  for (int i = 0; i < rounds; ++i) {
+    if (done()) return true;
+    for (Engine* e : engines) e->poll_once(5);
+  }
+  return done();
+}
+
+net::Message make_ping() {
+  net::Message m;
+  m.header.guid.bytes[0] = 0x42;
+  m.payload = net::Ping{};
+  return m;
+}
+
+// ------------------------------------------------------------ timer wheel
+
+TEST(TimerWheel, OneShotFiresOnceAtItsTick) {
+  TimerWheel wheel(10, 16);
+  int fired = 0;
+  wheel.advance(0);
+  wheel.schedule(35, [&] { ++fired; });
+  wheel.advance(30);
+  EXPECT_EQ(fired, 0);
+  wheel.advance(40);
+  EXPECT_EQ(fired, 1);
+  wheel.advance(400);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, PeriodicKeepsCadenceAndCancels) {
+  TimerWheel wheel(10, 16);
+  int fired = 0;
+  wheel.advance(0);
+  const auto id = wheel.schedule_every(50, [&] { ++fired; });
+  wheel.advance(249);  // 50,100,150,200 -> 4 firings
+  EXPECT_EQ(fired, 4);
+  wheel.cancel(id);
+  wheel.advance(1000);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, LongDelaySurvivesWheelRotations) {
+  TimerWheel wheel(10, 8);  // 8 slots of 10 ms: 1 s = many rotations
+  int fired = 0;
+  wheel.advance(0);
+  wheel.schedule(1000, [&] { ++fired; });
+  wheel.advance(990);
+  EXPECT_EQ(fired, 0);
+  wheel.advance(1005);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, CallbackMayCancelItself) {
+  TimerWheel wheel(10, 16);
+  int fired = 0;
+  wheel.advance(0);
+  TimerWheel::TimerId id = 0;
+  id = wheel.schedule_every(20, [&] {
+    ++fired;
+    wheel.cancel(id);
+  });
+  wheel.advance(200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+// ------------------------------------------------------- engine loopback
+
+struct TestPeer {
+  explicit TestPeer(EngineConfig cfg = {}) : engine(cfg) {
+    EngineHandler h;
+    h.on_accept = [this](ConnId id) { accepted.push_back(id); };
+    h.on_connect = [this](ConnId id, bool ok) {
+      connected.push_back({id, ok});
+    };
+    h.on_message = [this](ConnId id, const net::Message& m) {
+      messages.push_back({id, m});
+    };
+    h.on_close = [this](ConnId id, CloseReason r) {
+      closed.push_back({id, r});
+    };
+    engine.set_handler(std::move(h));
+  }
+  Engine engine;
+  std::vector<ConnId> accepted;
+  std::vector<std::pair<ConnId, bool>> connected;
+  std::vector<std::pair<ConnId, net::Message>> messages;
+  std::vector<std::pair<ConnId, CloseReason>> closed;
+};
+
+TEST(Engine, ConnectAcceptAndFramedDelivery) {
+  TestPeer a, b;
+  ASSERT_TRUE(b.engine.listen());
+  const ConnId c = a.engine.connect("127.0.0.1", b.engine.listen_port());
+  ASSERT_NE(c, kInvalidConn);
+  ASSERT_TRUE(pump_until({&a.engine, &b.engine}, [&] {
+    return !a.connected.empty() && !b.accepted.empty();
+  }));
+  EXPECT_TRUE(a.connected[0].second);
+
+  // One multi-message burst must arrive as individually framed messages.
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(a.engine.send(c, make_ping()));
+  ASSERT_TRUE(pump_until({&a.engine, &b.engine},
+                         [&] { return b.messages.size() >= 3; }));
+  EXPECT_EQ(b.messages.size(), 3u);
+  EXPECT_EQ(b.messages[0].second.type(), net::PayloadType::kPing);
+  EXPECT_EQ(b.engine.messages_in(), 3u);
+}
+
+TEST(Engine, ConnectToDeadPortReportsFailure) {
+  TestPeer a;
+  // Grab a port, then close the listener so nothing is behind it.
+  std::uint16_t dead_port = 0;
+  {
+    Fd probe = make_listener(0);
+    ASSERT_TRUE(probe.valid());
+    dead_port = bound_port(probe);
+  }
+  const ConnId c = a.engine.connect("127.0.0.1", dead_port);
+  ASSERT_NE(c, kInvalidConn);
+  ASSERT_TRUE(
+      pump_until({&a.engine}, [&] { return !a.connected.empty(); }));
+  EXPECT_FALSE(a.connected[0].second);
+  EXPECT_EQ(a.engine.connection_count(), 0u);
+}
+
+TEST(Engine, GarbageBytesCloseTheConnectionAsBadFrame) {
+  TestPeer a, b;
+  ASSERT_TRUE(b.engine.listen());
+  // Raw client socket outside any engine: write junk straight at it.
+  Fd raw = connect_nonblocking("127.0.0.1", b.engine.listen_port());
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(pump_until({&b.engine}, [&] { return !b.accepted.empty(); }));
+  std::vector<std::uint8_t> junk(64, 0xEE);  // type byte 0xEE: unknown
+  ASSERT_EQ(::write(raw.get(), junk.data(), junk.size()),
+            static_cast<ssize_t>(junk.size()));
+  ASSERT_TRUE(pump_until({&b.engine}, [&] { return !b.closed.empty(); }));
+  EXPECT_EQ(b.closed[0].second, CloseReason::kBadFrame);
+}
+
+TEST(Engine, SlowReaderIsDisconnectedByBackpressure) {
+  EngineConfig small;
+  small.max_write_queue = 64 * 1024;
+  TestPeer a(small), b;
+  ASSERT_TRUE(b.engine.listen());
+  const ConnId c = a.engine.connect("127.0.0.1", b.engine.listen_port());
+  ASSERT_TRUE(pump_until({&a.engine, &b.engine},
+                         [&] { return !a.connected.empty(); }));
+  ASSERT_TRUE(a.connected[0].second);
+
+  // b never polls from here on: its kernel receive buffer fills, then a's
+  // send buffer, then a's user-space queue hits the bound -> kSlowPeer.
+  net::Message big;
+  big.header.guid.bytes[0] = 1;
+  net::Query q;
+  q.search = std::string(8000, 'x');
+  big.payload = std::move(q);
+  bool evicted = false;
+  for (int i = 0; i < 4000 && !evicted; ++i) {
+    a.engine.send(c, big);
+    evicted = !a.closed.empty();
+  }
+  ASSERT_TRUE(evicted) << "writer never hit the backpressure bound";
+  EXPECT_EQ(a.closed[0].second, CloseReason::kSlowPeer);
+  EXPECT_FALSE(a.engine.is_open(c));
+}
+
+TEST(Engine, HalfOpenPeerIsTimedOut) {
+  EngineConfig quick;
+  quick.handshake_timeout_ms = 150;
+  quick.sweep_period_ms = 25;
+  TestPeer b(quick);
+  ASSERT_TRUE(b.engine.listen());
+  // TCP connects, then says nothing at the application layer.
+  Fd mute = connect_nonblocking("127.0.0.1", b.engine.listen_port());
+  ASSERT_TRUE(mute.valid());
+  ASSERT_TRUE(pump_until({&b.engine}, [&] { return !b.accepted.empty(); }));
+  ASSERT_TRUE(pump_until({&b.engine}, [&] { return !b.closed.empty(); },
+                         2000));
+  EXPECT_EQ(b.closed[0].second, CloseReason::kHandshakeTimeout);
+  EXPECT_EQ(b.engine.connection_count(), 0u);
+}
+
+// --------------------------------------------------------- node loopback
+
+struct NodePair {
+  std::unique_ptr<Node> a, b;
+};
+
+NodeConfig quick_node(std::uint32_t index) {
+  NodeConfig cfg;
+  cfg.index = index;
+  cfg.minute_seconds = 0.5;          // accelerated protocol minutes
+  cfg.query_rate_per_minute = 0.0;   // tests issue deterministically
+  cfg.hit_probability = 0.0;
+  cfg.seed = 7 + index;
+  return cfg;
+}
+
+TEST(Node, HandshakeQueryHitRoundTrip) {
+  // b answers every query; a is a bystander neighbour of b that proves
+  // forwarding; c issues queries and must get the hit back.
+  NodeConfig cb = quick_node(2);
+  cb.hit_probability = 1.0;
+  Node b(cb);
+  ASSERT_TRUE(b.start());
+
+  NodeConfig ca = quick_node(1);
+  ca.bootstrap = {b.listen_port()};
+  Node a(ca);
+  ASSERT_TRUE(a.start());
+
+  NodeConfig cc = quick_node(3);
+  cc.bootstrap = {b.listen_port()};
+  cc.query_rate_per_minute = 120.0;
+  Node c(cc);
+  ASSERT_TRUE(c.start());
+
+  auto pump = [&](auto done, int rounds = 1200) {
+    for (int i = 0; i < rounds; ++i) {
+      if (done()) return true;
+      a.poll_once(2);
+      b.poll_once(2);
+      c.poll_once(2);
+    }
+    return done();
+  };
+
+  // Hello Pongs cross; links come up on both sides.
+  ASSERT_TRUE(pump([&] {
+    return a.overlay_degree() == 1 && c.overlay_degree() == 1 &&
+           b.overlay_degree() == 2;
+  })) << "handshake did not complete";
+  EXPECT_TRUE(a.police().neighbors() ==
+              std::vector<std::uint32_t>{b.self_address()});
+
+  // c's queries flood to b (which forwards them on to a) and b's
+  // QueryHits route back along the reverse path to the origin c.
+  ASSERT_TRUE(pump([&] { return c.hits_received() > 0; }))
+      << "no QueryHit made it back to the origin";
+  EXPECT_GT(c.queries_issued(), 0u);
+  EXPECT_GT(b.queries_forwarded(), 0u);
+}
+
+TEST(Node, AttackerCohortIsCutOnLoopback) {
+  // Star: one honest hub, one honest spoke, one attacker spoke. The
+  // attacker floods the hub far past the warning threshold; the hub's
+  // LocalPolice runs a buddy round and cuts + bans it.
+  NodeConfig hub_cfg = quick_node(0);
+  hub_cfg.ddp.warning_threshold = 60.0;
+  hub_cfg.ddp.cut_threshold = 2.0;
+  hub_cfg.ddp.good_issue_bound = 20.0;
+  hub_cfg.ddp.collect_timeout_seconds = 6.0;  // 0.1 protocol minutes
+  Node hub(hub_cfg);
+  ASSERT_TRUE(hub.start());
+
+  NodeConfig spoke_cfg = quick_node(1);
+  spoke_cfg.bootstrap = {hub.listen_port()};
+  spoke_cfg.query_rate_per_minute = 5.0;
+  Node spoke(spoke_cfg);
+  ASSERT_TRUE(spoke.start());
+
+  NodeConfig bad_cfg = quick_node(2);
+  bad_cfg.bootstrap = {hub.listen_port()};
+  bad_cfg.attacker = true;
+  bad_cfg.attack_rate_per_minute = 600.0;
+  bad_cfg.attack_start_minute = 1.0;
+  Node bad(bad_cfg);
+  ASSERT_TRUE(bad.start());
+
+  const std::uint32_t bad_addr = bad.self_address();
+  auto pump = [&](auto done, int rounds = 6000) {
+    for (int i = 0; i < rounds; ++i) {
+      if (done()) return true;
+      hub.poll_once(1);
+      spoke.poll_once(1);
+      bad.poll_once(1);
+    }
+    return done();
+  };
+  ASSERT_TRUE(pump([&] { return hub.overlay_degree() == 2; }));
+  ASSERT_TRUE(pump([&] { return !hub.cuts().empty(); }))
+      << "attacker was never cut";
+  EXPECT_EQ(hub.cuts()[0].suspect, bad_addr);
+  EXPECT_TRUE(hub.is_banned(bad_addr));
+  // The honest spoke survives.
+  for (const core::Decision& d : hub.cuts()) {
+    EXPECT_NE(d.suspect, spoke.self_address());
+  }
+  // The ban holds: the attacker's redial attempts never restore the link.
+  ASSERT_TRUE(pump([&] { return hub.overlay_degree() == 1; }, 500));
+}
+
+TEST(Node, DuplicateEchoRevokesForwardCredit) {
+  // One node, two script-driven peers. p1 floods a query through the
+  // node; when p2 later sends the SAME query back, the node must revoke
+  // the Out_query credit it had granted the p2 link (p2 demonstrably
+  // already had the query, so the forwarded copy was unrelayable). A dup
+  // from the origin link and a dup of a never-forwarded (TTL-exhausted)
+  // query must NOT revoke anything.
+  NodeConfig cfg = quick_node(0);
+  Node node(cfg);
+  ASSERT_TRUE(node.start());
+
+  TestPeer p1, p2;
+  const ConnId c1 = p1.engine.connect("127.0.0.1", node.listen_port());
+  const ConnId c2 = p2.engine.connect("127.0.0.1", node.listen_port());
+  ASSERT_NE(c1, kInvalidConn);
+  ASSERT_NE(c2, kInvalidConn);
+
+  auto pump = [&](auto done, int rounds = 800) {
+    for (int i = 0; i < rounds; ++i) {
+      if (done()) return true;
+      node.poll_once(2);
+      p1.engine.poll_once(2);
+      p2.engine.poll_once(2);
+    }
+    return done();
+  };
+
+  const std::uint32_t a1 = net::peer_address(1);
+  const std::uint32_t a2 = net::peer_address(2);
+  auto hello = [](std::uint32_t ip, std::uint16_t port) {
+    net::Message m;
+    m.header.ttl = 1;
+    net::Pong p;
+    p.ip = ip;
+    p.port = port;
+    p.files_shared = 0;  // overlay link
+    m.payload = p;
+    return m;
+  };
+  ASSERT_TRUE(pump([&] {
+    return !p1.connected.empty() && !p2.connected.empty();
+  }));
+  p1.engine.send(c1, hello(a1, 1));
+  p2.engine.send(c2, hello(a2, 2));
+  ASSERT_TRUE(pump([&] { return node.overlay_degree() == 2; }));
+
+  auto query = [](std::uint8_t tag, std::uint8_t ttl) {
+    net::Message m;
+    m.header.guid.bytes[0] = tag;
+    m.header.guid.bytes[15] = 0x5a;
+    m.header.ttl = ttl;
+    m.payload = net::Query{0, "echo-test"};
+    return m;
+  };
+
+  // p1's query floods to p2: one credit on the p2 link.
+  p1.engine.send(c1, query(1, 3));
+  ASSERT_TRUE(pump([&] {
+    const auto lm = node.link_minute(a2);
+    return lm.has_value() && lm->out_queries == 1.0;
+  })) << "query was not forwarded to p2";
+
+  // The same query coming back from p2 proves the copy was redundant.
+  p2.engine.send(c2, query(1, 2));
+  ASSERT_TRUE(pump([&] { return node.echo_revocations() == 1; }))
+      << "dup from a flooded-to link did not revoke";
+  EXPECT_EQ(node.link_minute(a2)->out_queries, 0.0);
+  EXPECT_EQ(node.link_minute(a2)->in_queries, 1.0);
+
+  // Dup from the origin link: we never forwarded to it, nothing to revoke.
+  p1.engine.send(c1, query(1, 3));
+  // TTL-exhausted query is seen but not flooded; its dup revokes nothing.
+  p1.engine.send(c1, query(9, 1));
+  ASSERT_TRUE(pump([&] {
+    const auto lm = node.link_minute(a1);
+    return lm.has_value() && lm->in_queries == 3.0;
+  }));
+  p2.engine.send(c2, query(9, 1));
+  ASSERT_TRUE(pump([&] { return node.link_minute(a2)->in_queries == 2.0; }));
+  EXPECT_EQ(node.echo_revocations(), 1u);
+  EXPECT_EQ(node.link_minute(a2)->out_queries, 0.0);  // clamped, not negative
+
+  // A forward whose TTL dies on arrival earns no relay credit either:
+  // p2 gets the copy (raw Out_query counts it) but provably cannot
+  // forward it, so the police-facing credit stays flat.
+  p1.engine.send(c1, query(7, 2));
+  ASSERT_TRUE(pump([&] { return node.link_minute(a1)->in_queries == 4.0; }));
+  const std::size_t before = p2.messages.size();
+  ASSERT_TRUE(pump([&] { return p2.messages.size() > before; }))
+      << "ttl=2 query was not forwarded";
+  EXPECT_EQ(node.link_minute(a2)->out_queries, 0.0);
+}
+
+TEST(Node, SigtermShutsDownCleanlyWithoutLeakingFds) {
+  const std::size_t fds_before = open_fd_count();
+  {
+    NodeConfig cfg = quick_node(4);
+    cfg.query_rate_per_minute = 10.0;
+    Node n(cfg);
+    ASSERT_TRUE(n.start());
+    ASSERT_TRUE(n.engine().install_signal_handlers());
+    for (int i = 0; i < 10; ++i) n.poll_once(2);
+    ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+    // run() must notice the signal and return instead of looping forever.
+    n.run();
+    EXPECT_TRUE(n.engine().stopped());
+  }
+  const std::size_t fds_after = open_fd_count();
+  EXPECT_EQ(fds_after, fds_before) << "file descriptors leaked on shutdown";
+}
+
+}  // namespace
+}  // namespace ddp::netengine

@@ -13,7 +13,7 @@
 #include <tuple>
 
 #include "core/ddpolice.hpp"
-#include "core/flow_port.hpp"
+#include "flow/flow_port.hpp"
 #include "experiments/scenario.hpp"
 #include "flow/network.hpp"
 #include "net/message.hpp"
@@ -262,7 +262,7 @@ TEST_P(QuiescenceTest, NoDecisionsOnHonestOverlay) {
   flow::FlowConfig fc;
   fc.bandwidth_limits = false;
   flow::FlowNetwork net(g, bw, content, fc, rng.fork("flow"));
-  core::FlowPort port(net);
+  flow::FlowPort port(net);
   core::DdPoliceConfig cfg;
   core::DdPolice police(port, cfg, rng.fork("ddp"));
   net.add_minute_hook([&](double m) { police.on_minute(m); });
@@ -294,7 +294,7 @@ TEST_P(DetectionTest, SingleAgentAlwaysIsolated) {
   flow::FlowConfig fc;
   fc.bandwidth_limits = false;
   flow::FlowNetwork net(g, bw, content, fc, rng.fork("flow"));
-  core::FlowPort port(net);
+  flow::FlowPort port(net);
   core::DdPoliceConfig cfg;
   core::DdPolice police(port, cfg, rng.fork("ddp"));
   net.add_minute_hook([&](double m) { police.on_minute(m); });

@@ -7,7 +7,7 @@
 
 #include "attack/scenario.hpp"
 #include "core/ddpolice.hpp"
-#include "core/flow_port.hpp"
+#include "flow/flow_port.hpp"
 #include "flow/network.hpp"
 #include "topology/generators.hpp"
 
@@ -89,7 +89,7 @@ TEST(Regression, SameMinuteRoundsSeeConsistentTopology) {
   g.add_edge(1, 4);
   g.add_edge(0, 5);
   MiniWorld w(std::move(g), 33);
-  core::FlowPort port(*w.net);
+  flow::FlowPort port(*w.net);
   core::DdPoliceConfig cfg;
   cfg.buddy_radius = 2;
   core::DdPolice police(port, cfg, util::Rng(3));
@@ -137,7 +137,7 @@ TEST(Regression, LoneJudgeCannotConvict) {
   g.add_edge(0, 1);
   g.add_edge(1, 2);
   MiniWorld w(std::move(g), 44);
-  core::FlowPort port(*w.net);
+  flow::FlowPort port(*w.net);
   core::DdPoliceConfig cfg;
   cfg.verify_neighbor_lists = false;  // an empty claim would otherwise trip it
   core::DdPolice police(port, cfg, util::Rng(4));
